@@ -1,0 +1,208 @@
+// E6 — google-benchmark microbenchmarks of every hot component: the event
+// engine, routing-table merges and phased APSP, PCS construction, the §5
+// admission tests, the §12 mapper, maximum matching, and one end-to-end
+// protocol round. These bound the per-job CPU cost a production deployment
+// of the management processor would pay.
+#include <benchmark/benchmark.h>
+
+#include "core/mapper.hpp"
+#include "dag/analysis.hpp"
+#include "core/rtds_system.hpp"
+#include "dag/generators.hpp"
+#include "matching/bipartite.hpp"
+#include "net/generators.hpp"
+#include "routing/apsp.hpp"
+#include "sched/admission.hpp"
+
+namespace rtds {
+namespace {
+
+// ------------------------------------------------------------ sim core ----
+
+void BM_EventQueue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<Time> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1000.0);
+  for (auto _ : state) {
+    Simulator sim;
+    std::size_t fired = 0;
+    for (Time t : times)
+      sim.schedule_at(t, [&fired] { ++fired; });
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// ------------------------------------------------------------- routing ----
+
+void BM_PhasedApsp(benchmark::State& state) {
+  Rng rng(2);
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const Topology topo = make_grid(side, side, DelayRange{0.5, 2.0}, rng);
+  for (auto _ : state) {
+    auto tables = phased_apsp(topo, 4);
+    benchmark::DoNotOptimize(tables);
+  }
+  state.SetLabel(std::to_string(side * side) + " sites, 4 phases");
+}
+BENCHMARK(BM_PhasedApsp)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_PcsBuild(benchmark::State& state) {
+  Rng rng(3);
+  const Topology topo = make_grid(16, 16, DelayRange{0.5, 2.0}, rng);
+  const auto tables = phased_apsp(topo, 4);
+  for (auto _ : state) {
+    auto pcs = Pcs::build(tables, 128, 2);
+    benchmark::DoNotOptimize(pcs);
+  }
+}
+BENCHMARK(BM_PcsBuild);
+
+// ----------------------------------------------------------- admission ----
+
+std::vector<WindowedTask> random_tasks(std::size_t n, Rng& rng) {
+  std::vector<WindowedTask> tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time r = rng.uniform(0.0, 20.0);
+    const Time c = rng.uniform(0.5, 4.0);
+    tasks.push_back(WindowedTask{static_cast<TaskId>(i), r,
+                                 r + c + rng.uniform(0.0, 10.0), c});
+  }
+  return tasks;
+}
+
+SchedulingPlan random_plan(Rng& rng) {
+  SchedulingPlan plan;
+  Time cursor = 0.0;
+  for (int b = 0; b < 6; ++b) {
+    cursor += rng.uniform(1.0, 4.0);
+    const Time len = rng.uniform(0.5, 2.0);
+    plan.reserve(Reservation{9, 0, cursor, cursor + len});
+    cursor += len;
+  }
+  return plan;
+}
+
+void BM_AdmitEdf(benchmark::State& state) {
+  Rng rng(4);
+  const auto plan = random_plan(rng);
+  const auto tasks = random_tasks(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto p = admit_edf(plan, tasks);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_AdmitEdf)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_AdmitExact(benchmark::State& state) {
+  Rng rng(5);
+  const auto plan = random_plan(rng);
+  const auto tasks = random_tasks(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto p = admit_exact(plan, tasks);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_AdmitExact)->Arg(4)->Arg(8)->Arg(10);
+
+void BM_AdmitPreemptive(benchmark::State& state) {
+  Rng rng(6);
+  const auto plan = random_plan(rng);
+  const auto tasks = random_tasks(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto p = admit_preemptive(plan, tasks);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_AdmitPreemptive)->Arg(4)->Arg(16)->Arg(32);
+
+// -------------------------------------------------------------- mapper ----
+
+void BM_Mapper(benchmark::State& state) {
+  Rng rng(7);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Dag dag = make_layered(n / 4 ? n / 4 : 1, 4, 0.4,
+                               CostRange{1.0, 8.0}, rng);
+  MapperInput in;
+  in.dag = &dag;
+  in.release = 0.0;
+  in.deadline = 10.0 * critical_path_length(dag);
+  in.surpluses = {1.0, 0.8, 0.6, 0.5};
+  in.comm_diameter = 2.0;
+  for (auto _ : state) {
+    auto m = build_trial_mapping(in);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetLabel(std::to_string(dag.task_count()) + " tasks");
+}
+BENCHMARK(BM_Mapper)->Arg(16)->Arg(64)->Arg(256);
+
+// ------------------------------------------------------------ matching ----
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  Rng rng(8);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  BipartiteGraph g(n, n);
+  for (std::size_t l = 0; l < n; ++l)
+    for (int k = 0; k < 4; ++k)
+      g.add_edge(l, static_cast<std::size_t>(
+                        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+  for (auto _ : state) {
+    auto m = max_matching_hopcroft_karp(g);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(16)->Arg(128)->Arg(1024);
+
+// ------------------------------------------------------- whole protocol ----
+
+void BM_EndToEndProtocolRound(benchmark::State& state) {
+  // One full distributed round (local fail -> enroll -> map -> validate ->
+  // match -> dispatch) on a 3x3 grid, including simulator overhead.
+  Rng topo_rng(9);
+  const Topology topo = make_grid(3, 3, DelayRange{0.5, 1.0}, topo_rng);
+  for (auto _ : state) {
+    RtdsSystem system(topo, SystemConfig{});
+    Rng rng(10);
+    auto filler = std::make_shared<Job>();
+    filler->id = 1;
+    filler->dag = make_fork_join(8, CostRange{3.0, 6.0}, rng);
+    filler->release = 0.0;
+    filler->deadline = 1000.0;
+    auto job = std::make_shared<Job>();
+    job->id = 2;
+    job->dag = make_fork_join(8, CostRange{3.0, 6.0}, rng);
+    job->release = 0.1;
+    job->deadline = 0.1 + 0.8 * job->dag.total_work();
+    system.run({{4, filler}, {4, job}});
+    benchmark::DoNotOptimize(system.metrics().arrived);
+  }
+}
+BENCHMARK(BM_EndToEndProtocolRound);
+
+void BM_WorkloadSimulation(benchmark::State& state) {
+  // Sustained simulation throughput: jobs decided per wall-second.
+  Rng rng(11);
+  const Topology topo = make_grid(6, 6, DelayRange{0.2, 0.8}, rng);
+  WorkloadConfig wl;
+  wl.arrival_rate_per_site = 0.02;
+  wl.horizon = 200.0;
+  wl.seed = 11;
+  const auto arrivals = generate_workload(topo.site_count(), wl);
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    RtdsSystem system(topo, SystemConfig{});
+    system.run(arrivals);
+    jobs += system.metrics().arrived;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs));
+}
+BENCHMARK(BM_WorkloadSimulation);
+
+}  // namespace
+}  // namespace rtds
+
+BENCHMARK_MAIN();

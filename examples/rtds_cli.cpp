@@ -1,0 +1,259 @@
+// rtds_cli — file-driven command-line front end for the whole library.
+//
+// Subcommands:
+//   gen-net    --net=<shape> --sites=N [--delay-min --delay-max --seed]
+//              [--out=FILE]            generate a topology file
+//   gen-load   --sites=N [--rate --horizon --laxity-min --laxity-max
+//              --process=poisson|bursty --deadline=cp|work --seed]
+//              [--out=FILE]            generate a workload trace file
+//   run        --net=FILE --load=FILE [--scheduler=rtds|local|bid|random|
+//              central|bcast] [--h --policy --transport=ideal|contended
+//              --bandwidth]            run a scheduler over saved inputs
+//   inspect    --net=FILE | --load=FILE   summarize a saved artifact
+//
+// Everything round-trips through the text formats in dag/io, net/io and
+// core/trace_io, so experiments are archivable and replayable byte-for-byte.
+#include <fstream>
+#include <iostream>
+
+#include "baseline/broadcast.hpp"
+#include "baseline/centralized.hpp"
+#include "baseline/local_only.hpp"
+#include "baseline/offload.hpp"
+#include "core/rtds_system.hpp"
+#include "core/trace_io.hpp"
+#include "dag/analysis.hpp"
+#include "net/generators.hpp"
+#include "net/io.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace rtds;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr <<
+      "usage: rtds_cli <gen-net|gen-load|run|inspect> [--flags]\n"
+      "  gen-net  --net=grid --sites=64 [--delay-min=0.5 --delay-max=2.0\n"
+      "           --seed=42 --out=net.txt]\n"
+      "  gen-load --sites=64 [--rate=0.02 --horizon=1000 --laxity-min=2\n"
+      "           --laxity-max=6 --process=poisson --deadline=cp --seed=42\n"
+      "           --out=load.txt]\n"
+      "  run      --net=net.txt --load=load.txt [--scheduler=rtds --h=2\n"
+      "           --policy=edf --transport=ideal --bandwidth=100]\n"
+      "  inspect  --net=net.txt | --load=load.txt\n";
+  std::exit(2);
+}
+
+NetShape parse_net_shape(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(NetShape::kScaleFree); ++i)
+    if (name == to_string(static_cast<NetShape>(i)))
+      return static_cast<NetShape>(i);
+  RTDS_REQUIRE_MSG(false, "unknown network shape " << name);
+  return NetShape::kGrid;
+}
+
+void write_file_or_stdout(const std::string& path, const std::string& text) {
+  if (path.empty()) {
+    std::cout << text;
+    return;
+  }
+  std::ofstream out(path);
+  RTDS_REQUIRE_MSG(out.good(), "cannot open " << path);
+  out << text;
+  std::cout << "wrote " << path << "\n";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  RTDS_REQUIRE_MSG(in.good(), "cannot open " << path);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+int cmd_gen_net(const Flags& flags) {
+  const auto shape = parse_net_shape(flags.get_string("net", "grid"));
+  const auto sites = static_cast<std::size_t>(flags.get_int("sites", 64));
+  DelayRange delays{flags.get_double("delay-min", 0.5),
+                    flags.get_double("delay-max", 2.0)};
+  Rng rng(flags.get_seed("seed", 42));
+  const auto out = flags.get_string("out", "");
+  flags.check_unused();
+  const Topology topo = make_net(shape, sites, delays, rng);
+  write_file_or_stdout(out, topology_to_string(topo));
+  return 0;
+}
+
+int cmd_gen_load(const Flags& flags) {
+  const auto sites = static_cast<std::size_t>(flags.get_int("sites", 64));
+  WorkloadConfig wl;
+  wl.arrival_rate_per_site = flags.get_double("rate", 0.02);
+  wl.horizon = flags.get_double("horizon", 1000.0);
+  wl.laxity_min = flags.get_double("laxity-min", 2.0);
+  wl.laxity_max = flags.get_double("laxity-max", 6.0);
+  wl.min_tasks = static_cast<std::size_t>(flags.get_int("min-tasks", 4));
+  wl.max_tasks = static_cast<std::size_t>(flags.get_int("max-tasks", 12));
+  wl.seed = flags.get_seed("seed", 42);
+  const auto process = flags.get_string("process", "poisson");
+  if (process == "bursty")
+    wl.arrival_process = ArrivalProcess::kBursty;
+  else
+    RTDS_REQUIRE_MSG(process == "poisson", "unknown --process=" << process);
+  const auto deadline = flags.get_string("deadline", "cp");
+  if (deadline == "work")
+    wl.deadline_model = DeadlineModel::kTotalWork;
+  else
+    RTDS_REQUIRE_MSG(deadline == "cp", "unknown --deadline=" << deadline);
+  const auto out = flags.get_string("out", "");
+  flags.check_unused();
+  const auto arrivals = generate_workload(sites, wl);
+  write_file_or_stdout(out, trace_to_string(arrivals));
+  if (!out.empty())
+    std::cout << arrivals.size() << " jobs over " << sites << " sites\n";
+  return 0;
+}
+
+AdmissionPolicy parse_policy(const std::string& name) {
+  if (name == "edf") return AdmissionPolicy::kEdf;
+  if (name == "exact") return AdmissionPolicy::kExact;
+  if (name == "preemptive") return AdmissionPolicy::kPreemptive;
+  RTDS_REQUIRE_MSG(false, "unknown --policy=" << name);
+  return AdmissionPolicy::kEdf;
+}
+
+int cmd_run(const Flags& flags) {
+  const auto net_path = flags.get_string("net", "");
+  const auto load_path = flags.get_string("load", "");
+  RTDS_REQUIRE_MSG(!net_path.empty() && !load_path.empty(),
+                   "run needs --net=FILE and --load=FILE");
+  const auto scheduler = flags.get_string("scheduler", "rtds");
+  const auto h = static_cast<std::size_t>(flags.get_int("h", 2));
+  LocalSchedulerConfig sched_cfg;
+  sched_cfg.policy = parse_policy(flags.get_string("policy", "edf"));
+
+  const Topology topo = topology_from_string(read_file(net_path));
+  const auto arrivals = trace_from_string(read_file(load_path));
+  for (const auto& a : arrivals)
+    RTDS_REQUIRE_MSG(a.site < topo.site_count(),
+                     "trace site " << a.site << " outside topology");
+
+  RunMetrics metrics;
+  if (scheduler == "rtds") {
+    SystemConfig cfg;
+    cfg.node.sphere_radius_h = h;
+    cfg.node.sched = sched_cfg;
+    const auto transport = flags.get_string("transport", "ideal");
+    if (transport == "contended") {
+      cfg.transport_model = TransportModel::kContended;
+      cfg.link_bandwidth = flags.get_double("bandwidth", 100.0);
+      cfg.node.protocol_overhead_slack = flags.get_double("slack", 1.0);
+    } else {
+      RTDS_REQUIRE_MSG(transport == "ideal",
+                       "unknown --transport=" << transport);
+    }
+    flags.check_unused();
+    RtdsSystem system(topo, cfg);
+    system.run(arrivals);
+    metrics = system.metrics();
+  } else if (scheduler == "local") {
+    flags.check_unused();
+    metrics = run_local_only(topo, arrivals, sched_cfg);
+  } else if (scheduler == "bid" || scheduler == "random") {
+    OffloadConfig cfg;
+    cfg.sphere_radius_h = h;
+    cfg.sched = sched_cfg;
+    if (scheduler == "random") cfg.policy = OffloadPolicy::kRandom;
+    flags.check_unused();
+    metrics = run_offload(topo, arrivals, cfg);
+  } else if (scheduler == "central") {
+    CentralizedConfig cfg;
+    cfg.sched = sched_cfg;
+    flags.check_unused();
+    metrics = run_centralized(topo, arrivals, cfg);
+  } else if (scheduler == "bcast") {
+    BroadcastConfig cfg;
+    cfg.sched = sched_cfg;
+    flags.check_unused();
+    metrics = run_broadcast(topo, arrivals, cfg);
+  } else {
+    RTDS_REQUIRE_MSG(false, "unknown --scheduler=" << scheduler);
+  }
+
+  Table t({"metric", "value"});
+  t.add_row({"scheduler", scheduler});
+  t.add_row({"jobs", Table::num(std::size_t{metrics.arrived})});
+  t.add_row({"guarantee ratio", Table::num(metrics.guarantee_ratio(), 4)});
+  t.add_row({"delivered ratio", Table::num(metrics.delivered_ratio(), 4)});
+  t.add_row({"accepted local", Table::num(std::size_t{metrics.accepted_local})});
+  t.add_row({"accepted remote", Table::num(std::size_t{metrics.accepted_remote})});
+  t.add_row({"rejected", Table::num(std::size_t{metrics.rejected})});
+  t.add_row({"deadline misses", Table::num(std::size_t{metrics.deadline_misses})});
+  t.add_row({"dispatch failures", Table::num(std::size_t{metrics.dispatch_failures})});
+  t.add_row({"link messages", Table::num(std::size_t{metrics.transport.total_link_messages})});
+  t.add_row({"msgs/job mean",
+             Table::num(metrics.msgs_per_job.count() ? metrics.msgs_per_job.mean() : 0.0, 2)});
+  t.add_row({"decision latency mean",
+             Table::num(metrics.decision_latency.count()
+                            ? metrics.decision_latency.mean()
+                            : 0.0, 3)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_inspect(const Flags& flags) {
+  const auto net_path = flags.get_string("net", "");
+  const auto load_path = flags.get_string("load", "");
+  flags.check_unused();
+  if (!net_path.empty()) {
+    const Topology topo = topology_from_string(read_file(net_path));
+    std::cout << "topology: " << topo.site_count() << " sites, "
+              << topo.link_count() << " links, connected="
+              << (topo.connected() ? "yes" : "no") << "\n";
+    RunningStat delay, degree;
+    for (const auto& l : topo.links()) delay.add(l.delay);
+    for (SiteId s = 0; s < topo.site_count(); ++s)
+      degree.add(double(topo.neighbors(s).size()));
+    std::cout << "link delay mean " << delay.mean() << " [" << delay.min()
+              << ", " << delay.max() << "]; degree mean " << degree.mean()
+              << " max " << degree.max() << "\n";
+  }
+  if (!load_path.empty()) {
+    const auto arrivals = trace_from_string(read_file(load_path));
+    RunningStat tasks, laxity, work;
+    for (const auto& a : arrivals) {
+      tasks.add(double(a.job->dag.task_count()));
+      work.add(a.job->dag.total_work());
+      laxity.add((a.job->deadline - a.job->release) /
+                 critical_path_length(a.job->dag));
+    }
+    std::cout << "trace: " << arrivals.size() << " jobs";
+    if (!arrivals.empty()) {
+      std::cout << " over [" << arrivals.front().job->release << ", "
+                << arrivals.back().job->release << "]\n"
+                << "tasks/job mean " << tasks.mean() << "; work mean "
+                << work.mean() << "; laxity (vs CP) mean " << laxity.mean()
+                << " [" << laxity.min() << ", " << laxity.max() << "]";
+    }
+    std::cout << "\n";
+  }
+  if (net_path.empty() && load_path.empty()) usage();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const Flags flags(argc - 1, argv + 1);
+  try {
+    if (command == "gen-net") return cmd_gen_net(flags);
+    if (command == "gen-load") return cmd_gen_load(flags);
+    if (command == "run") return cmd_run(flags);
+    if (command == "inspect") return cmd_inspect(flags);
+  } catch (const ContractViolation& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage();
+}

@@ -1,0 +1,231 @@
+#include "baseline/broadcast.hpp"
+
+#include <algorithm>
+#include <any>
+
+#include "net/shortest_paths.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtds {
+
+namespace {
+
+enum BroadcastCategory : int {
+  kMsgSurplusFlood = 21,
+  kMsgFocusedOffer = 22,
+  kMsgFocusedReply = 23,
+};
+
+struct SurplusMsg {
+  double surplus = 0.0;
+};
+struct FocusedOffer {
+  JobId job = 0;
+  std::shared_ptr<const Job> job_data;
+};
+struct FocusedReply {
+  JobId job = 0;
+  bool accepted = false;
+};
+
+class BroadcastDriver {
+ public:
+  BroadcastDriver(const Topology& topo, const BroadcastConfig& cfg)
+      : topo_(topo), cfg_(cfg), net_(sim_, topo_) {
+    for (SiteId s = 0; s < topo_.site_count(); ++s) {
+      paths_.push_back(dijkstra(topo_, s));
+      LocalSchedulerConfig sc = cfg_.sched;
+      sc.computing_power = topo_.computing_power(s);
+      scheds_.emplace_back(sc);
+      net_.set_handler(s, [this, s](SiteId from, const std::any& payload) {
+        on_message(s, from, payload);
+      });
+    }
+    surplus_table_.assign(topo_.site_count(),
+                          std::vector<double>(topo_.site_count(), 1.0));
+  }
+
+  RunMetrics run(const std::vector<JobArrival>& arrivals) {
+    RTDS_REQUIRE(cfg_.broadcast_period > 0.0);
+    Time last_arrival = 0.0;
+    for (const auto& a : arrivals) {
+      last_arrival = std::max(last_arrival, a.job->release);
+      sim_.schedule_at(a.job->release,
+                       [this, a]() { on_arrival(a.site, a.job); });
+    }
+    broadcast_until_ = cfg_.stop_with_arrivals ? last_arrival : kInfiniteTime;
+    for (SiteId s = 0; s < topo_.site_count(); ++s) schedule_broadcast(s, 0.0);
+    sim_.run();
+    RTDS_CHECK_MSG(active_.empty(), "unfinished focused-addressing offers");
+    for (const auto& [job, track] : accepted_) {
+      RTDS_CHECK(track.tasks_done == track.tasks_expected);
+      metrics_.job_lateness.add(track.completion - track.deadline);
+      RTDS_CHECK_MSG(time_le(track.completion, track.deadline),
+                     "BCAST baseline missed deadline on job " << job);
+    }
+    metrics_.transport = net_.stats();
+    return metrics_;
+  }
+
+ private:
+  struct Initiation {
+    std::shared_ptr<const Job> job;
+    std::vector<SiteId> candidates;
+    std::size_t next_candidate = 0;
+    std::size_t attempts = 0;
+    std::size_t contacted = 0;
+  };
+
+  struct JobTrack {
+    std::size_t tasks_expected = 0;
+    std::size_t tasks_done = 0;
+    Time completion = 0.0;
+    Time deadline = 0.0;
+  };
+
+  void schedule_broadcast(SiteId s, Time at) {
+    if (time_gt(at, broadcast_until_)) return;
+    sim_.schedule_at(at, [this, s]() {
+      scheds_[s].garbage_collect(sim_.now());
+      const double surplus = scheds_[s].surplus(sim_.now());
+      surplus_table_[s][s] = surplus;
+      // Flood to every other site, shortest-path routed: the O(N) per-site
+      // per-period cost the Computing Sphere exists to avoid.
+      for (SiteId to = 0; to < topo_.site_count(); ++to) {
+        if (to == s) continue;
+        net_.send_routed(s, to, paths_[s].dist[to], paths_[s].hops[to],
+                         SurplusMsg{surplus}, kMsgSurplusFlood);
+      }
+      schedule_broadcast(s, sim_.now() + cfg_.broadcast_period);
+    });
+  }
+
+  void send_job_msg(SiteId from, SiteId to, std::any payload, int category,
+                    JobId job) {
+    job_messages_[job] += paths_[from].hops[to];
+    net_.send_routed(from, to, paths_[from].dist[to], paths_[from].hops[to],
+                     std::move(payload), category);
+  }
+
+  bool try_local(SiteId site, const Job& job) {
+    auto& sched = scheds_[site];
+    sched.garbage_collect(sim_.now());
+    const Time earliest = std::max(sim_.now(), job.release);
+    const auto placements = sched.try_accept_dag_local(job, earliest);
+    if (!placements) return false;
+    auto& track = accepted_[job.id];
+    track.tasks_expected = job.dag.task_count();
+    track.deadline = job.deadline;
+    for (const auto& p : *placements) {
+      sim_.schedule_at(p.end, [this, id = job.id, end = p.end]() {
+        auto& tr = accepted_.at(id);
+        ++tr.tasks_done;
+        tr.completion = std::max(tr.completion, end);
+      });
+    }
+    return true;
+  }
+
+  void decide(SiteId initiator, const Job& job, JobOutcome outcome,
+              RejectReason reason, std::size_t contacted) {
+    JobDecision d;
+    d.job = job.id;
+    d.initiator = initiator;
+    d.outcome = outcome;
+    d.reject_reason = reason;
+    d.arrival = job.release;
+    d.decision_time = sim_.now();
+    d.deadline = job.deadline;
+    d.task_count = job.dag.task_count();
+    d.acs_size = contacted + 1;
+    d.link_messages = job_messages_[job.id];
+    metrics_.record(d);
+  }
+
+  void on_arrival(SiteId site, std::shared_ptr<const Job> job) {
+    if (try_local(site, *job)) {
+      decide(site, *job, JobOutcome::kAcceptedLocal, RejectReason::kNone, 0);
+      return;
+    }
+    // Focused addressing from the (stale) global surplus table.
+    Initiation init;
+    init.job = job;
+    std::vector<std::pair<double, SiteId>> ranked;
+    for (SiteId s = 0; s < topo_.site_count(); ++s)
+      if (s != site) ranked.emplace_back(surplus_table_[site][s], s);
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    for (const auto& [surplus, s] : ranked) init.candidates.push_back(s);
+    if (init.candidates.empty()) {
+      decide(site, *job, JobOutcome::kRejected, RejectReason::kNoCandidates, 0);
+      return;
+    }
+    active_[job->id] = std::move(init);
+    make_offer(site, job->id);
+  }
+
+  void make_offer(SiteId initiator, JobId job) {
+    auto& init = active_.at(job);
+    if (init.next_candidate >= init.candidates.size() ||
+        init.attempts >= cfg_.max_attempts) {
+      decide(initiator, *init.job, JobOutcome::kRejected,
+             RejectReason::kOffloadRefused, init.contacted);
+      active_.erase(job);
+      return;
+    }
+    const SiteId target = init.candidates[init.next_candidate++];
+    ++init.attempts;
+    ++init.contacted;
+    send_job_msg(initiator, target, FocusedOffer{job, init.job},
+                 kMsgFocusedOffer, job);
+  }
+
+  void on_message(SiteId self, SiteId from, const std::any& payload) {
+    if (const auto* surplus = std::any_cast<SurplusMsg>(&payload)) {
+      surplus_table_[self][from] = surplus->surplus;
+    } else if (const auto* offer = std::any_cast<FocusedOffer>(&payload)) {
+      const bool ok = try_local(self, *offer->job_data);
+      send_job_msg(self, from, FocusedReply{offer->job, ok}, kMsgFocusedReply,
+                   offer->job);
+    } else if (const auto* reply = std::any_cast<FocusedReply>(&payload)) {
+      auto& init = active_.at(reply->job);
+      if (reply->accepted) {
+        decide(self, *init.job, JobOutcome::kAcceptedRemote,
+               RejectReason::kNone, init.contacted);
+        active_.erase(reply->job);
+      } else {
+        make_offer(self, reply->job);
+      }
+    } else {
+      RTDS_CHECK_MSG(false, "unknown broadcast payload");
+    }
+  }
+
+  const Topology& topo_;
+  BroadcastConfig cfg_;
+  Simulator sim_;
+  SimNetwork net_;
+  std::vector<PathResult> paths_;
+  std::vector<LocalScheduler> scheds_;
+  /// surplus_table_[observer][site] = last surplus heard from `site`.
+  std::vector<std::vector<double>> surplus_table_;
+  Time broadcast_until_ = 0.0;
+  std::map<JobId, Initiation> active_;
+  std::map<JobId, JobTrack> accepted_;
+  std::map<JobId, std::uint64_t> job_messages_;
+  RunMetrics metrics_;
+};
+
+}  // namespace
+
+RunMetrics run_broadcast(const Topology& topo,
+                         const std::vector<JobArrival>& arrivals,
+                         const BroadcastConfig& cfg) {
+  BroadcastDriver driver(topo, cfg);
+  return driver.run(arrivals);
+}
+
+}  // namespace rtds

@@ -1,0 +1,38 @@
+// BCAST baseline: focused addressing driven by *periodic network-wide
+// surplus broadcasts* — a reconstruction of the scheme of the paper's
+// reference [4] (Cheng–Stankovic–Ramamritham 1986), which the paper
+// explicitly criticizes: "Selection of sites is based on the surplus of
+// each site that is broadcasted over all the network periodically", hence
+// cannot scale to arbitrary wide (unbounded) networks.
+//
+// Every site periodically sends its surplus to every other site (routed on
+// shortest paths, full link-message accounting). A failed local test picks
+// the best-surplus site from the (stale) table and offers the whole DAG;
+// refusals walk down the table up to max_attempts. Comparing its total
+// message budget against RTDS's sphere-bounded budget is experiment E1's
+// point; comparing acceptance shows what staleness costs.
+#pragma once
+
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/workload.hpp"
+#include "sched/local_scheduler.hpp"
+
+namespace rtds {
+
+struct BroadcastConfig {
+  LocalSchedulerConfig sched;
+  Time broadcast_period = 25.0;  ///< surplus flood interval per site
+  std::size_t max_attempts = 3;  ///< focused-addressing offers per job
+  /// Surplus window used in broadcasts (no job context exists at broadcast
+  /// time, so a fixed observation window is the only option — exactly the
+  /// staleness problem the paper's job-scoped enrollment avoids).
+  bool stop_with_arrivals = true;  ///< cease broadcasting after last arrival
+};
+
+RunMetrics run_broadcast(const Topology& topo,
+                         const std::vector<JobArrival>& arrivals,
+                         const BroadcastConfig& cfg);
+
+}  // namespace rtds

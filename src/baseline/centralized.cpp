@@ -1,0 +1,121 @@
+#include "baseline/centralized.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "dag/analysis.hpp"
+#include "net/shortest_paths.hpp"
+
+namespace rtds {
+
+RunMetrics run_centralized(const Topology& topo,
+                           const std::vector<JobArrival>& arrivals,
+                           const CentralizedConfig& cfg) {
+  const auto n = topo.site_count();
+  RunMetrics metrics;
+
+  // Omniscient knowledge: exact all-pairs delays and hop counts.
+  std::vector<PathResult> paths;
+  paths.reserve(n);
+  for (SiteId s = 0; s < n; ++s) paths.push_back(dijkstra(topo, s));
+
+  std::vector<SchedulingPlan> plans(n);
+
+  for (const auto& a : arrivals) {
+    const Job& job = *a.job;
+    const Time now = job.release;
+    for (auto& p : plans) p.garbage_collect(now);
+
+    // Candidate sites (optionally sphere-limited for fairness vs. RTDS).
+    std::vector<SiteId> sites;
+    for (SiteId s = 0; s < n; ++s) {
+      if (cfg.sphere_radius_h == CentralizedConfig::kNoRadiusLimit ||
+          paths[a.site].hops[s] <= cfg.sphere_radius_h)
+        sites.push_back(s);
+    }
+
+    // ETF list scheduling with exact idle intervals and true delays.
+    const Dag& dag = job.dag;
+    const auto priority = bottom_levels(dag);
+    std::vector<std::size_t> missing(dag.task_count());
+    std::vector<TaskId> free_list;
+    for (TaskId t = 0; t < dag.task_count(); ++t) {
+      missing[t] = dag.predecessors(t).size();
+      if (missing[t] == 0) free_list.push_back(t);
+    }
+    std::vector<SchedulingPlan> trial = plans;
+    std::vector<Time> finish(dag.task_count(), 0.0);
+    std::vector<SiteId> where(dag.task_count(), kNoSite);
+    std::vector<Reservation> committed;
+    bool ok = true;
+    Time completion = now;
+    while (!free_list.empty()) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < free_list.size(); ++i) {
+        const TaskId x = free_list[i], y = free_list[best];
+        if (time_gt(priority[x], priority[y]) ||
+            (time_eq(priority[x], priority[y]) && x < y))
+          best = i;
+      }
+      const TaskId t = free_list[best];
+      free_list.erase(free_list.begin() + static_cast<std::ptrdiff_t>(best));
+
+      SiteId chosen = kNoSite;
+      Time chosen_start = 0.0, chosen_finish = kInfiniteTime;
+      for (SiteId s : sites) {
+        Time est = now;
+        for (TaskId q : dag.predecessors(t)) {
+          const Time dist =
+              where[q] == s ? 0.0 : paths[where[q]].dist[s];
+          est = std::max(est, finish[q] + dist);
+        }
+        const Time duration = dag.cost(t) / topo.computing_power(s);
+        const Time start = trial[s].earliest_fit(est, job.deadline, duration);
+        if (start == kInfiniteTime) continue;
+        if (time_lt(start + duration, chosen_finish)) {
+          chosen = s;
+          chosen_start = start;
+          chosen_finish = start + duration;
+        }
+      }
+      if (chosen == kNoSite) {
+        ok = false;
+        break;
+      }
+      const Reservation r{job.id, t, chosen_start, chosen_finish};
+      trial[chosen].reserve(r);
+      committed.push_back(r);
+      where[t] = chosen;
+      finish[t] = chosen_finish;
+      completion = std::max(completion, chosen_finish);
+      for (TaskId s2 : dag.successors(t))
+        if (--missing[s2] == 0) free_list.push_back(s2);
+    }
+    ok = ok && time_le(completion, job.deadline);
+
+    JobDecision d;
+    d.job = job.id;
+    d.initiator = a.site;
+    d.arrival = now;
+    d.decision_time = now;
+    d.deadline = job.deadline;
+    d.task_count = dag.task_count();
+    if (ok) {
+      plans = std::move(trial);
+      std::set<SiteId> used(where.begin(), where.end());
+      d.acs_size = used.size();
+      d.outcome = (used.size() == 1 && *used.begin() == a.site)
+                      ? JobOutcome::kAcceptedLocal
+                      : JobOutcome::kAcceptedRemote;
+      metrics.job_lateness.add(completion - job.deadline);
+    } else {
+      d.acs_size = sites.size();
+      d.outcome = JobOutcome::kRejected;
+      d.reject_reason = RejectReason::kOffloadRefused;
+    }
+    metrics.record(d);
+  }
+  return metrics;
+}
+
+}  // namespace rtds

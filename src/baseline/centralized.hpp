@@ -1,0 +1,29 @@
+// CENTRAL baseline: an omniscient centralized scheduler — zero-cost global
+// knowledge of every site's exact idle intervals and true pairwise delays,
+// zero protocol latency. This is the (unrealizable on a wide network)
+// upper bound the paper's distributed scheme approximates from below; §1
+// argues exactly this kind of centralized control "is inappropriate for
+// distributed systems".
+#pragma once
+
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/workload.hpp"
+#include "sched/local_scheduler.hpp"
+
+namespace rtds {
+
+struct CentralizedConfig {
+  LocalSchedulerConfig sched;
+  /// Restrict candidate sites per job to the arrival site's h-hop sphere so
+  /// the comparison against RTDS is like-for-like (kNoLimit = whole net).
+  std::size_t sphere_radius_h = kNoRadiusLimit;
+  static constexpr std::size_t kNoRadiusLimit = static_cast<std::size_t>(-1);
+};
+
+RunMetrics run_centralized(const Topology& topo,
+                           const std::vector<JobArrival>& arrivals,
+                           const CentralizedConfig& cfg);
+
+}  // namespace rtds

@@ -1,0 +1,46 @@
+#include "baseline/local_only.hpp"
+
+namespace rtds {
+
+RunMetrics run_local_only(const Topology& topo,
+                          const std::vector<JobArrival>& arrivals,
+                          const LocalSchedulerConfig& sched_cfg) {
+  RunMetrics metrics;
+  std::vector<LocalScheduler> sites;
+  sites.reserve(topo.site_count());
+  for (SiteId s = 0; s < topo.site_count(); ++s) {
+    LocalSchedulerConfig cfg = sched_cfg;
+    cfg.computing_power = topo.computing_power(s);
+    sites.emplace_back(cfg);
+  }
+
+  // Arrivals are processed in time order; decisions are instantaneous, so a
+  // plain loop is equivalent to an event-driven run.
+  for (const auto& a : arrivals) {
+    RTDS_REQUIRE(a.site < sites.size());
+    auto& sched = sites[a.site];
+    sched.garbage_collect(a.job->release);
+    JobDecision d;
+    d.job = a.job->id;
+    d.initiator = a.site;
+    d.arrival = a.job->release;
+    d.decision_time = a.job->release;
+    d.deadline = a.job->deadline;
+    d.task_count = a.job->dag.task_count();
+    d.acs_size = 1;
+    if (auto placements = sched.try_accept_dag_local(*a.job, a.job->release)) {
+      d.outcome = JobOutcome::kAcceptedLocal;
+      Time completion = a.job->release;
+      for (const auto& p : *placements) completion = std::max(completion, p.end);
+      metrics.job_lateness.add(completion - a.job->deadline);
+      RTDS_CHECK(time_le(completion, a.job->deadline));
+    } else {
+      d.outcome = JobOutcome::kRejected;
+      d.reject_reason = RejectReason::kOffloadRefused;
+    }
+    metrics.record(d);
+  }
+  return metrics;
+}
+
+}  // namespace rtds

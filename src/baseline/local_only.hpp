@@ -1,0 +1,18 @@
+// LOCAL baseline: every site schedules only its own arrivals (§5 test, no
+// cooperation). The floor every distributed scheme must beat — the paper's
+// motivating comparison ("increase of the number of accepted jobs", §14).
+#pragma once
+
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/workload.hpp"
+#include "sched/local_scheduler.hpp"
+
+namespace rtds {
+
+RunMetrics run_local_only(const Topology& topo,
+                          const std::vector<JobArrival>& arrivals,
+                          const LocalSchedulerConfig& sched_cfg);
+
+}  // namespace rtds

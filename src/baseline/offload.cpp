@@ -1,0 +1,243 @@
+#include "baseline/offload.hpp"
+
+#include <algorithm>
+#include <any>
+
+#include "sim/simulator.hpp"
+
+namespace rtds {
+
+const char* to_string(OffloadPolicy policy) {
+  switch (policy) {
+    case OffloadPolicy::kBestSurplus: return "bid";
+    case OffloadPolicy::kRandom: return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+enum OffloadCategory : int {
+  kMsgBidRequest = 11,
+  kMsgBidReply = 12,
+  kMsgOffer = 13,
+  kMsgOfferReply = 14,
+};
+
+struct BidRequest {
+  JobId job = 0;
+};
+struct BidReply {
+  JobId job = 0;
+  double surplus = 0.0;
+};
+struct Offer {
+  JobId job = 0;
+  std::shared_ptr<const Job> job_data;
+};
+struct OfferReply {
+  JobId job = 0;
+  bool accepted = false;
+};
+
+class OffloadDriver {
+ public:
+  OffloadDriver(const Topology& topo, const OffloadConfig& cfg)
+      : topo_(topo), cfg_(cfg), net_(sim_, topo_), rng_(cfg.seed) {
+    const auto tables = phased_apsp(topo_, 2 * cfg_.sphere_radius_h);
+    for (SiteId s = 0; s < topo_.site_count(); ++s) {
+      pcs_.push_back(Pcs::build(tables, s, cfg_.sphere_radius_h));
+      LocalSchedulerConfig sc = cfg_.sched;
+      sc.computing_power = topo_.computing_power(s);
+      scheds_.emplace_back(sc);
+      net_.set_handler(s, [this, s](SiteId from, const std::any& payload) {
+        on_message(s, from, payload);
+      });
+    }
+  }
+
+  RunMetrics run(const std::vector<JobArrival>& arrivals) {
+    for (const auto& a : arrivals) {
+      sim_.schedule_at(a.job->release,
+                       [this, a]() { on_arrival(a.site, a.job); });
+    }
+    sim_.run();
+    RTDS_CHECK_MSG(active_.empty(), "unfinished offload negotiations");
+    for (const auto& [job, track] : accepted_) {
+      RTDS_CHECK(track.tasks_done == track.tasks_expected);
+      metrics_.job_lateness.add(track.completion - track.deadline);
+      RTDS_CHECK_MSG(time_le(track.completion, track.deadline),
+                     "offload baseline missed deadline on job " << job);
+    }
+    metrics_.transport = net_.stats();
+    return metrics_;
+  }
+
+ private:
+  struct Initiation {
+    std::shared_ptr<const Job> job;
+    std::size_t bids_expected = 0;
+    std::vector<std::pair<double, SiteId>> bids;  ///< (surplus, site)
+    std::vector<SiteId> candidates;               ///< offer order
+    std::size_t next_candidate = 0;
+    std::size_t attempts = 0;
+    std::size_t contacted = 0;
+  };
+
+  struct JobTrack {
+    std::size_t tasks_expected = 0;
+    std::size_t tasks_done = 0;
+    Time completion = 0.0;
+    Time deadline = 0.0;
+  };
+
+  void send(SiteId from, SiteId to, std::any payload, int category,
+            JobId job) {
+    const auto& pcs = pcs_[from];
+    const auto hops = pcs.hops(from, to);
+    job_messages_[job] += hops;
+    net_.send_routed(from, to, pcs.delay(from, to), hops, std::move(payload),
+                     category);
+  }
+
+  /// Commits a locally feasible DAG at `site`; returns true on success.
+  bool try_local(SiteId site, const Job& job) {
+    auto& sched = scheds_[site];
+    sched.garbage_collect(sim_.now());
+    const Time earliest = std::max(sim_.now(), job.release);
+    const auto placements = sched.try_accept_dag_local(job, earliest);
+    if (!placements) return false;
+    auto& track = accepted_[job.id];
+    track.tasks_expected = job.dag.task_count();
+    track.deadline = job.deadline;
+    for (const auto& p : *placements) {
+      sim_.schedule_at(p.end, [this, id = job.id, end = p.end]() {
+        auto& tr = accepted_.at(id);
+        ++tr.tasks_done;
+        tr.completion = std::max(tr.completion, end);
+      });
+    }
+    return true;
+  }
+
+  void decide(SiteId initiator, const Job& job, JobOutcome outcome,
+              RejectReason reason, std::size_t contacted) {
+    JobDecision d;
+    d.job = job.id;
+    d.initiator = initiator;
+    d.outcome = outcome;
+    d.reject_reason = reason;
+    d.arrival = job.release;
+    d.decision_time = sim_.now();
+    d.deadline = job.deadline;
+    d.task_count = job.dag.task_count();
+    d.acs_size = contacted + 1;
+    d.link_messages = job_messages_[job.id];
+    metrics_.record(d);
+  }
+
+  void on_arrival(SiteId site, std::shared_ptr<const Job> job) {
+    if (try_local(site, *job)) {
+      decide(site, *job, JobOutcome::kAcceptedLocal, RejectReason::kNone, 0);
+      return;
+    }
+    const auto& pcs = pcs_[site];
+    if (pcs.size() <= 1) {
+      decide(site, *job, JobOutcome::kRejected, RejectReason::kNoCandidates, 0);
+      return;
+    }
+    Initiation init;
+    init.job = job;
+    if (cfg_.policy == OffloadPolicy::kRandom) {
+      // One uniformly random sphere member.
+      std::vector<SiteId> others;
+      for (const auto& m : pcs.members())
+        if (m.site != site) others.push_back(m.site);
+      const auto pick = others[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(others.size()) - 1))];
+      init.candidates.push_back(pick);
+      active_[job->id] = std::move(init);
+      make_offer(site, job->id);
+    } else {
+      // BID: collect surpluses from the whole sphere first.
+      init.bids_expected = pcs.size() - 1;
+      active_[job->id] = std::move(init);
+      for (const auto& m : pcs.members())
+        if (m.site != site)
+          send(site, m.site, BidRequest{job->id}, kMsgBidRequest, job->id);
+    }
+  }
+
+  void make_offer(SiteId initiator, JobId job) {
+    auto& init = active_.at(job);
+    if (init.next_candidate >= init.candidates.size() ||
+        init.attempts >= cfg_.max_attempts) {
+      decide(initiator, *init.job, JobOutcome::kRejected,
+             RejectReason::kOffloadRefused, init.contacted);
+      active_.erase(job);
+      return;
+    }
+    const SiteId target = init.candidates[init.next_candidate++];
+    ++init.attempts;
+    ++init.contacted;
+    send(initiator, target, Offer{job, init.job}, kMsgOffer, job);
+  }
+
+  void on_message(SiteId self, SiteId from, const std::any& payload) {
+    if (const auto* bid = std::any_cast<BidRequest>(&payload)) {
+      scheds_[self].garbage_collect(sim_.now());
+      send(self, from, BidReply{bid->job, scheds_[self].surplus(sim_.now())},
+           kMsgBidReply, bid->job);
+    } else if (const auto* reply = std::any_cast<BidReply>(&payload)) {
+      auto& init = active_.at(reply->job);
+      init.bids.emplace_back(reply->surplus, from);
+      if (init.bids.size() == init.bids_expected) {
+        std::sort(init.bids.begin(), init.bids.end(),
+                  [](const auto& a, const auto& b) {
+                    if (a.first != b.first) return a.first > b.first;
+                    return a.second < b.second;
+                  });
+        for (const auto& [surplus, site] : init.bids)
+          init.candidates.push_back(site);
+        make_offer(self, reply->job);
+      }
+    } else if (const auto* offer = std::any_cast<Offer>(&payload)) {
+      const bool ok = try_local(self, *offer->job_data);
+      send(self, from, OfferReply{offer->job, ok}, kMsgOfferReply, offer->job);
+    } else if (const auto* oreply = std::any_cast<OfferReply>(&payload)) {
+      auto& init = active_.at(oreply->job);
+      if (oreply->accepted) {
+        decide(self, *init.job, JobOutcome::kAcceptedRemote,
+               RejectReason::kNone, init.contacted);
+        active_.erase(oreply->job);
+      } else {
+        make_offer(self, oreply->job);
+      }
+    } else {
+      RTDS_CHECK_MSG(false, "unknown offload payload");
+    }
+  }
+
+  const Topology& topo_;
+  OffloadConfig cfg_;
+  Simulator sim_;
+  SimNetwork net_;
+  Rng rng_;
+  std::vector<Pcs> pcs_;
+  std::vector<LocalScheduler> scheds_;
+  std::map<JobId, Initiation> active_;
+  std::map<JobId, JobTrack> accepted_;
+  std::map<JobId, std::uint64_t> job_messages_;
+  RunMetrics metrics_;
+};
+
+}  // namespace
+
+RunMetrics run_offload(const Topology& topo,
+                       const std::vector<JobArrival>& arrivals,
+                       const OffloadConfig& cfg) {
+  OffloadDriver driver(topo, cfg);
+  return driver.run(arrivals);
+}
+
+}  // namespace rtds

@@ -1,0 +1,89 @@
+// The Mapper (§9, §12): builds a Trial-Mapping from a DAG, the ACS surpluses
+// and the ACS communication diameter.
+//
+// Instance implemented is the paper's §12 proposal:
+//  * task selection: list scheduling by critical-path priority (bottom
+//    level, node weights only, task included);
+//  * processor selection: greedy earliest finishing time;
+//  * communication between tasks on different logical processors is
+//    over-estimated by the computed delay diameter ω of the current ACS;
+//  * execution time of t on logical processor p = c(t) / I_p (surplus-
+//    degraded rate), eq. (1)-(2);
+//  * releases/deadlines then adjusted to the job window per §12.2
+//    (cases i/ii/iii, eqs. (3)-(5)).
+//
+// §13 extensions implemented as options: busyness-weighted laxity
+// dispatching, data-volume-aware communication delays, and (via the caller
+// scaling surpluses) uniform machines.
+#pragma once
+
+#include <optional>
+
+#include "core/trial_mapping.hpp"
+
+namespace rtds {
+
+/// Task-selection rule for the list scheduler. §9: "Almost any heuristic
+/// can be adapted to our purpose" — the paper's §12 instance uses critical
+/// path priority; the others are standard alternatives kept for ablation.
+enum class TaskPriority {
+  kBottomLevel,  ///< longest node-weighted path to a sink (§12, default)
+  kCost,         ///< largest computational complexity first
+  kFifo,         ///< arbitrary fixed order (task id) among free tasks
+};
+
+const char* to_string(TaskPriority priority);
+
+struct MapperConfig {
+  /// Which free task the list scheduler picks next.
+  TaskPriority task_priority = TaskPriority::kBottomLevel;
+
+  /// §13 "Laxity Dispatching": scatter the case-iii extra laxity over
+  /// critical-path tasks proportionally to the busyness (1 - I) of their
+  /// logical processor instead of uniformly.
+  bool busyness_weighted_laxity = false;
+
+  /// §13 "Communication Delays": add data_volume / throughput to ω for arcs
+  /// that carry data. Requires throughput > 0 when enabled.
+  bool account_data_volumes = false;
+  double link_throughput = 0.0;
+
+  /// Defensive rejection (documented deviation): if an adjusted window
+  /// cannot hold its task even at full speed (possible under the paper's
+  /// case-iii formula for DAGs whose longest *task-count* path is not a
+  /// critical path), reject instead of emitting an infeasible mapping.
+  bool reject_infeasible_windows = true;
+};
+
+struct MapperInput {
+  const Dag* dag = nullptr;
+  Time release = 0.0;    ///< job release r (already advanced by protocol overhead)
+  Time deadline = 0.0;   ///< job deadline d
+  /// Surpluses of the candidate sites, sorted descending (§9); one logical
+  /// processor per entry. All must be in (0, 1].
+  std::vector<double> surpluses;
+  /// Computed delay diameter ω of the current ACS (§12).
+  Time comm_diameter = 0.0;
+
+  /// §13 "Local knowledge of k": when set, the logical processor at
+  /// `initiator_index` (an index into `surpluses`) is the initiator itself
+  /// and the mapper schedules its tasks into the *exact* idle intervals of
+  /// this plan at full local speed (`initiator_power`), instead of using
+  /// the surplus-degraded rate estimate. The plan is not modified.
+  const SchedulingPlan* initiator_plan = nullptr;
+  std::size_t initiator_index = 0;
+  double initiator_power = 1.0;
+};
+
+/// Runs the mapper. Returns std::nullopt when the DAG is rejected (case i,
+/// or defensive window rejection). The returned mapping uses logical
+/// processors 0..used_processors-1 with surpluses in descending order.
+///
+/// On rejection, `failure_case` (if given) is set to kReject for a case-i
+/// rejection, or to the case (ii/iii) whose windows failed the defensive
+/// feasibility sweep.
+std::optional<TrialMapping> build_trial_mapping(
+    const MapperInput& input, const MapperConfig& cfg = {},
+    AdjustmentCase* failure_case = nullptr);
+
+}  // namespace rtds

@@ -1,0 +1,47 @@
+#include "core/metrics.hpp"
+
+namespace rtds {
+
+const char* to_string(JobOutcome outcome) {
+  switch (outcome) {
+    case JobOutcome::kAcceptedLocal: return "accepted_local";
+    case JobOutcome::kAcceptedRemote: return "accepted_remote";
+    case JobOutcome::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kNoCandidates: return "no_candidates";
+    case RejectReason::kGated: return "gated";
+    case RejectReason::kMapperCaseI: return "mapper_case_i";
+    case RejectReason::kMapperWindows: return "mapper_windows";
+    case RejectReason::kMatchingFailed: return "matching_failed";
+    case RejectReason::kOffloadRefused: return "offload_refused";
+  }
+  return "?";
+}
+
+void RunMetrics::record(const JobDecision& d) {
+  ++arrived;
+  switch (d.outcome) {
+    case JobOutcome::kAcceptedLocal:
+      ++accepted_local;
+      break;
+    case JobOutcome::kAcceptedRemote:
+      ++accepted_remote;
+      break;
+    case JobOutcome::kRejected:
+      ++rejected;
+      ++reject_by_reason[static_cast<int>(d.reject_reason)];
+      break;
+  }
+  if (d.adjustment_case != 0) ++adjustment_cases[d.adjustment_case];
+  decision_latency.add(d.decision_time - d.arrival);
+  if (d.acs_size > 1) acs_size.add(static_cast<double>(d.acs_size));
+  msgs_per_job.add(static_cast<double>(d.link_messages));
+}
+
+}  // namespace rtds

@@ -1,0 +1,95 @@
+// Experiment metrics shared by RTDS and all baselines.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "dag/dag.hpp"
+#include "net/topology.hpp"
+#include "sim/network.hpp"
+#include "util/stats.hpp"
+
+namespace rtds {
+
+enum class JobOutcome {
+  kAcceptedLocal,   ///< guaranteed by the arrival site alone (§5)
+  kAcceptedRemote,  ///< distributed over an ACS (or offloaded, for baselines)
+  kRejected,
+};
+
+const char* to_string(JobOutcome outcome);
+
+enum class RejectReason {
+  kNone,
+  kNoCandidates,     ///< no sphere members available (or none beyond k)
+  kGated,            ///< pre-enrollment gate: deadline unreachable (EnrollGate)
+  kMapperCaseI,      ///< §12.2 case (i): M* > d - r
+  kMapperWindows,    ///< defensive infeasible-window rejection
+  kMatchingFailed,   ///< §10: maximum coupling < |U|
+  kOffloadRefused,   ///< baselines: remote site's local test failed
+};
+
+const char* to_string(RejectReason reason);
+
+/// One line per job, reported by whichever scheduler made the decision.
+struct JobDecision {
+  JobId job = 0;
+  SiteId initiator = 0;
+  JobOutcome outcome = JobOutcome::kRejected;
+  RejectReason reject_reason = RejectReason::kNone;
+  Time arrival = 0.0;
+  Time decision_time = 0.0;
+  Time deadline = 0.0;
+  std::size_t task_count = 0;
+  std::size_t acs_size = 0;          ///< sites involved (1 for local)
+  std::uint64_t link_messages = 0;   ///< per-job protocol cost
+  int adjustment_case = 0;           ///< 0 when no mapper ran
+};
+
+/// Aggregated over a run; identical schema for RTDS and baselines so the
+/// comparison benches print uniform rows.
+struct RunMetrics {
+  std::uint64_t arrived = 0;
+  std::uint64_t accepted_local = 0;
+  std::uint64_t accepted_remote = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t deadline_misses = 0;  ///< hard invariant: must stay 0
+  /// Dispatches that arrived too late to honour their windows (per-site
+  /// events). Always 0 under the ideal transport; under the contended
+  /// transport they count protocol-overhead under-estimates (RtdsConfig).
+  std::uint64_t dispatch_failures = 0;
+  /// Accepted jobs with at least one failed dispatch (not fully committed).
+  std::uint64_t failed_jobs = 0;
+
+  std::map<int, std::uint64_t> reject_by_reason;    ///< keyed by RejectReason
+  std::map<int, std::uint64_t> adjustment_cases;    ///< keyed by case 1/2/3
+
+  RunningStat decision_latency;  ///< arrival -> accept/reject
+  RunningStat acs_size;          ///< distributed attempts only
+  RunningStat msgs_per_job;      ///< link messages per job (all jobs)
+  RunningStat job_lateness;      ///< completion - deadline (accepted jobs; <= 0)
+
+  MessageStats transport;        ///< network-level totals (incl. PCS build)
+  std::uint64_t pcs_build_messages = 0;  ///< one-time APSP cost
+
+  double guarantee_ratio() const {
+    return arrived == 0
+               ? 0.0
+               : static_cast<double>(accepted_local + accepted_remote) /
+                     static_cast<double>(arrived);
+  }
+  std::uint64_t accepted() const { return accepted_local + accepted_remote; }
+
+  /// Fraction of jobs accepted AND fully committed on every assigned site
+  /// (equals guarantee_ratio() whenever failed_jobs == 0).
+  double delivered_ratio() const {
+    return arrived == 0 ? 0.0
+                        : static_cast<double>(accepted() - failed_jobs) /
+                              static_cast<double>(arrived);
+  }
+
+  void record(const JobDecision& d);
+};
+
+}  // namespace rtds

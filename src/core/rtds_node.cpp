@@ -1,0 +1,581 @@
+#include "core/rtds_node.hpp"
+
+#include <algorithm>
+
+#include "dag/analysis.hpp"
+#include "matching/bipartite.hpp"
+#include "util/logging.hpp"
+
+namespace rtds {
+
+const char* to_string(EnrollPolicy policy) {
+  switch (policy) {
+    case EnrollPolicy::kNack: return "nack";
+    case EnrollPolicy::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+const char* to_string(EnrollGate gate) {
+  switch (gate) {
+    case EnrollGate::kNone: return "none";
+    case EnrollGate::kCriticalPath: return "critical_path";
+    case EnrollGate::kProtocolAware: return "protocol_aware";
+  }
+  return "?";
+}
+
+const char* msg_category_name(int category) {
+  switch (category) {
+    case kMsgEnroll: return "enroll";
+    case kMsgEnrollReply: return "enroll_reply";
+    case kMsgUnlock: return "unlock";
+    case kMsgValidate: return "validate";
+    case kMsgValidateReply: return "validate_reply";
+    case kMsgDispatch: return "dispatch";
+    default: return "other";
+  }
+}
+
+RtdsNode::RtdsNode(SiteId site, Simulator& sim, Transport& transport, Pcs pcs,
+                   RtdsConfig cfg, NodeEnv& env)
+    : site_(site),
+      sim_(sim),
+      transport_(transport),
+      pcs_(std::move(pcs)),
+      cfg_(cfg),
+      env_(env),
+      sched_(cfg.sched) {
+  RTDS_REQUIRE(pcs_.root() == site);
+}
+
+void RtdsNode::send(SiteId to, std::any payload, int category, JobId job,
+                    double size_units) {
+  RTDS_REQUIRE(to != site_);
+  RTDS_CHECK_MSG(pcs_.contains(to),
+                 "site " << site_ << " routing outside its PCS to " << to);
+  const std::size_t hops =
+      transport_.send(site_, to, std::move(payload), category, size_units);
+  env_.on_job_messages(job, hops);
+}
+
+// ---------------------------------------------------------------------------
+// Arrival and initiator pipeline
+// ---------------------------------------------------------------------------
+
+void RtdsNode::submit(std::shared_ptr<const Job> job) {
+  RTDS_REQUIRE(job != nullptr);
+  RTDS_REQUIRE(job->dag.finalized());
+  if (lock_.has_value()) {
+    // Opportunistic local accept while locked (see class comment); jobs
+    // that do not fit — or would break an outstanding endorsement — wait.
+    if (!try_local_accept(job)) {
+      RTDS_TRACE("site " << site_ << " queues job " << job->id << " (locked)");
+      queue_.push_back(std::move(job));
+    }
+    return;
+  }
+  begin(std::move(job));
+}
+
+void RtdsNode::start_next_job() {
+  if (lock_.has_value() || queue_.empty()) return;
+  auto job = queue_.front();
+  queue_.pop_front();
+  begin(std::move(job));
+}
+
+void RtdsNode::begin(std::shared_ptr<const Job> job) {
+  const Time now = sim_.now();
+  acquire_lock(site_, job->id);
+
+  // §4 step 1 / §5: local guarantee test.
+  if (try_local_accept(job)) {
+    release_lock(site_, job->id);
+    after_unlock();
+    return;
+  }
+
+  // §4 step 2: build the ACS over the sphere.
+  if (pcs_.size() <= 1) {
+    Initiation init;
+    init.job = job;
+    conclude(job->id, init, JobOutcome::kRejected, RejectReason::kNoCandidates);
+    release_lock(site_, job->id);
+    after_unlock();
+    return;
+  }
+
+  // Pre-enrollment gate (§9): skip the whole enroll/lock round when the
+  // deadline is already unreachable.
+  if (cfg_.enroll_gate != EnrollGate::kNone) {
+    Time lower_bound = now + critical_path_length(job->dag);
+    if (cfg_.enroll_gate == EnrollGate::kProtocolAware) {
+      Time ecc = 0.0;
+      for (const auto& m : pcs_.members()) ecc = std::max(ecc, m.delay);
+      lower_bound += 3.0 * ecc + cfg_.mapper_compute_time;
+    }
+    if (time_gt(lower_bound, job->deadline)) {
+      Initiation init;
+      init.job = job;
+      conclude(job->id, init, JobOutcome::kRejected, RejectReason::kGated);
+      release_lock(site_, job->id);
+      after_unlock();
+      return;
+    }
+  }
+  auto [it, inserted] = active_.emplace(job->id, Initiation{});
+  RTDS_CHECK(inserted);
+  it->second.job = std::move(job);
+  begin_acs_construction(it->second);
+}
+
+void RtdsNode::begin_acs_construction(Initiation& init) {
+  const JobId job = init.job->id;
+  init.phase = Initiation::Phase::kEnrolling;
+  init.expected_replies = pcs_.size() - 1;
+  RTDS_TRACE("site " << site_ << " enrolls ACS for job " << job);
+  Time max_delay = 0.0;
+  for (const auto& m : pcs_.members()) {
+    if (m.site == site_) continue;
+    max_delay = std::max(max_delay, m.delay);
+    send(m.site, EnrollRequest{job, init.job->deadline}, kMsgEnroll, job);
+  }
+  if (cfg_.enroll_policy == EnrollPolicy::kTimeout) {
+    const Time timeout = 2.0 * max_delay + cfg_.enroll_timeout_slack;
+    sim_.schedule_in(timeout, [this, job]() { on_enroll_timeout(job); });
+  }
+}
+
+void RtdsNode::on_enroll_reply(SiteId from, const EnrollReply& msg) {
+  const auto it = active_.find(msg.job);
+  if (it == active_.end() ||
+      it->second.phase != Initiation::Phase::kEnrolling) {
+    // Stale ack: the job concluded (or left enrollment) before this reply
+    // arrived — possible under the kTimeout policy when a site processed a
+    // buffered enrollment after our timer fired. Release it immediately.
+    if (msg.accepted) send(from, UnlockMsg{msg.job}, kMsgUnlock, msg.job);
+    return;
+  }
+  Initiation& init = it->second;
+  ++init.received_replies;
+  if (msg.accepted) {
+    init.acs.push_back(from);
+    init.surplus_of[from] = msg.surplus;
+  }
+  if (init.received_replies == init.expected_replies) {
+    init.phase = Initiation::Phase::kMapping;
+    sim_.schedule_in(cfg_.mapper_compute_time,
+                     [this, job = msg.job]() { run_mapper(job); });
+  }
+}
+
+void RtdsNode::on_enroll_timeout(JobId job) {
+  const auto it = active_.find(job);
+  if (it == active_.end() || it->second.phase != Initiation::Phase::kEnrolling)
+    return;  // already advanced (all replies arrived) or concluded
+  it->second.timed_out = true;
+  it->second.phase = Initiation::Phase::kMapping;
+  sim_.schedule_in(cfg_.mapper_compute_time,
+                   [this, job]() { run_mapper(job); });
+}
+
+void RtdsNode::run_mapper(JobId job) {
+  const auto it = active_.find(job);
+  RTDS_CHECK(it != active_.end());
+  Initiation& init = it->second;
+
+  // The initiator is always an ACS member (§13 "local knowledge of k").
+  init.acs.push_back(site_);
+  init.surplus_of[site_] = surplus_for(init.job->deadline);
+  std::sort(init.acs.begin(), init.acs.end());
+  init.acs_diameter = pcs_.delay_diameter_of(init.acs);
+
+  // Logical processors: ACS surpluses in descending order (§9), excluding
+  // sites too busy to be worth a logical slot. Track which entry is the
+  // initiator itself for the §13 local-knowledge option.
+  std::vector<std::pair<double, SiteId>> ranked;
+  for (const auto& [s, surplus] : init.surplus_of)
+    if (surplus >= cfg_.min_surplus) ranked.emplace_back(surplus, s);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<double> surpluses;
+  std::size_t self_index = ranked.size();
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    surpluses.push_back(ranked[i].first);
+    if (ranked[i].second == site_) self_index = i;
+  }
+  if (surpluses.empty()) {
+    reject(init, RejectReason::kNoCandidates);
+    return;
+  }
+
+  // §13: the release the mapper plans for is advanced by the remaining
+  // protocol overhead — validation round trip plus dispatch. Each of those
+  // is an initiator<->member leg, so the initiator's ACS *eccentricity* is
+  // the sound over-estimate (the diameter ω still bounds task-to-task
+  // communication inside the mapping).
+  Time ecc = 0.0;
+  for (SiteId s : init.acs)
+    if (s != site_) ecc = std::max(ecc, pcs_.delay(site_, s));
+  const Time r_eff =
+      std::max(init.job->release,
+               sim_.now() + cfg_.protocol_overhead_factor * 3.0 * ecc +
+                   cfg_.protocol_overhead_slack);
+  if (time_ge(r_eff, init.job->deadline)) {
+    reject(init, RejectReason::kMapperCaseI);
+    return;
+  }
+
+  MapperInput input;
+  input.dag = &init.job->dag;
+  input.release = r_eff;
+  input.deadline = init.job->deadline;
+  input.surpluses = std::move(surpluses);
+  input.comm_diameter = init.acs_diameter;
+  if (cfg_.initiator_local_knowledge && self_index < ranked.size()) {
+    input.initiator_plan = &sched_.plan();
+    input.initiator_index = self_index;
+    input.initiator_power = cfg_.sched.computing_power;
+  }
+  AdjustmentCase failure = AdjustmentCase::kReject;
+  auto mapping = build_trial_mapping(input, cfg_.mapper, &failure);
+  if (!mapping) {
+    reject(init, failure == AdjustmentCase::kReject
+                     ? RejectReason::kMapperCaseI
+                     : RejectReason::kMapperWindows);
+    return;
+  }
+  RTDS_TRACE("site " << site_ << " mapped job " << job << " onto "
+                     << mapping->used_processors << " logical procs, case "
+                     << to_string(mapping->adjustment));
+  init.mapping = std::make_shared<const TrialMapping>(*std::move(mapping));
+  init.phase = Initiation::Phase::kValidating;
+  begin_validation(init);
+}
+
+void RtdsNode::begin_validation(Initiation& init) {
+  const JobId job = init.job->id;
+  init.validate_expected = init.acs.size();
+  for (SiteId s : init.acs) {
+    if (s == site_) {
+      init.endorsements[site_] =
+          endorsable_processors(*init.job, *init.mapping);
+      endorsement_ = OutstandingEndorsement{job, init.job, init.mapping,
+                                            init.endorsements[site_]};
+    } else {
+      // Validation ships the whole Trial-Mapping (task windows): §13 notes
+      // that task-code-sized messages cost real transfer time.
+      send(s, ValidateRequest{job, init.job, init.mapping}, kMsgValidate, job,
+           1.0 + double(init.job->dag.task_count()));
+    }
+  }
+  if (init.endorsements.size() == init.validate_expected)
+    finish_matching(init);  // degenerate ACS == {k}
+}
+
+void RtdsNode::on_validate_reply(SiteId from, const ValidateReply& msg) {
+  const auto it = active_.find(msg.job);
+  RTDS_CHECK_MSG(it != active_.end(),
+                 "validate reply for unknown job " << msg.job);
+  Initiation& init = it->second;
+  RTDS_CHECK(init.phase == Initiation::Phase::kValidating);
+  init.endorsements[from] = msg.endorsable;
+  if (init.endorsements.size() == init.validate_expected)
+    finish_matching(init);
+}
+
+void RtdsNode::finish_matching(Initiation& init) {
+  const JobId job = init.job->id;
+  const auto& acs = init.acs;
+  const auto u_count = init.mapping->used_processors;
+
+  // §10: maximum coupling between logical processors and ACS sites.
+  BipartiteGraph graph(u_count, acs.size());
+  for (std::size_t ri = 0; ri < acs.size(); ++ri) {
+    const auto endorse_it = init.endorsements.find(acs[ri]);
+    RTDS_CHECK(endorse_it != init.endorsements.end());
+    for (std::uint32_t u : endorse_it->second) {
+      RTDS_CHECK(u < u_count);
+      graph.add_edge(u, ri);
+    }
+  }
+  const MatchingResult match = max_matching_hopcroft_karp(graph);
+  RTDS_TRACE("t=" << sim_.now() << " site " << site_ << " job " << job
+                  << ": maximum coupling " << match.size << " of |U|="
+                  << u_count << " over |ACS|=" << acs.size());
+  if (!match.perfect_on_left()) {
+    RTDS_TRACE("site " << site_ << " job " << job << " coupling "
+                       << match.size << " < " << u_count << ": reject");
+    reject(init, RejectReason::kMatchingFailed);
+    return;
+  }
+
+  // §11: dispatch the permutation + task codes; uninvolved members unlock.
+  init.phase = Initiation::Phase::kDone;
+  std::uint32_t self_logical = kNoLogical;
+  for (std::size_t ri = 0; ri < acs.size(); ++ri) {
+    const auto logical = match.match_of_right[ri] == kUnmatched
+                             ? kNoLogical
+                             : static_cast<std::uint32_t>(match.match_of_right[ri]);
+    if (acs[ri] == site_) {
+      self_logical = logical;
+    } else {
+      send(acs[ri], DispatchMsg{job, logical, init.job, init.mapping},
+           kMsgDispatch, job, 1.0 + double(init.job->dag.task_count()));
+    }
+  }
+  if (self_logical != kNoLogical)
+    commit_logical(*init.job, *init.mapping, self_logical);
+
+  conclude(job, init, JobOutcome::kAcceptedRemote, RejectReason::kNone);
+  release_lock(site_, job);
+  after_unlock();
+}
+
+void RtdsNode::reject(Initiation& init, RejectReason reason) {
+  const JobId job = init.job->id;
+  for (SiteId s : init.acs)
+    if (s != site_) send(s, UnlockMsg{job}, kMsgUnlock, job);
+  conclude(job, init, JobOutcome::kRejected, reason);
+  release_lock(site_, job);
+  after_unlock();
+}
+
+void RtdsNode::conclude(JobId job, const Initiation& init, JobOutcome outcome,
+                        RejectReason reason) {
+  JobDecision d;
+  d.job = job;
+  d.initiator = site_;
+  d.outcome = outcome;
+  d.reject_reason = reason;
+  d.arrival = init.job->release;
+  d.decision_time = sim_.now();
+  d.deadline = init.job->deadline;
+  d.task_count = init.job->dag.task_count();
+  d.acs_size = std::max<std::size_t>(1, init.acs.size());
+  d.adjustment_case =
+      init.mapping ? static_cast<int>(init.mapping->adjustment) : 0;
+  env_.on_job_decision(d);
+  active_.erase(job);
+  concluded_.insert(job);
+}
+
+// ---------------------------------------------------------------------------
+// Responder side
+// ---------------------------------------------------------------------------
+
+void RtdsNode::on_message(SiteId from, const std::any& payload) {
+  if (const auto* enroll = std::any_cast<EnrollRequest>(&payload)) {
+    on_enroll_request(from, *enroll);
+  } else if (const auto* reply = std::any_cast<EnrollReply>(&payload)) {
+    on_enroll_reply(from, *reply);
+  } else if (const auto* unlock = std::any_cast<UnlockMsg>(&payload)) {
+    on_unlock(from, *unlock);
+  } else if (const auto* validate = std::any_cast<ValidateRequest>(&payload)) {
+    on_validate_request(from, *validate);
+  } else if (const auto* vreply = std::any_cast<ValidateReply>(&payload)) {
+    on_validate_reply(from, *vreply);
+  } else if (const auto* dispatch = std::any_cast<DispatchMsg>(&payload)) {
+    on_dispatch(from, *dispatch);
+  } else {
+    RTDS_CHECK_MSG(false, "site " << site_ << " received unknown payload");
+  }
+}
+
+void RtdsNode::on_enroll_request(SiteId from, const EnrollRequest& msg) {
+  if (lock_.has_value()) {
+    if (cfg_.enroll_policy == EnrollPolicy::kNack) {
+      send(from, EnrollReply{msg.job, false, 0.0}, kMsgEnrollReply, msg.job);
+    } else {
+      // Faithful §8 semantics: ignore (buffer) until our unlock arrives.
+      buffered_enrolls_.emplace_back(from, msg);
+    }
+    return;
+  }
+  acquire_lock(from, msg.job);
+  sched_.garbage_collect(sim_.now());
+  const double surplus = surplus_for(msg.deadline);
+  RTDS_TRACE("t=" << sim_.now() << " site " << site_ << " enrolled by "
+                  << from << " for job " << msg.job << " (surplus "
+                  << surplus << ")");
+  send(from, EnrollReply{msg.job, true, surplus}, kMsgEnrollReply, msg.job);
+}
+
+void RtdsNode::on_validate_request(SiteId from, const ValidateRequest& msg) {
+  RTDS_CHECK_MSG(lock_ && lock_->initiator == from && lock_->job == msg.job,
+                 "validate request while not locked by " << from);
+  auto endorsed = endorsable_processors(*msg.job_data, *msg.mapping);
+  RTDS_TRACE("t=" << sim_.now() << " site " << site_ << " validates job "
+                  << msg.job << ": endorses " << endorsed.size() << "/"
+                  << msg.mapping->used_processors << " logical procs");
+  endorsement_ = OutstandingEndorsement{msg.job, msg.job_data, msg.mapping,
+                                        endorsed};
+  send(from, ValidateReply{msg.job, std::move(endorsed)}, kMsgValidateReply,
+       msg.job);
+}
+
+void RtdsNode::on_dispatch(SiteId from, const DispatchMsg& msg) {
+  RTDS_CHECK_MSG(lock_ && lock_->initiator == from && lock_->job == msg.job,
+                 "dispatch while not locked by " << from);
+  if (msg.logical != kNoLogical) {
+    RTDS_TRACE("t=" << sim_.now() << " site " << site_
+                    << " executes logical proc " << msg.logical << " of job "
+                    << msg.job);
+    commit_logical(*msg.job_data, *msg.mapping, msg.logical);
+  } else {
+    RTDS_TRACE("t=" << sim_.now() << " site " << site_
+                    << " not involved in job " << msg.job << ": unlocking");
+  }
+  release_lock(from, msg.job);
+  after_unlock();
+}
+
+void RtdsNode::on_unlock(SiteId from, const UnlockMsg& msg) {
+  release_lock(from, msg.job);
+  after_unlock();
+}
+
+bool RtdsNode::try_local_accept(const std::shared_ptr<const Job>& job) {
+  const Time now = sim_.now();
+  sched_.garbage_collect(now);  // safe: only drops finished reservations
+  const Time earliest = std::max(now, job->release);
+
+  // Trial on a copy so a failed endorsement re-check leaves no trace.
+  LocalScheduler trial = sched_;
+  const auto placements = trial.try_accept_dag_local(*job, earliest);
+  if (!placements) return false;
+  if (endorsement_.has_value()) {
+    for (std::uint32_t u : endorsement_->endorsed) {
+      const auto tasks =
+          endorsement_->mapping->tasks_of(endorsement_->job_data->dag, u);
+      if (!trial.test_windowed(tasks).has_value()) return false;
+    }
+  }
+  sched_ = std::move(trial);
+  RTDS_TRACE("site " << site_ << " accepts job " << job->id << " locally");
+
+  // Completion notifications (one per task: local placements never split).
+  for (const auto& p : *placements) {
+    sim_.schedule_at(p.end, [this, id = job->id, t = p.task, end = p.end]() {
+      env_.on_task_complete(id, t, site_, end);
+    });
+  }
+  JobDecision d;
+  d.job = job->id;
+  d.initiator = site_;
+  d.outcome = JobOutcome::kAcceptedLocal;
+  d.arrival = job->release;
+  d.decision_time = now;
+  d.deadline = job->deadline;
+  d.task_count = job->dag.task_count();
+  d.acs_size = 1;
+  env_.on_job_decision(d);
+  return true;
+}
+
+double RtdsNode::surplus_for(Time deadline) const {
+  const Time now = sim_.now();
+  if (cfg_.job_window_surplus && time_gt(deadline, now))
+    return sched_.plan().surplus(now, deadline - now);
+  return sched_.surplus(now);
+}
+
+std::vector<std::uint32_t> RtdsNode::endorsable_processors(
+    const Job& job, const TrialMapping& m) const {
+  std::vector<std::uint32_t> result;
+  for (std::uint32_t u = 0; u < m.used_processors; ++u) {
+    const auto tasks = m.tasks_of(job.dag, u);
+    RTDS_CHECK(!tasks.empty());
+    if (sched_.test_windowed(tasks).has_value()) result.push_back(u);
+  }
+  return result;
+}
+
+void RtdsNode::commit_logical(const Job& job, const TrialMapping& m,
+                              std::uint32_t u) {
+  auto tasks = m.tasks_of(job.dag, u);
+  // Execution cannot start in the past: clamp releases to now. Under the
+  // ideal transport the mapper's protocol charge guarantees r(t) >= now, so
+  // the clamp is a no-op; under contention it may bite.
+  const Time now = sim_.now();
+  bool clamped = false;
+  for (auto& t : tasks) {
+    if (time_lt(t.release, now)) {
+      t.release = now;
+      clamped = true;
+    }
+  }
+  const auto placements = sched_.test_windowed(tasks);
+  if (!placements.has_value()) {
+    // Possible only if the clamp tightened a window, i.e. the dispatch
+    // arrived after the planned release — the transport's real latency
+    // exceeded the protocol over-estimate. Never happens under the ideal
+    // transport (then it would be a protocol bug, caught below).
+    RTDS_CHECK_MSG(clamped,
+                   "site " << site_ << " cannot honour endorsed logical proc "
+                           << u << " of job " << job.id);
+    env_.on_dispatch_failure(job.id, site_);
+    return;
+  }
+  sched_.commit(job.id, tasks, *placements);
+
+  // Completion notification at the *last* segment end of each task
+  // (preemptive placements may split a task into several segments).
+  std::map<TaskId, Time> last_end;
+  for (const auto& p : *placements)
+    last_end[p.task] = std::max(last_end[p.task], p.end);
+  for (const auto& [task, end] : last_end) {
+    sim_.schedule_at(end, [this, id = job.id, task = task, end = end]() {
+      env_.on_task_complete(id, task, site_, end);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Locking
+// ---------------------------------------------------------------------------
+
+void RtdsNode::acquire_lock(SiteId initiator, JobId job) {
+  RTDS_CHECK_MSG(!lock_.has_value(), "site " << site_ << " already locked");
+  lock_ = Lock{initiator, job};
+}
+
+void RtdsNode::release_lock(SiteId initiator, JobId job) {
+  RTDS_CHECK_MSG(lock_.has_value(), "site " << site_ << " not locked");
+  RTDS_CHECK_MSG(lock_->initiator == initiator && lock_->job == job,
+                 "unlock mismatch at site " << site_ << ": held ("
+                                            << lock_->initiator << ", "
+                                            << lock_->job << "), got ("
+                                            << initiator << ", " << job << ")");
+  lock_.reset();
+  endorsement_.reset();
+}
+
+void RtdsNode::after_unlock() {
+  // kTimeout policy: a buffered enrollment is served first — the site locks
+  // onto that initiator and acks late (the initiator unlocks it right back
+  // if the job already concluded).
+  if (!lock_.has_value() && !buffered_enrolls_.empty()) {
+    auto [from, req] = buffered_enrolls_.front();
+    buffered_enrolls_.pop_front();
+    acquire_lock(from, req.job);
+    sched_.garbage_collect(sim_.now());
+    send(from, EnrollReply{req.job, true, surplus_for(req.deadline)},
+         kMsgEnrollReply, req.job);
+    return;
+  }
+  // Serve queued local arrivals once the site is free. Deferred to a fresh
+  // event so responder handlers never nest a whole initiator pipeline.
+  if (!lock_.has_value() && !queue_.empty() && !start_pending_) {
+    start_pending_ = true;
+    sim_.schedule_in(0.0, [this]() {
+      start_pending_ = false;
+      start_next_job();
+    });
+  }
+}
+
+}  // namespace rtds

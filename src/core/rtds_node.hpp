@@ -1,0 +1,227 @@
+// Per-site RTDS state machine (§4): local test, ACS construction with
+// lock-based mutual exclusion (§8), Trial-Mapping construction (§9, §12),
+// validation + maximum coupling (§10), and distributed execution (§11).
+//
+// Locking discipline (no deadlock by construction): a site acquires locks
+// only by *replying* to enrollment — it never blocks waiting for one. An
+// initiator holding locks never requests new ones for the same job.
+//
+// What the lock actually protects is the window between a site's
+// ValidateReply and the initiator's Dispatch: the endorsed logical
+// processors must still be satisfiable when the permutation arrives. A
+// locked site therefore still accepts local arrivals *opportunistically*:
+// before any endorsement is outstanding the plan may change freely (the
+// surplus already reported is advisory), and afterwards a local job is
+// accepted only if every endorsed logical processor remains satisfiable on
+// the grown plan. Local jobs that would break an endorsement are queued
+// until unlock. This keeps dispatch-time commitment infallible without
+// freezing the whole sphere for the full protocol round.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "core/mapper.hpp"
+#include "core/metrics.hpp"
+#include "core/protocol.hpp"
+#include "routing/pcs.hpp"
+#include "routing/transport.hpp"
+#include "sched/local_scheduler.hpp"
+
+namespace rtds {
+
+/// How an initiator learns which PCS members are available (§8). The paper
+/// says locked sites ignore enrollment until unlocked but gives no
+/// completion rule; see DESIGN.md.
+enum class EnrollPolicy {
+  kNack,     ///< locked sites reply "busy" immediately (default)
+  kTimeout,  ///< locked sites buffer silently; initiator times out
+};
+
+const char* to_string(EnrollPolicy policy);
+
+/// Cheap feasibility gate evaluated *before* enrolling the sphere (§9: the
+/// mapper may reject a DAG whose "Trial-Mapping construction/validation
+/// delay" would make it miss its deadline). A gated rejection saves the
+/// whole enroll/lock round — important because enrollment freezes every
+/// sphere member's plan and queues their local arrivals.
+enum class EnrollGate {
+  kNone,          ///< always try to distribute
+  kCriticalPath,  ///< reject iff now + critical path > deadline (sound:
+                  ///< no schedule anywhere can beat the critical path)
+  kProtocolAware, ///< additionally charge 3× the PCS eccentricity for the
+                  ///< protocol rounds (may reject jobs a smaller ACS could
+                  ///< still have served — an over-estimate, ablated in E5)
+};
+
+const char* to_string(EnrollGate gate);
+
+struct RtdsConfig {
+  std::size_t sphere_radius_h = 2;       ///< PCS hop radius
+  LocalSchedulerConfig sched;
+  MapperConfig mapper;
+  EnrollPolicy enroll_policy = EnrollPolicy::kNack;
+  EnrollGate enroll_gate = EnrollGate::kCriticalPath;
+  Time enroll_timeout_slack = 1.0;       ///< added to the 2×radius RTT bound
+  Time mapper_compute_time = 0.0;        ///< simulated mapping latency (§13)
+  /// Multiplier on the 3×eccentricity protocol-overhead charge the mapper
+  /// adds to the release. 1.0 is exact under the ideal transport; raise it
+  /// under the contended transport to absorb queueing (see DESIGN.md).
+  double protocol_overhead_factor = 1.0;
+  /// Additive protocol-overhead slack. The eccentricity only covers
+  /// propagation; under the contended transport each hop also pays
+  /// serialization (size/bandwidth) and queueing, which this absorbs.
+  Time protocol_overhead_slack = 0.0;
+  double min_surplus = 0.02;             ///< sites below this get no logical proc
+  /// Report surplus over [now, job deadline] instead of the fixed
+  /// observation window (see EnrollRequest). Default on; E5 ablates.
+  bool job_window_surplus = true;
+  /// §13 "Local knowledge of k": the mapper schedules the initiator's own
+  /// logical processor against its exact idle intervals instead of its
+  /// surplus. Off by default (the paper's base algorithm); E5 ablates.
+  bool initiator_local_knowledge = false;
+};
+
+/// Instrumentation interface the owning system implements. Calls are
+/// out-of-band (measurement, not protocol).
+class NodeEnv {
+ public:
+  virtual ~NodeEnv() = default;
+  virtual void on_job_decision(const JobDecision& decision) = 0;
+  /// A committed task finished executing at `end` on `site`.
+  virtual void on_task_complete(JobId job, TaskId task, SiteId site,
+                                Time end) = 0;
+  /// Protocol messages attributable to a job (hop-weighted).
+  virtual void on_job_messages(JobId job, std::uint64_t hops) = 0;
+  /// A dispatched logical processor could not be committed because the
+  /// dispatch arrived after the planned release (possible only when the
+  /// transport's real latency exceeds the protocol over-estimate, i.e.
+  /// under contention with an insufficient protocol_overhead_factor).
+  virtual void on_dispatch_failure(JobId job, SiteId site) = 0;
+};
+
+class RtdsNode {
+ public:
+  RtdsNode(SiteId site, Simulator& sim, Transport& transport, Pcs pcs,
+           RtdsConfig cfg, NodeEnv& env);
+
+  RtdsNode(const RtdsNode&) = delete;
+  RtdsNode& operator=(const RtdsNode&) = delete;
+
+  SiteId site() const { return site_; }
+  const Pcs& pcs() const { return pcs_; }
+  const LocalScheduler& scheduler() const { return sched_; }
+
+  /// A sporadic job arrives on this site (§2). Starts the §4 pipeline, or
+  /// queues the job if the site is currently locked / already initiating.
+  void submit(std::shared_ptr<const Job> job);
+
+  /// Transport entry point; wire this to SimNetwork::set_handler.
+  void on_message(SiteId from, const std::any& payload);
+
+  // --- invariant probes (tests / end-of-run checks) ---
+  bool locked() const { return lock_.has_value(); }
+  std::size_t queued_jobs() const { return queue_.size(); }
+  std::size_t active_initiations() const { return active_.size(); }
+
+ private:
+  /// Initiator-side per-job state.
+  struct Initiation {
+    std::shared_ptr<const Job> job;
+    enum class Phase { kEnrolling, kMapping, kValidating, kDone } phase =
+        Phase::kEnrolling;
+    std::size_t expected_replies = 0;
+    std::size_t received_replies = 0;
+    std::vector<SiteId> acs;                    ///< ackers + self
+    std::map<SiteId, double> surplus_of;
+    std::shared_ptr<const TrialMapping> mapping;
+    Time acs_diameter = 0.0;
+    std::map<SiteId, std::vector<std::uint32_t>> endorsements;
+    std::size_t validate_expected = 0;
+    bool timed_out = false;
+  };
+
+  // --- initiator side ---
+  void start_next_job();
+  void begin(std::shared_ptr<const Job> job);
+  void begin_acs_construction(Initiation& init);
+  void on_enroll_reply(SiteId from, const EnrollReply& msg);
+  void on_enroll_timeout(JobId job);
+  void run_mapper(JobId job);
+  void begin_validation(Initiation& init);
+  void on_validate_reply(SiteId from, const ValidateReply& msg);
+  void finish_matching(Initiation& init);
+  void reject(Initiation& init, RejectReason reason);
+  void conclude(JobId job, const Initiation& init, JobOutcome outcome,
+                RejectReason reason);
+
+  // --- responder side ---
+  void on_enroll_request(SiteId from, const EnrollRequest& msg);
+  void on_validate_request(SiteId from, const ValidateRequest& msg);
+  void on_dispatch(SiteId from, const DispatchMsg& msg);
+  void on_unlock(SiteId from, const UnlockMsg& msg);
+
+  /// Computes the logical processors this site can endorse for a mapping.
+  std::vector<std::uint32_t> endorsable_processors(const Job& job,
+                                                   const TrialMapping& m) const;
+
+  /// Local §5 test + commit + completion bookkeeping + decision record.
+  /// Returns false (and leaves everything untouched) if the job does not
+  /// fit or would invalidate an outstanding endorsement.
+  bool try_local_accept(const std::shared_ptr<const Job>& job);
+
+  /// Surplus to report for a job with the given absolute deadline
+  /// (job-window or fixed observation window per config).
+  double surplus_for(Time deadline) const;
+
+  /// Commits logical processor `u`'s tasks into the local plan and arranges
+  /// completion notifications.
+  void commit_logical(const Job& job, const TrialMapping& m, std::uint32_t u);
+
+  // --- locking ---
+  struct Lock {
+    SiteId initiator;
+    JobId job;
+  };
+  void acquire_lock(SiteId initiator, JobId job);
+  void release_lock(SiteId initiator, JobId job);
+  void after_unlock();
+
+  void send(SiteId to, std::any payload, int category, JobId job,
+            double size_units = 1.0);
+
+  SiteId site_;
+  Simulator& sim_;
+  Transport& transport_;
+  Pcs pcs_;
+  RtdsConfig cfg_;
+  NodeEnv& env_;
+  LocalScheduler sched_;
+
+  /// Endorsements this site has promised and not yet seen resolved
+  /// (responder: sent in a ValidateReply; initiator: recorded for itself at
+  /// validation start). Local accepts must preserve their satisfiability.
+  struct OutstandingEndorsement {
+    JobId job = 0;
+    std::shared_ptr<const Job> job_data;
+    std::shared_ptr<const TrialMapping> mapping;
+    std::vector<std::uint32_t> endorsed;
+  };
+
+  std::optional<Lock> lock_;
+  std::optional<OutstandingEndorsement> endorsement_;
+  std::deque<std::shared_ptr<const Job>> queue_;
+  std::map<JobId, Initiation> active_;
+  /// Jobs this node initiated that already concluded — stale (post-timeout)
+  /// enroll acks for them get an immediate unlock.
+  std::set<JobId> concluded_;
+  /// kTimeout policy: enrollments buffered while locked, processed on unlock.
+  std::deque<std::pair<SiteId, EnrollRequest>> buffered_enrolls_;
+  bool start_pending_ = false;  ///< a start_next_job event is scheduled
+};
+
+}  // namespace rtds

@@ -1,0 +1,153 @@
+#include "core/rtds_system.hpp"
+
+#include <utility>
+
+#include "routing/transport.hpp"
+
+namespace rtds {
+
+const char* to_string(TransportModel model) {
+  switch (model) {
+    case TransportModel::kIdeal: return "ideal";
+    case TransportModel::kContended: return "contended";
+  }
+  return "?";
+}
+
+RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
+    : topo_(std::move(topo)), cfg_(cfg) {
+  RTDS_REQUIRE_MSG(topo_.connected(), "topology must be connected (§2)");
+  const auto h = cfg_.node.sphere_radius_h;
+
+  // §7: interrupted APSP, 2h phases.
+  tables_ = phased_apsp(topo_, 2 * h);
+  const auto& tables = tables_;
+
+  switch (cfg_.transport_model) {
+    case TransportModel::kIdeal:
+      transport_ = std::make_unique<IdealTransport>(sim_, tables_);
+      break;
+    case TransportModel::kContended:
+      transport_ = std::make_unique<ContendedTransport>(
+          sim_, topo_, tables_, cfg_.link_bandwidth);
+      break;
+  }
+
+  if (cfg_.measure_pcs_build_cost) {
+    // Re-run as real messages on a throwaway simulator and reconcile.
+    Simulator build_sim;
+    SimNetwork build_net(build_sim, topo_);
+    const auto dist = distributed_apsp(build_sim, build_net, 2 * h);
+    metrics_.pcs_build_messages = dist.messages;
+    for (SiteId s = 0; s < topo_.site_count(); ++s) {
+      RTDS_CHECK_MSG(dist.tables[s].lines().size() == tables[s].lines().size(),
+                     "distributed and in-memory APSP disagree at site " << s);
+      for (const auto& [dest, line] : tables[s].lines()) {
+        const auto& other = dist.tables[s].route(dest);
+        RTDS_CHECK(time_eq(other.dist, line.dist));
+        RTDS_CHECK(other.hops == line.hops);
+      }
+    }
+  }
+
+  nodes_.reserve(topo_.site_count());
+  for (SiteId s = 0; s < topo_.site_count(); ++s) {
+    RtdsConfig node_cfg = cfg_.node;
+    // §13 uniform machines: execution rate scales with computing power.
+    node_cfg.sched.computing_power = topo_.computing_power(s);
+    nodes_.push_back(std::make_unique<RtdsNode>(
+        s, sim_, *transport_, Pcs::build(tables, s, h), node_cfg, *this));
+    transport_->set_handler(s, [node = nodes_.back().get()](
+                                   SiteId from, const std::any& payload) {
+      node->on_message(from, payload);
+    });
+  }
+}
+
+void RtdsSystem::run(const std::vector<JobArrival>& arrivals) {
+  RTDS_REQUIRE_MSG(!ran_, "RtdsSystem::run may only be called once");
+  ran_ = true;
+  std::set<JobId> ids;
+  for (const auto& a : arrivals) {
+    RTDS_REQUIRE(a.site < nodes_.size());
+    RTDS_REQUIRE(a.job != nullptr);
+    RTDS_REQUIRE_MSG(ids.insert(a.job->id).second,
+                     "duplicate job id " << a.job->id);
+    RTDS_REQUIRE_MSG(time_lt(a.job->release, a.job->deadline),
+                     "job " << a.job->id << " has an empty window");
+    sim_.schedule_at(a.job->release, [this, a]() {
+      nodes_[a.site]->submit(a.job);
+    });
+  }
+  sim_.run();
+  verify_invariants();
+}
+
+void RtdsSystem::on_job_decision(const JobDecision& decision) {
+  JobDecision d = decision;
+  d.link_messages = job_messages_[d.job];
+  metrics_.record(d);
+  decisions_.push_back(d);
+  if (d.outcome != JobOutcome::kRejected) {
+    JobTrack track;
+    track.tasks_expected = d.task_count;
+    track.deadline = d.deadline;
+    track.failed = early_failures_.count(d.job) > 0;
+    accepted_.emplace(d.job, track);
+  }
+}
+
+void RtdsSystem::on_task_complete(JobId job, TaskId task, SiteId site,
+                                  Time end) {
+  (void)task;
+  (void)site;
+  const auto it = accepted_.find(job);
+  RTDS_CHECK_MSG(it != accepted_.end(),
+                 "task completion for unaccepted job " << job);
+  ++it->second.tasks_done;
+  it->second.completion = std::max(it->second.completion, end);
+}
+
+void RtdsSystem::on_job_messages(JobId job, std::uint64_t hops) {
+  job_messages_[job] += hops;
+}
+
+void RtdsSystem::on_dispatch_failure(JobId job, SiteId site) {
+  (void)site;
+  ++metrics_.dispatch_failures;
+  const auto it = accepted_.find(job);
+  if (it != accepted_.end())
+    it->second.failed = true;
+  else
+    early_failures_.insert(job);  // initiator self-commit precedes conclude
+}
+
+void RtdsSystem::verify_invariants() {
+  for (const auto& node : nodes_) {
+    RTDS_CHECK_MSG(!node->locked(),
+                   "site " << node->site() << " still locked at end of run");
+    RTDS_CHECK_MSG(node->queued_jobs() == 0,
+                   "site " << node->site() << " still has queued jobs");
+    RTDS_CHECK_MSG(node->active_initiations() == 0,
+                   "site " << node->site() << " has unfinished initiations");
+  }
+  for (const auto& [job, track] : accepted_) {
+    if (track.failed) {
+      ++metrics_.failed_jobs;
+      continue;
+    }
+    RTDS_CHECK_MSG(track.tasks_done == track.tasks_expected,
+                   "job " << job << " finished " << track.tasks_done << "/"
+                          << track.tasks_expected << " tasks");
+    metrics_.job_lateness.add(track.completion - track.deadline);
+    if (time_gt(track.completion, track.deadline)) ++metrics_.deadline_misses;
+  }
+  RTDS_CHECK_MSG(metrics_.deadline_misses == 0,
+                 "accepted jobs missed deadlines: " << metrics_.deadline_misses);
+  RTDS_CHECK_MSG(cfg_.transport_model == TransportModel::kContended ||
+                     metrics_.dispatch_failures == 0,
+                 "dispatch failures under the ideal transport");
+  metrics_.transport = transport_->stats();
+}
+
+}  // namespace rtds

@@ -1,0 +1,86 @@
+// System driver: wires topology, simulator, transport, PCS construction and
+// one RtdsNode per site; runs a workload to completion and enforces the
+// end-of-run invariants (every accepted job met its deadline, every lock
+// released, every queue drained).
+#pragma once
+
+#include <map>
+#include <set>
+#include <memory>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/rtds_node.hpp"
+#include "core/workload.hpp"
+#include "routing/apsp.hpp"
+
+namespace rtds {
+
+/// Which message transport the protocol runs over (see routing/transport.hpp).
+enum class TransportModel {
+  kIdeal,      ///< min-delay delivery, infinite bandwidth (paper base model)
+  kContended,  ///< store-and-forward, per-link FIFO with finite bandwidth
+};
+
+const char* to_string(TransportModel model);
+
+struct SystemConfig {
+  RtdsConfig node;
+  TransportModel transport_model = TransportModel::kIdeal;
+  /// Link bandwidth in message-size units per time unit (contended only).
+  double link_bandwidth = 100.0;
+  /// Also run the §7 distributed APSP as real messages (on a throwaway
+  /// simulator) to measure the one-time PCS construction cost and check it
+  /// against the in-memory tables. Off by default: it is O(sites²·h).
+  bool measure_pcs_build_cost = false;
+};
+
+class RtdsSystem : public NodeEnv {
+ public:
+  RtdsSystem(Topology topo, SystemConfig cfg);
+
+  /// Runs all arrivals to completion (drains the event queue) and verifies
+  /// invariants. Call once.
+  void run(const std::vector<JobArrival>& arrivals);
+
+  const RunMetrics& metrics() const { return metrics_; }
+  const Topology& topology() const { return topo_; }
+  const RtdsNode& node(SiteId s) const { return *nodes_.at(s); }
+  Simulator& simulator() { return sim_; }
+  const std::vector<JobDecision>& decisions() const { return decisions_; }
+
+  // --- NodeEnv ---
+  void on_job_decision(const JobDecision& decision) override;
+  void on_task_complete(JobId job, TaskId task, SiteId site, Time end) override;
+  void on_job_messages(JobId job, std::uint64_t hops) override;
+  void on_dispatch_failure(JobId job, SiteId site) override;
+
+ private:
+  void verify_invariants();
+
+  Topology topo_;
+  SystemConfig cfg_;
+  Simulator sim_;
+  std::vector<RoutingTable> tables_;
+  std::unique_ptr<Transport> transport_;
+  std::vector<std::unique_ptr<RtdsNode>> nodes_;
+  RunMetrics metrics_;
+  std::vector<JobDecision> decisions_;
+  std::map<JobId, std::uint64_t> job_messages_;
+
+  struct JobTrack {
+    std::size_t tasks_expected = 0;
+    std::size_t tasks_done = 0;
+    Time completion = 0.0;
+    Time deadline = 0.0;
+    bool failed = false;  ///< a dispatch for this job could not be honoured
+  };
+  std::map<JobId, JobTrack> accepted_;
+  /// Dispatch failures observed before the initiator's decision record
+  /// arrived (possible for the initiator's own commit, which precedes its
+  /// conclude); reconciled in on_job_decision.
+  std::set<JobId> early_failures_;
+  bool ran_ = false;
+};
+
+}  // namespace rtds

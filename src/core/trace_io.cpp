@@ -1,0 +1,71 @@
+#include "core/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "dag/io.hpp"
+
+namespace rtds {
+
+void write_trace(const std::vector<JobArrival>& arrivals, std::ostream& os) {
+  os << "trace v1\n";
+  os << "jobs " << arrivals.size() << "\n";
+  os.precision(17);
+  for (const auto& a : arrivals) {
+    RTDS_REQUIRE(a.job != nullptr);
+    os << "job " << a.job->id << ' ' << a.site << ' ' << a.job->release << ' '
+       << a.job->deadline << "\n";
+    write_dag(a.job->dag, os);
+  }
+  os << "end\n";
+}
+
+std::string trace_to_string(const std::vector<JobArrival>& arrivals) {
+  std::ostringstream os;
+  write_trace(arrivals, os);
+  return os.str();
+}
+
+std::vector<JobArrival> read_trace(std::istream& is) {
+  std::vector<JobArrival> arrivals;
+  std::string line;
+  std::getline(is, line);
+  RTDS_REQUIRE_MSG(line == "trace v1", "expected header 'trace v1'");
+  std::size_t count = 0;
+  {
+    std::getline(is, line);
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word >> count;
+    RTDS_REQUIRE_MSG(word == "jobs" && !ls.fail(), "expected 'jobs <n>'");
+  }
+  arrivals.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::getline(is, line);
+    std::istringstream ls(line);
+    std::string word;
+    JobId id = 0;
+    std::size_t site = 0;
+    Time release = 0.0, deadline = 0.0;
+    ls >> word >> id >> site >> release >> deadline;
+    RTDS_REQUIRE_MSG(word == "job" && !ls.fail(),
+                     "expected 'job <id> <site> <release> <deadline>'");
+    auto job = std::make_shared<Job>();
+    job->id = id;
+    job->release = release;
+    job->deadline = deadline;
+    job->dag = read_dag(is);
+    arrivals.push_back(JobArrival{static_cast<SiteId>(site), std::move(job)});
+  }
+  std::getline(is, line);
+  RTDS_REQUIRE_MSG(line == "end", "expected trailing 'end'");
+  return arrivals;
+}
+
+std::vector<JobArrival> trace_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_trace(is);
+}
+
+}  // namespace rtds

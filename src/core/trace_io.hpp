@@ -1,0 +1,28 @@
+// Workload-trace serialization: save a generated arrival sequence to a
+// file and replay it later, so experiment inputs can be archived and
+// compared across library versions independently of the RNG.
+//
+// Format:
+//   trace v1
+//   jobs <n>
+//   job <id> <site> <release> <deadline>
+//   <embedded dag v1 block>
+//   ... (repeated per job)
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/workload.hpp"
+
+namespace rtds {
+
+void write_trace(const std::vector<JobArrival>& arrivals, std::ostream& os);
+std::string trace_to_string(const std::vector<JobArrival>& arrivals);
+
+std::vector<JobArrival> read_trace(std::istream& is);
+std::vector<JobArrival> trace_from_string(const std::string& text);
+
+}  // namespace rtds

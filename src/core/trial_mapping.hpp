@@ -1,0 +1,52 @@
+// Trial-Mapping M = (S, r, d) — §9.
+//
+// S : T -> U assigns each task to a *logical* processor (1..|U| in the
+// paper, 0-based here); r and d are the adjusted per-task release times and
+// deadlines of §12.2. Logical processors are bound to physical ACS sites
+// only later, by the maximum-coupling validation (§10).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/dag.hpp"
+#include "sched/admission.hpp"
+
+namespace rtds {
+
+/// Which §12.2 adjustment branch produced the windows.
+enum class AdjustmentCase {
+  kReject = 1,   ///< (i)  M* > d - r: infeasible even at full speed
+  kStretch = 2,  ///< (ii) M <= d - r: scale by (d-r)/M  (eqs. 3, 5)
+  kLaxity = 3,   ///< (iii) M* <= d - r <= M: distribute laxity (eqs. 4, 5)
+};
+
+const char* to_string(AdjustmentCase c);
+
+struct TrialMapping {
+  /// assignment[t] = logical processor of task t, in [0, used_processors).
+  std::vector<std::uint32_t> assignment;
+  /// Adjusted windows, indexed by task: the r(t_i) / d(t_i) of Table 1.
+  std::vector<Time> release;
+  std::vector<Time> deadline;
+  /// |U|: number of logical processors that received at least one task.
+  std::uint32_t used_processors = 0;
+  /// Surplus each logical processor was assumed to have (descending).
+  std::vector<double> surpluses;
+
+  Time makespan = 0.0;       ///< M  (surplus-degraded schedule S)
+  Time makespan_full = 0.0;  ///< M* (100%-surplus schedule S*)
+  AdjustmentCase adjustment = AdjustmentCase::kReject;
+
+  /// Pre-adjustment schedule S (Fig. 3): per-task start/finish.
+  std::vector<Time> s_start, s_finish;
+  /// Full-speed schedule S* (Fig. 4).
+  std::vector<Time> star_start, star_finish;
+
+  /// Tasks of logical processor u as windowed instances (release/deadline =
+  /// adjusted windows, cost = full-speed computational complexity) — what
+  /// validation (§10) feeds the local schedulers.
+  std::vector<WindowedTask> tasks_of(const Dag& dag, std::uint32_t u) const;
+};
+
+}  // namespace rtds

@@ -1,0 +1,71 @@
+// Sporadic workload generation (§2: jobs arrive at any time on any site).
+//
+// Per-site Poisson arrival processes; each job draws a DAG shape from a
+// configurable mix and a deadline equal to
+//   arrival + laxity × critical_path_length(dag)
+// with laxity uniform in [laxity_min, laxity_max]. The critical path is the
+// full-speed lower bound on any schedule, so laxity expresses how much
+// slack the job has over the best possible makespan — the natural load knob
+// for acceptance-ratio experiments (E2, E4).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dag/generators.hpp"
+#include "net/topology.hpp"
+
+namespace rtds {
+
+/// Arrival process per site.
+enum class ArrivalProcess {
+  kPoisson,  ///< memoryless sporadic arrivals (default)
+  kBursty,   ///< ON/OFF modulated Poisson: quiet background, dense bursts
+};
+
+/// What the job deadline is proportional to (deadline = arrival + laxity×base).
+enum class DeadlineModel {
+  kCriticalPath,  ///< base = critical path: the parallel lower bound (default)
+  kTotalWork,     ///< base = total work: the single-site lower bound
+};
+
+struct WorkloadConfig {
+  double arrival_rate_per_site = 0.005;  ///< Poisson rate (jobs per time unit)
+  Time horizon = 2000.0;                 ///< arrivals in [0, horizon)
+
+  ArrivalProcess arrival_process = ArrivalProcess::kPoisson;
+  /// kBursty: mean ON / OFF phase durations and the ON rate multiplier.
+  Time burst_on_mean = 50.0;
+  Time burst_off_mean = 200.0;
+  double burst_multiplier = 6.0;
+
+  DeadlineModel deadline_model = DeadlineModel::kCriticalPath;
+
+  /// When data_volume_max > 0, every arc gets a uniform volume in
+  /// [data_volume_min, data_volume_max] (the §13 decoration; pair with
+  /// MapperConfig::account_data_volumes and link throughputs).
+  double data_volume_min = 0.0;
+  double data_volume_max = 0.0;
+  std::vector<DagShape> shape_mix = {
+      DagShape::kLayered, DagShape::kForkJoin, DagShape::kDiamond,
+      DagShape::kRandom,  DagShape::kChain,
+  };
+  std::size_t min_tasks = 4;
+  std::size_t max_tasks = 12;
+  CostRange costs{1.0, 10.0};
+  double laxity_min = 2.0;
+  double laxity_max = 6.0;
+  std::uint64_t seed = 42;
+};
+
+struct JobArrival {
+  SiteId site = 0;
+  std::shared_ptr<const Job> job;  ///< job->release is the arrival time
+};
+
+/// Generates all arrivals for `site_count` sites, sorted by arrival time.
+/// Job ids are unique and dense starting at 1.
+std::vector<JobArrival> generate_workload(std::size_t site_count,
+                                          const WorkloadConfig& cfg);
+
+}  // namespace rtds

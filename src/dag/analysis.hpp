@@ -1,0 +1,53 @@
+// Critical-path and structural analysis of task DAGs.
+//
+// The Mapper (§12) prioritizes tasks by bottom level (longest node-weighted
+// path to a sink, task included); the adjustment step (§12.2) needs η, the
+// maximum number of tasks on any critical path of the full-speed schedule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dag/dag.hpp"
+
+namespace rtds {
+
+/// Longest path from each task to any sink, counting node costs only and
+/// including the task itself — the paper's list-scheduling priority.
+std::vector<Time> bottom_levels(const Dag& dag);
+
+/// Longest path from any source to each task, counting node costs only and
+/// excluding the task itself.
+std::vector<Time> top_levels(const Dag& dag);
+
+/// Length of the (node-weighted) critical path: max over tasks of
+/// top_level + cost.
+Time critical_path_length(const Dag& dag);
+
+/// Maximum number of tasks on any path realizing the critical-path length
+/// (the paper's η, used to scale laxity in §12.2 case iii).
+std::size_t critical_path_task_count(const Dag& dag);
+
+/// One task sequence realizing the critical path, in precedence order.
+std::vector<TaskId> critical_path_tasks(const Dag& dag);
+
+/// Number of precedence levels (longest path in hop count + 1); 0 if empty.
+std::size_t depth(const Dag& dag);
+
+/// Maximum number of tasks in any single precedence level (by longest-path
+/// layering) — a coarse parallelism measure.
+std::size_t width(const Dag& dag);
+
+struct DagSummary {
+  std::size_t tasks = 0;
+  std::size_t arcs = 0;
+  std::size_t depth = 0;
+  std::size_t width = 0;
+  Time total_work = 0.0;
+  Time critical_path = 0.0;
+  double parallelism = 0.0;  ///< total_work / critical_path.
+};
+
+DagSummary summarize(const Dag& dag);
+
+}  // namespace rtds

@@ -1,0 +1,124 @@
+#include "dag/dag.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace rtds {
+
+TaskId Dag::add_task(Time cost, std::string label) {
+  RTDS_REQUIRE_MSG(!finalized_, "cannot mutate a finalized Dag");
+  RTDS_REQUIRE_MSG(cost > 0.0, "task cost must be positive, got " << cost);
+  tasks_.push_back(Task{cost, std::move(label)});
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+void Dag::add_arc(TaskId from, TaskId to, double data_volume) {
+  RTDS_REQUIRE_MSG(!finalized_, "cannot mutate a finalized Dag");
+  RTDS_REQUIRE(from < tasks_.size());
+  RTDS_REQUIRE(to < tasks_.size());
+  RTDS_REQUIRE_MSG(from != to, "self-loop on task " << from);
+  RTDS_REQUIRE(data_volume >= 0.0);
+  for (const auto& a : arcs_)
+    if (a.from == from && a.to == to) return;  // idempotent
+  arcs_.push_back(Arc{from, to, data_volume});
+}
+
+void Dag::finalize() {
+  RTDS_REQUIRE_MSG(!finalized_, "Dag already finalized");
+  const auto n = tasks_.size();
+  preds_.assign(n, {});
+  succs_.assign(n, {});
+  for (const auto& a : arcs_) {
+    succs_[a.from].push_back(a.to);
+    preds_[a.to].push_back(a.from);
+  }
+  for (auto& v : preds_) std::sort(v.begin(), v.end());
+  for (auto& v : succs_) std::sort(v.begin(), v.end());
+
+  // Kahn's algorithm with a min-heap for a stable (id-ordered) topo order.
+  std::vector<std::size_t> indegree(n);
+  for (TaskId t = 0; t < n; ++t) indegree[t] = preds_[t].size();
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
+  for (TaskId t = 0; t < n; ++t)
+    if (indegree[t] == 0) ready.push(t);
+  topo_.clear();
+  topo_.reserve(n);
+  while (!ready.empty()) {
+    const TaskId t = ready.top();
+    ready.pop();
+    topo_.push_back(t);
+    for (TaskId s : succs_[t])
+      if (--indegree[s] == 0) ready.push(s);
+  }
+  RTDS_REQUIRE_MSG(topo_.size() == n, "precedence graph contains a cycle");
+
+  sources_.clear();
+  sinks_.clear();
+  for (TaskId t = 0; t < n; ++t) {
+    if (preds_[t].empty()) sources_.push_back(t);
+    if (succs_[t].empty()) sinks_.push_back(t);
+  }
+  finalized_ = true;
+}
+
+const std::vector<TaskId>& Dag::predecessors(TaskId t) const {
+  require_finalized();
+  return preds_.at(t);
+}
+
+const std::vector<TaskId>& Dag::successors(TaskId t) const {
+  require_finalized();
+  return succs_.at(t);
+}
+
+double Dag::data_volume(TaskId from, TaskId to) const {
+  for (const auto& a : arcs_)
+    if (a.from == from && a.to == to) return a.data_volume;
+  RTDS_REQUIRE_MSG(false, "no arc " << from << " -> " << to);
+  return 0.0;
+}
+
+const std::vector<TaskId>& Dag::sources() const {
+  require_finalized();
+  return sources_;
+}
+
+const std::vector<TaskId>& Dag::sinks() const {
+  require_finalized();
+  return sinks_;
+}
+
+const std::vector<TaskId>& Dag::topological_order() const {
+  require_finalized();
+  return topo_;
+}
+
+Time Dag::total_work() const {
+  Time w = 0.0;
+  for (const auto& t : tasks_) w += t.cost;
+  return w;
+}
+
+bool Dag::reaches(TaskId ancestor, TaskId descendant) const {
+  require_finalized();
+  RTDS_REQUIRE(ancestor < tasks_.size());
+  RTDS_REQUIRE(descendant < tasks_.size());
+  if (ancestor == descendant) return false;
+  std::vector<bool> seen(tasks_.size(), false);
+  std::vector<TaskId> stack{ancestor};
+  seen[ancestor] = true;
+  while (!stack.empty()) {
+    const TaskId t = stack.back();
+    stack.pop_back();
+    for (TaskId s : succs_[t]) {
+      if (s == descendant) return true;
+      if (!seen[s]) {
+        seen[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace rtds

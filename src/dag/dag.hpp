@@ -1,0 +1,110 @@
+// Job model: a deadline-constrained DAG of tasks (the paper's G = (T, E)).
+//
+// Each task t_i carries a Computational Complexity c(t_i) (its execution
+// time on an idle, unit-speed site). Arcs may optionally carry a data
+// volume, used by the §13 "Communication Delays" extension where transfer
+// time = volume / link throughput.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace rtds {
+
+/// Index of a task within its DAG (dense, 0-based).
+using TaskId = std::uint32_t;
+
+/// Globally unique job identifier assigned by the workload source.
+using JobId = std::uint64_t;
+
+struct Task {
+  Time cost = 0.0;        ///< Computational Complexity c(t), > 0.
+  std::string label;      ///< Optional human-readable name (DOT export).
+};
+
+struct Arc {
+  TaskId from = 0;
+  TaskId to = 0;
+  double data_volume = 0.0;  ///< Optional §13 decoration; 0 = pure precedence.
+};
+
+/// Directed acyclic graph of tasks with a common release and deadline.
+///
+/// Mutation is add-only (add_task / add_arc); `finalize()` freezes the graph,
+/// verifies acyclicity and caches topological order and adjacency. All query
+/// methods require a finalized DAG.
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Adds a task and returns its id. Cost must be positive.
+  TaskId add_task(Time cost, std::string label = {});
+
+  /// Adds a precedence arc from -> to. Both ids must exist; self-loops are
+  /// rejected. Duplicate arcs are idempotent.
+  void add_arc(TaskId from, TaskId to, double data_volume = 0.0);
+
+  /// Freezes the DAG: verifies acyclicity (throws ContractViolation on a
+  /// cycle), builds predecessor/successor lists and a topological order.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  std::size_t task_count() const { return tasks_.size(); }
+  std::size_t arc_count() const { return arcs_.size(); }
+  bool empty() const { return tasks_.empty(); }
+
+  const Task& task(TaskId t) const { return tasks_.at(t); }
+  Time cost(TaskId t) const { return tasks_.at(t).cost; }
+  const std::vector<Arc>& arcs() const { return arcs_; }
+
+  /// Immediate predecessors Γ⁻(t) / successors Γ⁺(t).
+  const std::vector<TaskId>& predecessors(TaskId t) const;
+  const std::vector<TaskId>& successors(TaskId t) const;
+
+  /// Data volume on arc (from, to); requires the arc to exist.
+  double data_volume(TaskId from, TaskId to) const;
+
+  /// Tasks with no predecessors / successors.
+  const std::vector<TaskId>& sources() const;
+  const std::vector<TaskId>& sinks() const;
+
+  /// A topological order (stable: ties broken by task id).
+  const std::vector<TaskId>& topological_order() const;
+
+  /// Sum of all task costs (total work W).
+  Time total_work() const;
+
+  /// True if `ancestor` reaches `descendant` through one or more arcs.
+  bool reaches(TaskId ancestor, TaskId descendant) const;
+
+ private:
+  void require_finalized() const {
+    RTDS_REQUIRE_MSG(finalized_, "Dag must be finalize()d before queries");
+  }
+
+  std::vector<Task> tasks_;
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<TaskId>> preds_;
+  std::vector<std::vector<TaskId>> succs_;
+  std::vector<TaskId> topo_;
+  std::vector<TaskId> sources_;
+  std::vector<TaskId> sinks_;
+  bool finalized_ = false;
+};
+
+/// A job: a DAG instance plus its real-time parameters. Release r and
+/// deadline d bound the whole graph (the paper's sporadic job model, §2).
+struct Job {
+  JobId id = 0;
+  Dag dag;
+  Time release = 0.0;   ///< r: arrival time at the receiving site.
+  Time deadline = 0.0;  ///< d: absolute deadline for the whole DAG.
+
+  Time window() const { return deadline - release; }
+};
+
+}  // namespace rtds

@@ -1,0 +1,17 @@
+// Graphviz DOT export for task graphs (debugging and documentation).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "dag/dag.hpp"
+
+namespace rtds {
+
+/// Writes the DAG as a `digraph`, labelling each task with its id and cost.
+void write_dot(const Dag& dag, std::ostream& os,
+               const std::string& graph_name = "job");
+
+std::string to_dot(const Dag& dag, const std::string& graph_name = "job");
+
+}  // namespace rtds

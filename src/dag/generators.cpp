@@ -1,0 +1,278 @@
+#include "dag/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rtds {
+
+Dag paper_example() {
+  Dag dag;
+  const TaskId t1 = dag.add_task(6.0, "t1");
+  const TaskId t2 = dag.add_task(4.0, "t2");
+  const TaskId t3 = dag.add_task(4.0, "t3");
+  const TaskId t4 = dag.add_task(2.0, "t4");
+  const TaskId t5 = dag.add_task(5.0, "t5");
+  dag.add_arc(t1, t3);
+  dag.add_arc(t2, t3);
+  dag.add_arc(t1, t4);
+  dag.add_arc(t2, t4);
+  dag.add_arc(t3, t5);
+  dag.add_arc(t4, t5);
+  dag.finalize();
+  return dag;
+}
+
+Dag make_chain(std::size_t n, CostRange costs, Rng& rng) {
+  RTDS_REQUIRE(n >= 1);
+  Dag dag;
+  TaskId prev = dag.add_task(costs.sample(rng));
+  for (std::size_t i = 1; i < n; ++i) {
+    const TaskId cur = dag.add_task(costs.sample(rng));
+    dag.add_arc(prev, cur);
+    prev = cur;
+  }
+  dag.finalize();
+  return dag;
+}
+
+Dag make_fork_join(std::size_t parallel_tasks, CostRange costs, Rng& rng) {
+  RTDS_REQUIRE(parallel_tasks >= 1);
+  Dag dag;
+  const TaskId src = dag.add_task(costs.sample(rng), "fork");
+  std::vector<TaskId> mid(parallel_tasks);
+  for (auto& t : mid) t = dag.add_task(costs.sample(rng));
+  const TaskId sink = dag.add_task(costs.sample(rng), "join");
+  for (TaskId t : mid) {
+    dag.add_arc(src, t);
+    dag.add_arc(t, sink);
+  }
+  dag.finalize();
+  return dag;
+}
+
+Dag make_diamond(std::size_t width, std::size_t depth, CostRange costs,
+                 Rng& rng) {
+  RTDS_REQUIRE(width >= 1 && depth >= 1);
+  Dag dag;
+  std::vector<std::vector<TaskId>> grid(depth, std::vector<TaskId>(width));
+  for (auto& row : grid)
+    for (auto& t : row) t = dag.add_task(costs.sample(rng));
+  for (std::size_t r = 1; r < depth; ++r) {
+    for (std::size_t c = 0; c < width; ++c) {
+      dag.add_arc(grid[r - 1][c], grid[r][c]);
+      if (c + 1 < width) dag.add_arc(grid[r - 1][c], grid[r][c + 1]);
+    }
+  }
+  dag.finalize();
+  return dag;
+}
+
+Dag make_layered(std::size_t layer_count, std::size_t layer_width,
+                 double edge_prob, CostRange costs, Rng& rng) {
+  RTDS_REQUIRE(layer_count >= 1 && layer_width >= 1);
+  RTDS_REQUIRE(edge_prob >= 0.0 && edge_prob <= 1.0);
+  Dag dag;
+  std::vector<std::vector<TaskId>> layers(layer_count);
+  for (auto& layer : layers) {
+    layer.resize(layer_width);
+    for (auto& t : layer) t = dag.add_task(costs.sample(rng));
+  }
+  for (std::size_t l = 1; l < layer_count; ++l) {
+    for (TaskId t : layers[l]) {
+      bool has_pred = false;
+      for (TaskId p : layers[l - 1]) {
+        if (rng.bernoulli(edge_prob)) {
+          dag.add_arc(p, t);
+          has_pred = true;
+        }
+      }
+      if (!has_pred) {
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(layer_width) - 1));
+        dag.add_arc(layers[l - 1][pick], t);
+      }
+    }
+  }
+  dag.finalize();
+  return dag;
+}
+
+Dag make_random_dag(std::size_t n, double p, CostRange costs, Rng& rng) {
+  RTDS_REQUIRE(n >= 1);
+  RTDS_REQUIRE(p >= 0.0 && p <= 1.0);
+  Dag dag;
+  std::vector<TaskId> ids(n);
+  for (auto& t : ids) t = dag.add_task(costs.sample(rng));
+  // Random topological order; arcs only forward along it.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(p)) dag.add_arc(ids[order[i]], ids[order[j]]);
+  dag.finalize();
+  return dag;
+}
+
+Dag make_in_tree(std::size_t levels, CostRange costs, Rng& rng) {
+  RTDS_REQUIRE(levels >= 1);
+  Dag dag;
+  // Build per level, leaves first; level l has 2^(levels-1-l) nodes.
+  std::vector<TaskId> prev;
+  for (std::size_t l = 0; l < levels; ++l) {
+    const std::size_t n = std::size_t{1} << (levels - 1 - l);
+    std::vector<TaskId> cur(n);
+    for (auto& t : cur) t = dag.add_task(costs.sample(rng));
+    for (std::size_t i = 0; i < prev.size(); ++i)
+      dag.add_arc(prev[i], cur[i / 2]);
+    prev = std::move(cur);
+  }
+  dag.finalize();
+  return dag;
+}
+
+Dag make_out_tree(std::size_t levels, CostRange costs, Rng& rng) {
+  RTDS_REQUIRE(levels >= 1);
+  Dag dag;
+  std::vector<TaskId> prev;
+  for (std::size_t l = 0; l < levels; ++l) {
+    const std::size_t n = std::size_t{1} << l;
+    std::vector<TaskId> cur(n);
+    for (auto& t : cur) t = dag.add_task(costs.sample(rng));
+    for (std::size_t i = 0; i < cur.size(); ++i)
+      if (!prev.empty()) dag.add_arc(prev[i / 2], cur[i]);
+    prev = std::move(cur);
+  }
+  dag.finalize();
+  return dag;
+}
+
+Dag make_lu(std::size_t n, CostRange costs, Rng& rng) {
+  RTDS_REQUIRE(n >= 1);
+  Dag dag;
+  // Task (k, j) with k <= j < n: pivot tasks are (k, k); update task (k, j)
+  // depends on pivot (k, k) and on the same-column task of the previous step.
+  std::vector<std::vector<TaskId>> id(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    id[k].resize(n);
+    for (std::size_t j = k; j < n; ++j)
+      id[k][j] = dag.add_task(costs.sample(rng));
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = k + 1; j < n; ++j) {
+      dag.add_arc(id[k][k], id[k][j]);           // pivot feeds updates
+      if (k + 1 < n && j >= k + 1) dag.add_arc(id[k][j], id[k + 1][j]);
+    }
+    if (k + 1 < n) dag.add_arc(id[k][k + 1], id[k + 1][k + 1]);
+  }
+  dag.finalize();
+  return dag;
+}
+
+Dag make_fft(std::size_t log2n, CostRange costs, Rng& rng) {
+  RTDS_REQUIRE(log2n >= 1);
+  const std::size_t n = std::size_t{1} << log2n;
+  Dag dag;
+  std::vector<TaskId> prev(n);
+  for (auto& t : prev) t = dag.add_task(costs.sample(rng));
+  for (std::size_t stage = 0; stage < log2n; ++stage) {
+    std::vector<TaskId> cur(n);
+    for (auto& t : cur) t = dag.add_task(costs.sample(rng));
+    const std::size_t stride = std::size_t{1} << stage;
+    for (std::size_t i = 0; i < n; ++i) {
+      dag.add_arc(prev[i], cur[i]);
+      dag.add_arc(prev[i ^ stride], cur[i]);  // butterfly partner
+    }
+    prev = std::move(cur);
+  }
+  dag.finalize();
+  return dag;
+}
+
+Dag make_stencil(std::size_t w, std::size_t h, CostRange costs, Rng& rng) {
+  RTDS_REQUIRE(w >= 1 && h >= 1);
+  Dag dag;
+  std::vector<std::vector<TaskId>> grid(h, std::vector<TaskId>(w));
+  for (auto& row : grid)
+    for (auto& t : row) t = dag.add_task(costs.sample(rng));
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      if (r > 0) dag.add_arc(grid[r - 1][c], grid[r][c]);
+      if (c > 0) dag.add_arc(grid[r][c - 1], grid[r][c]);
+    }
+  }
+  dag.finalize();
+  return dag;
+}
+
+const char* to_string(DagShape shape) {
+  switch (shape) {
+    case DagShape::kChain: return "chain";
+    case DagShape::kForkJoin: return "fork_join";
+    case DagShape::kDiamond: return "diamond";
+    case DagShape::kLayered: return "layered";
+    case DagShape::kRandom: return "random";
+    case DagShape::kInTree: return "in_tree";
+    case DagShape::kOutTree: return "out_tree";
+    case DagShape::kLu: return "lu";
+    case DagShape::kFft: return "fft";
+    case DagShape::kStencil: return "stencil";
+  }
+  return "?";
+}
+
+Dag make_shape(DagShape shape, std::size_t approx_tasks, CostRange costs,
+               Rng& rng) {
+  RTDS_REQUIRE(approx_tasks >= 1);
+  const auto n = approx_tasks;
+  switch (shape) {
+    case DagShape::kChain:
+      return make_chain(n, costs, rng);
+    case DagShape::kForkJoin:
+      return make_fork_join(n > 2 ? n - 2 : 1, costs, rng);
+    case DagShape::kDiamond: {
+      const auto side = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::lround(std::sqrt(double(n)))));
+      return make_diamond(side, side, costs, rng);
+    }
+    case DagShape::kLayered: {
+      const auto width = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::lround(std::sqrt(double(n)))));
+      const auto layer_count = std::max<std::size_t>(1, n / width);
+      return make_layered(layer_count, width, 0.4, costs, rng);
+    }
+    case DagShape::kRandom:
+      return make_random_dag(n, std::min(1.0, 4.0 / double(n ? n : 1)), costs,
+                             rng);
+    case DagShape::kInTree: {
+      std::size_t levels = 1;
+      while (((std::size_t{1} << levels) - 1) < n) ++levels;
+      return make_in_tree(levels, costs, rng);
+    }
+    case DagShape::kOutTree: {
+      std::size_t levels = 1;
+      while (((std::size_t{1} << levels) - 1) < n) ++levels;
+      return make_out_tree(levels, costs, rng);
+    }
+    case DagShape::kLu: {
+      std::size_t side = 1;
+      while (side * (side + 1) / 2 < n) ++side;
+      return make_lu(side, costs, rng);
+    }
+    case DagShape::kFft: {
+      std::size_t log2n = 1;
+      while ((std::size_t{1} << log2n) * (log2n + 1) < n) ++log2n;
+      return make_fft(log2n, costs, rng);
+    }
+    case DagShape::kStencil: {
+      const auto side = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::lround(std::sqrt(double(n)))));
+      return make_stencil(side, side, costs, rng);
+    }
+  }
+  RTDS_CHECK(false);
+  return Dag{};
+}
+
+}  // namespace rtds

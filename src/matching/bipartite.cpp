@@ -1,0 +1,126 @@
+#include "matching/bipartite.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace rtds {
+
+BipartiteGraph::BipartiteGraph(std::size_t left_count, std::size_t right_count)
+    : adj_(left_count), right_count_(right_count) {}
+
+void BipartiteGraph::add_edge(std::size_t left, std::size_t right) {
+  RTDS_REQUIRE(left < adj_.size());
+  RTDS_REQUIRE(right < right_count_);
+  auto& nbrs = adj_[left];
+  if (std::find(nbrs.begin(), nbrs.end(), right) == nbrs.end())
+    nbrs.push_back(right);
+}
+
+std::size_t BipartiteGraph::edge_count() const {
+  std::size_t total = 0;
+  for (const auto& nbrs : adj_) total += nbrs.size();
+  return total;
+}
+
+namespace {
+
+MatchingResult make_result(const BipartiteGraph& g,
+                           std::vector<std::size_t> match_left,
+                           std::vector<std::size_t> match_right) {
+  MatchingResult res;
+  res.match_of_left = std::move(match_left);
+  res.match_of_right = std::move(match_right);
+  res.size = static_cast<std::size_t>(
+      std::count_if(res.match_of_left.begin(), res.match_of_left.end(),
+                    [](std::size_t m) { return m != kUnmatched; }));
+  (void)g;
+  return res;
+}
+
+}  // namespace
+
+MatchingResult max_matching_hopcroft_karp(const BipartiteGraph& g) {
+  const std::size_t nl = g.left_count();
+  const std::size_t nr = g.right_count();
+  std::vector<std::size_t> match_l(nl, kUnmatched), match_r(nr, kUnmatched);
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(nl);
+
+  auto bfs = [&]() -> bool {
+    std::queue<std::size_t> q;
+    for (std::size_t l = 0; l < nl; ++l) {
+      if (match_l[l] == kUnmatched) {
+        dist[l] = 0;
+        q.push(l);
+      } else {
+        dist[l] = kInf;
+      }
+    }
+    bool found_free = false;
+    while (!q.empty()) {
+      const std::size_t l = q.front();
+      q.pop();
+      for (std::size_t r : g.neighbors(l)) {
+        const std::size_t next = match_r[r];
+        if (next == kUnmatched) {
+          found_free = true;
+        } else if (dist[next] == kInf) {
+          dist[next] = dist[l] + 1;
+          q.push(next);
+        }
+      }
+    }
+    return found_free;
+  };
+
+  std::function<bool(std::size_t)> dfs = [&](std::size_t l) -> bool {
+    for (std::size_t r : g.neighbors(l)) {
+      const std::size_t next = match_r[r];
+      if (next == kUnmatched || (dist[next] == dist[l] + 1 && dfs(next))) {
+        match_l[l] = r;
+        match_r[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInf;
+    return false;
+  };
+
+  while (bfs())
+    for (std::size_t l = 0; l < nl; ++l)
+      if (match_l[l] == kUnmatched) dfs(l);
+
+  return make_result(g, std::move(match_l), std::move(match_r));
+}
+
+MatchingResult max_matching_kuhn(const BipartiteGraph& g) {
+  const std::size_t nl = g.left_count();
+  const std::size_t nr = g.right_count();
+  std::vector<std::size_t> match_l(nl, kUnmatched), match_r(nr, kUnmatched);
+  std::vector<bool> visited(nr);
+
+  std::function<bool(std::size_t)> try_augment = [&](std::size_t l) -> bool {
+    for (std::size_t r : g.neighbors(l)) {
+      if (visited[r]) continue;
+      visited[r] = true;
+      if (match_r[r] == kUnmatched || try_augment(match_r[r])) {
+        match_l[l] = r;
+        match_r[r] = l;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (std::size_t l = 0; l < nl; ++l) {
+    std::fill(visited.begin(), visited.end(), false);
+    try_augment(l);
+  }
+  return make_result(g, std::move(match_l), std::move(match_r));
+}
+
+}  // namespace rtds

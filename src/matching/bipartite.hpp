@@ -1,0 +1,55 @@
+// Maximum bipartite matching — the paper's "maximum coupling" (§10).
+//
+// Validation produces, per ACS site, the list of logical processors it can
+// endorse; the initiator must pick a site-per-logical-processor assignment.
+// The job is accepted iff a matching of size |U| exists (a system of
+// distinct representatives). Hopcroft–Karp is the production algorithm;
+// Kuhn's augmenting-path method is kept as a reference oracle for tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rtds {
+
+/// Bipartite graph between `left_count` left vertices (logical processors)
+/// and `right_count` right vertices (candidate sites). Edges are added as
+/// (left, right) index pairs.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t left_count, std::size_t right_count);
+
+  void add_edge(std::size_t left, std::size_t right);
+
+  std::size_t left_count() const { return adj_.size(); }
+  std::size_t right_count() const { return right_count_; }
+  const std::vector<std::size_t>& neighbors(std::size_t left) const {
+    return adj_.at(left);
+  }
+  std::size_t edge_count() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> adj_;
+  std::size_t right_count_;
+};
+
+/// match_of_left[l] = matched right vertex or kUnmatched.
+inline constexpr std::size_t kUnmatched = static_cast<std::size_t>(-1);
+
+struct MatchingResult {
+  std::vector<std::size_t> match_of_left;
+  std::vector<std::size_t> match_of_right;
+  std::size_t size = 0;
+
+  /// True iff every left vertex (logical processor) is matched — the §10
+  /// acceptance condition.
+  bool perfect_on_left() const { return size == match_of_left.size(); }
+};
+
+/// Hopcroft–Karp: O(E sqrt(V)).
+MatchingResult max_matching_hopcroft_karp(const BipartiteGraph& g);
+
+/// Kuhn's algorithm (simple augmenting paths): O(V·E). Reference oracle.
+MatchingResult max_matching_kuhn(const BipartiteGraph& g);
+
+}  // namespace rtds

@@ -1,0 +1,293 @@
+#include "net/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace rtds {
+
+namespace {
+Topology sites(std::size_t n) {
+  Topology topo;
+  for (std::size_t i = 0; i < n; ++i) topo.add_site();
+  return topo;
+}
+}  // namespace
+
+Topology make_line(std::size_t n, DelayRange delays, Rng& rng) {
+  RTDS_REQUIRE(n >= 1);
+  Topology topo = sites(n);
+  for (SiteId i = 1; i < n; ++i)
+    topo.add_link(i - 1, i, delays.sample(rng));
+  return topo;
+}
+
+Topology make_ring(std::size_t n, DelayRange delays, Rng& rng) {
+  RTDS_REQUIRE(n >= 3);
+  Topology topo = sites(n);
+  for (SiteId i = 0; i < n; ++i)
+    topo.add_link(i, static_cast<SiteId>((i + 1) % n), delays.sample(rng));
+  return topo;
+}
+
+Topology make_star(std::size_t leaves, DelayRange delays, Rng& rng) {
+  RTDS_REQUIRE(leaves >= 1);
+  Topology topo = sites(leaves + 1);
+  for (SiteId i = 1; i <= leaves; ++i)
+    topo.add_link(0, i, delays.sample(rng));
+  return topo;
+}
+
+Topology make_grid(std::size_t w, std::size_t h, DelayRange delays, Rng& rng) {
+  RTDS_REQUIRE(w >= 1 && h >= 1);
+  Topology topo = sites(w * h);
+  auto id = [w](std::size_t r, std::size_t c) {
+    return static_cast<SiteId>(r * w + c);
+  };
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      if (c + 1 < w) topo.add_link(id(r, c), id(r, c + 1), delays.sample(rng));
+      if (r + 1 < h) topo.add_link(id(r, c), id(r + 1, c), delays.sample(rng));
+    }
+  }
+  return topo;
+}
+
+Topology make_torus(std::size_t w, std::size_t h, DelayRange delays, Rng& rng) {
+  RTDS_REQUIRE(w >= 3 && h >= 3);
+  Topology topo = sites(w * h);
+  auto id = [w](std::size_t r, std::size_t c) {
+    return static_cast<SiteId>(r * w + c);
+  };
+  for (std::size_t r = 0; r < h; ++r)
+    for (std::size_t c = 0; c < w; ++c) {
+      topo.add_link(id(r, c), id(r, (c + 1) % w), delays.sample(rng));
+      topo.add_link(id(r, c), id((r + 1) % h, c), delays.sample(rng));
+    }
+  return topo;
+}
+
+Topology make_hypercube(std::size_t dims, DelayRange delays, Rng& rng) {
+  RTDS_REQUIRE(dims >= 1);
+  const std::size_t n = std::size_t{1} << dims;
+  Topology topo = sites(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t d = 0; d < dims; ++d) {
+      const std::size_t j = i ^ (std::size_t{1} << d);
+      if (j > i)
+        topo.add_link(static_cast<SiteId>(i), static_cast<SiteId>(j),
+                      delays.sample(rng));
+    }
+  return topo;
+}
+
+Topology make_random_tree(std::size_t n, DelayRange delays, Rng& rng) {
+  RTDS_REQUIRE(n >= 1);
+  Topology topo = sites(n);
+  for (SiteId i = 1; i < n; ++i) {
+    const auto parent = static_cast<SiteId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    topo.add_link(parent, i, delays.sample(rng));
+  }
+  return topo;
+}
+
+Topology make_erdos_renyi(std::size_t n, double p, DelayRange delays,
+                          Rng& rng) {
+  RTDS_REQUIRE(n >= 1);
+  RTDS_REQUIRE(p >= 0.0 && p <= 1.0);
+  Topology topo = sites(n);
+  // Random spanning tree first (random parent attachment over a random
+  // permutation) so the graph is connected regardless of p.
+  std::vector<SiteId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    topo.add_link(perm[i], perm[j], delays.sample(rng));
+  }
+  for (SiteId a = 0; a < n; ++a)
+    for (SiteId b = a + 1; b < n; ++b)
+      if (!topo.adjacent(a, b) && rng.bernoulli(p))
+        topo.add_link(a, b, delays.sample(rng));
+  return topo;
+}
+
+Topology make_geometric(std::size_t n, double radius, double delay_scale,
+                        Rng& rng) {
+  RTDS_REQUIRE(n >= 1);
+  RTDS_REQUIRE(radius > 0.0);
+  RTDS_REQUIRE(delay_scale > 0.0);
+  Topology topo = sites(n);
+  std::vector<std::pair<double, double>> pos(n);
+  for (auto& p : pos) p = {rng.uniform01(), rng.uniform01()};
+  auto dist = [&](std::size_t a, std::size_t b) {
+    const double dx = pos[a].first - pos[b].first;
+    const double dy = pos[a].second - pos[b].second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  for (SiteId a = 0; a < n; ++a)
+    for (SiteId b = a + 1; b < n; ++b)
+      if (dist(a, b) <= radius)
+        topo.add_link(a, b, std::max(kTimeEps * 10, dist(a, b) * delay_scale));
+  // Stitch disconnected components together through nearest pairs.
+  while (!topo.connected()) {
+    // Find components via DFS.
+    std::vector<int> comp(n, -1);
+    int ncomp = 0;
+    for (SiteId s = 0; s < n; ++s) {
+      if (comp[s] != -1) continue;
+      std::vector<SiteId> stack{s};
+      comp[s] = ncomp;
+      while (!stack.empty()) {
+        const SiteId u = stack.back();
+        stack.pop_back();
+        for (const auto& nb : topo.neighbors(u))
+          if (comp[nb.site] == -1) {
+            comp[nb.site] = ncomp;
+            stack.push_back(nb.site);
+          }
+      }
+      ++ncomp;
+    }
+    // Connect component 0 to the nearest site outside it.
+    double best = std::numeric_limits<double>::infinity();
+    SiteId ba = 0, bb = 0;
+    for (SiteId a = 0; a < n; ++a)
+      for (SiteId b = 0; b < n; ++b)
+        if (comp[a] == 0 && comp[b] != 0 && dist(a, b) < best) {
+          best = dist(a, b);
+          ba = a;
+          bb = b;
+        }
+    topo.add_link(ba, bb, std::max(kTimeEps * 10, best * delay_scale));
+  }
+  return topo;
+}
+
+Topology make_small_world(std::size_t n, std::size_t k, double beta,
+                          DelayRange delays, Rng& rng) {
+  RTDS_REQUIRE(n >= 4);
+  RTDS_REQUIRE(k >= 1 && 2 * k < n);
+  RTDS_REQUIRE(beta >= 0.0 && beta <= 1.0);
+  Topology topo = sites(n);
+  // Ring lattice edges, each possibly rewired at the far end.
+  for (SiteId i = 0; i < n; ++i) {
+    for (std::size_t d = 1; d <= k; ++d) {
+      SiteId j = static_cast<SiteId>((i + d) % n);
+      if (rng.bernoulli(beta)) {
+        // Rewire to a uniform non-self, non-duplicate target.
+        for (int attempts = 0; attempts < 32; ++attempts) {
+          const auto cand = static_cast<SiteId>(
+              rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+          if (cand != i && !topo.adjacent(i, cand)) {
+            j = cand;
+            break;
+          }
+        }
+      }
+      if (!topo.adjacent(i, j) && i != j)
+        topo.add_link(i, j, delays.sample(rng));
+    }
+  }
+  // Rewiring can in principle disconnect; patch with ring edges.
+  for (SiteId i = 0; i < n && !topo.connected(); ++i) {
+    const SiteId j = static_cast<SiteId>((i + 1) % n);
+    if (!topo.adjacent(i, j)) topo.add_link(i, j, delays.sample(rng));
+  }
+  return topo;
+}
+
+Topology make_scale_free(std::size_t n, std::size_t m, DelayRange delays,
+                         Rng& rng) {
+  RTDS_REQUIRE(m >= 1);
+  RTDS_REQUIRE(n >= m + 1);
+  Topology topo = sites(n);
+  // Seed clique of m+1 sites.
+  std::vector<SiteId> endpoints;  // degree-proportional sampling pool
+  for (SiteId a = 0; a <= m; ++a)
+    for (SiteId b = a + 1; b <= m; ++b) {
+      topo.add_link(a, b, delays.sample(rng));
+      endpoints.push_back(a);
+      endpoints.push_back(b);
+    }
+  for (SiteId i = static_cast<SiteId>(m + 1); i < n; ++i) {
+    std::vector<SiteId> targets;
+    while (targets.size() < m) {
+      const SiteId cand = endpoints[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(endpoints.size()) - 1))];
+      if (cand != i && std::find(targets.begin(), targets.end(), cand) ==
+                           targets.end())
+        targets.push_back(cand);
+    }
+    for (SiteId t : targets) {
+      topo.add_link(i, t, delays.sample(rng));
+      endpoints.push_back(i);
+      endpoints.push_back(t);
+    }
+  }
+  return topo;
+}
+
+const char* to_string(NetShape shape) {
+  switch (shape) {
+    case NetShape::kLine: return "line";
+    case NetShape::kRing: return "ring";
+    case NetShape::kStar: return "star";
+    case NetShape::kGrid: return "grid";
+    case NetShape::kTorus: return "torus";
+    case NetShape::kHypercube: return "hypercube";
+    case NetShape::kTree: return "tree";
+    case NetShape::kErdosRenyi: return "erdos_renyi";
+    case NetShape::kGeometric: return "geometric";
+    case NetShape::kSmallWorld: return "small_world";
+    case NetShape::kScaleFree: return "scale_free";
+  }
+  return "?";
+}
+
+Topology make_net(NetShape shape, std::size_t approx_sites, DelayRange delays,
+                  Rng& rng) {
+  const std::size_t n = std::max<std::size_t>(4, approx_sites);
+  switch (shape) {
+    case NetShape::kLine:
+      return make_line(n, delays, rng);
+    case NetShape::kRing:
+      return make_ring(n, delays, rng);
+    case NetShape::kStar:
+      return make_star(n - 1, delays, rng);
+    case NetShape::kGrid: {
+      const auto side = std::max<std::size_t>(
+          2, static_cast<std::size_t>(std::lround(std::sqrt(double(n)))));
+      return make_grid(side, side, delays, rng);
+    }
+    case NetShape::kTorus: {
+      const auto side = std::max<std::size_t>(
+          3, static_cast<std::size_t>(std::lround(std::sqrt(double(n)))));
+      return make_torus(side, side, delays, rng);
+    }
+    case NetShape::kHypercube: {
+      std::size_t d = 2;
+      while ((std::size_t{1} << d) < n) ++d;
+      return make_hypercube(d, delays, rng);
+    }
+    case NetShape::kTree:
+      return make_random_tree(n, delays, rng);
+    case NetShape::kErdosRenyi:
+      return make_erdos_renyi(n, std::min(1.0, 3.0 / double(n)), delays, rng);
+    case NetShape::kGeometric:
+      return make_geometric(n, std::max(0.1, 1.8 / std::sqrt(double(n))),
+                            delays.max_delay, rng);
+    case NetShape::kSmallWorld:
+      return make_small_world(n, 2, 0.1, delays, rng);
+    case NetShape::kScaleFree:
+      return make_scale_free(n, 2, delays, rng);
+  }
+  RTDS_CHECK(false);
+  return Topology{};
+}
+
+}  // namespace rtds

@@ -1,0 +1,83 @@
+// Network topology generators for the evaluation benches.
+//
+// Delays are drawn uniformly from [min_delay, max_delay] except for the
+// random geometric graph, whose delays are Euclidean distances (a natural
+// "wide network" model where delay ≈ distance). All generators return
+// connected graphs.
+#pragma once
+
+#include <cstddef>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rtds {
+
+struct DelayRange {
+  Time min_delay = 1.0;
+  Time max_delay = 5.0;
+
+  Time sample(Rng& rng) const { return rng.uniform(min_delay, max_delay); }
+};
+
+/// n sites in a line (path graph).
+Topology make_line(std::size_t n, DelayRange delays, Rng& rng);
+
+/// n sites in a cycle.
+Topology make_ring(std::size_t n, DelayRange delays, Rng& rng);
+
+/// Star: site 0 is the hub.
+Topology make_star(std::size_t leaves, DelayRange delays, Rng& rng);
+
+/// w×h grid (4-neighbour mesh).
+Topology make_grid(std::size_t w, std::size_t h, DelayRange delays, Rng& rng);
+
+/// w×h torus (grid with wraparound).
+Topology make_torus(std::size_t w, std::size_t h, DelayRange delays, Rng& rng);
+
+/// d-dimensional hypercube (2^d sites).
+Topology make_hypercube(std::size_t dims, DelayRange delays, Rng& rng);
+
+/// Uniform random tree (random attachment).
+Topology make_random_tree(std::size_t n, DelayRange delays, Rng& rng);
+
+/// Connected Erdős–Rényi G(n, p): edges kept with probability p, then a
+/// random spanning tree is overlaid to guarantee connectivity.
+Topology make_erdos_renyi(std::size_t n, double p, DelayRange delays, Rng& rng);
+
+/// Random geometric graph on the unit square: sites within `radius` connect;
+/// link delay = Euclidean distance × delay_scale. A spanning tree over
+/// nearest neighbours guarantees connectivity.
+Topology make_geometric(std::size_t n, double radius, double delay_scale,
+                        Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with k neighbours per side,
+/// each edge rewired with probability beta.
+Topology make_small_world(std::size_t n, std::size_t k, double beta,
+                          DelayRange delays, Rng& rng);
+
+/// Barabási–Albert preferential attachment with m links per new site.
+Topology make_scale_free(std::size_t n, std::size_t m, DelayRange delays,
+                         Rng& rng);
+
+enum class NetShape {
+  kLine,
+  kRing,
+  kStar,
+  kGrid,
+  kTorus,
+  kHypercube,
+  kTree,
+  kErdosRenyi,
+  kGeometric,
+  kSmallWorld,
+  kScaleFree,
+};
+
+const char* to_string(NetShape shape);
+
+/// Draws a topology of the given shape with roughly `approx_sites` sites.
+Topology make_net(NetShape shape, std::size_t approx_sites, DelayRange delays,
+                  Rng& rng);
+
+}  // namespace rtds

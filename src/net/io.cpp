@@ -1,0 +1,109 @@
+#include "net/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace rtds {
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line, const std::string& what) {
+  RTDS_REQUIRE_MSG(false, "net parse error at line " << line << ": " << what);
+  std::abort();  // unreachable
+}
+
+}  // namespace
+
+void write_topology(const Topology& topo, std::ostream& os) {
+  os << "net v1\n";
+  os << "sites " << topo.site_count() << "\n";
+  os.precision(17);
+  for (SiteId s = 0; s < topo.site_count(); ++s)
+    os << "site " << s << ' ' << topo.computing_power(s) << "\n";
+  os << "links " << topo.link_count() << "\n";
+  for (const auto& l : topo.links())
+    os << "link " << l.a << ' ' << l.b << ' ' << l.delay << ' '
+       << l.throughput << "\n";
+  os << "end\n";
+}
+
+std::string topology_to_string(const Topology& topo) {
+  std::ostringstream os;
+  write_topology(topo, os);
+  return os.str();
+}
+
+Topology read_topology(std::istream& is) {
+  Topology topo;
+  std::string line;
+  std::size_t lineno = 0;
+  auto next_line = [&]() -> std::istringstream {
+    while (std::getline(is, line)) {
+      ++lineno;
+      if (!line.empty() && line[0] != '#') return std::istringstream(line);
+    }
+    parse_fail(lineno, "unexpected end of input");
+  };
+
+  {
+    auto ls = next_line();
+    std::string word, version;
+    ls >> word >> version;
+    if (word != "net" || version != "v1")
+      parse_fail(lineno, "expected header 'net v1'");
+  }
+  std::size_t site_count = 0;
+  {
+    auto ls = next_line();
+    std::string word;
+    ls >> word >> site_count;
+    if (word != "sites" || ls.fail()) parse_fail(lineno, "expected 'sites <n>'");
+  }
+  for (std::size_t i = 0; i < site_count; ++i) {
+    auto ls = next_line();
+    std::string word;
+    std::size_t id = 0;
+    double power = 0.0;
+    ls >> word >> id >> power;
+    if (word != "site" || ls.fail())
+      parse_fail(lineno, "expected 'site <id> <power>'");
+    if (id != i) parse_fail(lineno, "site ids must be dense and in order");
+    if (power <= 0.0) parse_fail(lineno, "computing power must be positive");
+    topo.add_site(power);
+  }
+  std::size_t link_count = 0;
+  {
+    auto ls = next_line();
+    std::string word;
+    ls >> word >> link_count;
+    if (word != "links" || ls.fail()) parse_fail(lineno, "expected 'links <m>'");
+  }
+  for (std::size_t i = 0; i < link_count; ++i) {
+    auto ls = next_line();
+    std::string word;
+    std::size_t a = 0, b = 0;
+    double delay = 0.0, throughput = 0.0;
+    ls >> word >> a >> b >> delay >> throughput;
+    if (word != "link" || ls.fail())
+      parse_fail(lineno, "expected 'link <a> <b> <delay> <throughput>'");
+    if (a >= site_count || b >= site_count)
+      parse_fail(lineno, "link endpoint out of range");
+    topo.add_link(static_cast<SiteId>(a), static_cast<SiteId>(b), delay,
+                  throughput);
+  }
+  {
+    auto ls = next_line();
+    std::string word;
+    ls >> word;
+    if (word != "end") parse_fail(lineno, "expected 'end'");
+  }
+  return topo;
+}
+
+Topology topology_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_topology(is);
+}
+
+}  // namespace rtds

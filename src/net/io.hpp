@@ -1,0 +1,26 @@
+// Plain-text serialization of topologies.
+//
+// Format:
+//   net v1
+//   sites <n>
+//   site <id> <computing_power>
+//   links <m>
+//   link <a> <b> <delay> <throughput>
+//   end
+// Strict parsing; malformed input throws with the offending line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/topology.hpp"
+
+namespace rtds {
+
+void write_topology(const Topology& topo, std::ostream& os);
+std::string topology_to_string(const Topology& topo);
+
+Topology read_topology(std::istream& is);
+Topology topology_from_string(const std::string& text);
+
+}  // namespace rtds

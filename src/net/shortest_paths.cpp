@@ -1,0 +1,123 @@
+#include "net/shortest_paths.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace rtds {
+
+PathResult dijkstra(const Topology& topo, SiteId source) {
+  const auto n = topo.site_count();
+  RTDS_REQUIRE(source < n);
+  PathResult res;
+  res.dist.assign(n, kInfiniteTime);
+  res.parent.assign(n, kNoSite);
+  res.hops.assign(n, kUnreachableHops);
+  res.dist[source] = 0.0;
+  res.hops[source] = 0;
+
+  using Entry = std::tuple<Time, std::size_t, SiteId>;  // (delay, hops, site)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  pq.emplace(0.0, 0, source);
+  std::vector<bool> done(n, false);
+  while (!pq.empty()) {
+    const auto [d, h, u] = pq.top();
+    pq.pop();
+    if (done[u]) continue;
+    done[u] = true;
+    for (const auto& nb : topo.neighbors(u)) {
+      const Time nd = d + nb.delay;
+      const std::size_t nh = h + 1;
+      const bool better =
+          nd < res.dist[nb.site] - kTimeEps ||
+          (time_eq(nd, res.dist[nb.site]) &&
+           (nh < res.hops[nb.site] ||
+            (nh == res.hops[nb.site] && u < res.parent[nb.site])));
+      if (better) {
+        res.dist[nb.site] = nd;
+        res.hops[nb.site] = nh;
+        res.parent[nb.site] = u;
+        pq.emplace(nd, nh, nb.site);
+      }
+    }
+  }
+  return res;
+}
+
+std::vector<Time> hop_bounded_distances(const Topology& topo, SiteId source,
+                                        std::size_t max_hops) {
+  const auto n = topo.site_count();
+  RTDS_REQUIRE(source < n);
+  std::vector<Time> dist(n, kInfiniteTime);
+  dist[source] = 0.0;
+  std::vector<Time> next = dist;
+  for (std::size_t round = 0; round < max_hops; ++round) {
+    bool changed = false;
+    for (SiteId u = 0; u < n; ++u) {
+      if (dist[u] == kInfiniteTime) continue;
+      for (const auto& nb : topo.neighbors(u)) {
+        if (dist[u] + nb.delay < next[nb.site] - kTimeEps) {
+          next[nb.site] = dist[u] + nb.delay;
+          changed = true;
+        }
+      }
+    }
+    dist = next;
+    if (!changed) break;
+  }
+  return dist;
+}
+
+std::vector<std::vector<Time>> floyd_warshall(const Topology& topo) {
+  const auto n = topo.site_count();
+  std::vector<std::vector<Time>> d(n, std::vector<Time>(n, kInfiniteTime));
+  for (SiteId i = 0; i < n; ++i) d[i][i] = 0.0;
+  for (const auto& l : topo.links()) {
+    d[l.a][l.b] = std::min(d[l.a][l.b], l.delay);
+    d[l.b][l.a] = std::min(d[l.b][l.a], l.delay);
+  }
+  for (SiteId k = 0; k < n; ++k)
+    for (SiteId i = 0; i < n; ++i) {
+      if (d[i][k] == kInfiniteTime) continue;
+      for (SiteId j = 0; j < n; ++j)
+        if (d[k][j] != kInfiniteTime && d[i][k] + d[k][j] < d[i][j])
+          d[i][j] = d[i][k] + d[k][j];
+    }
+  return d;
+}
+
+std::vector<std::size_t> hop_distances(const Topology& topo, SiteId source) {
+  const auto n = topo.site_count();
+  RTDS_REQUIRE(source < n);
+  std::vector<std::size_t> hops(n, kUnreachableHops);
+  std::queue<SiteId> q;
+  hops[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const SiteId u = q.front();
+    q.pop();
+    for (const auto& nb : topo.neighbors(u)) {
+      if (hops[nb.site] == kUnreachableHops) {
+        hops[nb.site] = hops[u] + 1;
+        q.push(nb.site);
+      }
+    }
+  }
+  return hops;
+}
+
+std::vector<SiteId> extract_path(const PathResult& res, SiteId source,
+                                 SiteId target) {
+  std::vector<SiteId> path;
+  if (target >= res.dist.size() || res.dist[target] == kInfiniteTime)
+    return path;
+  for (SiteId cur = target; cur != kNoSite; cur = res.parent[cur]) {
+    path.push_back(cur);
+    if (cur == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.empty() || path.front() != source) return {};
+  return path;
+}
+
+}  // namespace rtds

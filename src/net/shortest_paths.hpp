@@ -1,0 +1,43 @@
+// Reference (centralized) shortest-path algorithms.
+//
+// These are the oracles the distributed PCS construction (src/routing) is
+// validated against: the paper's interrupted all-pairs algorithm must agree
+// with a hop-bounded Bellman–Ford, and the full tables with Dijkstra.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace rtds {
+
+struct PathResult {
+  std::vector<Time> dist;       ///< delay distance from the source.
+  std::vector<SiteId> parent;   ///< predecessor on a shortest path (kNoSite at source/unreached).
+  std::vector<std::size_t> hops;///< hop count of the found shortest-delay path.
+};
+
+/// Dijkstra from `source` over link delays. Unreachable sites get
+/// kInfiniteTime. Among equal-delay paths prefers fewer hops, then the
+/// smaller parent id (tie-break determinism matters for protocol tests).
+PathResult dijkstra(const Topology& topo, SiteId source);
+
+/// Shortest delay using at most `max_hops` links (Bellman–Ford truncated to
+/// max_hops rounds) — the semantics of the paper's h-phase interruption.
+std::vector<Time> hop_bounded_distances(const Topology& topo, SiteId source,
+                                        std::size_t max_hops);
+
+/// All-pairs delay matrix via Floyd–Warshall (small n only).
+std::vector<std::vector<Time>> floyd_warshall(const Topology& topo);
+
+/// Unweighted hop distance (BFS) from `source`.
+std::vector<std::size_t> hop_distances(const Topology& topo, SiteId source);
+
+inline constexpr std::size_t kUnreachableHops = static_cast<std::size_t>(-1);
+
+/// Reconstructs the path source -> target from a PathResult (empty if
+/// unreachable).
+std::vector<SiteId> extract_path(const PathResult& res, SiteId source,
+                                 SiteId target);
+
+}  // namespace rtds

@@ -1,0 +1,138 @@
+#include "routing/apsp.hpp"
+
+#include <utility>
+
+namespace rtds {
+
+std::vector<RoutingTable> phased_apsp(const Topology& topo,
+                                      std::size_t phases) {
+  const auto n = topo.site_count();
+  std::vector<RoutingTable> tables;
+  tables.reserve(n);
+  for (SiteId s = 0; s < n; ++s) {
+    tables.emplace_back(s);
+    tables.back().init_from_neighbors(topo);
+  }
+  for (std::size_t phase = 0; phase < phases; ++phase) {
+    // Synchronous semantics: all sends happen against the phase-start
+    // snapshot, then all merges apply.
+    std::vector<RoutingTable> snapshot = tables;
+    bool changed = false;
+    for (SiteId s = 0; s < n; ++s)
+      for (const auto& nb : topo.neighbors(s))
+        changed |= tables[s].merge_from(nb.site, nb.delay, snapshot[nb.site]);
+    if (!changed) break;  // converged early; further phases are no-ops
+  }
+  return tables;
+}
+
+namespace {
+
+/// Payload exchanged between neighbours: the sender's table as of the start
+/// of `phase`.
+struct ApspMessage {
+  std::size_t phase;
+  RoutingTable table;
+};
+
+/// Per-site protocol state for the distributed run.
+struct ApspSite {
+  RoutingTable table;
+  std::size_t phase = 0;               // next phase to send
+  std::size_t received_this_phase = 0; // neighbour tables absorbed
+  std::vector<std::pair<std::size_t, RoutingTable>> early;  // future-phase msgs
+  bool done = false;
+};
+
+}  // namespace
+
+DistributedApspResult distributed_apsp(Simulator& sim, SimNetwork& net,
+                                       std::size_t phases) {
+  const Topology& topo = net.topology();
+  const auto n = topo.site_count();
+  DistributedApspResult result;
+
+  std::vector<ApspSite> sites(n);
+  for (SiteId s = 0; s < n; ++s) {
+    sites[s].table = RoutingTable(s);
+    sites[s].table.init_from_neighbors(topo);
+  }
+  if (phases == 0 || n == 0) {
+    for (auto& st : sites) result.tables.push_back(std::move(st.table));
+    return result;
+  }
+
+  std::size_t finished = 0;
+
+  // send_phase(s): broadcast s's current table stamped with its phase.
+  std::function<void(SiteId)> send_phase = [&](SiteId s) {
+    auto& st = sites[s];
+    for (const auto& nb : topo.neighbors(s)) {
+      result.route_lines += st.table.size();
+      net.send_adjacent(s, nb.site,
+                        ApspMessage{st.phase, st.table},
+                        kApspMessageCategory);
+    }
+  };
+
+  std::function<void(SiteId)> maybe_advance = [&](SiteId s) {
+    auto& st = sites[s];
+    while (!st.done &&
+           st.received_this_phase == topo.neighbors(s).size()) {
+      st.received_this_phase = 0;
+      ++st.phase;
+      if (st.phase >= phases) {
+        st.done = true;
+        ++finished;
+        if (finished == n) result.completion_time = sim.now();
+        break;
+      }
+      send_phase(s);
+      // Absorb any messages for the new phase that arrived early.
+      auto& early = st.early;
+      for (std::size_t i = 0; i < early.size();) {
+        if (early[i].first == st.phase) {
+          const SiteId from = early[i].second.owner();
+          st.table.merge_from(from, topo.link_delay(s, from), early[i].second);
+          ++st.received_this_phase;
+          early.erase(early.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+  };
+
+  for (SiteId s = 0; s < n; ++s) {
+    net.set_handler(s, [&, s](SiteId from, const std::any& payload) {
+      const auto& msg = std::any_cast<const ApspMessage&>(payload);
+      auto& st = sites[s];
+      if (st.done) return;
+      if (msg.phase == st.phase) {
+        st.table.merge_from(from, topo.link_delay(s, from), msg.table);
+        ++st.received_this_phase;
+        maybe_advance(s);
+      } else {
+        // Neighbour is ahead (asynchronous links): buffer until we get there.
+        RTDS_CHECK_MSG(msg.phase > st.phase,
+                       "duplicate phase " << msg.phase << " at site " << s);
+        st.early.emplace_back(msg.phase, msg.table);
+      }
+    });
+  }
+
+  const auto before = net.stats().by_category[kApspMessageCategory].link_messages;
+  for (SiteId s = 0; s < n; ++s) send_phase(s);
+  // Degenerate sites with no neighbours (n == 1) complete immediately.
+  for (SiteId s = 0; s < n; ++s) maybe_advance(s);
+  sim.run();
+  result.messages =
+      net.stats().by_category[kApspMessageCategory].link_messages - before;
+
+  RTDS_CHECK_MSG(finished == n, "APSP did not complete on all sites");
+  result.tables.reserve(n);
+  for (auto& st : sites) result.tables.push_back(std::move(st.table));
+  return result;
+}
+
+}  // namespace rtds

@@ -1,0 +1,51 @@
+// Interrupted all-pairs shortest paths (§7.2).
+//
+// The paper organizes the asynchronous Bellman–Ford of [Bertsekas–Gallager]
+// into logical phases: one phase = every site sends its table to all
+// immediate neighbours and absorbs all neighbour tables. After p phases a
+// site's distances are exact for all destinations reachable within p hops.
+// The construction is *interrupted* after 2h phases so that every member of
+// a hop-radius-h sphere also knows (≤2h-hop-exact) routes to every other
+// member — that is what makes the PCS control structure work without any
+// network-wide flooding.
+//
+// Two interchangeable engines:
+//  * phased_apsp       — in-memory phase loop (fast path; used by system
+//                        setup and as the oracle in tests);
+//  * distributed_apsp  — runs the same protocol as actual messages over a
+//                        SimNetwork, so the one-time PCS construction cost
+//                        (messages, route lines shipped, completion time)
+//                        can be measured (bench E6 / example traces).
+// Both produce identical tables; a gtest asserts this site-by-site.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/routing_table.hpp"
+#include "sim/network.hpp"
+
+namespace rtds {
+
+/// Runs `phases` synchronous table-exchange rounds in memory.
+std::vector<RoutingTable> phased_apsp(const Topology& topo,
+                                      std::size_t phases);
+
+struct DistributedApspResult {
+  std::vector<RoutingTable> tables;
+  std::uint64_t messages = 0;      ///< table-exchange link messages
+  std::uint64_t route_lines = 0;   ///< total route lines shipped (volume)
+  Time completion_time = 0.0;      ///< sim time when the last site finished
+};
+
+/// Message category used by the APSP exchange on the shared SimNetwork.
+inline constexpr int kApspMessageCategory = 100;
+
+/// Runs the same protocol as real messages over `net` (which must wrap the
+/// same topology). Each site advances to phase p+1 once it has received all
+/// neighbour tables stamped with phase p — the §7.2 logical-phase
+/// organization of an otherwise asynchronous exchange.
+DistributedApspResult distributed_apsp(Simulator& sim, SimNetwork& net,
+                                       std::size_t phases);
+
+}  // namespace rtds

@@ -1,0 +1,106 @@
+#include "routing/pcs.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rtds {
+
+bool Pcs::contains(SiteId s) const {
+  return std::any_of(members_.begin(), members_.end(),
+                     [s](const PcsMember& m) { return m.site == s; });
+}
+
+std::size_t Pcs::index_of(SiteId s) const {
+  for (std::size_t i = 0; i < members_.size(); ++i)
+    if (members_[i].site == s) return i;
+  RTDS_REQUIRE_MSG(false, "site " << s << " not in PCS(" << root_ << ")");
+  return 0;
+}
+
+const PcsMember& Pcs::member(SiteId s) const { return members_[index_of(s)]; }
+
+Time Pcs::delay(SiteId a, SiteId b) const {
+  return pair_delay_[index_of(a)][index_of(b)];
+}
+
+std::size_t Pcs::hops(SiteId a, SiteId b) const {
+  return pair_hops_[index_of(a)][index_of(b)];
+}
+
+Time Pcs::delay_diameter() const {
+  Time best = 0.0;
+  for (const auto& row : pair_delay_)
+    for (Time d : row) best = std::max(best, d);
+  return best;
+}
+
+std::size_t Pcs::hop_diameter() const {
+  std::size_t best = 0;
+  for (const auto& row : pair_hops_)
+    for (std::size_t h : row) best = std::max(best, h);
+  return best;
+}
+
+Time Pcs::delay_diameter_of(const std::vector<SiteId>& subset) const {
+  Time best = 0.0;
+  for (SiteId a : subset) {
+    const auto ia = index_of(a);
+    for (SiteId b : subset) best = std::max(best, pair_delay_[ia][index_of(b)]);
+  }
+  return best;
+}
+
+std::size_t Pcs::hop_diameter_of(const std::vector<SiteId>& subset) const {
+  std::size_t best = 0;
+  for (SiteId a : subset) {
+    const auto ia = index_of(a);
+    for (SiteId b : subset) best = std::max(best, pair_hops_[ia][index_of(b)]);
+  }
+  return best;
+}
+
+Pcs Pcs::build(const std::vector<RoutingTable>& tables, SiteId root,
+               std::size_t radius_h) {
+  RTDS_REQUIRE(root < tables.size());
+  Pcs pcs;
+  pcs.root_ = root;
+  pcs.radius_ = radius_h;
+
+  const RoutingTable& root_table = tables[root];
+  for (const auto& [dest, line] : root_table.lines()) {
+    if (line.dist == kInfiniteTime) continue;
+    if (line.hops <= radius_h)
+      pcs.members_.push_back(PcsMember{dest, line.dist, line.hops});
+  }
+  std::sort(pcs.members_.begin(), pcs.members_.end(),
+            [](const PcsMember& a, const PcsMember& b) {
+              return a.site < b.site;
+            });
+
+  const auto m = pcs.members_.size();
+  pcs.pair_delay_.assign(m, std::vector<Time>(m, 0.0));
+  pcs.pair_hops_.assign(m, std::vector<std::size_t>(m, 0));
+  for (std::size_t i = 0; i < m; ++i) {
+    const SiteId a = pcs.members_[i].site;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      const SiteId b = pcs.members_[j].site;
+      if (tables[a].has_route(b) &&
+          tables[a].route(b).dist != kInfiniteTime) {
+        const auto& line = tables[a].route(b);
+        pcs.pair_delay_[i][j] = line.dist;
+        pcs.pair_hops_[i][j] = line.hops;
+      } else {
+        // Relay through the root: always possible inside the sphere and a
+        // safe over-estimate (the paper only needs an upper bound ω).
+        pcs.pair_delay_[i][j] =
+            pcs.members_[i].delay + pcs.members_[j].delay;
+        pcs.pair_hops_[i][j] = pcs.members_[i].hops + pcs.members_[j].hops;
+      }
+    }
+  }
+  return pcs;
+}
+
+}  // namespace rtds

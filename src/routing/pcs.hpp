@@ -1,0 +1,67 @@
+// Potential Computing Sphere (§6, §7).
+//
+// PCS(k) = every site whose minimum-delay path from k uses at most h hops,
+// together with the control structure RTDS needs: per-member delay/hops
+// from the root and pairwise delays between members (available because the
+// APSP was run for 2h phases). Built once at system initialization; the
+// topology never changes (§2: no failures).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "routing/routing_table.hpp"
+
+namespace rtds {
+
+struct PcsMember {
+  SiteId site = kNoSite;
+  Time delay = 0.0;        ///< min delay from the root (<= h hops)
+  std::size_t hops = 0;    ///< hop length of that path
+};
+
+class Pcs {
+ public:
+  Pcs() = default;
+
+  SiteId root() const { return root_; }
+  std::size_t radius() const { return radius_; }
+
+  /// Members sorted by site id; always includes the root itself.
+  const std::vector<PcsMember>& members() const { return members_; }
+  std::size_t size() const { return members_.size(); }
+
+  bool contains(SiteId s) const;
+  const PcsMember& member(SiteId s) const;
+
+  /// Pairwise delay / hop count between two members (root-relayed upper
+  /// bound when the interrupted APSP did not surface a direct line).
+  Time delay(SiteId a, SiteId b) const;
+  std::size_t hops(SiteId a, SiteId b) const;
+
+  /// Max pairwise delay / hops over all members ("computed diameter", the
+  /// paper's over-estimate ω for communication inside the sphere, §12).
+  Time delay_diameter() const;
+  std::size_t hop_diameter() const;
+
+  /// Same, restricted to a subset of member sites (the ACS of a given job).
+  Time delay_diameter_of(const std::vector<SiteId>& subset) const;
+  std::size_t hop_diameter_of(const std::vector<SiteId>& subset) const;
+
+  /// Builds PCS(root) from APSP tables that ran for >= 2h phases.
+  /// `tables` is indexed by site id and must cover the whole topology.
+  static Pcs build(const std::vector<RoutingTable>& tables, SiteId root,
+                   std::size_t radius_h);
+
+ private:
+  std::size_t index_of(SiteId s) const;
+
+  SiteId root_ = kNoSite;
+  std::size_t radius_ = 0;
+  std::vector<PcsMember> members_;
+  // Dense member-index matrices.
+  std::vector<std::vector<Time>> pair_delay_;
+  std::vector<std::vector<std::size_t>> pair_hops_;
+};
+
+}  // namespace rtds

@@ -1,0 +1,51 @@
+#include "routing/routing_table.hpp"
+
+#include "util/error.hpp"
+
+namespace rtds {
+
+RoutingTable::RoutingTable(SiteId owner) : owner_(owner) {}
+
+void RoutingTable::init_from_neighbors(const Topology& topo) {
+  RTDS_REQUIRE(owner_ < topo.site_count());
+  lines_.clear();
+  lines_[owner_] = RouteLine{0.0, owner_, 0};
+  for (const auto& nb : topo.neighbors(owner_))
+    lines_[nb.site] = RouteLine{nb.delay, nb.site, 1};
+}
+
+const RouteLine& RoutingTable::route(SiteId dest) const {
+  const auto it = lines_.find(dest);
+  RTDS_REQUIRE_MSG(it != lines_.end(),
+                   "site " << owner_ << " has no route to " << dest);
+  return it->second;
+}
+
+bool RoutingTable::merge_from(SiteId neighbor, Time link_delay,
+                              const RoutingTable& other) {
+  bool changed = false;
+  for (const auto& [dest, line] : other.lines()) {
+    if (dest == owner_) continue;
+    if (line.dist == kInfiniteTime) continue;
+    const Time cand_dist = link_delay + line.dist;
+    const std::size_t cand_hops = line.hops + 1;
+    auto it = lines_.find(dest);
+    bool better;
+    if (it == lines_.end()) {
+      better = true;
+    } else {
+      const RouteLine& cur = it->second;
+      better = time_lt(cand_dist, cur.dist) ||
+               (time_eq(cand_dist, cur.dist) &&
+                (cand_hops < cur.hops ||
+                 (cand_hops == cur.hops && neighbor < cur.next_hop)));
+    }
+    if (better) {
+      lines_[dest] = RouteLine{cand_dist, neighbor, cand_hops};
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace rtds

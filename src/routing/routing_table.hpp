@@ -1,0 +1,52 @@
+// Distance-vector routing tables (§7.1): route lines
+// <destination, distance, next hop> maintained per site, updated by merging
+// tables received from immediate neighbours (Bertsekas–Gallager distributed
+// Bellman–Ford). We additionally track the hop length of the recorded path,
+// which the PCS needs both for membership (hop radius h) and for charging
+// routed sends with the correct number of link-messages.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "net/topology.hpp"
+#include "util/time.hpp"
+
+namespace rtds {
+
+struct RouteLine {
+  Time dist = kInfiniteTime;
+  SiteId next_hop = kNoSite;
+  std::size_t hops = 0;
+};
+
+class RoutingTable {
+ public:
+  RoutingTable() = default;
+  explicit RoutingTable(SiteId owner);
+
+  SiteId owner() const { return owner_; }
+
+  /// Installs the trivial route to self plus one-hop routes to neighbours —
+  /// the §7.1 start condition.
+  void init_from_neighbors(const Topology& topo);
+
+  bool has_route(SiteId dest) const { return lines_.count(dest) > 0; }
+  const RouteLine& route(SiteId dest) const;
+
+  /// Merges a neighbour's table received over a link with the given delay:
+  /// candidate distance = link delay + neighbour's distance. Shorter delay
+  /// wins; on (FP-tolerant) ties, fewer hops, then smaller next-hop id, so
+  /// every site converges to a *unique* minimum-delay path as §6 requires.
+  /// Returns true if any line changed.
+  bool merge_from(SiteId neighbor, Time link_delay, const RoutingTable& other);
+
+  const std::map<SiteId, RouteLine>& lines() const { return lines_; }
+  std::size_t size() const { return lines_.size(); }
+
+ private:
+  SiteId owner_ = kNoSite;
+  std::map<SiteId, RouteLine> lines_;
+};
+
+}  // namespace rtds

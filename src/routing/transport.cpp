@@ -1,0 +1,115 @@
+#include "routing/transport.hpp"
+
+#include <utility>
+
+namespace rtds {
+
+// --------------------------------------------------------------- ideal ----
+
+IdealTransport::IdealTransport(Simulator& sim,
+                               const std::vector<RoutingTable>& tables)
+    : sim_(sim), tables_(tables), handlers_(tables.size()) {}
+
+void IdealTransport::set_handler(SiteId site, Handler handler) {
+  RTDS_REQUIRE(site < handlers_.size());
+  RTDS_REQUIRE(handler != nullptr);
+  handlers_[site] = std::move(handler);
+}
+
+std::size_t IdealTransport::send(SiteId from, SiteId to, std::any payload,
+                                 int category, double size_units) {
+  RTDS_REQUIRE(from < handlers_.size());
+  RTDS_REQUIRE(to < handlers_.size());
+  RTDS_REQUIRE(size_units >= 0.0);
+  if (from == to) {
+    stats_.record(category, 0);
+    sim_.schedule_in(0.0, [this, from, to, p = std::move(payload)]() {
+      RTDS_CHECK(handlers_[to] != nullptr);
+      handlers_[to](from, p);
+    });
+    return 0;
+  }
+  RTDS_REQUIRE_MSG(tables_[from].has_route(to),
+                   "no route " << from << " -> " << to);
+  const auto& line = tables_[from].route(to);
+  stats_.record(category, line.hops);
+  sim_.schedule_in(line.dist, [this, from, to, p = std::move(payload)]() {
+    RTDS_CHECK(handlers_[to] != nullptr);
+    handlers_[to](from, p);
+  });
+  return line.hops;
+}
+
+// ----------------------------------------------------------- contended ----
+
+ContendedTransport::ContendedTransport(Simulator& sim, const Topology& topo,
+                                       const std::vector<RoutingTable>& tables,
+                                       double bandwidth)
+    : sim_(sim),
+      topo_(topo),
+      tables_(tables),
+      bandwidth_(bandwidth),
+      handlers_(topo.site_count()) {
+  RTDS_REQUIRE_MSG(bandwidth > 0.0, "contended transport needs bandwidth > 0");
+}
+
+void ContendedTransport::set_handler(SiteId site, Handler handler) {
+  RTDS_REQUIRE(site < handlers_.size());
+  RTDS_REQUIRE(handler != nullptr);
+  handlers_[site] = std::move(handler);
+}
+
+std::size_t ContendedTransport::send(SiteId from, SiteId to, std::any payload,
+                                     int category, double size_units) {
+  RTDS_REQUIRE(from < handlers_.size());
+  RTDS_REQUIRE(to < handlers_.size());
+  RTDS_REQUIRE(size_units >= 0.0);
+  if (from == to) {
+    stats_.record(category, 0);
+    sim_.schedule_in(0.0, [this, from, to, p = std::move(payload)]() {
+      RTDS_CHECK(handlers_[to] != nullptr);
+      handlers_[to](from, p);
+    });
+    return 0;
+  }
+  RTDS_REQUIRE_MSG(tables_[from].has_route(to),
+                   "no route " << from << " -> " << to);
+  const auto hops = tables_[from].route(to).hops;
+  stats_.record(category, hops);
+  forward(from, to,
+          std::make_shared<const std::any>(std::move(payload)), size_units);
+  return hops;
+}
+
+void ContendedTransport::forward(SiteId at, SiteId to,
+                                 std::shared_ptr<const std::any> payload,
+                                 double size_units) {
+  // `at` on the first call is the origin; handlers receive the *logical*
+  // sender, which we thread through the whole hop chain.
+  hop(at, at, to, std::move(payload), size_units);
+}
+
+void ContendedTransport::hop(SiteId origin, SiteId cur, SiteId to,
+                             std::shared_ptr<const std::any> payload,
+                             double size_units) {
+  if (cur == to) {
+    RTDS_CHECK(handlers_[to] != nullptr);
+    handlers_[to](origin, *payload);
+    return;
+  }
+  RTDS_CHECK(tables_[cur].has_route(to));
+  const SiteId next = tables_[cur].route(to).next_hop;
+  RTDS_CHECK(next != kNoSite);
+  const Time now = sim_.now();
+  Time& busy_until = link_busy_until_[{cur, next}];
+  const Time queue_start = std::max(now, busy_until);
+  max_queueing_delay_ = std::max(max_queueing_delay_, queue_start - now);
+  const Time tx = size_units / bandwidth_;
+  busy_until = queue_start + tx;
+  const Time arrival = queue_start + tx + topo_.link_delay(cur, next);
+  sim_.schedule_at(arrival,
+                   [this, origin, next, to, p = std::move(payload),
+                    size_units]() { hop(origin, next, to, p, size_units); });
+}
+
+}  // namespace rtds

@@ -1,0 +1,106 @@
+// Message transports for the RTDS protocol layer.
+//
+// The paper's base model charges a routed message the min-path propagation
+// delay (links have infinite bandwidth). §13 points out the realistic
+// extension: finite throughput and message volumes. Two implementations of
+// one interface:
+//
+//  * IdealTransport     — arrives after the min-path delay from the routing
+//                         tables; charged `hops` link-messages. Identical
+//                         behaviour to the paper's base model.
+//  * ContendedTransport — store-and-forward: the message traverses the
+//                         min-delay path hop by hop; each directed link is
+//                         a FIFO server with finite bandwidth, so a hop
+//                         costs queueing + size/bandwidth serialization +
+//                         propagation. Links stay loss-less and
+//                         order-preserving (§2) — they just have capacity.
+//
+// Both run on the shared Simulator and use the §7 routing tables, so every
+// transport decision uses exactly the knowledge the distributed algorithm
+// actually built.
+#pragma once
+
+#include <any>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "routing/routing_table.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtds {
+
+class Transport {
+ public:
+  using Handler = std::function<void(SiteId from, const std::any& payload)>;
+
+  virtual ~Transport() = default;
+
+  virtual void set_handler(SiteId site, Handler handler) = 0;
+
+  /// Sends `payload` from `from` to `to` (self-sends deliver immediately
+  /// and are free). `size_units` models the message volume (task codes are
+  /// bigger than acks). Returns the hop-weighted link-message count charged.
+  virtual std::size_t send(SiteId from, SiteId to, std::any payload,
+                           int category, double size_units) = 0;
+
+  virtual const MessageStats& stats() const = 0;
+};
+
+/// Infinite-bandwidth minimum-delay delivery (the paper's base model).
+class IdealTransport final : public Transport {
+ public:
+  /// `tables` must outlive the transport and cover every pair the protocol
+  /// will use (the 2h-phase tables cover all intra-sphere pairs).
+  IdealTransport(Simulator& sim, const std::vector<RoutingTable>& tables);
+
+  void set_handler(SiteId site, Handler handler) override;
+  std::size_t send(SiteId from, SiteId to, std::any payload, int category,
+                   double size_units) override;
+  const MessageStats& stats() const override { return stats_; }
+
+ private:
+  Simulator& sim_;
+  const std::vector<RoutingTable>& tables_;
+  std::vector<Handler> handlers_;
+  MessageStats stats_;
+};
+
+/// Store-and-forward with per-directed-link FIFO queues and finite
+/// bandwidth.
+class ContendedTransport final : public Transport {
+ public:
+  /// `bandwidth` in size-units per time unit, > 0.
+  ContendedTransport(Simulator& sim, const Topology& topo,
+                     const std::vector<RoutingTable>& tables,
+                     double bandwidth);
+
+  void set_handler(SiteId site, Handler handler) override;
+  std::size_t send(SiteId from, SiteId to, std::any payload, int category,
+                   double size_units) override;
+  const MessageStats& stats() const override { return stats_; }
+
+  /// Peak queueing delay any single hop has experienced so far (observability
+  /// for tests/benches: how badly the ideal model's assumption was violated).
+  Time max_queueing_delay() const { return max_queueing_delay_; }
+
+ private:
+  void forward(SiteId at, SiteId to, std::shared_ptr<const std::any> payload,
+               double size_units);
+  void hop(SiteId origin, SiteId cur, SiteId to,
+           std::shared_ptr<const std::any> payload, double size_units);
+
+  Simulator& sim_;
+  const Topology& topo_;
+  const std::vector<RoutingTable>& tables_;
+  double bandwidth_;
+  std::vector<Handler> handlers_;
+  /// busy-until time per directed link (a, b).
+  std::map<std::pair<SiteId, SiteId>, Time> link_busy_until_;
+  MessageStats stats_;
+  Time max_queueing_delay_ = 0.0;
+};
+
+}  // namespace rtds

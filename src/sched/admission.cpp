@@ -1,0 +1,204 @@
+#include "sched/admission.hpp"
+
+#include <algorithm>
+
+namespace rtds {
+
+namespace {
+
+/// Plan copy we can extend during a trial without touching the real plan.
+class TrialPlan {
+ public:
+  explicit TrialPlan(const SchedulingPlan& base) : base_(base) {}
+
+  Time earliest_fit(Time est, Time latest_end, Time duration) const {
+    Time candidate = est;
+    for (;;) {
+      const Time base_fit = base_.earliest_fit(candidate, latest_end, duration);
+      if (base_fit == kInfiniteTime) return kInfiniteTime;
+      // Check the candidate against trial placements too.
+      bool collided = false;
+      Time pushed = base_fit;
+      for (const auto& p : placed_) {
+        if (time_lt(pushed, p.end) && time_lt(p.start, pushed + duration)) {
+          pushed = p.end;
+          collided = true;
+        }
+      }
+      if (!collided) return base_fit;
+      candidate = pushed;
+      if (time_gt(candidate + duration, latest_end)) return kInfiniteTime;
+    }
+  }
+
+  void place(const Placement& p) {
+    placed_.push_back(p);
+    std::sort(placed_.begin(), placed_.end(),
+              [](const Placement& a, const Placement& b) {
+                return a.start < b.start;
+              });
+  }
+
+  void unplace_last_of(TaskId task) {
+    for (auto it = placed_.begin(); it != placed_.end(); ++it) {
+      if (it->task == task) {
+        placed_.erase(it);
+        return;
+      }
+    }
+    RTDS_CHECK(false);
+  }
+
+ private:
+  const SchedulingPlan& base_;
+  std::vector<Placement> placed_;
+};
+
+std::vector<WindowedTask> edf_order(std::span<const WindowedTask> tasks) {
+  std::vector<WindowedTask> order(tasks.begin(), tasks.end());
+  std::sort(order.begin(), order.end(),
+            [](const WindowedTask& a, const WindowedTask& b) {
+              if (!time_eq(a.deadline, b.deadline)) return a.deadline < b.deadline;
+              if (!time_eq(a.release, b.release)) return a.release < b.release;
+              return a.task < b.task;
+            });
+  return order;
+}
+
+}  // namespace
+
+std::optional<std::vector<Placement>> admit_edf(
+    const SchedulingPlan& plan, std::span<const WindowedTask> tasks) {
+  for (const auto& t : tasks) {
+    RTDS_REQUIRE(t.cost > 0.0);
+    if (time_gt(t.release + t.cost, t.deadline)) return std::nullopt;
+  }
+  TrialPlan trial(plan);
+  std::vector<Placement> placements;
+  placements.reserve(tasks.size());
+  for (const auto& t : edf_order(tasks)) {
+    const Time start = trial.earliest_fit(t.release, t.deadline, t.cost);
+    if (start == kInfiniteTime) return std::nullopt;
+    const Placement p{t.task, start, start + t.cost};
+    trial.place(p);
+    placements.push_back(p);
+  }
+  return placements;
+}
+
+namespace {
+
+bool exact_search(TrialPlan& trial, std::vector<WindowedTask>& remaining,
+                  std::vector<Placement>& placements) {
+  if (remaining.empty()) return true;
+  // Candidate ordering: EDF first finds feasible orders early.
+  std::sort(remaining.begin(), remaining.end(),
+            [](const WindowedTask& a, const WindowedTask& b) {
+              if (!time_eq(a.deadline, b.deadline)) return a.deadline < b.deadline;
+              return a.task < b.task;
+            });
+  for (std::size_t i = 0; i < remaining.size(); ++i) {
+    const WindowedTask t = remaining[i];
+    // Identical candidates are interchangeable: branch on the first only.
+    if (i > 0) {
+      const WindowedTask& prev = remaining[i - 1];
+      if (time_eq(prev.release, t.release) && time_eq(prev.cost, t.cost) &&
+          time_eq(prev.deadline, t.deadline))
+        continue;
+    }
+    const Time start = trial.earliest_fit(t.release, t.deadline, t.cost);
+    if (start == kInfiniteTime) continue;  // t cannot go first; try others
+    const Placement p{t.task, start, start + t.cost};
+    trial.place(p);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(i));
+    placements.push_back(p);
+    if (exact_search(trial, remaining, placements)) return true;
+    placements.pop_back();
+    remaining.insert(remaining.begin() + static_cast<std::ptrdiff_t>(i), t);
+    trial.unplace_last_of(t.task);
+    // Safe dominance: if t, placed first, finishes before every remaining
+    // task is even released, it cannot interfere with any of them — any
+    // feasible order can be rearranged to put t first. So if that subtree
+    // failed, the whole node fails.
+    Time min_other_release = kInfiniteTime;
+    for (std::size_t j = 0; j < remaining.size(); ++j)
+      if (j != i)
+        min_other_release = std::min(min_other_release, remaining[j].release);
+    if (time_le(p.end, min_other_release)) break;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<Placement>> admit_exact(
+    const SchedulingPlan& plan, std::span<const WindowedTask> tasks,
+    std::size_t max_tasks) {
+  RTDS_REQUIRE_MSG(tasks.size() <= max_tasks,
+                   "admit_exact limited to " << max_tasks << " tasks, got "
+                                             << tasks.size());
+  for (const auto& t : tasks) {
+    RTDS_REQUIRE(t.cost > 0.0);
+    if (time_gt(t.release + t.cost, t.deadline)) return std::nullopt;
+  }
+  // Fast path: if greedy EDF succeeds, we are done.
+  if (auto edf = admit_edf(plan, tasks)) return edf;
+  TrialPlan trial(plan);
+  std::vector<WindowedTask> remaining(tasks.begin(), tasks.end());
+  std::vector<Placement> placements;
+  if (exact_search(trial, remaining, placements)) return placements;
+  return std::nullopt;
+}
+
+bool feasible_preemptive(const SchedulingPlan& plan,
+                         std::span<const WindowedTask> tasks) {
+  for (const auto& t : tasks) {
+    RTDS_REQUIRE(t.cost > 0.0);
+    if (time_gt(t.release + t.cost, t.deadline)) return false;
+  }
+  // Candidate window endpoints: all releases and all deadlines.
+  std::vector<Time> starts, ends;
+  for (const auto& t : tasks) {
+    starts.push_back(t.release);
+    ends.push_back(t.deadline);
+  }
+  for (Time a : starts) {
+    for (Time b : ends) {
+      if (!time_lt(a, b)) continue;
+      Time demand = 0.0;
+      for (const auto& t : tasks)
+        if (time_ge(t.release, a) && time_le(t.deadline, b)) demand += t.cost;
+      if (time_gt(demand, plan.idle_time(a, b))) return false;
+    }
+  }
+  return true;
+}
+
+bool placements_valid(const SchedulingPlan& plan,
+                      std::span<const WindowedTask> tasks,
+                      std::span<const Placement> placements) {
+  if (tasks.size() != placements.size()) return false;
+  // Each placement matches a task window and cost.
+  for (const auto& p : placements) {
+    const auto it = std::find_if(
+        tasks.begin(), tasks.end(),
+        [&](const WindowedTask& t) { return t.task == p.task; });
+    if (it == tasks.end()) return false;
+    if (!time_eq(p.end - p.start, it->cost)) return false;
+    if (time_lt(p.start, it->release)) return false;
+    if (time_gt(p.end, it->deadline)) return false;
+  }
+  // Placements must not overlap each other…
+  std::vector<Placement> sorted(placements.begin(), placements.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Placement& a, const Placement& b) { return a.start < b.start; });
+  for (std::size_t i = 1; i < sorted.size(); ++i)
+    if (time_lt(sorted[i].start, sorted[i - 1].end)) return false;
+  // …nor the existing plan.
+  for (const auto& p : sorted)
+    for (const auto& r : plan.reservations())
+      if (overlaps(TimeInterval{p.start, p.end}, r.interval())) return false;
+  return true;
+}
+
+}  // namespace rtds

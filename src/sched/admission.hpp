@@ -1,0 +1,64 @@
+// Single-site admission tests ("local satisfiability", §5 and §10).
+//
+// Given a site's existing plan and a set of tasks with [release, deadline]
+// windows and execution costs, decide whether all tasks fit, and produce
+// the concrete placements when they do. Three tests:
+//  * admit_edf       — non-preemptive greedy EDF insertion (the default;
+//                      fast, what a production local scheduler would run);
+//  * admit_exact     — Bratley-style branch and bound, optimal for
+//                      non-preemptive feasibility on small sets (n <= ~12);
+//                      used to measure how much the greedy test under-admits
+//                      (bench E5) and as a test oracle;
+//  * feasible_preemptive — exact demand-bound criterion for the §13
+//                      "Preemptive Case" extension (feasibility only).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sched/plan.hpp"
+
+namespace rtds {
+
+/// A task instance as seen by a single site: window + cost.
+struct WindowedTask {
+  TaskId task = 0;
+  Time release = 0.0;
+  Time deadline = 0.0;
+  Time cost = 0.0;
+};
+
+struct Placement {
+  TaskId task = 0;
+  Time start = 0.0;
+  Time end = 0.0;
+};
+
+/// Greedy EDF insertion: process tasks by (deadline, release, id); place
+/// each at the earliest idle fit at or after its release. Sound (a returned
+/// placement is always valid) but not complete (may miss feasible sets).
+std::optional<std::vector<Placement>> admit_edf(
+    const SchedulingPlan& plan, std::span<const WindowedTask> tasks);
+
+/// Exact non-preemptive feasibility via branch and bound over task orders,
+/// with earliest-fit placement and deadline-based pruning. Exponential worst
+/// case: requires tasks.size() <= max_tasks (default 12).
+std::optional<std::vector<Placement>> admit_exact(
+    const SchedulingPlan& plan, std::span<const WindowedTask> tasks,
+    std::size_t max_tasks = 12);
+
+/// Exact preemptive feasibility: for every window [a, b] spanned by a
+/// release and a deadline, the demand of tasks fully inside must not exceed
+/// the plan's idle time in [a, b]. (EDF is optimal for preemptive scheduling
+/// with availability constraints, so this criterion is exact.)
+bool feasible_preemptive(const SchedulingPlan& plan,
+                         std::span<const WindowedTask> tasks);
+
+/// Checks a placement vector against windows and the plan (test helper and
+/// defensive validation before committing).
+bool placements_valid(const SchedulingPlan& plan,
+                      std::span<const WindowedTask> tasks,
+                      std::span<const Placement> placements);
+
+}  // namespace rtds

@@ -1,0 +1,94 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rtds {
+
+namespace {
+
+/// Maps a time to a column in [0, width].
+std::size_t column_of(Time t, Time t_begin, Time t_end, std::size_t width) {
+  const double frac = (t - t_begin) / (t_end - t_begin);
+  const auto col = static_cast<std::ptrdiff_t>(std::lround(frac * double(width)));
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(col, 0, static_cast<std::ptrdiff_t>(width)));
+}
+
+}  // namespace
+
+std::string render_gantt(const std::vector<GanttRow>& rows, Time t_begin,
+                         Time t_end, const GanttOptions& options) {
+  RTDS_REQUIRE(time_lt(t_begin, t_end));
+  RTDS_REQUIRE(options.width >= 10);
+
+  std::size_t label_width = 0;
+  for (const auto& row : rows)
+    label_width = std::max(label_width, row.label.size());
+
+  std::ostringstream os;
+  for (const auto& row : rows) {
+    std::string line(options.width, options.idle_fill.empty()
+                                        ? '.'
+                                        : options.idle_fill[0]);
+    auto sorted = row.reservations;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Reservation& a, const Reservation& b) {
+                return a.start < b.start;
+              });
+    for (const auto& r : sorted) {
+      if (time_le(r.end, t_begin) || time_ge(r.start, t_end)) continue;
+      const std::size_t c0 =
+          column_of(std::max(r.start, t_begin), t_begin, t_end, options.width);
+      std::size_t c1 =
+          column_of(std::min(r.end, t_end), t_begin, t_end, options.width);
+      if (c1 <= c0) c1 = c0 + 1;  // every block visible at >= 1 column
+      c1 = std::min(c1, options.width);
+      // Fill with '=' then stamp the task label into the block.
+      for (std::size_t c = c0; c < c1; ++c) line[c] = '=';
+      const std::string tag =
+          "t" + std::to_string(r.task + (options.one_based_tasks ? 1 : 0));
+      if (c1 - c0 >= tag.size())
+        line.replace(c0 + (c1 - c0 - tag.size()) / 2, tag.size(), tag);
+      // Block boundaries.
+      line[c0] = '|';
+      if (c1 - 1 > c0) line[c1 - 1] = '|';
+    }
+    os << row.label << std::string(label_width - row.label.size(), ' ')
+       << " [" << line << "]\n";
+  }
+
+  if (options.show_axis) {
+    // Ruler with ~6 tick marks.
+    std::string ruler(options.width, ' ');
+    std::string numbers(options.width + 12, ' ');
+    const int ticks = 6;
+    for (int i = 0; i <= ticks; ++i) {
+      const Time t = t_begin + (t_end - t_begin) * double(i) / double(ticks);
+      const std::size_t col =
+          std::min(column_of(t, t_begin, t_end, options.width),
+                   options.width - 1);
+      ruler[col] = '+';
+      std::ostringstream num;
+      num.precision(4);
+      num << t;
+      const std::string str = num.str();
+      if (col + str.size() <= numbers.size())
+        numbers.replace(col, str.size(), str);
+    }
+    os << std::string(label_width, ' ') << " [" << ruler << "]\n";
+    os << std::string(label_width, ' ') << "  " << numbers << "\n";
+  }
+  return os.str();
+}
+
+std::string render_plan(const SchedulingPlan& plan, Time t_begin, Time t_end,
+                        const GanttOptions& options) {
+  GanttRow row;
+  row.label = "plan";
+  row.reservations = plan.reservations();
+  return render_gantt({row}, t_begin, t_end, options);
+}
+
+}  // namespace rtds

@@ -1,0 +1,37 @@
+// ASCII Gantt rendering of schedules — the textual equivalent of the
+// paper's Figures 3 and 4, also usable on any site's SchedulingPlan for
+// debugging multi-job interleavings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/plan.hpp"
+
+namespace rtds {
+
+/// One labelled row of a Gantt chart.
+struct GanttRow {
+  std::string label;                     ///< e.g. "p1" or "site 4"
+  std::vector<Reservation> reservations; ///< may be unsorted; task ids label blocks
+};
+
+struct GanttOptions {
+  std::size_t width = 72;        ///< characters available for the time axis
+  bool show_axis = true;         ///< print a numeric time ruler underneath
+  std::string idle_fill = ".";   ///< glyph for idle time
+  /// Label blocks as 1-based ("t1") to match the paper's figures.
+  bool one_based_tasks = true;
+};
+
+/// Renders rows over [t_begin, t_end]; blocks are labelled with their task
+/// id and truncated/merged as the resolution requires. Throws on an empty
+/// or inverted time range.
+std::string render_gantt(const std::vector<GanttRow>& rows, Time t_begin,
+                         Time t_end, const GanttOptions& options = {});
+
+/// Convenience: renders one site's plan between two instants.
+std::string render_plan(const SchedulingPlan& plan, Time t_begin, Time t_end,
+                        const GanttOptions& options = {});
+
+}  // namespace rtds

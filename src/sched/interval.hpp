@@ -1,0 +1,22 @@
+// Closed-open time intervals [start, end).
+#pragma once
+
+#include "util/time.hpp"
+
+namespace rtds {
+
+struct TimeInterval {
+  Time start = 0.0;
+  Time end = 0.0;
+
+  Time length() const { return end - start; }
+  bool empty() const { return !time_lt(start, end); }
+  bool contains(Time t) const { return time_ge(t, start) && time_lt(t, end); }
+};
+
+/// True if the two intervals share a positive-length overlap.
+inline bool overlaps(const TimeInterval& a, const TimeInterval& b) {
+  return time_lt(a.start, b.end) && time_lt(b.start, a.end);
+}
+
+}  // namespace rtds

@@ -1,0 +1,89 @@
+// Per-site local scheduler (§5).
+//
+// Owns the site's scheduling plan and implements the two tests RTDS needs:
+//  * try_accept_dag_local — the arrival-time test: can the whole DAG be
+//    scheduled in-between already-accepted work before the job deadline?
+//    (greedy list scheduling by bottom-level priority into idle gaps; zero
+//    communication cost on a single site);
+//  * test_windowed — Trial-Mapping validation (§10): are the tasks of one
+//    logical processor locally satisfiable w.r.t. their r(t)/d(t) windows?
+//
+// Admission policy is configurable: greedy EDF (default), exact B&B for
+// small sets, or preemptive EDF with split reservations (§13 "Preemptive
+// Case"). Execution time = cost / computing_power (§13 "Uniform Machines").
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dag/dag.hpp"
+#include "sched/admission.hpp"
+#include "sched/plan.hpp"
+
+namespace rtds {
+
+enum class AdmissionPolicy {
+  kEdf,         ///< greedy non-preemptive EDF insertion
+  kExact,       ///< branch-and-bound, falls back to EDF above the size cap
+  kPreemptive,  ///< preemptive EDF, reservations may be split
+};
+
+const char* to_string(AdmissionPolicy policy);
+
+struct LocalSchedulerConfig {
+  AdmissionPolicy policy = AdmissionPolicy::kEdf;
+  std::size_t exact_max_tasks = 12;    ///< B&B size cap for kExact
+  Time observation_window = 100.0;     ///< W in the surplus definition (§2)
+  double computing_power = 1.0;        ///< §13 uniform machines
+};
+
+/// Preemptive admission: simulate EDF over the plan's idle intervals; tasks
+/// may split into several segments. Returns one Placement per segment.
+std::optional<std::vector<Placement>> admit_preemptive(
+    const SchedulingPlan& plan, std::span<const WindowedTask> tasks);
+
+class LocalScheduler {
+ public:
+  explicit LocalScheduler(LocalSchedulerConfig cfg = {});
+
+  const LocalSchedulerConfig& config() const { return cfg_; }
+  const SchedulingPlan& plan() const { return plan_; }
+
+  /// The paper's surplus I_k at time `now`.
+  double surplus(Time now) const {
+    return plan_.surplus(now, cfg_.observation_window);
+  }
+
+  /// §5 local test. On success commits every task (tagged with job.id) and
+  /// returns the placements; on failure leaves the plan untouched.
+  /// `earliest_start` lower-bounds all task starts (>= arrival time).
+  std::optional<std::vector<Placement>> try_accept_dag_local(
+      const Job& job, Time earliest_start);
+
+  /// §10 validation: can `tasks` (costs in *work* units; they are divided by
+  /// the computing power here) be placed within their windows given the
+  /// current plan? Does not commit.
+  std::optional<std::vector<Placement>> test_windowed(
+      std::span<const WindowedTask> tasks) const;
+
+  /// Commits previously tested placements under a job id. The caller must
+  /// pass placements produced against the current plan state.
+  void commit(JobId job, std::span<const WindowedTask> tasks,
+              std::span<const Placement> placements);
+
+  /// Releases all reservations of a job (used by baselines/tests only; the
+  /// RTDS protocol itself never revokes a committed job).
+  void revoke(JobId job) { plan_.remove_job(job); }
+
+  /// Drops reservations that finished at or before `now`.
+  void garbage_collect(Time now) { plan_.garbage_collect(now); }
+
+ private:
+  std::vector<WindowedTask> scale_costs(std::span<const WindowedTask> tasks) const;
+
+  LocalSchedulerConfig cfg_;
+  SchedulingPlan plan_;
+};
+
+}  // namespace rtds

@@ -1,0 +1,85 @@
+#include "sched/plan.hpp"
+
+#include <algorithm>
+
+namespace rtds {
+
+void SchedulingPlan::reserve(const Reservation& r) {
+  RTDS_REQUIRE_MSG(time_lt(r.start, r.end),
+                   "empty reservation [" << r.start << ", " << r.end << ")");
+  const auto pos = std::lower_bound(
+      items_.begin(), items_.end(), r,
+      [](const Reservation& a, const Reservation& b) { return a.start < b.start; });
+  if (pos != items_.end())
+    RTDS_REQUIRE_MSG(!overlaps(r.interval(), pos->interval()),
+                     "reservation overlap at t=" << r.start);
+  if (pos != items_.begin())
+    RTDS_REQUIRE_MSG(!overlaps(r.interval(), std::prev(pos)->interval()),
+                     "reservation overlap at t=" << r.start);
+  items_.insert(pos, r);
+}
+
+void SchedulingPlan::remove_job(JobId job) {
+  items_.erase(std::remove_if(items_.begin(), items_.end(),
+                              [job](const Reservation& r) { return r.job == job; }),
+               items_.end());
+}
+
+void SchedulingPlan::garbage_collect(Time horizon) {
+  items_.erase(std::remove_if(items_.begin(), items_.end(),
+                              [horizon](const Reservation& r) {
+                                return time_le(r.end, horizon);
+                              }),
+               items_.end());
+}
+
+Time SchedulingPlan::earliest_fit(Time est, Time latest_end,
+                                  Time duration) const {
+  RTDS_REQUIRE(duration > 0.0);
+  Time candidate = est;
+  for (const auto& r : items_) {
+    if (time_le(r.end, candidate)) continue;       // reservation in the past
+    if (time_ge(r.start, candidate + duration)) break;  // gap found
+    candidate = r.end;  // collide: push past this reservation
+  }
+  if (time_le(candidate + duration, latest_end)) return candidate;
+  return kInfiniteTime;
+}
+
+std::vector<TimeInterval> SchedulingPlan::idle_intervals(Time from,
+                                                         Time to) const {
+  std::vector<TimeInterval> gaps;
+  Time cursor = from;
+  for (const auto& r : items_) {
+    if (time_le(r.end, cursor)) continue;
+    if (time_ge(r.start, to)) break;
+    if (time_lt(cursor, r.start))
+      gaps.push_back(TimeInterval{cursor, std::min(r.start, to)});
+    cursor = std::max(cursor, r.end);
+    if (time_ge(cursor, to)) break;
+  }
+  if (time_lt(cursor, to)) gaps.push_back(TimeInterval{cursor, to});
+  return gaps;
+}
+
+Time SchedulingPlan::idle_time(Time from, Time to) const {
+  Time total = 0.0;
+  for (const auto& g : idle_intervals(from, to)) total += g.length();
+  return total;
+}
+
+Time SchedulingPlan::busy_time(Time from, Time to) const {
+  return (to - from) - idle_time(from, to);
+}
+
+double SchedulingPlan::surplus(Time now, Time window) const {
+  RTDS_REQUIRE(window > 0.0);
+  const double s = idle_time(now, now + window) / window;
+  return std::clamp(s, 0.0, 1.0);
+}
+
+Time SchedulingPlan::horizon() const {
+  return items_.empty() ? 0.0 : items_.back().end;
+}
+
+}  // namespace rtds

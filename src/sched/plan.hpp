@@ -1,0 +1,71 @@
+// Per-site scheduling plan: the accepted, committed task reservations.
+//
+// A site's computation processor executes exactly what is reserved here
+// (the management processor runs the protocol, §2, and is not modelled as a
+// resource). The plan supports the three queries RTDS needs:
+//  * earliest_fit       — admission tests slot tasks into idle gaps;
+//  * idle_intervals     — exact idle structure for Trial-Mapping validation;
+//  * surplus            — the paper's I_k: idle fraction of an observation
+//                         window (we use the forward window [now, now+W],
+//                         since admission reasons about future capacity).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/dag.hpp"
+#include "sched/interval.hpp"
+
+namespace rtds {
+
+struct Reservation {
+  JobId job = 0;
+  TaskId task = 0;
+  Time start = 0.0;
+  Time end = 0.0;
+
+  TimeInterval interval() const { return {start, end}; }
+};
+
+class SchedulingPlan {
+ public:
+  /// Adds a reservation; throws if it overlaps an existing one or is empty.
+  void reserve(const Reservation& r);
+
+  /// Removes all reservations of a job (used by tests and by baselines that
+  /// roll back trial placements).
+  void remove_job(JobId job);
+
+  /// Drops reservations that end at or before `horizon` (completed work);
+  /// keeps plans short in long simulations.
+  void garbage_collect(Time horizon);
+
+  /// Earliest start s >= est with [s, s+duration] free and s+duration <=
+  /// latest_end; kInfiniteTime if none. duration > 0.
+  Time earliest_fit(Time est, Time latest_end, Time duration) const;
+
+  /// Idle gaps intersected with [from, to], in increasing order.
+  std::vector<TimeInterval> idle_intervals(Time from, Time to) const;
+
+  /// Total idle time in [from, to].
+  Time idle_time(Time from, Time to) const;
+
+  /// Total reserved time in [from, to].
+  Time busy_time(Time from, Time to) const;
+
+  /// The paper's surplus I_k: idle fraction of [now, now+window], in [0, 1].
+  double surplus(Time now, Time window) const;
+
+  /// Reservations sorted by start time.
+  const std::vector<Reservation>& reservations() const { return items_; }
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+  /// End of the last reservation (0 if empty).
+  Time horizon() const;
+
+ private:
+  std::vector<Reservation> items_;  // sorted by start, non-overlapping
+};
+
+}  // namespace rtds

@@ -1,0 +1,56 @@
+#include "sim/network.hpp"
+
+#include <utility>
+
+namespace rtds {
+
+SimNetwork::SimNetwork(Simulator& sim, const Topology& topo)
+    : sim_(sim), topo_(topo), handlers_(topo.site_count()) {}
+
+void SimNetwork::set_handler(SiteId site, Handler handler) {
+  RTDS_REQUIRE(site < handlers_.size());
+  RTDS_REQUIRE(handler != nullptr);
+  handlers_[site] = std::move(handler);
+}
+
+void SimNetwork::send_adjacent(SiteId from, SiteId to, std::any payload,
+                               int category) {
+  RTDS_REQUIRE_MSG(topo_.adjacent(from, to),
+                   "send_adjacent requires a link " << from << "--" << to);
+  stats_.record(category, 1);
+  deliver(from, to, topo_.link_delay(from, to), std::move(payload));
+}
+
+void SimNetwork::send_routed(SiteId from, SiteId to, Time path_delay,
+                             std::size_t hops, std::any payload, int category) {
+  RTDS_REQUIRE(from < handlers_.size());
+  RTDS_REQUIRE(to < handlers_.size());
+  if (from == to) {
+    stats_.record(category, 0);
+    deliver(from, to, 0.0, std::move(payload));
+    return;
+  }
+  RTDS_REQUIRE_MSG(hops >= 1, "multi-site route needs >= 1 hop");
+  RTDS_REQUIRE(path_delay >= 0.0);
+  stats_.record(category, hops);
+  deliver(from, to, path_delay, std::move(payload));
+}
+
+void SimNetwork::send_local(SiteId site, Time delay, std::any payload,
+                            int category) {
+  RTDS_REQUIRE(site < handlers_.size());
+  RTDS_REQUIRE(delay >= 0.0);
+  stats_.record(category, 0);
+  deliver(site, site, delay, std::move(payload));
+}
+
+void SimNetwork::deliver(SiteId from, SiteId to, Time delay,
+                         std::any payload) {
+  sim_.schedule_in(delay, [this, from, to, p = std::move(payload)]() {
+    RTDS_CHECK_MSG(handlers_[to] != nullptr,
+                   "no handler registered for site " << to);
+    handlers_[to](from, p);
+  });
+}
+
+}  // namespace rtds

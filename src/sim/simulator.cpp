@@ -1,0 +1,45 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace rtds {
+
+void Simulator::schedule_at(Time at, EventFn fn) {
+  RTDS_REQUIRE_MSG(time_ge(at, now_),
+                   "cannot schedule in the past: " << at << " < " << now_);
+  RTDS_REQUIRE(fn != nullptr);
+  // Clamp FP noise so now() never goes backwards.
+  queue_.push(Event{std::max(at, now_), next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // Move out of the const top; priority_queue has no non-const top().
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (fired < max_events && step()) ++fired;
+  RTDS_CHECK_MSG(fired < max_events || queue_.empty(),
+                 "event budget exhausted at t=" << now_);
+  return fired;
+}
+
+std::size_t Simulator::run_until(Time t_end, std::size_t max_events) {
+  std::size_t fired = 0;
+  while (fired < max_events && !queue_.empty() &&
+         time_le(queue_.top().at, t_end)) {
+    step();
+    ++fired;
+  }
+  RTDS_CHECK_MSG(fired < max_events, "event budget exhausted at t=" << now_);
+  return fired;
+}
+
+}  // namespace rtds

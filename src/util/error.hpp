@@ -1,0 +1,68 @@
+// Assertion and contract-checking helpers.
+//
+// RTDS_REQUIRE is a precondition check (Core Guidelines I.6 "Expects"):
+// it is always on, in every build type, because the simulator's correctness
+// claims (no overlapping reservations, deadlines met, locks released) are
+// the whole point of the reproduction.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rtds {
+
+/// Thrown by RTDS_REQUIRE / RTDS_CHECK on contract violation.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace rtds
+
+/// Precondition: argument/state validation at public API boundaries.
+#define RTDS_REQUIRE(expr)                                                  \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::rtds::detail::contract_fail("Precondition", #expr, __FILE__,        \
+                                    __LINE__, "");                          \
+  } while (0)
+
+#define RTDS_REQUIRE_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream rtds_os_;                                          \
+      rtds_os_ << msg;                                                      \
+      ::rtds::detail::contract_fail("Precondition", #expr, __FILE__,        \
+                                    __LINE__, rtds_os_.str());              \
+    }                                                                       \
+  } while (0)
+
+/// Internal invariant: a bug in this library if it fires.
+#define RTDS_CHECK(expr)                                                    \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::rtds::detail::contract_fail("Invariant", #expr, __FILE__, __LINE__, \
+                                    "");                                    \
+  } while (0)
+
+#define RTDS_CHECK_MSG(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream rtds_os_;                                          \
+      rtds_os_ << msg;                                                      \
+      ::rtds::detail::contract_fail("Invariant", #expr, __FILE__, __LINE__, \
+                                    rtds_os_.str());                        \
+    }                                                                       \
+  } while (0)

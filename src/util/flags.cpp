@@ -1,0 +1,85 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace rtds {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  used_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get_string(const std::string& name, std::string def) const {
+  used_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  used_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const auto v = std::strtoll(it->second.c_str(), &end, 10);
+  RTDS_REQUIRE_MSG(end && *end == '\0', "--" << name << " expects an integer");
+  return v;
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  used_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  RTDS_REQUIRE_MSG(end && *end == '\0', "--" << name << " expects a number");
+  return v;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  used_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  RTDS_REQUIRE_MSG(false, "--" << name << " expects a boolean");
+  return def;
+}
+
+std::uint64_t Flags::get_seed(const std::string& name, std::uint64_t def) const {
+  used_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const auto v = std::strtoull(it->second.c_str(), &end, 0);
+  RTDS_REQUIRE_MSG(end && *end == '\0', "--" << name << " expects a seed");
+  return v;
+}
+
+void Flags::check_unused() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    RTDS_REQUIRE_MSG(used_.count(name) > 0, "unknown flag --" << name);
+  }
+}
+
+}  // namespace rtds

@@ -1,0 +1,40 @@
+// Tiny command-line flag parser for examples and bench binaries.
+//
+// Supports `--name=value` and boolean `--name`. Unknown flags are an error
+// so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rtds {
+
+class Flags {
+ public:
+  /// Parses argv. Throws ContractViolation on malformed input. Call
+  /// `check_unused()` after all lookups to reject unknown flags.
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name, std::string def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+  std::uint64_t get_seed(const std::string& name, std::uint64_t def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Throws if any provided flag was never looked up (catches typos).
+  void check_unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rtds

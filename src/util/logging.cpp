@@ -1,0 +1,35 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace rtds {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+Log::Sink g_sink;
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel lvl) { g_level = lvl; }
+void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  if (g_sink) {
+    g_sink(lvl, msg);
+  } else {
+    std::cerr << '[' << level_name(lvl) << "] " << msg << '\n';
+  }
+}
+
+}  // namespace rtds

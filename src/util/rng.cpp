@@ -1,0 +1,119 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace rtds {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> uniform in [0, 1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  RTDS_REQUIRE(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  RTDS_REQUIRE(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling for exact uniformity.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+  std::uint64_t r;
+  do {
+    r = next_u64();
+  } while (r >= limit);
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+bool Rng::bernoulli(double p) {
+  RTDS_REQUIRE(p >= 0.0 && p <= 1.0);
+  return uniform01() < p;
+}
+
+double Rng::exponential(double rate) {
+  RTDS_REQUIRE(rate > 0.0);
+  // 1 - U in (0, 1] avoids log(0).
+  return -std::log(1.0 - uniform01()) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  RTDS_REQUIRE(stddev >= 0.0);
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+std::int64_t Rng::poisson(double mean) {
+  RTDS_REQUIRE(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-mean);
+    std::int64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform01();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction, clamped at zero.
+  const double x = normal(mean, std::sqrt(mean));
+  return x < 0.0 ? 0 : static_cast<std::int64_t>(x + 0.5);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  RTDS_REQUIRE(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    RTDS_REQUIRE(w >= 0.0);
+    total += w;
+  }
+  RTDS_REQUIRE(total > 0.0);
+  double x = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // FP round-off fallthrough
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace rtds

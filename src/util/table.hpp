@@ -1,0 +1,40 @@
+// ASCII table writer used by bench binaries to print paper-style tables.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rtds {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+/// All bench binaries print through this so output stays uniform and
+/// grep-able (`EXPERIMENTS.md` quotes these tables verbatim).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with fixed precision.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::size_t v);
+  static std::string num(long long v);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   col1  col2
+  ///   ----  ----
+  ///   a     b
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rtds

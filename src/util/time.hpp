@@ -1,0 +1,48 @@
+// Simulated-time representation and tolerant comparisons.
+//
+// The paper expresses every quantity (computational complexity, delays,
+// surpluses, releases, deadlines) as non-negative reals, and the worked
+// example divides costs by fractional surpluses; we therefore use double
+// seconds rather than integer ticks, and funnel all ordering decisions
+// through the epsilon helpers below so accumulated FP error cannot flip an
+// admission decision.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rtds {
+
+/// Simulated time / duration, in (unitless) seconds.
+using Time = double;
+
+/// Sentinel for "never" / unreachable.
+inline constexpr Time kInfiniteTime = std::numeric_limits<Time>::infinity();
+
+/// Absolute tolerance for time comparisons. The worked example's quantities
+/// are O(10); typical simulations run to O(1e6); 1e-9 relative to O(1e3)
+/// magnitudes keeps decisions stable without hiding real gaps.
+inline constexpr Time kTimeEps = 1e-7;
+
+/// a <= b within tolerance.
+inline bool time_le(Time a, Time b, Time eps = kTimeEps) { return a <= b + eps; }
+
+/// a >= b within tolerance.
+inline bool time_ge(Time a, Time b, Time eps = kTimeEps) { return a + eps >= b; }
+
+/// a < b strictly beyond tolerance.
+inline bool time_lt(Time a, Time b, Time eps = kTimeEps) { return a + eps < b; }
+
+/// a > b strictly beyond tolerance.
+inline bool time_gt(Time a, Time b, Time eps = kTimeEps) { return a > b + eps; }
+
+/// |a - b| within tolerance.
+inline bool time_eq(Time a, Time b, Time eps = kTimeEps) {
+  return std::fabs(a - b) <= eps;
+}
+
+/// Clamp tiny negative values (FP noise) to exactly zero.
+inline Time clamp_nonneg(Time t) { return t < 0 && t > -kTimeEps ? 0.0 : t; }
+
+}  // namespace rtds

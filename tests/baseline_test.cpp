@@ -1,0 +1,203 @@
+// Baseline scheduler tests: LOCAL, CENTRAL, BID, RANDOM produce sound
+// metrics, and the expected dominance ordering holds on a common workload.
+#include <gtest/gtest.h>
+
+#include "baseline/broadcast.hpp"
+#include "baseline/centralized.hpp"
+#include "baseline/local_only.hpp"
+#include "baseline/offload.hpp"
+#include "core/rtds_system.hpp"
+#include "net/generators.hpp"
+
+namespace rtds {
+namespace {
+
+struct Bench {
+  Topology topo;
+  std::vector<JobArrival> arrivals;
+};
+
+Bench make_bench(double rate, std::uint64_t seed) {
+  Rng rng(seed);
+  Bench b;
+  b.topo = make_grid(4, 4, DelayRange{0.5, 1.5}, rng);
+  WorkloadConfig wl;
+  wl.arrival_rate_per_site = rate;
+  wl.horizon = 600.0;
+  wl.laxity_min = 1.3;
+  wl.laxity_max = 3.5;
+  wl.seed = seed;
+  b.arrivals = generate_workload(b.topo.site_count(), wl);
+  return b;
+}
+
+TEST(LocalOnly, CountsAreConsistent) {
+  const Bench b = make_bench(0.02, 1);
+  const auto m = run_local_only(b.topo, b.arrivals, LocalSchedulerConfig{});
+  EXPECT_EQ(m.arrived, b.arrivals.size());
+  EXPECT_EQ(m.arrived, m.accepted() + m.rejected);
+  EXPECT_EQ(m.accepted_remote, 0u);
+  EXPECT_EQ(m.deadline_misses, 0u);
+  EXPECT_EQ(m.msgs_per_job.max(), 0.0);  // no cooperation, no messages
+}
+
+TEST(LocalOnly, AcceptsEverythingUnderTrivialLoad) {
+  // Chains only: total work == critical path, so any laxity > 1 job fits an
+  // idle site. (Wide DAGs can be locally infeasible at *any* load — their
+  // window can be smaller than their total work; that is the paper's whole
+  // motivation for distribution.)
+  Rng rng(2);
+  Bench b;
+  b.topo = make_grid(4, 4, DelayRange{0.5, 1.5}, rng);
+  WorkloadConfig wl;
+  wl.arrival_rate_per_site = 0.001;
+  wl.horizon = 600.0;
+  wl.shape_mix = {DagShape::kChain};
+  wl.laxity_min = 1.3;
+  wl.laxity_max = 3.0;
+  wl.seed = 2;
+  b.arrivals = generate_workload(b.topo.site_count(), wl);
+  const auto m = run_local_only(b.topo, b.arrivals, LocalSchedulerConfig{});
+  EXPECT_EQ(m.guarantee_ratio(), 1.0);
+}
+
+TEST(Centralized, UpperBoundBeatsLocal) {
+  const Bench b = make_bench(0.03, 3);
+  const auto local = run_local_only(b.topo, b.arrivals, LocalSchedulerConfig{});
+  const auto central =
+      run_centralized(b.topo, b.arrivals, CentralizedConfig{});
+  EXPECT_GE(central.guarantee_ratio(), local.guarantee_ratio());
+  EXPECT_EQ(central.deadline_misses, 0u);
+  EXPECT_EQ(central.arrived, b.arrivals.size());
+}
+
+TEST(Centralized, SphereLimitedIsNoBetterThanUnlimited) {
+  const Bench b = make_bench(0.03, 4);
+  CentralizedConfig limited;
+  limited.sphere_radius_h = 1;
+  const auto lim = run_centralized(b.topo, b.arrivals, limited);
+  const auto full = run_centralized(b.topo, b.arrivals, CentralizedConfig{});
+  EXPECT_LE(lim.guarantee_ratio(), full.guarantee_ratio() + 1e-12);
+}
+
+TEST(Centralized, UsesRemoteSitesUnderLoad) {
+  const Bench b = make_bench(0.05, 5);
+  const auto m = run_centralized(b.topo, b.arrivals, CentralizedConfig{});
+  EXPECT_GT(m.accepted_remote, 0u);
+}
+
+class OffloadPolicies : public ::testing::TestWithParam<OffloadPolicy> {};
+
+TEST_P(OffloadPolicies, SoundMetricsAndNoMisses) {
+  const Bench b = make_bench(0.03, 6);
+  OffloadConfig cfg;
+  cfg.policy = GetParam();
+  const auto m = run_offload(b.topo, b.arrivals, cfg);
+  EXPECT_EQ(m.arrived, b.arrivals.size());
+  EXPECT_EQ(m.arrived, m.accepted() + m.rejected);
+  EXPECT_EQ(m.deadline_misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, OffloadPolicies,
+                         ::testing::Values(OffloadPolicy::kBestSurplus,
+                                           OffloadPolicy::kRandom),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Offload, BidBeatsLocalUnderLoad) {
+  const Bench b = make_bench(0.04, 7);
+  const auto local = run_local_only(b.topo, b.arrivals, LocalSchedulerConfig{});
+  OffloadConfig cfg;
+  cfg.policy = OffloadPolicy::kBestSurplus;
+  const auto bid = run_offload(b.topo, b.arrivals, cfg);
+  EXPECT_GT(bid.guarantee_ratio(), local.guarantee_ratio());
+  EXPECT_GT(bid.accepted_remote, 0u);
+  EXPECT_GT(bid.transport.total_link_messages, 0u);
+}
+
+TEST(Offload, MoreAttemptsNeverHurtAcceptance) {
+  const Bench b = make_bench(0.05, 8);
+  OffloadConfig one;
+  one.max_attempts = 1;
+  OffloadConfig three;
+  three.max_attempts = 3;
+  const auto m1 = run_offload(b.topo, b.arrivals, one);
+  const auto m3 = run_offload(b.topo, b.arrivals, three);
+  // Not strictly monotone in theory (different accept sets shift load), but
+  // across a whole workload attempts should not massively hurt.
+  EXPECT_GE(m3.guarantee_ratio() + 0.05, m1.guarantee_ratio());
+}
+
+
+TEST(Broadcast, SoundMetricsAndNoMisses) {
+  const Bench b = make_bench(0.03, 10);
+  BroadcastConfig cfg;
+  const auto m = run_broadcast(b.topo, b.arrivals, cfg);
+  EXPECT_EQ(m.arrived, b.arrivals.size());
+  EXPECT_EQ(m.arrived, m.accepted() + m.rejected);
+  EXPECT_EQ(m.deadline_misses, 0u);
+  // Periodic flooding dominates the transport budget.
+  EXPECT_GT(m.transport.by_category.at(21).link_messages, 0u);
+}
+
+TEST(Broadcast, FloodCostGrowsWithNetworkSize) {
+  auto flood_messages = [](std::size_t side) {
+    Rng rng(4);
+    Topology topo = make_grid(side, side, DelayRange{0.5, 1.0}, rng);
+    WorkloadConfig wl;
+    wl.arrival_rate_per_site = 0.01;
+    wl.horizon = 200.0;
+    wl.seed = 4;
+    const auto arrivals = generate_workload(topo.site_count(), wl);
+    BroadcastConfig cfg;
+    const auto m = run_broadcast(topo, arrivals, cfg);
+    // Normalize by job count for a fair per-job figure.
+    return double(m.transport.total_link_messages) / double(m.arrived);
+  };
+  const double small = flood_messages(3);
+  const double large = flood_messages(6);
+  EXPECT_GT(large, 2.0 * small);  // superlinear per-job cost growth
+}
+
+TEST(Broadcast, BeatsLocalUnderLoad) {
+  const Bench b = make_bench(0.04, 11);
+  const auto local = run_local_only(b.topo, b.arrivals, LocalSchedulerConfig{});
+  BroadcastConfig cfg;
+  const auto bcast = run_broadcast(b.topo, b.arrivals, cfg);
+  EXPECT_GT(bcast.guarantee_ratio(), local.guarantee_ratio());
+}
+
+TEST(Broadcast, StaleTableCostsAcceptancesVsFreshBids) {
+  // With a long broadcast period the table is stale; fresh per-job bidding
+  // (BID) should do at least as well on acceptance.
+  const Bench b = make_bench(0.05, 12);
+  BroadcastConfig stale;
+  stale.broadcast_period = 200.0;  // nearly static table
+  const auto bcast = run_broadcast(b.topo, b.arrivals, stale);
+  OffloadConfig bid_cfg;
+  const auto bid = run_offload(b.topo, b.arrivals, bid_cfg);
+  EXPECT_GE(bid.guarantee_ratio() + 0.03, bcast.guarantee_ratio());
+}
+
+TEST(Comparison, ExpectedDominanceOrdering) {
+  // The paper's qualitative claim (§14): cooperation accepts more jobs than
+  // local-only, and the omniscient centralized scheduler bounds everyone.
+  const Bench b = make_bench(0.04, 9);
+
+  const auto local = run_local_only(b.topo, b.arrivals, LocalSchedulerConfig{});
+  OffloadConfig bid_cfg;
+  const auto bid = run_offload(b.topo, b.arrivals, bid_cfg);
+  const auto central = run_centralized(b.topo, b.arrivals, CentralizedConfig{});
+
+  SystemConfig rtds_cfg;
+  rtds_cfg.node.sphere_radius_h = 2;
+  RtdsSystem rtds(b.topo, rtds_cfg);
+  rtds.run(b.arrivals);
+
+  EXPECT_GT(rtds.metrics().guarantee_ratio(), local.guarantee_ratio());
+  EXPECT_GE(central.guarantee_ratio() + 0.02,
+            rtds.metrics().guarantee_ratio());
+  EXPECT_GT(bid.guarantee_ratio(), local.guarantee_ratio());
+}
+
+}  // namespace
+}  // namespace rtds

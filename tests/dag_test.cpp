@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dag/analysis.hpp"
+#include "dag/dot.hpp"
+#include "dag/generators.hpp"
+
+namespace rtds {
+namespace {
+
+// ----------------------------------------------------------------- dag ----
+
+TEST(Dag, BuildAndQuery) {
+  Dag dag;
+  const TaskId a = dag.add_task(1.0, "a");
+  const TaskId b = dag.add_task(2.0);
+  const TaskId c = dag.add_task(3.0);
+  dag.add_arc(a, b);
+  dag.add_arc(b, c);
+  dag.add_arc(a, c);
+  dag.add_arc(a, c);  // duplicate is idempotent
+  dag.finalize();
+  EXPECT_EQ(dag.task_count(), 3u);
+  EXPECT_EQ(dag.arc_count(), 3u);
+  EXPECT_EQ(dag.successors(a), (std::vector<TaskId>{b, c}));
+  EXPECT_EQ(dag.predecessors(c), (std::vector<TaskId>{a, b}));
+  EXPECT_EQ(dag.topological_order(), (std::vector<TaskId>{a, b, c}));
+  EXPECT_DOUBLE_EQ(dag.total_work(), 6.0);
+  EXPECT_TRUE(dag.reaches(a, c));
+  EXPECT_FALSE(dag.reaches(c, a));
+  EXPECT_FALSE(dag.reaches(a, a));
+}
+
+TEST(Dag, CycleDetected) {
+  Dag dag;
+  const TaskId a = dag.add_task(1.0);
+  const TaskId b = dag.add_task(1.0);
+  dag.add_arc(a, b);
+  dag.add_arc(b, a);
+  EXPECT_THROW(dag.finalize(), ContractViolation);
+}
+
+TEST(Dag, InvalidInputsRejected) {
+  Dag dag;
+  EXPECT_THROW(dag.add_task(0.0), ContractViolation);
+  EXPECT_THROW(dag.add_task(-1.0), ContractViolation);
+  const TaskId a = dag.add_task(1.0);
+  EXPECT_THROW(dag.add_arc(a, a), ContractViolation);
+  EXPECT_THROW(dag.add_arc(a, 5), ContractViolation);
+  EXPECT_THROW(dag.predecessors(a), ContractViolation);  // not finalized
+  dag.finalize();
+  EXPECT_THROW(dag.add_task(1.0), ContractViolation);  // frozen
+  EXPECT_THROW(dag.finalize(), ContractViolation);     // double finalize
+}
+
+TEST(Dag, DataVolumes) {
+  Dag dag;
+  const TaskId a = dag.add_task(1.0);
+  const TaskId b = dag.add_task(1.0);
+  dag.add_arc(a, b, 12.5);
+  dag.finalize();
+  EXPECT_DOUBLE_EQ(dag.data_volume(a, b), 12.5);
+  EXPECT_THROW(dag.data_volume(b, a), ContractViolation);
+}
+
+// ------------------------------------------------------------ analysis ----
+
+TEST(Analysis, ChainLevels) {
+  Rng rng(1);
+  const Dag dag = make_chain(4, CostRange{2.0, 2.0}, rng);
+  const auto bl = bottom_levels(dag);
+  const auto tl = top_levels(dag);
+  EXPECT_DOUBLE_EQ(bl[0], 8.0);
+  EXPECT_DOUBLE_EQ(bl[3], 2.0);
+  EXPECT_DOUBLE_EQ(tl[0], 0.0);
+  EXPECT_DOUBLE_EQ(tl[3], 6.0);
+  EXPECT_DOUBLE_EQ(critical_path_length(dag), 8.0);
+  EXPECT_EQ(critical_path_task_count(dag), 4u);
+  EXPECT_EQ(depth(dag), 4u);
+  EXPECT_EQ(width(dag), 1u);
+}
+
+TEST(Analysis, ForkJoinShape) {
+  Rng rng(2);
+  const Dag dag = make_fork_join(5, CostRange{1.0, 1.0}, rng);
+  EXPECT_EQ(dag.task_count(), 7u);
+  EXPECT_DOUBLE_EQ(critical_path_length(dag), 3.0);
+  EXPECT_EQ(critical_path_task_count(dag), 3u);
+  EXPECT_EQ(depth(dag), 3u);
+  EXPECT_EQ(width(dag), 5u);
+  const auto s = summarize(dag);
+  EXPECT_DOUBLE_EQ(s.total_work, 7.0);
+  EXPECT_NEAR(s.parallelism, 7.0 / 3.0, 1e-12);
+}
+
+TEST(Analysis, CriticalPathTasksIsAPath) {
+  Rng rng(3);
+  const Dag dag = make_layered(5, 4, 0.5, CostRange{1.0, 9.0}, rng);
+  const auto path = critical_path_tasks(dag);
+  ASSERT_FALSE(path.empty());
+  Time length = 0.0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    length += dag.cost(path[i]);
+    if (i > 0) {
+      const auto& preds = dag.predecessors(path[i]);
+      EXPECT_NE(std::find(preds.begin(), preds.end(), path[i - 1]),
+                preds.end())
+          << "consecutive critical tasks must be linked";
+    }
+  }
+  EXPECT_NEAR(length, critical_path_length(dag), 1e-9);
+}
+
+TEST(Analysis, EtaOnDiamond) {
+  // Diamond a -> {b, c} -> d with heavy b: critical path a,b,d (3 tasks).
+  Dag dag;
+  const auto a = dag.add_task(1.0);
+  const auto b = dag.add_task(5.0);
+  const auto c = dag.add_task(1.0);
+  const auto d = dag.add_task(1.0);
+  dag.add_arc(a, b);
+  dag.add_arc(a, c);
+  dag.add_arc(b, d);
+  dag.add_arc(c, d);
+  dag.finalize();
+  EXPECT_DOUBLE_EQ(critical_path_length(dag), 7.0);
+  EXPECT_EQ(critical_path_task_count(dag), 3u);
+}
+
+TEST(Analysis, EtaCountsLongestWhenTied) {
+  // Two critical paths with different task counts: a->z (6+1) and
+  // a->b->c->z would tie if costs align. Build: src cost 3 then either one
+  // task of 4 or two tasks of 2 each, then sink 1. Both paths length 8.
+  Dag dag;
+  const auto src = dag.add_task(3.0);
+  const auto big = dag.add_task(4.0);
+  const auto s1 = dag.add_task(2.0);
+  const auto s2 = dag.add_task(2.0);
+  const auto sink = dag.add_task(1.0);
+  dag.add_arc(src, big);
+  dag.add_arc(src, s1);
+  dag.add_arc(s1, s2);
+  dag.add_arc(big, sink);
+  dag.add_arc(s2, sink);
+  dag.finalize();
+  EXPECT_DOUBLE_EQ(critical_path_length(dag), 8.0);
+  EXPECT_EQ(critical_path_task_count(dag), 4u);  // src, s1, s2, sink
+}
+
+// ---------------------------------------------------------- generators ----
+
+struct ShapeCase {
+  DagShape shape;
+  std::size_t approx;
+};
+
+class GeneratorShapes : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(GeneratorShapes, ProducesValidDagOfRoughlyRequestedSize) {
+  Rng rng(77);
+  const auto [shape, approx] = GetParam();
+  const Dag dag = make_shape(shape, approx, CostRange{1.0, 5.0}, rng);
+  EXPECT_TRUE(dag.finalized());
+  EXPECT_GE(dag.task_count(), 1u);
+  // Generators honour the approximate size within a generous factor.
+  EXPECT_LE(dag.task_count(), 6 * approx + 8);
+  // All costs in range.
+  for (TaskId t = 0; t < dag.task_count(); ++t) {
+    EXPECT_GE(dag.cost(t), 1.0);
+    EXPECT_LE(dag.cost(t), 5.0);
+  }
+  // Topological order is consistent (finalize already proved acyclicity).
+  std::vector<std::size_t> pos(dag.task_count());
+  for (std::size_t i = 0; i < dag.topological_order().size(); ++i)
+    pos[dag.topological_order()[i]] = i;
+  for (const auto& arc : dag.arcs()) EXPECT_LT(pos[arc.from], pos[arc.to]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, GeneratorShapes,
+    ::testing::Values(ShapeCase{DagShape::kChain, 8},
+                      ShapeCase{DagShape::kForkJoin, 10},
+                      ShapeCase{DagShape::kDiamond, 16},
+                      ShapeCase{DagShape::kLayered, 20},
+                      ShapeCase{DagShape::kRandom, 15},
+                      ShapeCase{DagShape::kInTree, 15},
+                      ShapeCase{DagShape::kOutTree, 15},
+                      ShapeCase{DagShape::kLu, 15},
+                      ShapeCase{DagShape::kFft, 24},
+                      ShapeCase{DagShape::kStencil, 16}),
+    [](const auto& info) { return to_string(info.param.shape); });
+
+TEST(Generators, ChainIsAChain) {
+  Rng rng(4);
+  const Dag dag = make_chain(6, CostRange{1.0, 2.0}, rng);
+  EXPECT_EQ(dag.task_count(), 6u);
+  EXPECT_EQ(dag.arc_count(), 5u);
+  EXPECT_EQ(width(dag), 1u);
+  EXPECT_EQ(depth(dag), 6u);
+}
+
+TEST(Generators, LayeredAlwaysConnectedToPreviousLayer) {
+  Rng rng(5);
+  const Dag dag = make_layered(6, 5, 0.05, CostRange{1.0, 2.0}, rng);
+  // Even with tiny edge probability every non-first-layer task has a pred.
+  std::size_t no_pred = 0;
+  for (TaskId t = 0; t < dag.task_count(); ++t)
+    if (dag.predecessors(t).empty()) ++no_pred;
+  EXPECT_EQ(no_pred, 5u);  // exactly the first layer
+}
+
+TEST(Generators, InTreeHasSingleSink) {
+  Rng rng(6);
+  const Dag dag = make_in_tree(4, CostRange{1.0, 2.0}, rng);
+  EXPECT_EQ(dag.task_count(), 15u);
+  EXPECT_EQ(dag.sinks().size(), 1u);
+  EXPECT_EQ(dag.sources().size(), 8u);
+}
+
+TEST(Generators, OutTreeHasSingleSource) {
+  Rng rng(7);
+  const Dag dag = make_out_tree(4, CostRange{1.0, 2.0}, rng);
+  EXPECT_EQ(dag.task_count(), 15u);
+  EXPECT_EQ(dag.sources().size(), 1u);
+  EXPECT_EQ(dag.sinks().size(), 8u);
+}
+
+TEST(Generators, FftButterflyStructure) {
+  Rng rng(8);
+  const Dag dag = make_fft(3, CostRange{1.0, 1.0}, rng);
+  EXPECT_EQ(dag.task_count(), 8u * 4u);
+  EXPECT_EQ(depth(dag), 4u);
+  // Every non-input task has exactly two predecessors.
+  for (TaskId t = 8; t < dag.task_count(); ++t)
+    EXPECT_EQ(dag.predecessors(t).size(), 2u);
+}
+
+TEST(Generators, StencilDependencies) {
+  Rng rng(9);
+  const Dag dag = make_stencil(3, 3, CostRange{1.0, 1.0}, rng);
+  EXPECT_EQ(dag.task_count(), 9u);
+  EXPECT_EQ(dag.sources().size(), 1u);
+  EXPECT_EQ(dag.sinks().size(), 1u);
+  EXPECT_EQ(depth(dag), 5u);  // Manhattan diagonal
+}
+
+TEST(Generators, LuTaskCount) {
+  Rng rng(10);
+  const Dag dag = make_lu(4, CostRange{1.0, 1.0}, rng);
+  EXPECT_EQ(dag.task_count(), 10u);  // n(n+1)/2
+  EXPECT_EQ(dag.sinks().size(), 1u);
+}
+
+TEST(Generators, RandomDagEdgeMonotone) {
+  Rng rng(11);
+  const Dag sparse = make_random_dag(30, 0.05, CostRange{1.0, 2.0}, rng);
+  const Dag dense = make_random_dag(30, 0.6, CostRange{1.0, 2.0}, rng);
+  EXPECT_LT(sparse.arc_count(), dense.arc_count());
+}
+
+// ----------------------------------------------------------------- dot ----
+
+TEST(Dot, ContainsTasksAndArcs) {
+  const Dag dag = paper_example();
+  const std::string dot = to_dot(dag, "fig2");
+  EXPECT_NE(dot.find("digraph fig2"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t2"), std::string::npos);
+  EXPECT_NE(dot.find("c=6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtds

@@ -1,0 +1,400 @@
+// Mapper unit tests beyond the worked example: window invariants across
+// random instances, case selection boundaries, §13 extensions (busyness
+// laxity, data volumes), logical-processor renumbering.
+#include <gtest/gtest.h>
+
+#include "core/mapper.hpp"
+#include "dag/analysis.hpp"
+#include "dag/generators.hpp"
+
+namespace rtds {
+namespace {
+
+MapperInput input_for(const Dag& dag, Time deadline,
+                      std::vector<double> surpluses, Time omega) {
+  MapperInput in;
+  in.dag = &dag;
+  in.release = 0.0;
+  in.deadline = deadline;
+  in.surpluses = std::move(surpluses);
+  in.comm_diameter = omega;
+  return in;
+}
+
+void expect_windows_sound(const Dag& dag, const MapperInput& in,
+                          const TrialMapping& m) {
+  for (TaskId t = 0; t < dag.task_count(); ++t) {
+    // Window holds the task at full speed.
+    EXPECT_LE(m.release[t] + dag.cost(t), m.deadline[t] + 1e-7);
+    // Windows inside the job window.
+    EXPECT_GE(m.release[t] + 1e-7, in.release);
+    EXPECT_LE(m.deadline[t], in.deadline + 1e-7);
+    // Precedence + over-estimated comm respected between windows (eq. 5).
+    for (TaskId q : dag.predecessors(t)) {
+      const Time w =
+          m.assignment[q] == m.assignment[t] ? 0.0 : in.comm_diameter;
+      EXPECT_GE(m.release[t] + 1e-7, m.deadline[q] + w)
+          << "arc " << q << "->" << t;
+    }
+  }
+  // Logical processors are densely numbered with descending surpluses.
+  EXPECT_GE(m.used_processors, 1u);
+  std::vector<bool> seen(m.used_processors, false);
+  for (TaskId t = 0; t < dag.task_count(); ++t) {
+    ASSERT_LT(m.assignment[t], m.used_processors);
+    seen[m.assignment[t]] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+  for (std::size_t i = 1; i < m.surpluses.size(); ++i)
+    EXPECT_LE(m.surpluses[i], m.surpluses[i - 1] + 1e-12);
+}
+
+struct RandomCase {
+  std::uint64_t seed;
+  DagShape shape;
+};
+
+class MapperRandom : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(MapperRandom, WindowInvariantsHoldWhenAccepted) {
+  const auto [seed, shape] = GetParam();
+  Rng rng(seed);
+  for (int iter = 0; iter < 25; ++iter) {
+    const Dag dag = make_shape(shape, 3 + static_cast<std::size_t>(
+                                            rng.uniform_int(0, 12)),
+                               CostRange{1.0, 8.0}, rng);
+    std::vector<double> surpluses;
+    const int np = static_cast<int>(rng.uniform_int(1, 5));
+    for (int i = 0; i < np; ++i) surpluses.push_back(rng.uniform(0.1, 1.0));
+    std::sort(surpluses.rbegin(), surpluses.rend());
+    const Time omega = rng.uniform(0.0, 5.0);
+    const Time cp = critical_path_length(dag);
+    const Time deadline = rng.uniform(0.5, 6.0) * cp + omega;
+    const auto in = input_for(dag, deadline, surpluses, omega);
+    const auto m = build_trial_mapping(in);
+    if (!m) continue;  // rejection is always allowed
+    expect_windows_sound(dag, in, *m);
+    EXPECT_LE(m->makespan_full, m->makespan + 1e-7) << "M* is a lower bound";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndSeeds, MapperRandom,
+    ::testing::Values(RandomCase{1, DagShape::kLayered},
+                      RandomCase{2, DagShape::kRandom},
+                      RandomCase{3, DagShape::kForkJoin},
+                      RandomCase{4, DagShape::kChain},
+                      RandomCase{5, DagShape::kDiamond},
+                      RandomCase{6, DagShape::kInTree},
+                      RandomCase{7, DagShape::kLu},
+                      RandomCase{8, DagShape::kStencil}),
+    [](const auto& info) {
+      return std::string(to_string(info.param.shape)) + "_" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(Mapper, SingleProcessorSerializes) {
+  const Dag dag = paper_example();
+  const auto m = build_trial_mapping(input_for(dag, 100.0, {1.0}, 3.0));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->used_processors, 1u);
+  // All on one logical processor: makespan = total work (no comm).
+  EXPECT_NEAR(m->makespan, dag.total_work(), 1e-9);
+  EXPECT_NEAR(m->makespan_full, dag.total_work(), 1e-9);
+}
+
+TEST(Mapper, HighCommKeepsChainOnOneProcessor) {
+  // A chain with an enormous ACS diameter: every migration pays omega, so
+  // the ETF rule keeps the whole chain on one logical processor.
+  Rng rng(42);
+  const Dag dag = make_chain(5, CostRange{3.0, 3.0}, rng);
+  const auto m =
+      build_trial_mapping(input_for(dag, 500.0, {1.0, 1.0, 1.0}, 1000.0));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->used_processors, 1u);
+  EXPECT_NEAR(m->makespan, 15.0, 1e-9);
+}
+
+TEST(Mapper, ZeroCommSpreadsWork) {
+  Rng rng(3);
+  const Dag dag = make_fork_join(8, CostRange{4.0, 4.0}, rng);
+  const auto m =
+      build_trial_mapping(input_for(dag, 500.0, {1.0, 1.0, 1.0, 1.0}, 0.0));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_GT(m->used_processors, 1u);
+  // Parallel makespan beats serial work.
+  EXPECT_LT(m->makespan, dag.total_work() - 1e-9);
+}
+
+TEST(Mapper, CaseBoundaries) {
+  const Dag dag = paper_example();
+  // From the worked example: M = 33, M* = 19 (omega 3, surpluses .5/.4).
+  const std::vector<double> surpluses = {0.5, 0.4};
+  // d - r exactly M: case ii (paper: "If M <= d - r").
+  auto m = build_trial_mapping(input_for(dag, 33.0, surpluses, 3.0));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->adjustment, AdjustmentCase::kStretch);
+  // d - r exactly M*: case iii boundary, laxity budget 0.
+  m = build_trial_mapping(input_for(dag, 19.0, surpluses, 3.0));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->adjustment, AdjustmentCase::kLaxity);
+  // Just below M*: case i.
+  EXPECT_FALSE(
+      build_trial_mapping(input_for(dag, 19.0 - 0.001, surpluses, 3.0)));
+}
+
+TEST(Mapper, LaxityCaseSinkPinnedToDeadline) {
+  const Dag dag = paper_example();
+  const auto m = build_trial_mapping(input_for(dag, 25.0, {0.5, 0.4}, 3.0));
+  ASSERT_TRUE(m.has_value());
+  ASSERT_EQ(m->adjustment, AdjustmentCase::kLaxity);
+  EXPECT_NEAR(m->deadline[4], 25.0, 1e-9);  // unique sink gets d
+}
+
+TEST(Mapper, BusynessWeightedLaxityStaysSound) {
+  MapperConfig cfg;
+  cfg.busyness_weighted_laxity = true;
+  Rng rng(10);
+  for (int iter = 0; iter < 40; ++iter) {
+    const Dag dag = make_shape(DagShape::kLayered,
+                               4 + static_cast<std::size_t>(
+                                       rng.uniform_int(0, 10)),
+                               CostRange{1.0, 6.0}, rng);
+    std::vector<double> surpluses = {rng.uniform(0.3, 1.0),
+                                     rng.uniform(0.2, 0.9)};
+    std::sort(surpluses.rbegin(), surpluses.rend());
+    const auto in = input_for(
+        dag, critical_path_length(dag) * rng.uniform(1.0, 2.5) + 2.0,
+        surpluses, 2.0);
+    const auto m = build_trial_mapping(in, cfg);
+    if (!m) continue;
+    expect_windows_sound(dag, in, *m);
+  }
+}
+
+TEST(Mapper, BusynessWeightingChangesWindows) {
+  // With unequal surpluses and a case-iii window the weighted variant must
+  // produce different intermediate deadlines than the uniform one.
+  const Dag dag = paper_example();
+  // The worked example's surpluses give M = 33 > d - r = 28 > M* = 19,
+  // i.e. case iii, with unequal busyness (0.5 vs 0.6).
+  const auto in = input_for(dag, 28.0, {0.5, 0.4}, 3.0);
+  const auto uniform = build_trial_mapping(in);
+  MapperConfig cfg;
+  cfg.busyness_weighted_laxity = true;
+  const auto weighted = build_trial_mapping(in, cfg);
+  ASSERT_TRUE(uniform.has_value());
+  ASSERT_TRUE(weighted.has_value());
+  ASSERT_EQ(uniform->adjustment, AdjustmentCase::kLaxity);
+  bool any_diff = false;
+  for (TaskId t = 0; t < dag.task_count(); ++t)
+    any_diff |= std::abs(uniform->deadline[t] - weighted->deadline[t]) > 1e-9;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Mapper, DataVolumesExtendCommDelays) {
+  // Two tasks on different processors with a decorated arc: the successor's
+  // release grows by volume / throughput.
+  Dag dag;
+  const auto a = dag.add_task(4.0);
+  const auto b = dag.add_task(4.0);
+  dag.add_arc(a, b, 10.0);  // volume 10
+  dag.finalize();
+  MapperConfig cfg;
+  cfg.account_data_volumes = true;
+  cfg.link_throughput = 5.0;  // transfer time 2
+  // Force two processors by giving the second a huge surplus advantage…
+  // simpler: compare makespans with and without volume accounting on a
+  // 2-proc zero-omega setup where splitting is attractive.
+  Dag wide;
+  const auto s1 = wide.add_task(4.0);
+  const auto s2 = wide.add_task(4.0);
+  const auto join = wide.add_task(1.0);
+  wide.add_arc(s1, join, 20.0);
+  wide.add_arc(s2, join, 20.0);
+  wide.finalize();
+  const auto plain =
+      build_trial_mapping(input_for(wide, 100.0, {1.0, 1.0}, 0.5));
+  const auto volumes = build_trial_mapping(
+      input_for(wide, 100.0, {1.0, 1.0}, 0.5), cfg);
+  ASSERT_TRUE(plain.has_value());
+  ASSERT_TRUE(volumes.has_value());
+  EXPECT_GE(volumes->makespan, plain->makespan - 1e-9);
+  // And the config contract is enforced.
+  MapperConfig bad;
+  bad.account_data_volumes = true;
+  EXPECT_THROW(build_trial_mapping(input_for(wide, 100.0, {1.0}, 0.5), bad),
+               ContractViolation);
+}
+
+TEST(Mapper, InputValidation) {
+  const Dag dag = paper_example();
+  EXPECT_THROW(build_trial_mapping(input_for(dag, 50.0, {}, 1.0)),
+               ContractViolation);
+  EXPECT_THROW(build_trial_mapping(input_for(dag, 50.0, {1.5}, 1.0)),
+               ContractViolation);
+  EXPECT_THROW(build_trial_mapping(input_for(dag, 50.0, {0.4, 0.5}, 1.0)),
+               ContractViolation);  // not descending
+  EXPECT_THROW(build_trial_mapping(input_for(dag, -1.0, {0.5}, 1.0)),
+               ContractViolation);  // deadline before release
+  Dag empty;
+  empty.finalize();
+  EXPECT_THROW(build_trial_mapping(input_for(empty, 10.0, {0.5}, 1.0)),
+               ContractViolation);
+}
+
+
+TEST(Mapper, LocalKnowledgeUsesExactIdleIntervals) {
+  // One logical processor = the initiator, whose plan is busy [0, 10).
+  // Surplus-based estimate would start t at 0 with degraded duration;
+  // exact knowledge must start at 10 with full-speed duration.
+  SchedulingPlan plan;
+  plan.reserve(Reservation{9, 0, 0.0, 10.0});
+  Dag dag;
+  dag.add_task(4.0);
+  dag.finalize();
+  MapperInput in = input_for(dag, 100.0, {0.5}, 0.0);
+  in.initiator_plan = &plan;
+  in.initiator_index = 0;
+  const auto m = build_trial_mapping(in);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NEAR(m->s_start[0], 10.0, 1e-9);
+  EXPECT_NEAR(m->s_finish[0], 14.0, 1e-9);  // full speed, not 4/0.5
+}
+
+TEST(Mapper, LocalKnowledgeFillsGaps) {
+  // Busy [2, 5): a 2-unit task fits the [0, 2) gap exactly.
+  SchedulingPlan plan;
+  plan.reserve(Reservation{9, 0, 2.0, 5.0});
+  Dag dag;
+  dag.add_task(2.0);
+  dag.finalize();
+  MapperInput in = input_for(dag, 50.0, {0.9}, 0.0);
+  in.initiator_plan = &plan;
+  in.initiator_index = 0;
+  const auto m = build_trial_mapping(in);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NEAR(m->s_start[0], 0.0, 1e-9);
+  EXPECT_NEAR(m->s_finish[0], 2.0, 1e-9);
+}
+
+TEST(Mapper, LocalKnowledgeMixedWithSurplusProcs) {
+  // Initiator busy forever-ish: ETF should route work to the surplus proc.
+  SchedulingPlan plan;
+  plan.reserve(Reservation{9, 0, 0.0, 500.0});
+  Rng rng(21);
+  const Dag dag = make_fork_join(4, CostRange{2.0, 4.0}, rng);
+  MapperInput in = input_for(dag, 400.0, {1.0, 0.8}, 1.0);
+  in.initiator_plan = &plan;
+  in.initiator_index = 1;  // the 0.8-surplus entry is the initiator
+  const auto m = build_trial_mapping(in);
+  ASSERT_TRUE(m.has_value());
+  // All tasks land on the idle surplus processor (index 0 pre-renumber,
+  // which is the only used one after renumbering).
+  EXPECT_EQ(m->used_processors, 1u);
+  expect_windows_sound(dag, in, *m);
+}
+
+TEST(Mapper, LocalKnowledgeWindowsRemainSound) {
+  Rng rng(22);
+  for (int iter = 0; iter < 30; ++iter) {
+    SchedulingPlan plan;
+    Time cursor = rng.uniform(0.0, 3.0);
+    for (int b = 0; b < 3; ++b) {
+      const Time len = rng.uniform(1.0, 4.0);
+      plan.reserve(Reservation{9, 0, cursor, cursor + len});
+      cursor += len + rng.uniform(0.5, 3.0);
+    }
+    const Dag dag = make_shape(DagShape::kLayered,
+                               4 + std::size_t(rng.uniform_int(0, 8)),
+                               CostRange{1.0, 5.0}, rng);
+    std::vector<double> surpluses = {1.0, rng.uniform(0.3, 0.9)};
+    MapperInput in = input_for(
+        dag, critical_path_length(dag) * rng.uniform(2.0, 5.0) + cursor,
+        surpluses, rng.uniform(0.0, 2.0));
+    in.initiator_plan = &plan;
+    in.initiator_index = 1;
+    const auto m = build_trial_mapping(in);
+    if (!m) continue;
+    expect_windows_sound(dag, in, *m);
+    EXPECT_LE(m->makespan_full, m->makespan + 1e-7);
+  }
+}
+
+
+class MapperPriorities : public ::testing::TestWithParam<TaskPriority> {};
+
+TEST_P(MapperPriorities, WindowsSoundUnderAnyTaskSelection) {
+  MapperConfig cfg;
+  cfg.task_priority = GetParam();
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 31);
+  for (int iter = 0; iter < 30; ++iter) {
+    const Dag dag = make_shape(DagShape::kLayered,
+                               4 + std::size_t(rng.uniform_int(0, 10)),
+                               CostRange{1.0, 7.0}, rng);
+    std::vector<double> surpluses = {1.0, rng.uniform(0.3, 0.9)};
+    const auto in = input_for(
+        dag, critical_path_length(dag) * rng.uniform(1.5, 4.0) + 2.0,
+        surpluses, rng.uniform(0.0, 2.0));
+    const auto m = build_trial_mapping(in, cfg);
+    if (!m) continue;
+    expect_windows_sound(dag, in, *m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, MapperPriorities,
+                         ::testing::Values(TaskPriority::kBottomLevel,
+                                           TaskPriority::kCost,
+                                           TaskPriority::kFifo),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(MapperPriorities, PaperUsesBottomLevelByDefault) {
+  // The Table 1 reproduction depends on the §12 critical-path rule; the
+  // default config must select it.
+  MapperConfig cfg;
+  EXPECT_EQ(cfg.task_priority, TaskPriority::kBottomLevel);
+}
+
+TEST(MapperPriorities, PoliciesCanDisagree) {
+  // Fork-join with one long chain: cost-first picks the big independent
+  // task before the chain head; bottom-level does the opposite. They must
+  // produce different schedules on at least one instance.
+  Rng rng(5);
+  bool differed = false;
+  for (int iter = 0; iter < 20 && !differed; ++iter) {
+    const Dag dag = make_shape(DagShape::kLayered, 12, CostRange{1.0, 9.0}, rng);
+    const auto in =
+        input_for(dag, critical_path_length(dag) * 3.0, {1.0, 0.8}, 1.0);
+    MapperConfig bl;
+    MapperConfig cost;
+    cost.task_priority = TaskPriority::kCost;
+    const auto a = build_trial_mapping(in, bl);
+    const auto b = build_trial_mapping(in, cost);
+    if (!a || !b) continue;
+    differed = !std::equal(a->s_start.begin(), a->s_start.end(),
+                           b->s_start.begin(),
+                           [](Time x, Time y) { return time_eq(x, y); });
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(Mapper, TasksOfPartitionsAllTasks) {
+  const Dag dag = paper_example();
+  const auto m = build_trial_mapping(input_for(dag, 66.0, {0.5, 0.4}, 3.0));
+  ASSERT_TRUE(m.has_value());
+  std::size_t total = 0;
+  for (std::uint32_t u = 0; u < m->used_processors; ++u) {
+    const auto tasks = m->tasks_of(dag, u);
+    total += tasks.size();
+    for (const auto& t : tasks) {
+      EXPECT_EQ(m->assignment[t.task], u);
+      EXPECT_DOUBLE_EQ(t.cost, dag.cost(t.task));
+      EXPECT_DOUBLE_EQ(t.release, m->release[t.task]);
+      EXPECT_DOUBLE_EQ(t.deadline, m->deadline[t.task]);
+    }
+  }
+  EXPECT_EQ(total, dag.task_count());
+}
+
+}  // namespace
+}  // namespace rtds

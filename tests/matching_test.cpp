@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "matching/bipartite.hpp"
+#include "util/rng.hpp"
+
+namespace rtds {
+namespace {
+
+/// Brute-force maximum matching size by trying all left-vertex assignments
+/// (test oracle; left side small).
+std::size_t brute_force_size(const BipartiteGraph& g) {
+  std::vector<std::size_t> lefts(g.left_count());
+  std::iota(lefts.begin(), lefts.end(), 0);
+  std::size_t best = 0;
+  // Recursive exhaustive assignment.
+  std::vector<bool> used(g.right_count(), false);
+  std::function<void(std::size_t, std::size_t)> rec = [&](std::size_t i,
+                                                          std::size_t matched) {
+    best = std::max(best, matched);
+    if (i == lefts.size()) return;
+    rec(i + 1, matched);  // leave i unmatched
+    for (std::size_t r : g.neighbors(lefts[i])) {
+      if (!used[r]) {
+        used[r] = true;
+        rec(i + 1, matched + 1);
+        used[r] = false;
+      }
+    }
+  };
+  rec(0, 0);
+  return best;
+}
+
+bool matching_consistent(const BipartiteGraph& g, const MatchingResult& m) {
+  std::vector<bool> right_used(g.right_count(), false);
+  for (std::size_t l = 0; l < g.left_count(); ++l) {
+    const auto r = m.match_of_left[l];
+    if (r == kUnmatched) continue;
+    // Edge must exist and right vertex be singly used.
+    const auto& nbrs = g.neighbors(l);
+    if (std::find(nbrs.begin(), nbrs.end(), r) == nbrs.end()) return false;
+    if (right_used[r]) return false;
+    right_used[r] = true;
+    if (m.match_of_right[r] != l) return false;
+  }
+  return true;
+}
+
+TEST(Matching, EmptyGraph) {
+  BipartiteGraph g(3, 3);
+  const auto m = max_matching_hopcroft_karp(g);
+  EXPECT_EQ(m.size, 0u);
+  EXPECT_FALSE(m.perfect_on_left());
+}
+
+TEST(Matching, PerfectOnSquare) {
+  BipartiteGraph g(3, 3);
+  for (std::size_t l = 0; l < 3; ++l)
+    for (std::size_t r = 0; r < 3; ++r) g.add_edge(l, r);
+  const auto m = max_matching_hopcroft_karp(g);
+  EXPECT_EQ(m.size, 3u);
+  EXPECT_TRUE(m.perfect_on_left());
+  EXPECT_TRUE(matching_consistent(g, m));
+}
+
+TEST(Matching, AugmentingPathRequired) {
+  // l0-{r0}, l1-{r0, r1}: greedy that matches l1->r0 must augment.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  g.add_edge(1, 1);
+  const auto m = max_matching_hopcroft_karp(g);
+  EXPECT_EQ(m.size, 2u);
+  EXPECT_EQ(m.match_of_left[0], 0u);
+  EXPECT_EQ(m.match_of_left[1], 1u);
+}
+
+TEST(Matching, HallViolationDetected) {
+  // Three lefts all only like r0: max matching 1.
+  BipartiteGraph g(3, 2);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  g.add_edge(2, 0);
+  const auto m = max_matching_hopcroft_karp(g);
+  EXPECT_EQ(m.size, 1u);
+  EXPECT_FALSE(m.perfect_on_left());
+}
+
+TEST(Matching, MoreRightsThanLefts) {
+  BipartiteGraph g(2, 5);
+  g.add_edge(0, 3);
+  g.add_edge(1, 3);
+  g.add_edge(1, 4);
+  const auto m = max_matching_hopcroft_karp(g);
+  EXPECT_EQ(m.size, 2u);
+  EXPECT_TRUE(m.perfect_on_left());
+  EXPECT_TRUE(matching_consistent(g, m));
+}
+
+TEST(Matching, DuplicateEdgesIgnored) {
+  BipartiteGraph g(1, 1);
+  g.add_edge(0, 0);
+  g.add_edge(0, 0);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Matching, InvalidEdgeRejected) {
+  BipartiteGraph g(2, 2);
+  EXPECT_THROW(g.add_edge(2, 0), ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 2), ContractViolation);
+}
+
+class RandomMatching : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMatching, HopcroftKarpEqualsKuhnEqualsBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int iter = 0; iter < 60; ++iter) {
+    const auto nl = static_cast<std::size_t>(rng.uniform_int(1, 7));
+    const auto nr = static_cast<std::size_t>(rng.uniform_int(1, 7));
+    BipartiteGraph g(nl, nr);
+    const double p = rng.uniform(0.1, 0.9);
+    for (std::size_t l = 0; l < nl; ++l)
+      for (std::size_t r = 0; r < nr; ++r)
+        if (rng.bernoulli(p)) g.add_edge(l, r);
+    const auto hk = max_matching_hopcroft_karp(g);
+    const auto kuhn = max_matching_kuhn(g);
+    const auto brute = brute_force_size(g);
+    EXPECT_EQ(hk.size, brute);
+    EXPECT_EQ(kuhn.size, brute);
+    EXPECT_TRUE(matching_consistent(g, hk));
+    EXPECT_TRUE(matching_consistent(g, kuhn));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatching, ::testing::Range(1, 6));
+
+TEST(Matching, LargeBipartiteFast) {
+  // Sanity at scale: a 200x200 graph with a known perfect matching.
+  const std::size_t n = 200;
+  BipartiteGraph g(n, n);
+  Rng rng(9);
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  for (std::size_t l = 0; l < n; ++l) {
+    g.add_edge(l, perm[l]);
+    // noise edges
+    for (int k = 0; k < 3; ++k)
+      g.add_edge(l, static_cast<std::size_t>(
+                        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+  }
+  const auto m = max_matching_hopcroft_karp(g);
+  EXPECT_EQ(m.size, n);
+  EXPECT_TRUE(matching_consistent(g, m));
+}
+
+}  // namespace
+}  // namespace rtds

@@ -1,0 +1,80 @@
+// RunMetrics accounting tests.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+
+namespace rtds {
+namespace {
+
+JobDecision decision(JobId id, JobOutcome outcome,
+                     RejectReason reason = RejectReason::kNone) {
+  JobDecision d;
+  d.job = id;
+  d.outcome = outcome;
+  d.reject_reason = reason;
+  d.arrival = 10.0;
+  d.decision_time = 12.5;
+  d.deadline = 50.0;
+  d.task_count = 4;
+  d.acs_size = outcome == JobOutcome::kAcceptedRemote ? 5 : 1;
+  d.link_messages = outcome == JobOutcome::kAcceptedRemote ? 40 : 0;
+  d.adjustment_case = outcome == JobOutcome::kAcceptedRemote ? 2 : 0;
+  return d;
+}
+
+TEST(RunMetrics, CountsByOutcome) {
+  RunMetrics m;
+  m.record(decision(1, JobOutcome::kAcceptedLocal));
+  m.record(decision(2, JobOutcome::kAcceptedRemote));
+  m.record(decision(3, JobOutcome::kRejected, RejectReason::kMapperCaseI));
+  m.record(decision(4, JobOutcome::kRejected, RejectReason::kMatchingFailed));
+  EXPECT_EQ(m.arrived, 4u);
+  EXPECT_EQ(m.accepted_local, 1u);
+  EXPECT_EQ(m.accepted_remote, 1u);
+  EXPECT_EQ(m.rejected, 2u);
+  EXPECT_EQ(m.accepted(), 2u);
+  EXPECT_DOUBLE_EQ(m.guarantee_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(m.delivered_ratio(), 0.5);
+  EXPECT_EQ(m.reject_by_reason.at(int(RejectReason::kMapperCaseI)), 1u);
+  EXPECT_EQ(m.reject_by_reason.at(int(RejectReason::kMatchingFailed)), 1u);
+  EXPECT_EQ(m.adjustment_cases.at(2), 1u);
+}
+
+TEST(RunMetrics, LatencyAndAcsStats) {
+  RunMetrics m;
+  m.record(decision(1, JobOutcome::kAcceptedRemote));
+  m.record(decision(2, JobOutcome::kAcceptedLocal));
+  EXPECT_EQ(m.decision_latency.count(), 2u);
+  EXPECT_DOUBLE_EQ(m.decision_latency.mean(), 2.5);
+  // Only the distributed attempt contributes an ACS sample.
+  EXPECT_EQ(m.acs_size.count(), 1u);
+  EXPECT_DOUBLE_EQ(m.acs_size.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.msgs_per_job.mean(), 20.0);
+}
+
+TEST(RunMetrics, DeliveredRatioAccountsForFailedJobs) {
+  RunMetrics m;
+  m.record(decision(1, JobOutcome::kAcceptedRemote));
+  m.record(decision(2, JobOutcome::kAcceptedRemote));
+  m.failed_jobs = 1;
+  EXPECT_DOUBLE_EQ(m.guarantee_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(m.delivered_ratio(), 0.5);
+}
+
+TEST(RunMetrics, EmptyRatios) {
+  RunMetrics m;
+  EXPECT_DOUBLE_EQ(m.guarantee_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.delivered_ratio(), 0.0);
+}
+
+TEST(RunMetrics, EnumNames) {
+  EXPECT_STREQ(to_string(JobOutcome::kAcceptedLocal), "accepted_local");
+  EXPECT_STREQ(to_string(JobOutcome::kAcceptedRemote), "accepted_remote");
+  EXPECT_STREQ(to_string(JobOutcome::kRejected), "rejected");
+  EXPECT_STREQ(to_string(RejectReason::kGated), "gated");
+  EXPECT_STREQ(to_string(RejectReason::kMapperCaseI), "mapper_case_i");
+  EXPECT_STREQ(to_string(RejectReason::kOffloadRefused), "offload_refused");
+}
+
+}  // namespace
+}  // namespace rtds

@@ -1,0 +1,215 @@
+// Protocol-level tests of the RTDS node state machine: locking discipline,
+// enrollment policies, queueing under locks, message-type traffic, and
+// contention between concurrent initiators with overlapping spheres.
+#include <gtest/gtest.h>
+
+#include "core/rtds_system.hpp"
+#include "dag/generators.hpp"
+#include "net/generators.hpp"
+
+namespace rtds {
+namespace {
+
+std::shared_ptr<Job> heavy_job(JobId id, Time release, double laxity,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  auto job = std::make_shared<Job>();
+  job->id = id;
+  job->dag = make_fork_join(8, CostRange{3.0, 6.0}, rng);
+  job->release = release;
+  job->deadline = release + laxity * job->dag.total_work();
+  return job;
+}
+
+SystemConfig cfg_with(EnrollPolicy policy) {
+  SystemConfig cfg;
+  cfg.node.sphere_radius_h = 2;
+  cfg.node.enroll_policy = policy;
+  cfg.node.sched.observation_window = 150.0;
+  return cfg;
+}
+
+class ProtocolBothPolicies : public ::testing::TestWithParam<EnrollPolicy> {};
+
+TEST_P(ProtocolBothPolicies, ConcurrentInitiatorsWithOverlappingSpheres) {
+  // Line of 5 sites, h=2: sites 1 and 3 share sites {1,2,3} in their
+  // spheres. Both initiate distribution at the same instant; locks must
+  // serialize them and every lock must be released.
+  Rng rng(1);
+  Topology topo = make_line(5, DelayRange{1.0, 1.0}, rng);
+  RtdsSystem system(std::move(topo), cfg_with(GetParam()));
+  std::vector<JobArrival> arrivals;
+  // Tight laxity so local tests fail and both sites go distributed.
+  arrivals.push_back({1, heavy_job(1, 0.0, 0.45, 11)});
+  arrivals.push_back({3, heavy_job(2, 0.0, 0.45, 12)});
+  // Saturating pre-load on each initiator so the local test fails.
+  arrivals.push_back({1, heavy_job(3, 0.0, 10.0, 13)});
+  arrivals.push_back({3, heavy_job(4, 0.0, 10.0, 14)});
+  std::sort(arrivals.begin(), arrivals.end(), [](const auto& a, const auto& b) {
+    return a.job->id > b.job->id;  // pre-load first via arrival time ties
+  });
+  system.run(arrivals);
+  EXPECT_EQ(system.metrics().arrived, 4u);
+  EXPECT_EQ(system.metrics().deadline_misses, 0u);
+  // run() verified: no locks held, no queues, no dangling initiations.
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ProtocolBothPolicies,
+                         ::testing::Values(EnrollPolicy::kNack,
+                                           EnrollPolicy::kTimeout),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Protocol, MessageCategoriesAppearInOrder) {
+  Rng rng(2);
+  Topology topo = make_star(4, DelayRange{1.0, 1.0}, rng);
+  RtdsSystem system(std::move(topo), cfg_with(EnrollPolicy::kNack));
+  std::vector<JobArrival> arrivals;
+  arrivals.push_back({0, heavy_job(1, 0.0, 10.0, 1)});   // local accept
+  arrivals.push_back({0, heavy_job(2, 0.1, 0.5, 2)});    // must distribute
+  system.run(arrivals);
+  const auto& stats = system.metrics().transport;
+  ASSERT_TRUE(stats.by_category.count(kMsgEnroll));
+  ASSERT_TRUE(stats.by_category.count(kMsgEnrollReply));
+  // Enroll fan-out: one per other sphere member.
+  EXPECT_EQ(stats.by_category.at(kMsgEnroll).sends, 4u);
+  EXPECT_EQ(stats.by_category.at(kMsgEnrollReply).sends, 4u);
+  if (system.metrics().accepted_remote > 0) {
+    EXPECT_TRUE(stats.by_category.count(kMsgValidate));
+    EXPECT_TRUE(stats.by_category.count(kMsgValidateReply));
+    EXPECT_TRUE(stats.by_category.count(kMsgDispatch));
+  }
+}
+
+TEST(Protocol, LockedSiteQueuesLocalArrivals) {
+  // While site 1 is enrolled (locked) by initiator 0, a job arriving at 1
+  // must be queued, then processed after unlock — never lost.
+  Rng rng(3);
+  Topology topo = make_line(3, DelayRange{5.0, 5.0}, rng);  // slow links
+  SystemConfig cfg = cfg_with(EnrollPolicy::kNack);
+  cfg.node.mapper_compute_time = 2.0;  // stretch the locked window
+  RtdsSystem system(std::move(topo), cfg);
+  std::vector<JobArrival> arrivals;
+  arrivals.push_back({0, heavy_job(1, 0.0, 10.0, 1)});  // fills site 0
+  arrivals.push_back({0, heavy_job(2, 0.1, 0.6, 2)});   // distributes, locks 1
+  // Arrives at site 1 while it is locked by 0's enrollment (enroll reaches
+  // site 1 at t=5; validation keeps it locked for several more time units).
+  arrivals.push_back({1, heavy_job(3, 6.0, 10.0, 3)});
+  system.run(arrivals);
+  EXPECT_EQ(system.metrics().arrived, 3u);
+  // Job 3 was eventually decided (queued, not dropped).
+  bool saw_job3 = false;
+  for (const auto& d : system.decisions()) saw_job3 |= (d.job == 3);
+  EXPECT_TRUE(saw_job3);
+}
+
+TEST(Protocol, NackPolicyShrinksAcs) {
+  // Three initiators in one sphere at once: at least one enrollment gets
+  // nacked, so some ACS is smaller than the full sphere.
+  Rng rng(4);
+  Topology topo = make_star(5, DelayRange{1.0, 1.0}, rng);
+  RtdsSystem system(std::move(topo), cfg_with(EnrollPolicy::kNack));
+  std::vector<JobArrival> arrivals;
+  // Pre-load then three simultaneous distributed attempts from the leaves.
+  for (JobId id = 1; id <= 3; ++id)
+    arrivals.push_back({static_cast<SiteId>(id), heavy_job(id, 0.0, 10.0, id)});
+  for (JobId id = 4; id <= 6; ++id)
+    arrivals.push_back(
+        {static_cast<SiteId>(id - 3), heavy_job(id, 0.01, 0.6, id)});
+  system.run(arrivals);
+  EXPECT_EQ(system.metrics().arrived, 6u);
+  EXPECT_EQ(system.metrics().deadline_misses, 0u);
+  if (system.metrics().acs_size.count() > 0) {
+    // Full sphere for a leaf of the 5-star (h=2 covers everything) is 6
+    // sites; contention must have produced at least one smaller ACS.
+    EXPECT_LT(system.metrics().acs_size.min(), 6.0);
+  }
+}
+
+TEST(Protocol, RemoteAcceptPlacesTasksOnMultipleSites) {
+  Rng rng(5);
+  Topology topo = make_star(3, DelayRange{0.5, 0.5}, rng);
+  RtdsSystem system(std::move(topo), cfg_with(EnrollPolicy::kNack));
+  std::vector<JobArrival> arrivals;
+  arrivals.push_back({0, heavy_job(1, 0.0, 10.0, 1)});  // saturate hub
+  arrivals.push_back({0, heavy_job(2, 0.1, 0.7, 2)});   // needs remote help
+  system.run(arrivals);
+  if (system.metrics().accepted_remote > 0) {
+    // Some non-initiator site ended up with reservations.
+    std::size_t sites_with_work = 0;
+    for (SiteId s = 0; s < system.topology().site_count(); ++s)
+      if (!system.node(s).scheduler().plan().reservations().empty())
+        ++sites_with_work;
+    EXPECT_GE(sites_with_work, 2u);
+  } else {
+    GTEST_SKIP() << "workload did not trigger a remote accept";
+  }
+}
+
+TEST(Protocol, MapperComputeTimeDelaysDecision) {
+  Rng rng(6);
+  Topology fast = make_line(3, DelayRange{0.5, 0.5}, rng);
+  Topology fast2 = fast;  // same topology, two systems
+
+  SystemConfig quick = cfg_with(EnrollPolicy::kNack);
+  quick.node.mapper_compute_time = 0.0;
+  SystemConfig slow = cfg_with(EnrollPolicy::kNack);
+  slow.node.mapper_compute_time = 5.0;
+
+  auto workload = [] {
+    std::vector<JobArrival> arrivals;
+    arrivals.push_back({0, heavy_job(1, 0.0, 10.0, 1)});
+    arrivals.push_back({0, heavy_job(2, 0.1, 0.8, 2)});
+    return arrivals;
+  };
+
+  RtdsSystem a(std::move(fast), quick);
+  a.run(workload());
+  RtdsSystem b(std::move(fast2), slow);
+  b.run(workload());
+  // Distributed decisions happen strictly later with mapper latency.
+  double quick_latency = 0.0, slow_latency = 0.0;
+  for (const auto& d : a.decisions())
+    if (d.job == 2) quick_latency = d.decision_time - d.arrival;
+  for (const auto& d : b.decisions())
+    if (d.job == 2) slow_latency = d.decision_time - d.arrival;
+  // Not exactly +5.0: the runs may conclude via different protocol paths.
+  EXPECT_GT(slow_latency, quick_latency + 2.5);
+}
+
+TEST(Protocol, TimeoutPolicyLateAckGetsUnlocked) {
+  // Under kTimeout, a site locked by initiator A buffers B's enrollment and
+  // acks after unlock; B (already concluded) must unlock it right back.
+  // We run a contention-heavy workload and rely on run()'s invariant check
+  // (no site left locked) to catch any leak.
+  Rng rng(7);
+  Topology topo = make_star(6, DelayRange{1.0, 3.0}, rng);
+  SystemConfig cfg = cfg_with(EnrollPolicy::kTimeout);
+  cfg.node.enroll_timeout_slack = 0.5;
+  RtdsSystem system(std::move(topo), cfg);
+  WorkloadConfig wl;
+  wl.arrival_rate_per_site = 0.08;
+  wl.horizon = 300.0;
+  wl.laxity_min = 1.2;
+  wl.laxity_max = 2.5;
+  wl.seed = 17;
+  system.run(generate_workload(7, wl));
+  EXPECT_EQ(system.metrics().deadline_misses, 0u);
+}
+
+TEST(Protocol, SphereRadiusZeroMeansLocalOnly) {
+  Rng rng(8);
+  Topology topo = make_grid(3, 3, DelayRange{1.0, 1.0}, rng);
+  SystemConfig cfg = cfg_with(EnrollPolicy::kNack);
+  cfg.node.sphere_radius_h = 0;  // PCS = {self}
+  RtdsSystem system(std::move(topo), cfg);
+  WorkloadConfig wl;
+  wl.arrival_rate_per_site = 0.03;
+  wl.horizon = 300.0;
+  wl.seed = 23;
+  system.run(generate_workload(9, wl));
+  EXPECT_EQ(system.metrics().accepted_remote, 0u);
+  EXPECT_EQ(system.metrics().transport.total_link_messages, 0u);
+}
+
+}  // namespace
+}  // namespace rtds

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/generators.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtds {
+namespace {
+
+// ----------------------------------------------------------- simulator ----
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(Simulator, StableTieBreakBySchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, RunUntilLeavesFutureEventsQueued) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.has_events());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PastSchedulingRejected) {
+  Simulator sim;
+  sim.schedule_at(2.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), ContractViolation);
+}
+
+TEST(Simulator, ZeroDelaySelfScheduleAdvancesQueue) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    sim.schedule_in(0.0, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+// ------------------------------------------------------------- network ----
+
+struct Recorded {
+  SiteId to;
+  SiteId from;
+  std::string text;
+  Time at;
+};
+
+class NetworkFixture : public ::testing::Test {
+ protected:
+  NetworkFixture() : rng_(1), topo_(make_line(3, DelayRange{2.0, 2.0}, rng_)),
+                     net_(sim_, topo_) {
+    for (SiteId s = 0; s < topo_.site_count(); ++s) {
+      net_.set_handler(s, [this, s](SiteId from, const std::any& payload) {
+        received_.push_back(Recorded{s, from,
+                                     std::any_cast<std::string>(payload),
+                                     sim_.now()});
+      });
+    }
+  }
+
+  Rng rng_;
+  Topology topo_;
+  Simulator sim_;
+  SimNetwork net_;
+  std::vector<Recorded> received_;
+};
+
+TEST_F(NetworkFixture, AdjacentDeliveryAfterLinkDelay) {
+  net_.send_adjacent(0, 1, std::string("hello"), 1);
+  sim_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].to, 1u);
+  EXPECT_EQ(received_[0].from, 0u);
+  EXPECT_EQ(received_[0].text, "hello");
+  EXPECT_DOUBLE_EQ(received_[0].at, 2.0);
+  EXPECT_EQ(net_.stats().total_link_messages, 1u);
+  EXPECT_EQ(net_.stats().by_category.at(1).sends, 1u);
+}
+
+TEST_F(NetworkFixture, NonAdjacentSendRejected) {
+  EXPECT_THROW(net_.send_adjacent(0, 2, std::string("x")), ContractViolation);
+}
+
+TEST_F(NetworkFixture, RoutedDeliveryChargesHops) {
+  net_.send_routed(0, 2, 4.0, 2, std::string("multi"), 5);
+  sim_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_DOUBLE_EQ(received_[0].at, 4.0);
+  EXPECT_EQ(net_.stats().by_category.at(5).link_messages, 2u);
+  EXPECT_EQ(net_.stats().by_category.at(5).sends, 1u);
+}
+
+TEST_F(NetworkFixture, SelfRoutedIsFree) {
+  net_.send_routed(1, 1, 0.0, 0, std::string("self"));
+  sim_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].from, 1u);
+  EXPECT_EQ(net_.stats().total_link_messages, 0u);
+  EXPECT_EQ(net_.stats().total_sends, 1u);
+}
+
+TEST_F(NetworkFixture, LocalDeliveryAfterDelay) {
+  net_.send_local(2, 1.5, std::string("timer"));
+  sim_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_DOUBLE_EQ(received_[0].at, 1.5);
+  EXPECT_EQ(net_.stats().total_link_messages, 0u);
+}
+
+TEST_F(NetworkFixture, OrderPreservingPerLink) {
+  // §2: links are order-preserving — equal-delay messages on the same link
+  // arrive in send order (guaranteed by the stable event queue).
+  for (int i = 0; i < 5; ++i)
+    net_.send_adjacent(0, 1, std::string(1, char('a' + i)));
+  sim_.run();
+  ASSERT_EQ(received_.size(), 5u);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(received_[i].text, std::string(1, char('a' + i)));
+}
+
+TEST_F(NetworkFixture, StatsAccumulateAcrossCategories) {
+  net_.send_adjacent(0, 1, std::string("a"), 1);
+  net_.send_adjacent(1, 2, std::string("b"), 2);
+  net_.send_routed(0, 2, 4.0, 2, std::string("c"), 2);
+  sim_.run();
+  EXPECT_EQ(net_.stats().total_sends, 3u);
+  EXPECT_EQ(net_.stats().total_link_messages, 4u);
+  EXPECT_EQ(net_.stats().by_category.at(2).link_messages, 3u);
+}
+
+}  // namespace
+}  // namespace rtds

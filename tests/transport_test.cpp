@@ -1,0 +1,197 @@
+// Transport-layer tests: ideal vs contended delivery semantics, FIFO
+// ordering and serialization arithmetic on contended links, and the full
+// RTDS system running over the contended transport (including the honest
+// dispatch-failure accounting when the protocol over-estimate is violated).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/rtds_system.hpp"
+#include "net/generators.hpp"
+#include "routing/apsp.hpp"
+#include "routing/transport.hpp"
+
+namespace rtds {
+namespace {
+
+struct Delivery {
+  SiteId to;
+  SiteId from;
+  std::string text;
+  Time at;
+};
+
+class TransportFixture : public ::testing::Test {
+ protected:
+  TransportFixture() {
+    // Line 0 -- 1 -- 2 with delay 1.0 per link.
+    for (int i = 0; i < 3; ++i) topo_.add_site();
+    topo_.add_link(0, 1, 1.0);
+    topo_.add_link(1, 2, 1.0);
+    tables_ = phased_apsp(topo_, 4);
+  }
+
+  void wire(Transport& t) {
+    for (SiteId s = 0; s < topo_.site_count(); ++s)
+      t.set_handler(s, [this, s](SiteId from, const std::any& payload) {
+        log_.push_back(Delivery{s, from, std::any_cast<std::string>(payload),
+                                sim_.now()});
+      });
+  }
+
+  Topology topo_;
+  std::vector<RoutingTable> tables_;
+  Simulator sim_;
+  std::vector<Delivery> log_;
+};
+
+TEST_F(TransportFixture, IdealDeliversAtMinPathDelay) {
+  IdealTransport t(sim_, tables_);
+  wire(t);
+  const auto hops = t.send(0, 2, std::string("x"), 1, 5.0);
+  EXPECT_EQ(hops, 2u);
+  sim_.run();
+  ASSERT_EQ(log_.size(), 1u);
+  EXPECT_DOUBLE_EQ(log_[0].at, 2.0);  // pure propagation, size irrelevant
+  EXPECT_EQ(log_[0].from, 0u);
+  EXPECT_EQ(t.stats().total_link_messages, 2u);
+}
+
+TEST_F(TransportFixture, ContendedAddsSerializationPerHop) {
+  // bandwidth 2 units/time, size 4 -> tx = 2 per hop; store-and-forward:
+  // hop1 [0, 2+1), hop2 [3, 3+2+1) -> arrival 6.
+  ContendedTransport t(sim_, topo_, tables_, 2.0);
+  wire(t);
+  t.send(0, 2, std::string("x"), 1, 4.0);
+  sim_.run();
+  ASSERT_EQ(log_.size(), 1u);
+  EXPECT_DOUBLE_EQ(log_[0].at, 6.0);
+  EXPECT_EQ(log_[0].from, 0u);  // logical sender, not the relay
+  EXPECT_DOUBLE_EQ(t.max_queueing_delay(), 0.0);
+}
+
+TEST_F(TransportFixture, ContendedFifoQueueing) {
+  // Two size-4 messages on the same link at t=0: the second queues behind
+  // the first (tx = 2 each): arrivals at 3 and 5. Order preserved (§2).
+  ContendedTransport t(sim_, topo_, tables_, 2.0);
+  wire(t);
+  t.send(0, 1, std::string("first"), 1, 4.0);
+  t.send(0, 1, std::string("second"), 1, 4.0);
+  sim_.run();
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_EQ(log_[0].text, "first");
+  EXPECT_DOUBLE_EQ(log_[0].at, 3.0);
+  EXPECT_EQ(log_[1].text, "second");
+  EXPECT_DOUBLE_EQ(log_[1].at, 5.0);
+  EXPECT_DOUBLE_EQ(t.max_queueing_delay(), 2.0);
+}
+
+TEST_F(TransportFixture, ContendedDirectionsAreIndependent) {
+  ContendedTransport t(sim_, topo_, tables_, 1.0);
+  wire(t);
+  t.send(0, 1, std::string("a"), 1, 3.0);
+  t.send(1, 0, std::string("b"), 1, 3.0);
+  sim_.run();
+  // Full duplex: both arrive at tx + delay = 4.0, no cross queueing.
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_DOUBLE_EQ(log_[0].at, 4.0);
+  EXPECT_DOUBLE_EQ(log_[1].at, 4.0);
+  EXPECT_DOUBLE_EQ(t.max_queueing_delay(), 0.0);
+}
+
+TEST_F(TransportFixture, HighBandwidthApproachesIdeal) {
+  ContendedTransport fast(sim_, topo_, tables_, 1e9);
+  wire(fast);
+  fast.send(0, 2, std::string("x"), 1, 10.0);
+  sim_.run();
+  ASSERT_EQ(log_.size(), 1u);
+  EXPECT_NEAR(log_[0].at, 2.0, 1e-6);
+}
+
+TEST_F(TransportFixture, SelfSendFreeAndImmediate) {
+  IdealTransport ideal(sim_, tables_);
+  wire(ideal);
+  EXPECT_EQ(ideal.send(1, 1, std::string("self"), 1, 1.0), 0u);
+  sim_.run();
+  ASSERT_EQ(log_.size(), 1u);
+  EXPECT_DOUBLE_EQ(log_[0].at, 0.0);
+  EXPECT_EQ(ideal.stats().total_link_messages, 0u);
+}
+
+TEST_F(TransportFixture, ContendedZeroBandwidthRejected) {
+  EXPECT_THROW(ContendedTransport(sim_, topo_, tables_, 0.0),
+               ContractViolation);
+}
+
+// ------------------------------------------------ system over contended ----
+
+TEST(ContendedSystem, GenerousBandwidthMatchesIdealInvariants) {
+  Rng rng(1);
+  Topology topo = make_grid(3, 3, DelayRange{0.5, 1.0}, rng);
+  WorkloadConfig wl;
+  wl.arrival_rate_per_site = 0.02;
+  wl.horizon = 400.0;
+  wl.seed = 41;
+  const auto arrivals = generate_workload(topo.site_count(), wl);
+
+  SystemConfig cfg;
+  cfg.transport_model = TransportModel::kContended;
+  cfg.link_bandwidth = 1000.0;  // effectively no queueing
+  RtdsSystem system(std::move(topo), cfg);
+  system.run(arrivals);
+  EXPECT_EQ(system.metrics().deadline_misses, 0u);
+  EXPECT_EQ(system.metrics().dispatch_failures, 0u);
+}
+
+TEST(ContendedSystem, TightBandwidthNeedsOverheadFactor) {
+  // Under heavy contention the 3×ecc charge can be violated; the system
+  // must degrade *honestly* (dispatch_failures counted, never a silent
+  // deadline miss), and a raised protocol_overhead_factor must reduce or
+  // eliminate the failures.
+  auto run_with = [](double factor) {
+    Rng rng(2);
+    Topology topo = make_grid(3, 3, DelayRange{0.2, 0.5}, rng);
+    WorkloadConfig wl;
+    wl.arrival_rate_per_site = 0.05;
+    wl.horizon = 400.0;
+    wl.laxity_min = 1.2;
+    wl.laxity_max = 2.5;
+    wl.seed = 43;
+    const auto arrivals = generate_workload(topo.site_count(), wl);
+    SystemConfig cfg;
+    cfg.transport_model = TransportModel::kContended;
+    cfg.link_bandwidth = 5.0;  // very tight: task-code messages queue hard
+    cfg.node.protocol_overhead_factor = factor;
+    RtdsSystem system(std::move(topo), cfg);
+    system.run(arrivals);
+    return std::pair{system.metrics().dispatch_failures,
+                     system.metrics().deadline_misses};
+  };
+  const auto [fail_1x, miss_1x] = run_with(1.0);
+  const auto [fail_4x, miss_4x] = run_with(4.0);
+  EXPECT_EQ(miss_1x, 0u);  // never silent — even when overloaded
+  EXPECT_EQ(miss_4x, 0u);
+  EXPECT_LE(fail_4x, fail_1x);
+}
+
+TEST(ContendedSystem, DeterministicLikeIdeal) {
+  auto run_once = [] {
+    Rng rng(3);
+    Topology topo = make_ring(8, DelayRange{0.3, 0.8}, rng);
+    WorkloadConfig wl;
+    wl.arrival_rate_per_site = 0.03;
+    wl.horizon = 300.0;
+    wl.seed = 47;
+    const auto arrivals = generate_workload(topo.site_count(), wl);
+    SystemConfig cfg;
+    cfg.transport_model = TransportModel::kContended;
+    cfg.link_bandwidth = 20.0;
+    RtdsSystem system(std::move(topo), cfg);
+    system.run(arrivals);
+    return system.metrics().transport.total_link_messages;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace rtds

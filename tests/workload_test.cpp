@@ -1,0 +1,186 @@
+// Workload generator tests: arrival processes, deadline models, data-volume
+// decoration, determinism, and statistical sanity.
+#include <gtest/gtest.h>
+
+#include "core/rtds_system.hpp"
+#include "core/workload.hpp"
+#include "dag/analysis.hpp"
+#include "net/generators.hpp"
+#include "util/stats.hpp"
+
+namespace rtds {
+namespace {
+
+WorkloadConfig base_config(std::uint64_t seed) {
+  WorkloadConfig wl;
+  wl.arrival_rate_per_site = 0.02;
+  wl.horizon = 1000.0;
+  wl.seed = seed;
+  return wl;
+}
+
+TEST(Workload, SortedUniqueAndInHorizon) {
+  const auto arrivals = generate_workload(8, base_config(1));
+  ASSERT_FALSE(arrivals.empty());
+  std::set<JobId> ids;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const auto& a = arrivals[i];
+    EXPECT_LT(a.site, 8u);
+    EXPECT_GE(a.job->release, 0.0);
+    EXPECT_LT(a.job->release, 1000.0);
+    EXPECT_GT(a.job->deadline, a.job->release);
+    EXPECT_TRUE(ids.insert(a.job->id).second) << "duplicate job id";
+    if (i > 0) EXPECT_GE(a.job->release, arrivals[i - 1].job->release);
+  }
+}
+
+TEST(Workload, PoissonCountNearExpectation) {
+  const auto arrivals = generate_workload(20, base_config(2));
+  const double expected = 20 * 0.02 * 1000.0;  // 400
+  EXPECT_NEAR(double(arrivals.size()), expected, expected * 0.15);
+}
+
+TEST(Workload, DeterministicFromSeed) {
+  const auto a = generate_workload(5, base_config(3));
+  const auto b = generate_workload(5, base_config(3));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].site, b[i].site);
+    EXPECT_DOUBLE_EQ(a[i].job->release, b[i].job->release);
+    EXPECT_EQ(a[i].job->dag.task_count(), b[i].job->dag.task_count());
+  }
+  const auto c = generate_workload(5, base_config(4));
+  EXPECT_NE(a.size(), c.size());  // overwhelmingly likely
+}
+
+TEST(Workload, LaxityBoundsRespectedForCriticalPathModel) {
+  WorkloadConfig wl = base_config(5);
+  wl.laxity_min = 1.5;
+  wl.laxity_max = 2.5;
+  for (const auto& a : generate_workload(6, wl)) {
+    const double laxity = (a.job->deadline - a.job->release) /
+                          critical_path_length(a.job->dag);
+    EXPECT_GE(laxity, 1.5 - 1e-9);
+    EXPECT_LE(laxity, 2.5 + 1e-9);
+  }
+}
+
+TEST(Workload, TotalWorkDeadlineModel) {
+  WorkloadConfig wl = base_config(6);
+  wl.deadline_model = DeadlineModel::kTotalWork;
+  wl.laxity_min = 1.2;
+  wl.laxity_max = 1.4;
+  for (const auto& a : generate_workload(6, wl)) {
+    const double laxity =
+        (a.job->deadline - a.job->release) / a.job->dag.total_work();
+    EXPECT_GE(laxity, 1.2 - 1e-9);
+    EXPECT_LE(laxity, 1.4 + 1e-9);
+  }
+  // Total-work deadlines are always locally feasible on an idle site, so
+  // a light workload should be fully guaranteed by LOCAL-style tests.
+  Rng rng(6);
+  Topology topo = make_grid(3, 3, DelayRange{0.5, 1.0}, rng);
+  wl.arrival_rate_per_site = 0.002;
+  RtdsSystem system(std::move(topo), SystemConfig{});
+  const auto arrivals = generate_workload(9, wl);
+  system.run(arrivals);
+  EXPECT_GT(system.metrics().guarantee_ratio(), 0.95);
+}
+
+TEST(Workload, TaskCountBounds) {
+  WorkloadConfig wl = base_config(7);
+  wl.min_tasks = 6;
+  wl.max_tasks = 9;
+  wl.shape_mix = {DagShape::kChain};  // chain honours the size exactly
+  for (const auto& a : generate_workload(4, wl)) {
+    EXPECT_GE(a.job->dag.task_count(), 6u);
+    EXPECT_LE(a.job->dag.task_count(), 9u);
+  }
+}
+
+TEST(Workload, BurstyHasHigherVarianceThanPoisson) {
+  WorkloadConfig poisson = base_config(8);
+  WorkloadConfig bursty = base_config(8);
+  bursty.arrival_process = ArrivalProcess::kBursty;
+  bursty.burst_multiplier = 10.0;
+
+  auto window_count_variance = [](const std::vector<JobArrival>& arrivals) {
+    // Count arrivals in 50-unit windows, return the sample variance.
+    std::vector<double> counts(20, 0.0);
+    for (const auto& a : arrivals) {
+      const auto w = static_cast<std::size_t>(a.job->release / 50.0);
+      if (w < counts.size()) counts[w] += 1.0;
+    }
+    RunningStat st;
+    for (double c : counts) st.add(c);
+    return st.variance() / std::max(1.0, st.mean());  // index of dispersion
+  };
+  const auto p = generate_workload(20, poisson);
+  const auto b = generate_workload(20, bursty);
+  EXPECT_GT(window_count_variance(b), 1.8 * window_count_variance(p));
+}
+
+TEST(Workload, BurstySystemRunStaysSound) {
+  Rng rng(9);
+  Topology topo = make_grid(3, 3, DelayRange{0.3, 0.8}, rng);
+  WorkloadConfig wl = base_config(9);
+  wl.arrival_process = ArrivalProcess::kBursty;
+  wl.horizon = 600.0;
+  RtdsSystem system(std::move(topo), SystemConfig{});
+  system.run(generate_workload(9, wl));
+  EXPECT_EQ(system.metrics().deadline_misses, 0u);
+}
+
+TEST(Workload, DataVolumeDecoration) {
+  WorkloadConfig wl = base_config(10);
+  wl.data_volume_min = 2.0;
+  wl.data_volume_max = 7.0;
+  for (const auto& a : generate_workload(4, wl)) {
+    for (const auto& arc : a.job->dag.arcs()) {
+      EXPECT_GE(arc.data_volume, 2.0);
+      EXPECT_LE(arc.data_volume, 7.0);
+    }
+  }
+  // No decoration by default.
+  for (const auto& a : generate_workload(2, base_config(10)))
+    for (const auto& arc : a.job->dag.arcs())
+      EXPECT_DOUBLE_EQ(arc.data_volume, 0.0);
+}
+
+TEST(Workload, VolumesFlowIntoVolumeAwareSystem) {
+  Rng rng(11);
+  Topology topo;
+  for (int i = 0; i < 4; ++i) topo.add_site();
+  for (SiteId i = 0; i < 4; ++i)
+    topo.add_link(i, (i + 1) % 4, 0.3, /*throughput=*/20.0);
+  WorkloadConfig wl = base_config(11);
+  wl.horizon = 400.0;
+  wl.data_volume_min = 1.0;
+  wl.data_volume_max = 10.0;
+  SystemConfig cfg;
+  cfg.node.mapper.account_data_volumes = true;
+  cfg.node.mapper.link_throughput = 20.0;
+  RtdsSystem system(std::move(topo), cfg);
+  system.run(generate_workload(4, wl));
+  EXPECT_EQ(system.metrics().deadline_misses, 0u);
+}
+
+TEST(Workload, InvalidConfigsRejected) {
+  WorkloadConfig wl = base_config(12);
+  wl.laxity_min = 0.0;
+  EXPECT_THROW(generate_workload(2, wl), ContractViolation);
+  wl = base_config(12);
+  wl.min_tasks = 5;
+  wl.max_tasks = 4;
+  EXPECT_THROW(generate_workload(2, wl), ContractViolation);
+  wl = base_config(12);
+  wl.arrival_process = ArrivalProcess::kBursty;
+  wl.burst_multiplier = 0.5;
+  EXPECT_THROW(generate_workload(2, wl), ContractViolation);
+  wl = base_config(12);
+  wl.shape_mix = {};
+  EXPECT_THROW(generate_workload(2, wl), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtds
