@@ -2,75 +2,18 @@
 // ever talks inside a Computing Sphere, the number of sites and link
 // messages used per job is bounded by the sphere and *independent of the
 // network size*, unlike schemes that broadcast (e.g. [4], which floods
-// surplus updates network-wide).
-//
-// Output: one row per network size N (grid, fixed h=2, fixed per-site
-// load): mean/max link-messages per job for RTDS, the analytic sphere
-// bound, and the cost a network-wide broadcast enrollment would have paid
-// (N-1 contacts × average hop distance) — the latter grows with N while
-// RTDS stays flat.
-#include "baseline/broadcast.hpp"
-#include "common.hpp"
-#include "net/shortest_paths.hpp"
+// surplus updates network-wide). Scenario: e1_message_bound (see
+// src/exp/scenarios.cpp for the declarative spec and EXPERIMENTS.md for
+// the expected table).
+#include <iostream>
 
-using namespace rtds;
-using namespace rtds::bench;
+#include "common.hpp"
 
 int main() {
+  rtds::exp::register_builtin_scenarios();
   std::cout << "E1: per-job message cost vs network size (grid, h=2, "
                "rate=0.02/site, laxity 1.5-3)\n\n";
-  Table table({"sites", "jobs", "ratio%", "msgs/job mean", "msgs/job max",
-               "sphere bound", "BCAST msgs/job", "PCS size max"});
-  for (std::size_t side : {4u, 6u, 8u, 12u, 16u, 24u, 32u}) {
-    ConditionSpec spec;
-    spec.net = NetShape::kGrid;
-    spec.sites = side * side;
-    spec.rate = 0.02;
-    spec.horizon = 400.0;
-    spec.laxity_min = 1.5;
-    spec.laxity_max = 3.0;
-    spec.delay_min = 0.2;
-    spec.delay_max = 0.8;
-    spec.seed = 42;
-    const Condition c = make_condition(spec);
-
-    SystemConfig cfg;
-    cfg.node.sphere_radius_h = 2;
-    RtdsSystem system(c.topo, cfg);
-    system.run(c.arrivals);
-    const auto& m = system.metrics();
-
-    std::size_t max_pcs = 0, max_hop_diam = 0;
-    for (SiteId s = 0; s < c.topo.site_count(); ++s) {
-      max_pcs = std::max(max_pcs, system.node(s).pcs().size());
-      max_hop_diam =
-          std::max(max_hop_diam, system.node(s).pcs().hop_diameter());
-    }
-    // Analytic per-job bound: 4 sphere-wide rounds (enroll, reply,
-    // validate+reply, dispatch) of |PCS|-1 sends, each <= hop-diameter
-    // hops, plus unlock slack -> 8 covers every code path.
-    const double bound = 8.0 * double(max_pcs) * double(max_hop_diam);
-
-    // Measured cost of the [4]-style periodic network-wide surplus flood
-    // (BCAST baseline), amortized per job. Skipped above 256 sites: the
-    // flood itself is what makes large runs expensive — which is the point.
-    std::string bcast_cell = "-";
-    if (c.topo.site_count() <= 256) {
-      BroadcastConfig bcfg;
-      const auto bm = run_broadcast(c.topo, c.arrivals, bcfg);
-      bcast_cell = Table::num(
-          double(bm.transport.total_link_messages) / double(bm.arrived), 1);
-    }
-
-    table.add_row({Table::num(c.topo.site_count()),
-                   Table::num(std::size_t{m.arrived}),
-                   pct(m.guarantee_ratio()),
-                   Table::num(m.msgs_per_job.mean(), 1),
-                   Table::num(m.msgs_per_job.max(), 0),
-                   Table::num(bound, 0), bcast_cell,
-                   Table::num(max_pcs)});
-  }
-  table.print(std::cout);
+  rtds::exp::run_and_print("e1_message_bound", std::cout);
   std::cout << "\nExpectation (paper §6/§14): RTDS msgs/job flat in N; the "
                "measured [4]-style broadcast cost grows superlinearly.\n";
   return 0;

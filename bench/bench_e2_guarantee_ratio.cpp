@@ -6,69 +6,19 @@
 //       whole-job schemes (LOCAL/BID/RANDOM) hit a structural ceiling and
 //       only DAG partitioning (RTDS) approaches the omniscient CENTRAL.
 // The paper's §14 claim is qualitative ("increase of the number of
-// accepted jobs"); these tables are the quantitative version.
-#include "baseline/broadcast.hpp"
+// accepted jobs"); these tables are the quantitative version. Scenarios:
+// e2_guarantee_ratio, e2_guarantee_ratio_parallel.
+#include <iostream>
+
 #include "common.hpp"
 
-using namespace rtds;
-using namespace rtds::bench;
-
-namespace {
-
-void sweep(const char* title, ConditionSpec base,
-           const std::vector<double>& rates) {
-  std::cout << title << "\n";
-  Table table({"rate/site", "jobs", "RTDS%", "LOCAL%", "BID%", "RANDOM%",
-               "BCAST%", "CENTRAL%"});
-  for (double rate : rates) {
-    ConditionSpec spec = base;
-    spec.rate = rate;
-    const Condition c = make_condition(spec);
-
-    SystemConfig rtds_cfg;
-    rtds_cfg.node.sphere_radius_h = 2;
-    const auto rtds = run_rtds(c, rtds_cfg);
-    const auto local =
-        run_local_only(c.topo, c.arrivals, LocalSchedulerConfig{});
-    OffloadConfig bid_cfg;
-    const auto bid = run_offload(c.topo, c.arrivals, bid_cfg);
-    OffloadConfig rnd_cfg;
-    rnd_cfg.policy = OffloadPolicy::kRandom;
-    const auto rnd = run_offload(c.topo, c.arrivals, rnd_cfg);
-    BroadcastConfig bcast_cfg;
-    const auto bcast = run_broadcast(c.topo, c.arrivals, bcast_cfg);
-    const auto central =
-        run_centralized(c.topo, c.arrivals, CentralizedConfig{});
-
-    table.add_row({Table::num(rate, 3), Table::num(std::size_t{rtds.arrived}),
-                   pct(rtds.guarantee_ratio()), pct(local.guarantee_ratio()),
-                   pct(bid.guarantee_ratio()), pct(rnd.guarantee_ratio()),
-                   pct(bcast.guarantee_ratio()),
-                   pct(central.guarantee_ratio())});
-  }
-  table.print(std::cout);
-  std::cout << "\n";
-}
-
-}  // namespace
-
 int main() {
+  rtds::exp::register_builtin_scenarios();
   std::cout << "E2: guarantee ratio vs offered load (8x8 grid, h=2)\n\n";
-
-  ConditionSpec offload = offload_regime();
-  offload.net = NetShape::kGrid;
-  offload.sites = 64;
-  offload.horizon = 800.0;
-  sweep("(a) offload regime: laxity 2-6, link delay 0.5-2.0", offload,
-        {0.005, 0.01, 0.02, 0.04, 0.08});
-
-  ConditionSpec parallel = parallel_regime();
-  parallel.net = NetShape::kGrid;
-  parallel.sites = 64;
-  parallel.horizon = 800.0;
-  sweep("(b) parallel regime: laxity 1.2-1.8, link delay 0.05-0.2", parallel,
-        {0.005, 0.01, 0.02, 0.04});
-
+  rtds::exp::run_and_print("e2_guarantee_ratio", std::cout);
+  std::cout << "\n";
+  rtds::exp::run_and_print("e2_guarantee_ratio_parallel", std::cout);
+  std::cout << "\n";
   std::cout << "Expectation: (a) CENTRAL >= BID >= RTDS > RANDOM > LOCAL "
                "with gaps widening under load;\n"
                "             (b) CENTRAL >= RTDS >> BID ~ RANDOM ~ LOCAL "

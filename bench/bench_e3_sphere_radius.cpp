@@ -1,58 +1,19 @@
 // E3 — the sphere radius h is THE design knob of the paper: h=0 degenerates
 // to local-only scheduling; growing h buys acceptance ratio at the price of
 // per-job messages, locked sites, and protocol latency; past the network's
-// natural radius it saturates. This bench sweeps h in both regimes and
-// prints the full trade-off curve.
+// natural radius it saturates. Scenarios: e3_sphere_radius (parallel
+// regime), e3_sphere_radius_offload.
+#include <iostream>
+
 #include "common.hpp"
 
-using namespace rtds;
-using namespace rtds::bench;
-
-namespace {
-
-void sweep(const char* title, ConditionSpec spec) {
-  std::cout << title << "\n";
-  const Condition c = make_condition(spec);
-  Table table({"h", "ratio%", "remote", "msgs/job", "ACS mean", "latency",
-               "PCS max"});
-  for (std::size_t h = 0; h <= 5; ++h) {
-    SystemConfig cfg;
-    cfg.node.sphere_radius_h = h;
-    RtdsSystem system(c.topo, cfg);
-    system.run(c.arrivals);
-    const auto& m = system.metrics();
-    std::size_t max_pcs = 0;
-    for (SiteId s = 0; s < c.topo.site_count(); ++s)
-      max_pcs = std::max(max_pcs, system.node(s).pcs().size());
-    table.add_row(
-        {Table::num(h), pct(m.guarantee_ratio()),
-         Table::num(std::size_t{m.accepted_remote}),
-         Table::num(m.msgs_per_job.count() ? m.msgs_per_job.mean() : 0.0, 1),
-         Table::num(m.acs_size.count() ? m.acs_size.mean() : 0.0, 1),
-         Table::num(m.decision_latency.mean(), 2), Table::num(max_pcs)});
-  }
-  table.print(std::cout);
-  std::cout << "\n";
-}
-
-}  // namespace
-
 int main() {
+  rtds::exp::register_builtin_scenarios();
   std::cout << "E3: sphere radius sweep (8x8 grid)\n\n";
-  ConditionSpec parallel = parallel_regime();
-  parallel.net = NetShape::kGrid;
-  parallel.sites = 64;
-  parallel.horizon = 600.0;
-  parallel.rate = 0.02;
-  sweep("(a) parallel regime", parallel);
-
-  ConditionSpec offload = offload_regime();
-  offload.net = NetShape::kGrid;
-  offload.sites = 64;
-  offload.horizon = 600.0;
-  offload.rate = 0.04;
-  sweep("(b) offload regime", offload);
-
+  rtds::exp::run_and_print("e3_sphere_radius", std::cout);
+  std::cout << "\n";
+  rtds::exp::run_and_print("e3_sphere_radius_offload", std::cout);
+  std::cout << "\n";
   std::cout << "Expectation: ratio rises with h then knees; msgs/job and "
                "ACS size keep growing — pick the knee.\n";
   return 0;

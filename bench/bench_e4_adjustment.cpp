@@ -1,80 +1,22 @@
 // E4 — behaviour of the §12.2 release/deadline adjustment across the laxity
 // spectrum: which of cases (i)/(ii)/(iii) fires how often, how often the
 // defensive window rejection triggers, and how validation fares downstream
-// of each case. Also a direct mapper-level sweep on the paper's example
-// instance showing the exact case boundaries at d-r = M* and d-r = M.
-#include "common.hpp"
-#include "dag/generators.hpp"
+// of each case. Report e4a_case_boundaries gives the mapper-level boundary
+// sweep on the paper instance; scenario e4_adjustment_cases gives the
+// system-level laxity sweep.
+#include <iostream>
 
-using namespace rtds;
-using namespace rtds::bench;
+#include "common.hpp"
 
 int main() {
-  // ---- mapper-level boundary sweep on the paper instance ----------------
+  rtds::exp::register_builtin_scenarios();
   std::cout << "E4a: case boundaries on the paper example "
                "(M* = 19, M = 33)\n\n";
-  {
-    const Dag dag = paper_example();
-    Table t({"d - r", "case", "accepted windows"});
-    for (double window : {15.0, 19.0, 22.0, 28.0, 32.999, 33.0, 40.0, 66.0}) {
-      MapperInput in;
-      in.dag = &dag;
-      in.release = 0.0;
-      in.deadline = window;
-      in.surpluses = {0.5, 0.4};
-      in.comm_diameter = 3.0;
-      AdjustmentCase failure = AdjustmentCase::kReject;
-      const auto m = build_trial_mapping(in, {}, &failure);
-      t.add_row({Table::num(window, 3),
-                 m ? to_string(m->adjustment) : to_string(failure),
-                 m ? "yes" : "no"});
-    }
-    t.print(std::cout);
-    std::cout << "\n";
-  }
-
-  // ---- system-level laxity sweep ----------------------------------------
+  rtds::exp::run_report("e4a_case_boundaries", std::cout);
+  std::cout << "\n";
   std::cout << "E4b: adjustment-case frequencies vs laxity "
                "(8x8 grid, h=2, rate=0.02, delay 0.1-0.4)\n\n";
-  Table table({"laxity", "jobs", "ratio%", "case_ii", "case_iii", "reject_i",
-               "reject_win", "match_fail", "gated"});
-  struct Band {
-    double lo, hi;
-  };
-  for (const Band band : {Band{1.05, 1.2}, Band{1.2, 1.5}, Band{1.5, 2.0},
-                          Band{2.0, 3.0}, Band{3.0, 5.0}, Band{5.0, 8.0}}) {
-    ConditionSpec spec;
-    spec.net = NetShape::kGrid;
-    spec.sites = 64;
-    spec.rate = 0.02;
-    spec.horizon = 600.0;
-    spec.laxity_min = band.lo;
-    spec.laxity_max = band.hi;
-    spec.delay_min = 0.1;
-    spec.delay_max = 0.4;
-    const Condition c = make_condition(spec);
-    SystemConfig cfg;
-    RtdsSystem system(c.topo, cfg);
-    system.run(c.arrivals);
-    const auto& m = system.metrics();
-    auto count = [&](RejectReason r) -> std::uint64_t {
-      const auto it = m.reject_by_reason.find(static_cast<int>(r));
-      return it == m.reject_by_reason.end() ? 0 : it->second;
-    };
-    auto cases = [&](int cse) -> std::uint64_t {
-      const auto it = m.adjustment_cases.find(cse);
-      return it == m.adjustment_cases.end() ? 0 : it->second;
-    };
-    table.add_row({Table::num(band.lo, 2) + "-" + Table::num(band.hi, 2),
-                   Table::num(std::size_t{m.arrived}),
-                   pct(m.guarantee_ratio()), Table::num(std::size_t{cases(2)}),
-                   Table::num(std::size_t{cases(3)}),
-                   Table::num(std::size_t{count(RejectReason::kMapperCaseI)}),
-                   Table::num(std::size_t{count(RejectReason::kMapperWindows)}),
-                   Table::num(std::size_t{count(RejectReason::kMatchingFailed)}),
-                   Table::num(std::size_t{count(RejectReason::kGated)})});
-  }
-  table.print(std::cout);
+  rtds::exp::run_and_print("e4_adjustment_cases", std::cout);
   std::cout << "\nExpectation: tight laxity -> case iii and case-i rejects "
                "dominate; loose laxity -> case ii dominates and the ratio "
                "approaches 100%.\n";

@@ -6,194 +6,23 @@
 //   5. local admission test: greedy EDF vs exact B&B vs preemptive (§13)
 //   6. §13 "local knowledge of k": exact initiator idle intervals
 //   7. transport model: ideal vs contended store-and-forward (§13)
-// Each row = one toggled configuration on the same workload pair.
+//   8. mapper task-selection heuristic (§9)
+// Each group is one e5_* scenario; each row = one toggled configuration on
+// the same workload.
+#include <iostream>
+
 #include "common.hpp"
 
-using namespace rtds;
-using namespace rtds::bench;
-
-namespace {
-
-struct Variant {
-  std::string name;
-  SystemConfig cfg;
-};
-
-void run_variants(const char* title, const Condition& c,
-                  const std::vector<Variant>& variants) {
-  std::cout << title << "\n";
-  Table table({"variant", "ratio%", "local", "remote", "msgs/job", "latency"});
-  for (const auto& v : variants) {
-    RtdsSystem system(c.topo, v.cfg);
-    system.run(c.arrivals);
-    const auto& m = system.metrics();
-    table.add_row(
-        {v.name, pct(m.guarantee_ratio()),
-         Table::num(std::size_t{m.accepted_local}),
-         Table::num(std::size_t{m.accepted_remote}),
-         Table::num(m.msgs_per_job.count() ? m.msgs_per_job.mean() : 0.0, 1),
-         Table::num(m.decision_latency.mean(), 2)});
-  }
-  table.print(std::cout);
-  std::cout << "\n";
-}
-
-SystemConfig base_cfg() {
-  SystemConfig cfg;
-  cfg.node.sphere_radius_h = 2;
-  return cfg;
-}
-
-}  // namespace
-
 int main() {
+  rtds::exp::register_builtin_scenarios();
   std::cout << "E5: design ablations (8x8 grid)\n\n";
-
-  ConditionSpec par = parallel_regime();
-  par.net = NetShape::kGrid;
-  par.sites = 64;
-  par.horizon = 600.0;
-  par.rate = 0.02;
-  const Condition parallel = make_condition(par);
-
-  ConditionSpec off = offload_regime();
-  off.net = NetShape::kGrid;
-  off.sites = 64;
-  off.horizon = 600.0;
-  off.rate = 0.04;
-  const Condition offload = make_condition(off);
-
-  // 1. enrollment policy -----------------------------------------------
-  {
-    std::vector<Variant> variants;
-    Variant nack{"enroll=nack (default)", base_cfg()};
-    Variant timeout{"enroll=timeout (faithful §8)", base_cfg()};
-    timeout.cfg.node.enroll_policy = EnrollPolicy::kTimeout;
-    variants.push_back(nack);
-    variants.push_back(timeout);
-    run_variants("(1) enrollment policy [parallel regime]", parallel,
-                 variants);
-  }
-
-  // 2. pre-enrollment gate ----------------------------------------------
-  {
-    std::vector<Variant> variants;
-    for (const auto gate : {EnrollGate::kNone, EnrollGate::kCriticalPath,
-                            EnrollGate::kProtocolAware}) {
-      Variant v{std::string("gate=") + to_string(gate), base_cfg()};
-      v.cfg.node.enroll_gate = gate;
-      variants.push_back(v);
-    }
-    run_variants("(2) pre-enrollment gate [offload regime, loaded]", offload,
-                 variants);
-  }
-
-  // 3. surplus window -----------------------------------------------------
-  {
-    std::vector<Variant> variants;
-    Variant jobwin{"surplus=job-window (default)", base_cfg()};
-    Variant fixed{"surplus=fixed-window (literal §2)", base_cfg()};
-    fixed.cfg.node.job_window_surplus = false;
-    variants.push_back(jobwin);
-    variants.push_back(fixed);
-    run_variants("(3) surplus observation window [offload regime]", offload,
-                 variants);
-  }
-
-  // 4. busyness-weighted laxity (§13) -------------------------------------
-  {
-    std::vector<Variant> variants;
-    Variant uniform{"laxity=uniform (eq. 4)", base_cfg()};
-    Variant weighted{"laxity=busyness-weighted (§13)", base_cfg()};
-    weighted.cfg.node.mapper.busyness_weighted_laxity = true;
-    variants.push_back(uniform);
-    variants.push_back(weighted);
-    run_variants("(4) laxity dispatching [parallel regime]", parallel,
-                 variants);
-  }
-
-  // 5. local admission policy ---------------------------------------------
-  {
-    std::vector<Variant> variants;
-    for (const auto policy :
-         {AdmissionPolicy::kEdf, AdmissionPolicy::kExact,
-          AdmissionPolicy::kPreemptive}) {
-      Variant v{std::string("admission=") + to_string(policy), base_cfg()};
-      v.cfg.node.sched.policy = policy;
-      variants.push_back(v);
-    }
-    run_variants("(5) local admission test [parallel regime]", parallel,
-                 variants);
-  }
-
-
-  // 6. §13 local knowledge of k -------------------------------------------
-  {
-    std::vector<Variant> variants;
-    Variant off{"initiator=surplus-only (paper base)", base_cfg()};
-    Variant on{"initiator=exact-idle-intervals (§13)", base_cfg()};
-    on.cfg.node.initiator_local_knowledge = true;
-    variants.push_back(off);
-    variants.push_back(on);
-    run_variants("(6) local knowledge of k [parallel regime]", parallel,
-                 variants);
-  }
-
-
-  // 7. transport model (§13 throughput realism) ----------------------------
-  {
-    std::vector<Variant> variants;
-    Variant ideal{"transport=ideal (paper model)", base_cfg()};
-    Variant roomy{"transport=contended bw=100", base_cfg()};
-    roomy.cfg.transport_model = TransportModel::kContended;
-    roomy.cfg.link_bandwidth = 100.0;
-    Variant tight{"transport=contended bw=8", base_cfg()};
-    tight.cfg.transport_model = TransportModel::kContended;
-    tight.cfg.link_bandwidth = 8.0;
-    Variant roomy_slack{"contended bw=100 + slack 1", base_cfg()};
-    roomy_slack.cfg.transport_model = TransportModel::kContended;
-    roomy_slack.cfg.link_bandwidth = 100.0;
-    roomy_slack.cfg.node.protocol_overhead_slack = 1.0;
-    Variant tuned{"contended bw=8 + x2 + slack 8", base_cfg()};
-    tuned.cfg.transport_model = TransportModel::kContended;
-    tuned.cfg.link_bandwidth = 8.0;
-    tuned.cfg.node.protocol_overhead_factor = 2.0;
-    tuned.cfg.node.protocol_overhead_slack = 8.0;
-    variants.push_back(ideal);
-    variants.push_back(roomy);
-    variants.push_back(roomy_slack);
-    variants.push_back(tight);
-    variants.push_back(tuned);
-    std::cout << "(7) transport model [parallel regime]\n";
-    Table table(
-        {"variant", "delivered%", "remote", "failed jobs", "latency"});
-    for (const auto& v : variants) {
-      RtdsSystem system(parallel.topo, v.cfg);
-      system.run(parallel.arrivals);
-      const auto& m = system.metrics();
-      table.add_row({v.name, pct(m.delivered_ratio()),
-                     Table::num(std::size_t{m.accepted_remote}),
-                     Table::num(std::size_t{m.failed_jobs}),
-                     Table::num(m.decision_latency.mean(), 2)});
-    }
-    table.print(std::cout);
+  for (const char* scenario :
+       {"e5_enroll_policy", "e5_enroll_gate", "e5_surplus_window",
+        "e5_laxity_weighting", "e5_admission_policy", "e5_local_knowledge",
+        "e5_transport", "e5_mapper_priority"}) {
+    rtds::exp::run_and_print(scenario, std::cout);
     std::cout << "\n";
   }
-
-
-  // 8. mapper task-selection heuristic (§9) --------------------------------
-  {
-    std::vector<Variant> variants;
-    for (const auto prio : {TaskPriority::kBottomLevel, TaskPriority::kCost,
-                            TaskPriority::kFifo}) {
-      Variant v{std::string("mapper-priority=") + to_string(prio), base_cfg()};
-      v.cfg.node.mapper.task_priority = prio;
-      variants.push_back(v);
-    }
-    run_variants("(8) mapper task selection [parallel regime]", parallel,
-                 variants);
-  }
-
   std::cout << "Expectation: nack ~ timeout in ratio but lower latency; the "
                "critical-path gate saves messages for free; job-window "
                "surplus reduces matching failures; busyness laxity is a "

@@ -2,66 +2,15 @@
 // trace: the paper's example DAG arrives on a 3x3 grid whose arrival site
 // is pre-loaded, forcing the full pipeline — local test failure, ACS
 // enrollment over the sphere, Trial-Mapping construction, validation,
-// maximum coupling and distributed execution. Every protocol event is
-// printed with its simulated timestamp.
+// maximum coupling and distributed execution. The trace body lives in the
+// fig1_protocol report scenario (src/exp/reports.cpp).
 #include <iostream>
 
-#include "core/rtds_system.hpp"
-#include "dag/generators.hpp"
-#include "net/generators.hpp"
-#include "util/logging.hpp"
-#include "util/table.hpp"
-
-using namespace rtds;
+#include "exp/scenario.hpp"
+#include "exp/scenarios.hpp"
 
 int main() {
-  Log::set_level(LogLevel::kTrace);
-  Log::set_sink([](LogLevel, const std::string& msg) {
-    std::cout << "  | " << msg << "\n";
-  });
-
-  Rng rng(7);
-  Topology topo = make_grid(3, 3, DelayRange{0.5, 1.0}, rng);
-  SystemConfig cfg;
-  cfg.node.sphere_radius_h = 2;
-  RtdsSystem system(std::move(topo), cfg);
-
-  std::cout << "=== Figure 1: RTDS phase flow (traced run) ===\n";
-  std::cout << "network: 3x3 grid, h=2; job = paper Figure 2 DAG\n\n";
-
-  // Pre-load the arrival site so the §5 local test fails.
-  auto filler = std::make_shared<Job>();
-  filler->id = 1;
-  filler->dag = paper_example();
-  filler->release = 0.0;
-  filler->deadline = 1000.0;
-
-  auto job = std::make_shared<Job>();
-  job->id = 2;
-  job->dag = paper_example();
-  job->release = 0.5;
-  job->deadline = 0.5 + 1.6 * job->dag.total_work();
-
-  std::cout << "[phase] job 1 arrives at site 4 (filler, accepted locally)\n";
-  std::cout << "[phase] job 2 arrives at site 4: local test -> ACS -> "
-               "mapping -> validation -> coupling -> execution\n\n";
-  system.run({{4, filler}, {4, job}});
-
-  std::cout << "\n=== outcome ===\n";
-  Table t({"job", "outcome", "ACS size", "link messages", "decision time"});
-  for (const auto& d : system.decisions())
-    t.add_row({std::to_string(d.job), to_string(d.outcome),
-               Table::num(d.acs_size), Table::num(std::size_t{d.link_messages}),
-               Table::num(d.decision_time, 2)});
-  t.print(std::cout);
-
-  std::cout << "\nmessage budget by category:\n";
-  Table cat({"category", "sends", "link messages"});
-  for (const auto& [category, entry] :
-       system.metrics().transport.by_category)
-    cat.add_row({msg_category_name(category), Table::num(std::size_t{entry.sends}),
-                 Table::num(std::size_t{entry.link_messages})});
-  cat.print(std::cout);
-  Log::set_sink(nullptr);
+  rtds::exp::register_builtin_scenarios();
+  rtds::exp::run_report("fig1_protocol", std::cout);
   return 0;
 }

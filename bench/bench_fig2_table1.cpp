@@ -4,92 +4,15 @@
 //   Figure 4 — schedule S* at 100% surplus
 //   Table 1  — adjusted r(ti) and d(ti)  (case ii, scaling factor 2)
 // The printed values must match the paper cell-for-cell; a gtest
-// (paper_example_test.cpp) asserts the same numbers.
+// (paper_example_test.cpp) asserts the same numbers. The body lives in the
+// fig2_table1 report scenario (src/exp/reports.cpp).
 #include <iostream>
 
-#include "core/mapper.hpp"
-#include "dag/dot.hpp"
-#include "dag/generators.hpp"
-#include "sched/gantt.hpp"
-#include "util/table.hpp"
-
-using namespace rtds;
-
-namespace {
-
-void print_schedule(const char* title, const Dag& dag,
-                    const TrialMapping& m, const std::vector<Time>& start,
-                    const std::vector<Time>& finish) {
-  std::cout << title << "\n";
-  Table t({"task", "processor", "start", "finish"});
-  for (TaskId task = 0; task < dag.task_count(); ++task)
-    t.add_row({"t" + std::to_string(task + 1),
-               "p" + std::to_string(m.assignment[task] + 1),
-               Table::num(start[task], 1), Table::num(finish[task], 1)});
-  t.print(std::cout);
-  // Gantt view, one row per logical processor (as drawn in the paper).
-  std::vector<GanttRow> rows(m.used_processors);
-  Time horizon = 0.0;
-  for (TaskId task = 0; task < dag.task_count(); ++task) {
-    auto& row = rows[m.assignment[task]];
-    row.label = "p" + std::to_string(m.assignment[task] + 1);
-    row.reservations.push_back(
-        Reservation{0, task, start[task], finish[task]});
-    horizon = std::max(horizon, finish[task]);
-  }
-  std::cout << "\n" << render_gantt(rows, 0.0, horizon) << "\n";
-}
-
-}  // namespace
+#include "exp/scenario.hpp"
+#include "exp/scenarios.hpp"
 
 int main() {
-  const Dag dag = paper_example();
-
-  std::cout << "=== Figure 2: task graph instance ===\n";
-  Table fig2({"task", "c(ti)", "successors"});
-  for (TaskId t = 0; t < dag.task_count(); ++t) {
-    std::string succs;
-    for (TaskId s : dag.successors(t)) {
-      if (!succs.empty()) succs += ", ";
-      succs += "t" + std::to_string(s + 1);
-    }
-    fig2.add_row({"t" + std::to_string(t + 1), Table::num(dag.cost(t), 0),
-                  succs.empty() ? "-" : succs});
-  }
-  fig2.print(std::cout);
-  std::cout << "\nDOT:\n" << to_dot(dag, "figure2") << "\n";
-
-  MapperInput in;
-  in.dag = &dag;
-  in.release = 0.0;
-  in.deadline = 66.0;
-  in.surpluses = {0.5, 0.4};
-  in.comm_diameter = 3.0;
-  const auto m = build_trial_mapping(in);
-  if (!m) {
-    std::cerr << "mapper unexpectedly rejected the paper instance\n";
-    return 1;
-  }
-
-  std::cout << "parameters: I1=0.5  I2=0.4  omega(ACS diameter)=3  r=0  d=66\n\n";
-  print_schedule("=== Figure 3: schedule S (surplus-degraded) ===", dag, *m,
-                 m->s_start, m->s_finish);
-  std::cout << "makespan M = " << m->makespan << "   (paper: 33)\n\n";
-  print_schedule("=== Figure 4: schedule S* (100% surplus) ===", dag, *m,
-                 m->star_start, m->star_finish);
-  std::cout << "makespan M* = " << m->makespan_full << "   (paper: 19)\n\n";
-
-  std::cout << "=== Table 1: adjusted r(ti) and d(ti) ===\n";
-  std::cout << "adjustment: case " << to_string(m->adjustment)
-            << ", scaling factor (d-r)/M = "
-            << (in.deadline - in.release) / m->makespan << "\n";
-  Table t1({"ti", "ri", "di", "r(ti)", "d(ti)"});
-  for (TaskId t = 0; t < dag.task_count(); ++t)
-    t1.add_row({std::to_string(t + 1), Table::num(m->s_start[t], 0),
-                Table::num(m->s_finish[t], 0), Table::num(m->release[t], 0),
-                Table::num(m->deadline[t], 0)});
-  t1.print(std::cout);
-  std::cout << "\npaper Table 1:   (0,12,0,24) (0,10,0,20) (13,21,24,42) "
-               "(15,20,27,40) (23,33,43,66)\n";
+  rtds::exp::register_builtin_scenarios();
+  rtds::exp::run_report("fig2_table1", std::cout);
   return 0;
 }

@@ -1,82 +1,18 @@
-// Shared helpers for the experiment regenerators (bench_e*). Each bench
-// prints the table(s) documented in EXPERIMENTS.md via rtds::Table so the
-// output is uniform and diff-able.
+// Shared include for the bench binaries.
+//
+// The condition setup, trial loops and table printing that used to live
+// here moved into the src/exp/ experiment subsystem: conditions are
+// declared in exp/condition.hpp, sweeps are registered as declarative
+// ScenarioSpecs in exp/scenarios.cpp, trials fan out through the parallel
+// TrialRunner (exp/runner.hpp), and output goes through pluggable sinks
+// (exp/sinks.hpp — legacy table, CSV, JSON lines). Each bench_e* binary is
+// now a thin driver that prints its experiment heading and calls
+// run_and_print / run_report over registered scenario names; `rtds_exp`
+// runs the same scenarios from the command line with worker-thread
+// fan-out. See EXPERIMENTS.md for the experiment -> scenario mapping and
+// DESIGN.md §6 for the seed-derivation / parallel-determinism contract.
 #pragma once
 
-#include <iostream>
-#include <string>
-#include <vector>
-
-#include "baseline/centralized.hpp"
-#include "baseline/local_only.hpp"
-#include "baseline/offload.hpp"
-#include "core/rtds_system.hpp"
-#include "net/generators.hpp"
-#include "util/table.hpp"
-
-namespace rtds::bench {
-
-/// One experiment condition: a topology plus a workload on it.
-struct Condition {
-  Topology topo;
-  std::vector<JobArrival> arrivals;
-};
-
-struct ConditionSpec {
-  NetShape net = NetShape::kGrid;
-  std::size_t sites = 64;
-  double delay_min = 0.5, delay_max = 2.0;
-  double rate = 0.02;
-  Time horizon = 1500.0;
-  double laxity_min = 2.0, laxity_max = 6.0;
-  std::size_t min_tasks = 4, max_tasks = 12;
-  std::uint64_t seed = 42;
-};
-
-inline Condition make_condition(const ConditionSpec& spec) {
-  Rng rng(spec.seed);
-  Condition c;
-  c.topo = make_net(spec.net, spec.sites,
-                    DelayRange{spec.delay_min, spec.delay_max}, rng);
-  WorkloadConfig wl;
-  wl.arrival_rate_per_site = spec.rate;
-  wl.horizon = spec.horizon;
-  wl.laxity_min = spec.laxity_min;
-  wl.laxity_max = spec.laxity_max;
-  wl.min_tasks = spec.min_tasks;
-  wl.max_tasks = spec.max_tasks;
-  wl.seed = spec.seed;
-  c.arrivals = generate_workload(c.topo.site_count(), wl);
-  return c;
-}
-
-inline RunMetrics run_rtds(const Condition& c, const SystemConfig& cfg) {
-  RtdsSystem system(c.topo, cfg);
-  system.run(c.arrivals);
-  return system.metrics();
-}
-
-/// The two workload regimes discussed throughout EXPERIMENTS.md.
-inline ConditionSpec offload_regime() {
-  ConditionSpec spec;
-  spec.rate = 0.025;
-  spec.laxity_min = 2.0;
-  spec.laxity_max = 6.0;
-  spec.delay_min = 0.5;
-  spec.delay_max = 2.0;
-  return spec;
-}
-
-inline ConditionSpec parallel_regime() {
-  ConditionSpec spec;
-  spec.rate = 0.015;
-  spec.laxity_min = 1.2;
-  spec.laxity_max = 1.8;
-  spec.delay_min = 0.05;
-  spec.delay_max = 0.2;
-  return spec;
-}
-
-inline std::string pct(double x) { return Table::num(100.0 * x, 1); }
-
-}  // namespace rtds::bench
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/scenarios.hpp"

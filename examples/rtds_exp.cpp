@@ -1,0 +1,174 @@
+// rtds_exp — list and run registered experiment scenarios.
+//
+//   rtds_exp --list
+//       names + descriptions of every sweep scenario and report
+//   rtds_exp --scenario=NAME [--jobs=N] [--replicates=R]
+//            [--seeds=fixed|derived] [--sink=table|csv|jsonl] [--out=FILE]
+//            [--verify]
+//       run one sweep: trials fan out over N worker threads; aggregates
+//       are bit-identical for any N (--verify re-runs serially and checks).
+//       --seeds=derived gives every (grid point, replicate) its own
+//       reproducible seed; --seeds=fixed (scenario default for the legacy
+//       paper tables) reuses the scenario's fixed seed everywhere.
+//   rtds_exp --report=NAME [--out=FILE]
+//       print a report scenario (worked examples, protocol traces)
+//
+// Exit status: 0 on success, 1 on a failed --verify, 2 on usage errors.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "exp/runner.hpp"
+#include "exp/scenarios.hpp"
+#include "exp/sinks.hpp"
+#include "util/error.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace rtds;
+using namespace rtds::exp;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr <<
+      "usage: rtds_exp --list\n"
+      "       rtds_exp --scenario=NAME [--jobs=N] [--replicates=R]\n"
+      "                [--seeds=fixed|derived] [--sink=table|csv|jsonl]\n"
+      "                [--out=FILE] [--verify]\n"
+      "       rtds_exp --report=NAME [--out=FILE]\n";
+  std::exit(2);
+}
+
+void list_scenarios() {
+  const auto& registry = Registry::instance();
+  Table sweeps({"scenario", "grid", "reps", "description"});
+  for (const auto& name : registry.scenario_names()) {
+    const ScenarioSpec* spec = registry.find(name);
+    sweeps.add_row({name, Table::num(spec->grid_size()),
+                    Table::num(spec->replicates), spec->description});
+  }
+  std::cout << "sweep scenarios:\n";
+  sweeps.print(std::cout);
+
+  Table reports({"report", "description"});
+  for (const auto& name : registry.report_names())
+    reports.add_row({name, registry.report_description(name)});
+  std::cout << "\nreport scenarios:\n";
+  reports.print(std::cout);
+}
+
+int run_sweep(const ScenarioSpec& base, const Flags& flags) {
+  ScenarioSpec spec = base;
+  const std::string seeds = flags.get_string("seeds", "");
+  if (seeds == "fixed") {
+    spec.seed_mode = SeedMode::kFixed;
+  } else if (seeds == "derived") {
+    spec.seed_mode = SeedMode::kDerived;
+  } else if (!seeds.empty()) {
+    usage();
+  }
+
+  RunOptions opts;
+  opts.jobs = static_cast<std::size_t>(flags.get_int("jobs", 1));
+  opts.replicates = static_cast<std::size_t>(flags.get_int("replicates", 0));
+  if (opts.replicates > 1 && spec.seed_mode == SeedMode::kFixed) {
+    // Replicates under one shared seed recompute the identical trial N
+    // times — stddev 0 at N× the cost. Auto-derive per-replicate seeds
+    // unless the user explicitly insisted on the fixed seed.
+    if (seeds == "fixed") {
+      std::cerr << "warning: --replicates with --seeds=fixed reruns the "
+                   "same seed; every replicate will be identical\n";
+    } else {
+      spec.seed_mode = SeedMode::kDerived;
+      std::cerr << "note: --replicates switches to derived per-trial seeds "
+                   "(use --seeds=fixed to override)\n";
+    }
+  }
+  const bool verify = flags.get_bool("verify", false);
+  const std::string sink_name = flags.get_string("sink", "table");
+  const std::string out = flags.get_string("out", "");
+  flags.check_unused();
+  const auto sink = make_sink(sink_name);  // validate before the sweep runs
+
+  const auto rows = run_scenario(spec, opts);
+
+  if (verify) {
+    RunOptions serial = opts;
+    serial.jobs = 1;
+    const auto reference = run_scenario(spec, serial);
+    if (!aggregates_identical(rows, reference)) {
+      std::cerr << "FAIL: parallel aggregates (" << opts.jobs
+                << " jobs) differ from the serial run\n";
+      return 1;
+    }
+    std::cerr << "verified: " << opts.jobs
+              << "-worker aggregates bit-identical to serial\n";
+  }
+
+  std::ostringstream text;
+  if (sink_name == "table" && !spec.title.empty()) text << spec.title << "\n";
+  sink->write(spec, rows, text);
+  if (out.empty()) {
+    std::cout << text.str();
+  } else {
+    std::ofstream file(out);
+    RTDS_REQUIRE_MSG(file.good(), "cannot open " << out);
+    file << text.str();
+  }
+  return 0;
+}
+
+int run_report_cmd(const std::string& name, const Flags& flags) {
+  const std::string out = flags.get_string("out", "");
+  flags.check_unused();
+  if (out.empty()) {
+    run_report(name, std::cout);
+  } else {
+    std::ofstream file(out);
+    RTDS_REQUIRE_MSG(file.good(), "cannot open " << out);
+    run_report(name, file);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    register_builtin_scenarios();
+    Flags flags(argc, argv);
+
+    if (flags.get_bool("list", false)) {
+      flags.check_unused();
+      list_scenarios();
+      return 0;
+    }
+
+    const std::string scenario = flags.get_string("scenario", "");
+    const std::string report = flags.get_string("report", "");
+    if (!scenario.empty()) {
+      const ScenarioSpec* spec = Registry::instance().find(scenario);
+      if (spec == nullptr) {
+        // Allow --scenario to name a report too, for discoverability.
+        if (Registry::instance().find_report(scenario) != nullptr)
+          return run_report_cmd(scenario, flags);
+        std::cerr << "unknown scenario " << scenario
+                  << " (try --list)\n";
+        return 2;
+      }
+      return run_sweep(*spec, flags);
+    }
+    if (!report.empty()) {
+      if (Registry::instance().find_report(report) == nullptr) {
+        std::cerr << "unknown report " << report << " (try --list)\n";
+        return 2;
+      }
+      return run_report_cmd(report, flags);
+    }
+    usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

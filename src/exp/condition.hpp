@@ -1,0 +1,45 @@
+// Experiment conditions: a topology family × workload family bound to one
+// concrete (topology, arrivals) pair by a seed.
+//
+// This is the declarative half of a ScenarioSpec trial: scenario trial
+// functions bind grid-point values into a ConditionSpec, call
+// make_condition with the trial's derived seed, and run whichever
+// schedulers the experiment compares. Moved here from bench/common.hpp so
+// scenarios, tests and the rtds_exp CLI share one definition.
+#pragma once
+
+#include <vector>
+
+#include "core/rtds_system.hpp"
+#include "net/generators.hpp"
+
+namespace rtds::exp {
+
+/// One experiment condition: a topology plus a workload on it.
+struct Condition {
+  Topology topo;
+  std::vector<JobArrival> arrivals;
+};
+
+struct ConditionSpec {
+  NetShape net = NetShape::kGrid;
+  std::size_t sites = 64;
+  double delay_min = 0.5, delay_max = 2.0;
+  double rate = 0.02;
+  Time horizon = 1500.0;
+  double laxity_min = 2.0, laxity_max = 6.0;
+  std::size_t min_tasks = 4, max_tasks = 12;
+  std::uint64_t seed = 42;
+};
+
+Condition make_condition(const ConditionSpec& spec);
+
+RunMetrics run_rtds(const Condition& c, const SystemConfig& cfg);
+
+/// The two workload regimes discussed throughout EXPERIMENTS.md: generous
+/// windows over expensive links (cooperation as offloading) vs windows
+/// tighter than total work over cheap links (cooperation as partitioning).
+ConditionSpec offload_regime();
+ConditionSpec parallel_regime();
+
+}  // namespace rtds::exp

@@ -1,0 +1,138 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "exp/sinks.hpp"
+#include "util/error.hpp"
+
+namespace rtds::exp {
+
+namespace {
+
+/// Runs trials [0, trials) of `spec`, storing each result in its slot.
+void run_trials(const ScenarioSpec& spec, std::size_t replicates,
+                std::size_t jobs, std::vector<TrialResult>& slots) {
+  const std::size_t trials = slots.size();
+  auto run_one = [&](std::size_t t) {
+    const std::size_t grid_index = t / replicates;
+    const std::size_t replicate = t % replicates;
+    TrialResult result = spec.trial(spec.grid_point(grid_index),
+                                    spec.seed_for(grid_index, replicate));
+    RTDS_CHECK_MSG(result.size() == spec.metrics.size(),
+                   "scenario " << spec.name << " trial returned "
+                               << result.size() << " metrics, declared "
+                               << spec.metrics.size());
+    slots[t] = std::move(result);
+  };
+
+  if (jobs <= 1) {
+    for (std::size_t t = 0; t < trials; ++t) run_one(t);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  auto worker = [&] {
+    for (;;) {
+      // Stop dispatching once any trial failed: the run's result is
+      // doomed either way, don't burn the remaining trials' compute.
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t t = next.fetch_add(1);
+      if (t >= trials) return;
+      try {
+        run_one(t);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) workers.emplace_back(worker);
+  for (auto& w : workers) w.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace
+
+std::vector<AggregateRow> run_scenario(const ScenarioSpec& spec,
+                                       const RunOptions& opts) {
+  const std::size_t replicates =
+      opts.replicates > 0 ? opts.replicates : spec.replicates;
+  RTDS_REQUIRE(replicates > 0);
+  const std::size_t points = spec.grid_size();
+  const std::size_t trials = points * replicates;
+  const std::size_t jobs = std::min(std::max<std::size_t>(opts.jobs, 1),
+                                    std::max<std::size_t>(trials, 1));
+
+  std::vector<TrialResult> slots(trials);
+  run_trials(spec, replicates, jobs, slots);
+
+  // Deterministic reduction: trial-index order, independent of which
+  // worker computed which slot.
+  std::vector<AggregateRow> rows;
+  rows.reserve(points);
+  for (std::size_t g = 0; g < points; ++g) {
+    AggregateRow row;
+    row.point = spec.grid_point(g);
+    row.cells.resize(spec.metrics.size());
+    for (std::size_t r = 0; r < replicates; ++r) {
+      const TrialResult& result = slots[g * replicates + r];
+      for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
+        const double v = result[m];
+        if (std::isnan(v)) continue;
+        row.cells[m].stat.add(v);
+        row.cells[m].samples.add(v);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+bool aggregates_identical(const std::vector<AggregateRow>& a,
+                          const std::vector<AggregateRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].cells.size() != b[i].cells.size()) return false;
+    for (std::size_t m = 0; m < a[i].cells.size(); ++m) {
+      const AggregateCell& x = a[i].cells[m];
+      const AggregateCell& y = b[i].cells[m];
+      if (x.stat.count() != y.stat.count()) return false;
+      if (x.stat.count() == 0) continue;
+      if (x.stat.sum() != y.stat.sum() || x.stat.mean() != y.stat.mean() ||
+          x.stat.variance() != y.stat.variance() ||
+          x.stat.min() != y.stat.min() || x.stat.max() != y.stat.max())
+        return false;
+      // Samples may have been sorted in place by a percentile query on one
+      // side only; compare as multisets.
+      auto xs = x.samples.values();
+      auto ys = y.samples.values();
+      std::sort(xs.begin(), xs.end());
+      std::sort(ys.begin(), ys.end());
+      if (xs != ys) return false;
+    }
+  }
+  return true;
+}
+
+void run_and_print(const std::string& name, std::ostream& os,
+                   const RunOptions& opts) {
+  const ScenarioSpec* spec = Registry::instance().find(name);
+  RTDS_REQUIRE_MSG(spec != nullptr, "unknown scenario " << name);
+  const auto rows = run_scenario(*spec, opts);
+  if (!spec->title.empty()) os << spec->title << "\n";
+  TableSink().write(*spec, rows, os);
+}
+
+}  // namespace rtds::exp

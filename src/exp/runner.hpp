@@ -1,0 +1,59 @@
+// Parallel trial runner.
+//
+// Expands a scenario's grid × replicates into independent trials, fans
+// them across std::thread workers (each trial constructs its own
+// RtdsSystem / baseline state inside the trial function — nothing is
+// shared), and reduces per-trial metrics into per-grid-point accumulators
+// with RunningStat::merge semantics.
+//
+// Determinism contract (see DESIGN.md): a trial's result depends only on
+// (grid point, seed), both pure functions of the trial index; workers
+// write results into a pre-sized slot array; reduction then walks the
+// slots in trial-index order on the calling thread. Aggregates are
+// therefore bit-identical for any worker count, including 1.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "util/stats.hpp"
+
+namespace rtds::exp {
+
+/// Per-(grid point, metric) aggregate: moments + exact quantiles over the
+/// replicate values (NaN trial values are skipped, leaving count() short).
+struct AggregateCell {
+  RunningStat stat;
+  Samples samples;
+};
+
+struct AggregateRow {
+  GridPoint point;
+  std::vector<AggregateCell> cells;  ///< ScenarioSpec::metrics order
+};
+
+struct RunOptions {
+  std::size_t jobs = 1;        ///< worker threads (1 = serial, in-thread)
+  std::size_t replicates = 0;  ///< override; 0 = ScenarioSpec::replicates
+};
+
+/// Runs every trial of `spec` and returns one aggregate row per grid
+/// point, in grid order. Exceptions thrown by trial functions propagate
+/// (the first one, after all workers have stopped).
+std::vector<AggregateRow> run_scenario(const ScenarioSpec& spec,
+                                       const RunOptions& opts = {});
+
+/// True iff the two aggregate sets are bit-identical (count, sum, mean,
+/// variance, min/max and every stored sample compare exactly). This is the
+/// parallel == serial assertion exposed to tests and `rtds_exp --verify`.
+bool aggregates_identical(const std::vector<AggregateRow>& a,
+                          const std::vector<AggregateRow>& b);
+
+/// Convenience for the thin bench drivers: runs the named registered
+/// scenario and prints its title (when set) and legacy-format table.
+void run_and_print(const std::string& name, std::ostream& os,
+                   const RunOptions& opts = {});
+
+}  // namespace rtds::exp

@@ -1,0 +1,517 @@
+// The paper's evaluation, expressed as declarative scenarios. Each legacy
+// bench_e* sweep is one ScenarioSpec here; the bench binaries are thin
+// drivers calling run_and_print over these names. Tables are byte-for-byte
+// identical to the pre-subsystem serial output: the legacy sweeps used one
+// shared seed (42) for every grid point, which SeedMode::kFixed preserves.
+#include "exp/scenarios.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "baseline/broadcast.hpp"
+#include "baseline/centralized.hpp"
+#include "baseline/local_only.hpp"
+#include "baseline/offload.hpp"
+#include "exp/condition.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "net/shortest_paths.hpp"
+#include "util/table.hpp"
+
+namespace rtds::exp {
+
+void register_builtin_reports();  // reports.cpp
+
+namespace {
+
+constexpr double kSkip = std::numeric_limits<double>::quiet_NaN();
+
+MetricSpec ratio(std::string header, std::string key) {
+  return MetricSpec{std::move(header), std::move(key), 1, 100.0};
+}
+
+MetricSpec count(std::string header, std::string key) {
+  return MetricSpec{std::move(header), std::move(key), 0, 1.0};
+}
+
+SystemConfig h2_config() {
+  SystemConfig cfg;
+  cfg.node.sphere_radius_h = 2;
+  return cfg;
+}
+
+// ------------------------------------------------------------------- E1 ----
+
+void register_e1() {
+  ScenarioSpec spec;
+  spec.name = "e1_message_bound";
+  spec.description =
+      "per-job message cost vs network size (grid, h=2): RTDS stays flat, "
+      "the [4]-style broadcast grows";
+  spec.axes = {GridAxis::numeric("sites", "sites",
+                                 {16, 36, 64, 144, 256, 576, 1024}, 0)};
+  spec.metrics = {count("jobs", "jobs"),
+                  ratio("ratio%", "guarantee_ratio"),
+                  MetricSpec{"msgs/job mean", "msgs_per_job_mean", 1},
+                  MetricSpec{"msgs/job max", "msgs_per_job_max", 0},
+                  MetricSpec{"sphere bound", "sphere_bound", 0},
+                  MetricSpec{"BCAST msgs/job", "bcast_msgs_per_job", 1},
+                  count("PCS size max", "pcs_size_max")};
+  spec.seed_mode = SeedMode::kFixed;
+  spec.trial = [](const GridPoint& p, std::uint64_t seed) -> TrialResult {
+    ConditionSpec cs;
+    cs.net = NetShape::kGrid;
+    cs.sites = static_cast<std::size_t>(p.value(0));
+    cs.rate = 0.02;
+    cs.horizon = 400.0;
+    cs.laxity_min = 1.5;
+    cs.laxity_max = 3.0;
+    cs.delay_min = 0.2;
+    cs.delay_max = 0.8;
+    cs.seed = seed;
+    const Condition c = make_condition(cs);
+
+    RtdsSystem system(c.topo, h2_config());
+    system.run(c.arrivals);
+    const auto& m = system.metrics();
+
+    std::size_t max_pcs = 0, max_hop_diam = 0;
+    for (SiteId s = 0; s < c.topo.site_count(); ++s) {
+      max_pcs = std::max(max_pcs, system.node(s).pcs().size());
+      max_hop_diam =
+          std::max(max_hop_diam, system.node(s).pcs().hop_diameter());
+    }
+    // Analytic per-job bound: 4 sphere-wide rounds (enroll, reply,
+    // validate+reply, dispatch) of |PCS|-1 sends, each <= hop-diameter
+    // hops, plus unlock slack -> 8 covers every code path.
+    const double bound =
+        8.0 * static_cast<double>(max_pcs) * static_cast<double>(max_hop_diam);
+
+    // Measured cost of the [4]-style periodic network-wide surplus flood,
+    // amortized per job. Skipped above 256 sites: the flood itself is what
+    // makes large runs expensive — which is the point.
+    double bcast_msgs = kSkip;
+    if (c.topo.site_count() <= 256) {
+      BroadcastConfig bcfg;
+      const auto bm = run_broadcast(c.topo, c.arrivals, bcfg);
+      bcast_msgs = static_cast<double>(bm.transport.total_link_messages) /
+                   static_cast<double>(bm.arrived);
+    }
+
+    return {static_cast<double>(m.arrived),
+            m.guarantee_ratio(),
+            m.msgs_per_job.mean(),
+            m.msgs_per_job.max(),
+            bound,
+            bcast_msgs,
+            static_cast<double>(max_pcs)};
+  };
+  Registry::instance().add(std::move(spec));
+}
+
+// ------------------------------------------------------------------- E2 ----
+
+void register_e2(const std::string& name, std::string title,
+                 ConditionSpec base, const std::vector<double>& rates) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.title = std::move(title);
+  spec.description =
+      "guarantee ratio vs offered load, RTDS against all baselines (8x8 "
+      "grid, h=2)";
+  spec.axes = {GridAxis::numeric("rate/site", "rate", rates, 3)};
+  spec.metrics = {count("jobs", "jobs"),          ratio("RTDS%", "rtds"),
+                  ratio("LOCAL%", "local"),       ratio("BID%", "bid"),
+                  ratio("RANDOM%", "random"),     ratio("BCAST%", "bcast"),
+                  ratio("CENTRAL%", "central")};
+  spec.seed_mode = SeedMode::kFixed;
+  spec.trial = [base](const GridPoint& p, std::uint64_t seed) -> TrialResult {
+    ConditionSpec cs = base;
+    cs.rate = p.value(0);
+    cs.seed = seed;
+    const Condition c = make_condition(cs);
+
+    const auto rtds = run_rtds(c, h2_config());
+    const auto local =
+        run_local_only(c.topo, c.arrivals, LocalSchedulerConfig{});
+    OffloadConfig bid_cfg;
+    const auto bid = run_offload(c.topo, c.arrivals, bid_cfg);
+    OffloadConfig rnd_cfg;
+    rnd_cfg.policy = OffloadPolicy::kRandom;
+    const auto rnd = run_offload(c.topo, c.arrivals, rnd_cfg);
+    BroadcastConfig bcast_cfg;
+    const auto bcast = run_broadcast(c.topo, c.arrivals, bcast_cfg);
+    const auto central =
+        run_centralized(c.topo, c.arrivals, CentralizedConfig{});
+
+    return {static_cast<double>(rtds.arrived), rtds.guarantee_ratio(),
+            local.guarantee_ratio(),           bid.guarantee_ratio(),
+            rnd.guarantee_ratio(),             bcast.guarantee_ratio(),
+            central.guarantee_ratio()};
+  };
+  Registry::instance().add(std::move(spec));
+}
+
+void register_e2_pair() {
+  ConditionSpec offload = offload_regime();
+  offload.net = NetShape::kGrid;
+  offload.sites = 64;
+  offload.horizon = 800.0;
+  register_e2("e2_guarantee_ratio",
+              "(a) offload regime: laxity 2-6, link delay 0.5-2.0", offload,
+              {0.005, 0.01, 0.02, 0.04, 0.08});
+
+  ConditionSpec parallel = parallel_regime();
+  parallel.net = NetShape::kGrid;
+  parallel.sites = 64;
+  parallel.horizon = 800.0;
+  register_e2("e2_guarantee_ratio_parallel",
+              "(b) parallel regime: laxity 1.2-1.8, link delay 0.05-0.2",
+              parallel, {0.005, 0.01, 0.02, 0.04});
+}
+
+// ------------------------------------------------------------------- E3 ----
+
+void register_e3(const std::string& name, std::string title,
+                 ConditionSpec base) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.title = std::move(title);
+  spec.description =
+      "sphere radius sweep (8x8 grid): acceptance vs messages/locks as h "
+      "grows";
+  spec.axes = {GridAxis::numeric("h", "h", {0, 1, 2, 3, 4, 5}, 0)};
+  spec.metrics = {ratio("ratio%", "guarantee_ratio"),
+                  count("remote", "accepted_remote"),
+                  MetricSpec{"msgs/job", "msgs_per_job", 1},
+                  MetricSpec{"ACS mean", "acs_mean", 1},
+                  MetricSpec{"latency", "decision_latency", 2},
+                  count("PCS max", "pcs_size_max")};
+  spec.seed_mode = SeedMode::kFixed;
+  spec.trial = [base](const GridPoint& p, std::uint64_t seed) -> TrialResult {
+    ConditionSpec cs = base;
+    cs.seed = seed;
+    const Condition c = make_condition(cs);
+    SystemConfig cfg;
+    cfg.node.sphere_radius_h = static_cast<std::size_t>(p.value(0));
+    RtdsSystem system(c.topo, cfg);
+    system.run(c.arrivals);
+    const auto& m = system.metrics();
+    std::size_t max_pcs = 0;
+    for (SiteId s = 0; s < c.topo.site_count(); ++s)
+      max_pcs = std::max(max_pcs, system.node(s).pcs().size());
+    return {m.guarantee_ratio(),
+            static_cast<double>(m.accepted_remote),
+            m.msgs_per_job.count() ? m.msgs_per_job.mean() : 0.0,
+            m.acs_size.count() ? m.acs_size.mean() : 0.0,
+            m.decision_latency.mean(),
+            static_cast<double>(max_pcs)};
+  };
+  Registry::instance().add(std::move(spec));
+}
+
+void register_e3_pair() {
+  ConditionSpec parallel = parallel_regime();
+  parallel.net = NetShape::kGrid;
+  parallel.sites = 64;
+  parallel.horizon = 600.0;
+  parallel.rate = 0.02;
+  register_e3("e3_sphere_radius", "(a) parallel regime", parallel);
+
+  ConditionSpec offload = offload_regime();
+  offload.net = NetShape::kGrid;
+  offload.sites = 64;
+  offload.horizon = 600.0;
+  offload.rate = 0.04;
+  register_e3("e3_sphere_radius_offload", "(b) offload regime", offload);
+}
+
+// ------------------------------------------------------------------- E4 ----
+
+void register_e4() {
+  struct Band {
+    double lo, hi;
+  };
+  const std::vector<Band> bands = {{1.05, 1.2}, {1.2, 1.5}, {1.5, 2.0},
+                                   {2.0, 3.0},  {3.0, 5.0}, {5.0, 8.0}};
+  std::vector<std::string> labels;
+  for (const Band band : bands)
+    labels.push_back(Table::num(band.lo, 2) + "-" + Table::num(band.hi, 2));
+
+  ScenarioSpec spec;
+  spec.name = "e4_adjustment_cases";
+  spec.description =
+      "§12.2 adjustment-case frequencies vs laxity (8x8 grid, h=2, "
+      "rate=0.02, delay 0.1-0.4)";
+  spec.axes = {GridAxis::labeled("laxity", "laxity", std::move(labels))};
+  spec.metrics = {count("jobs", "jobs"),
+                  ratio("ratio%", "guarantee_ratio"),
+                  count("case_ii", "case_ii"),
+                  count("case_iii", "case_iii"),
+                  count("reject_i", "reject_case_i"),
+                  count("reject_win", "reject_windows"),
+                  count("match_fail", "reject_matching"),
+                  count("gated", "reject_gated")};
+  spec.seed_mode = SeedMode::kFixed;
+  spec.trial = [bands](const GridPoint& p,
+                       std::uint64_t seed) -> TrialResult {
+    const Band band = bands[static_cast<std::size_t>(p.value(0))];
+    ConditionSpec cs;
+    cs.net = NetShape::kGrid;
+    cs.sites = 64;
+    cs.rate = 0.02;
+    cs.horizon = 600.0;
+    cs.laxity_min = band.lo;
+    cs.laxity_max = band.hi;
+    cs.delay_min = 0.1;
+    cs.delay_max = 0.4;
+    cs.seed = seed;
+    const Condition c = make_condition(cs);
+    RtdsSystem system(c.topo, SystemConfig{});
+    system.run(c.arrivals);
+    const auto& m = system.metrics();
+    auto rejects = [&](RejectReason r) {
+      const auto it = m.reject_by_reason.find(static_cast<int>(r));
+      return it == m.reject_by_reason.end() ? 0.0
+                                            : static_cast<double>(it->second);
+    };
+    auto cases = [&](int cse) {
+      const auto it = m.adjustment_cases.find(cse);
+      return it == m.adjustment_cases.end() ? 0.0
+                                            : static_cast<double>(it->second);
+    };
+    return {static_cast<double>(m.arrived),
+            m.guarantee_ratio(),
+            cases(2),
+            cases(3),
+            rejects(RejectReason::kMapperCaseI),
+            rejects(RejectReason::kMapperWindows),
+            rejects(RejectReason::kMatchingFailed),
+            rejects(RejectReason::kGated)};
+  };
+  Registry::instance().add(std::move(spec));
+}
+
+// ------------------------------------------------------------------- E5 ----
+
+/// The two fixed conditions every ablation group reuses.
+ConditionSpec e5_parallel_spec() {
+  ConditionSpec cs = parallel_regime();
+  cs.net = NetShape::kGrid;
+  cs.sites = 64;
+  cs.horizon = 600.0;
+  cs.rate = 0.02;
+  return cs;
+}
+
+ConditionSpec e5_offload_spec() {
+  ConditionSpec cs = offload_regime();
+  cs.net = NetShape::kGrid;
+  cs.sites = 64;
+  cs.horizon = 600.0;
+  cs.rate = 0.04;
+  return cs;
+}
+
+struct Variant {
+  std::string name;
+  SystemConfig cfg;
+};
+
+/// An ablation group: one labeled "variant" axis over fixed configs on a
+/// fixed condition, with the standard comparison metric set.
+void register_e5_group(const std::string& name, std::string title,
+                       std::string description, ConditionSpec condition,
+                       std::vector<Variant> variants) {
+  std::vector<std::string> labels;
+  for (const auto& v : variants) labels.push_back(v.name);
+
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.title = std::move(title);
+  spec.description = std::move(description);
+  spec.axes = {GridAxis::labeled("variant", "variant", std::move(labels))};
+  spec.metrics = {ratio("ratio%", "guarantee_ratio"),
+                  count("local", "accepted_local"),
+                  count("remote", "accepted_remote"),
+                  MetricSpec{"msgs/job", "msgs_per_job", 1},
+                  MetricSpec{"latency", "decision_latency", 2}};
+  spec.seed_mode = SeedMode::kFixed;
+  spec.trial = [condition, variants](const GridPoint& p,
+                                     std::uint64_t seed) -> TrialResult {
+    ConditionSpec cs = condition;
+    cs.seed = seed;
+    const Condition c = make_condition(cs);
+    const auto& cfg = variants[static_cast<std::size_t>(p.value(0))].cfg;
+    RtdsSystem system(c.topo, cfg);
+    system.run(c.arrivals);
+    const auto& m = system.metrics();
+    return {m.guarantee_ratio(),
+            static_cast<double>(m.accepted_local),
+            static_cast<double>(m.accepted_remote),
+            m.msgs_per_job.count() ? m.msgs_per_job.mean() : 0.0,
+            m.decision_latency.mean()};
+  };
+  Registry::instance().add(std::move(spec));
+}
+
+void register_e5() {
+  auto base = [] {
+    SystemConfig cfg;
+    cfg.node.sphere_radius_h = 2;
+    return cfg;
+  };
+
+  {
+    Variant nack{"enroll=nack (default)", base()};
+    Variant timeout{"enroll=timeout (faithful §8)", base()};
+    timeout.cfg.node.enroll_policy = EnrollPolicy::kTimeout;
+    register_e5_group("e5_enroll_policy",
+                      "(1) enrollment policy [parallel regime]",
+                      "ablation: Nack vs faithful-§8 Timeout enrollment",
+                      e5_parallel_spec(), {nack, timeout});
+  }
+  {
+    std::vector<Variant> variants;
+    for (const auto gate : {EnrollGate::kNone, EnrollGate::kCriticalPath,
+                            EnrollGate::kProtocolAware})
+      variants.push_back(
+          {std::string("gate=") + to_string(gate),
+           [&] {
+             auto cfg = base();
+             cfg.node.enroll_gate = gate;
+             return cfg;
+           }()});
+    register_e5_group("e5_enroll_gate",
+                      "(2) pre-enrollment gate [offload regime, loaded]",
+                      "ablation: §9 pre-enrollment feasibility gate",
+                      e5_offload_spec(), std::move(variants));
+  }
+  {
+    Variant jobwin{"surplus=job-window (default)", base()};
+    Variant fixed{"surplus=fixed-window (literal §2)", base()};
+    fixed.cfg.node.job_window_surplus = false;
+    register_e5_group("e5_surplus_window",
+                      "(3) surplus observation window [offload regime]",
+                      "ablation: job-relative vs fixed surplus window",
+                      e5_offload_spec(), {jobwin, fixed});
+  }
+  {
+    Variant uniform{"laxity=uniform (eq. 4)", base()};
+    Variant weighted{"laxity=busyness-weighted (§13)", base()};
+    weighted.cfg.node.mapper.busyness_weighted_laxity = true;
+    register_e5_group("e5_laxity_weighting",
+                      "(4) laxity dispatching [parallel regime]",
+                      "ablation: §13 busyness-weighted laxity dispatching",
+                      e5_parallel_spec(), {uniform, weighted});
+  }
+  {
+    std::vector<Variant> variants;
+    for (const auto policy : {AdmissionPolicy::kEdf, AdmissionPolicy::kExact,
+                              AdmissionPolicy::kPreemptive})
+      variants.push_back(
+          {std::string("admission=") + to_string(policy),
+           [&] {
+             auto cfg = base();
+             cfg.node.sched.policy = policy;
+             return cfg;
+           }()});
+    register_e5_group("e5_admission_policy",
+                      "(5) local admission test [parallel regime]",
+                      "ablation: greedy EDF vs exact B&B vs preemptive "
+                      "admission",
+                      e5_parallel_spec(), std::move(variants));
+  }
+  {
+    Variant off{"initiator=surplus-only (paper base)", base()};
+    Variant on{"initiator=exact-idle-intervals (§13)", base()};
+    on.cfg.node.initiator_local_knowledge = true;
+    register_e5_group("e5_local_knowledge",
+                      "(6) local knowledge of k [parallel regime]",
+                      "ablation: §13 exact initiator idle intervals",
+                      e5_parallel_spec(), {off, on});
+  }
+  {
+    // Transport realism gets its own metric set (delivered, not accepted).
+    std::vector<Variant> variants;
+    Variant ideal{"transport=ideal (paper model)", base()};
+    Variant roomy{"transport=contended bw=100", base()};
+    roomy.cfg.transport_model = TransportModel::kContended;
+    roomy.cfg.link_bandwidth = 100.0;
+    Variant roomy_slack{"contended bw=100 + slack 1", base()};
+    roomy_slack.cfg.transport_model = TransportModel::kContended;
+    roomy_slack.cfg.link_bandwidth = 100.0;
+    roomy_slack.cfg.node.protocol_overhead_slack = 1.0;
+    Variant tight{"transport=contended bw=8", base()};
+    tight.cfg.transport_model = TransportModel::kContended;
+    tight.cfg.link_bandwidth = 8.0;
+    Variant tuned{"contended bw=8 + x2 + slack 8", base()};
+    tuned.cfg.transport_model = TransportModel::kContended;
+    tuned.cfg.link_bandwidth = 8.0;
+    tuned.cfg.node.protocol_overhead_factor = 2.0;
+    tuned.cfg.node.protocol_overhead_slack = 8.0;
+    variants = {ideal, roomy, roomy_slack, tight, tuned};
+
+    std::vector<std::string> labels;
+    for (const auto& v : variants) labels.push_back(v.name);
+    ScenarioSpec spec;
+    spec.name = "e5_transport";
+    spec.title = "(7) transport model [parallel regime]";
+    spec.description =
+        "ablation: ideal vs contended store-and-forward transport";
+    spec.axes = {GridAxis::labeled("variant", "variant", std::move(labels))};
+    spec.metrics = {ratio("delivered%", "delivered_ratio"),
+                    count("remote", "accepted_remote"),
+                    count("failed jobs", "failed_jobs"),
+                    MetricSpec{"latency", "decision_latency", 2}};
+    spec.seed_mode = SeedMode::kFixed;
+    const ConditionSpec condition = e5_parallel_spec();
+    spec.trial = [condition, variants](const GridPoint& p,
+                                       std::uint64_t seed) -> TrialResult {
+      ConditionSpec cs = condition;
+      cs.seed = seed;
+      const Condition c = make_condition(cs);
+      RtdsSystem system(c.topo,
+                        variants[static_cast<std::size_t>(p.value(0))].cfg);
+      system.run(c.arrivals);
+      const auto& m = system.metrics();
+      return {m.delivered_ratio(), static_cast<double>(m.accepted_remote),
+              static_cast<double>(m.failed_jobs), m.decision_latency.mean()};
+    };
+    Registry::instance().add(std::move(spec));
+  }
+  {
+    std::vector<Variant> variants;
+    for (const auto prio : {TaskPriority::kBottomLevel, TaskPriority::kCost,
+                            TaskPriority::kFifo})
+      variants.push_back(
+          {std::string("mapper-priority=") + to_string(prio),
+           [&] {
+             auto cfg = base();
+             cfg.node.mapper.task_priority = prio;
+             return cfg;
+           }()});
+    register_e5_group("e5_mapper_priority",
+                      "(8) mapper task selection [parallel regime]",
+                      "ablation: §9 mapper task-selection heuristic",
+                      e5_parallel_spec(), std::move(variants));
+  }
+}
+
+}  // namespace
+
+void register_builtin_scenarios() {
+  static const bool once = [] {
+    register_e1();
+    register_e2_pair();
+    register_e3_pair();
+    register_e4();
+    register_e5();
+    register_builtin_reports();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace rtds::exp

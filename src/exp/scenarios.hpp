@@ -1,0 +1,13 @@
+// Built-in scenario set: the paper's evaluation (E1–E5 sweeps) plus the
+// worked-example / trace reports (Fig. 1, Fig. 2/Table 1, E4a). See
+// EXPERIMENTS.md for the experiment -> scenario name mapping.
+#pragma once
+
+namespace rtds::exp {
+
+/// Installs every built-in scenario and report into Registry::instance().
+/// Idempotent; call before looking anything up (static registration would
+/// be stripped by the archive linker).
+void register_builtin_scenarios();
+
+}  // namespace rtds::exp

@@ -1,0 +1,24 @@
+#include "exp/seed.hpp"
+
+#include "util/rng.hpp"
+
+namespace rtds::exp {
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t trial_seed(std::string_view scenario, std::size_t grid_index,
+                         std::size_t replicate) {
+  std::uint64_t h = fnv1a64(scenario);
+  h = SplitMix64(h ^ (0x9e3779b97f4a7c15ULL * (grid_index + 1))).next();
+  h = SplitMix64(h ^ (0xbf58476d1ce4e5b9ULL * (replicate + 1))).next();
+  return h;
+}
+
+}  // namespace rtds::exp

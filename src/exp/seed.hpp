@@ -1,0 +1,25 @@
+// Deterministic per-trial seed derivation.
+//
+// Every trial in a scenario run is identified by (scenario name, grid
+// index, replicate). Its RNG seed is a pure function of that identity, so
+// any single trial can be reproduced in isolation — `rtds_exp --scenario X
+// --point G --replicate R` re-runs exactly the trial a full sweep would
+// have run, regardless of how many workers the sweep used or in what order
+// they picked trials. See DESIGN.md §"Experiment subsystem".
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rtds::exp {
+
+/// FNV-1a 64-bit string hash (stable across platforms and runs).
+std::uint64_t fnv1a64(std::string_view s);
+
+/// Seed for trial (scenario, grid_index, replicate): the scenario-name hash
+/// absorbed with the grid index and replicate through SplitMix64 finalizers
+/// so nearby indices map to statistically independent seeds.
+std::uint64_t trial_seed(std::string_view scenario, std::size_t grid_index,
+                         std::size_t replicate);
+
+}  // namespace rtds::exp

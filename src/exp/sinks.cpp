@@ -1,0 +1,281 @@
+#include "exp/sinks.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace rtds::exp {
+
+namespace {
+
+/// Shortest representation that parses back to the identical double.
+std::string round_trip(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+struct CellStats {
+  std::size_t count = 0;
+  double mean = 0.0, stddev = 0.0, min = 0.0, max = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+CellStats cell_stats(const AggregateCell& cell) {
+  CellStats s;
+  s.count = cell.stat.count();
+  if (s.count == 0) return s;
+  s.mean = cell.stat.mean();
+  s.stddev = cell.stat.stddev();
+  s.min = cell.stat.min();
+  s.max = cell.stat.max();
+  s.p50 = cell.samples.p50();
+  s.p95 = cell.samples.p95();
+  s.p99 = cell.samples.p99();
+  return s;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      const char n = s[++i];
+      out += n == 'n' ? '\n' : n == 't' ? '\t' : n;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+double parse_double(const std::string& s) {
+  return s.empty() ? 0.0 : std::strtod(s.c_str(), nullptr);
+}
+
+/// `begin` = index after an opening quote; returns the index of the real
+/// closing quote, skipping backslash escape *pairs* (so a value ending in
+/// an escaped backslash terminates correctly).
+std::size_t scan_quoted_end(const std::string& s, std::size_t begin) {
+  std::size_t i = begin;
+  while (i < s.size() && s[i] != '"') i += s[i] == '\\' ? 2 : 1;
+  return std::min(i, s.size());
+}
+
+/// Extracts the raw text of `"key":<value>` from a JSON line; empty when
+/// absent. Good enough for the flat records JsonlSink emits.
+std::string json_raw_value(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  std::size_t begin = pos + needle.size();
+  if (line[begin] == '"') {
+    const std::size_t end = scan_quoted_end(line, begin + 1);
+    return line.substr(begin + 1, end - begin - 1);
+  }
+  std::size_t end = begin;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(begin, end - begin);
+}
+
+}  // namespace
+
+void TableSink::write(const ScenarioSpec& spec,
+                      const std::vector<AggregateRow>& rows,
+                      std::ostream& os) const {
+  std::vector<std::string> headers;
+  for (const auto& axis : spec.axes) headers.push_back(axis.header);
+  for (const auto& metric : spec.metrics) headers.push_back(metric.header);
+  Table table(std::move(headers));
+  for (const auto& row : rows) {
+    std::vector<std::string> cells;
+    for (const auto& coord : row.point.coords) cells.push_back(coord.label);
+    for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
+      const AggregateCell& cell = row.cells[m];
+      cells.push_back(cell.stat.count() == 0
+                          ? "-"
+                          : Table::num(cell.stat.mean() * spec.metrics[m].scale,
+                                       spec.metrics[m].precision));
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print(os);
+}
+
+void CsvSink::write(const ScenarioSpec& spec,
+                    const std::vector<AggregateRow>& rows,
+                    std::ostream& os) const {
+  os << "scenario,point";
+  for (const auto& axis : spec.axes) os << ',' << axis.key;
+  os << ",metric,count,mean,stddev,min,max,p50,p95,p99\n";
+  for (const auto& row : rows) {
+    for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
+      os << spec.name << ',' << row.point.index;
+      for (const auto& coord : row.point.coords) {
+        RTDS_CHECK_MSG(coord.label.find(',') == std::string::npos,
+                       "axis label contains a comma: " << coord.label);
+        os << ',' << coord.label;
+      }
+      const CellStats s = cell_stats(row.cells[m]);
+      os << ',' << spec.metrics[m].key << ',' << s.count;
+      if (s.count == 0) {
+        os << ",,,,,,,";
+      } else {
+        os << ',' << round_trip(s.mean) << ',' << round_trip(s.stddev) << ','
+           << round_trip(s.min) << ',' << round_trip(s.max) << ','
+           << round_trip(s.p50) << ',' << round_trip(s.p95) << ','
+           << round_trip(s.p99);
+      }
+      os << '\n';
+    }
+  }
+}
+
+void JsonlSink::write(const ScenarioSpec& spec,
+                      const std::vector<AggregateRow>& rows,
+                      std::ostream& os) const {
+  for (const auto& row : rows) {
+    for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
+      os << "{\"scenario\":\"" << json_escape(spec.name) << "\",\"point\":"
+         << row.point.index << ",\"axes\":{";
+      for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+        if (a) os << ',';
+        // parse_jsonl cuts the axes object at the first '}'; keep braces
+        // out of labels (mirrors the CSV sink's comma check).
+        RTDS_CHECK_MSG(
+            row.point.coords[a].label.find_first_of("{}") ==
+                std::string::npos,
+            "axis label contains a brace: " << row.point.coords[a].label);
+        os << '"' << json_escape(spec.axes[a].key) << "\":\""
+           << json_escape(row.point.coords[a].label) << '"';
+      }
+      const CellStats s = cell_stats(row.cells[m]);
+      os << "},\"metric\":\"" << json_escape(spec.metrics[m].key)
+         << "\",\"count\":" << s.count;
+      if (s.count > 0) {
+        os << ",\"mean\":" << round_trip(s.mean)
+           << ",\"stddev\":" << round_trip(s.stddev)
+           << ",\"min\":" << round_trip(s.min)
+           << ",\"max\":" << round_trip(s.max)
+           << ",\"p50\":" << round_trip(s.p50)
+           << ",\"p95\":" << round_trip(s.p95)
+           << ",\"p99\":" << round_trip(s.p99);
+      }
+      os << "}\n";
+    }
+  }
+}
+
+std::unique_ptr<ResultSink> make_sink(const std::string& name) {
+  if (name == "table") return std::make_unique<TableSink>();
+  if (name == "csv") return std::make_unique<CsvSink>();
+  if (name == "jsonl") return std::make_unique<JsonlSink>();
+  RTDS_REQUIRE_MSG(false, "unknown sink " << name
+                                          << " (want table|csv|jsonl)");
+  return nullptr;
+}
+
+std::vector<SinkRecord> parse_csv(std::istream& in) {
+  std::vector<SinkRecord> records;
+  std::string line;
+  RTDS_REQUIRE_MSG(std::getline(in, line), "empty CSV input");
+  const auto header = split_csv_line(line);
+  std::size_t metric_col = header.size();
+  for (std::size_t c = 0; c < header.size(); ++c)
+    if (header[c] == "metric") metric_col = c;
+  RTDS_REQUIRE_MSG(metric_col + 9 == header.size(),
+                   "CSV header lacks the metric/stat columns");
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    RTDS_REQUIRE(cells.size() == header.size());
+    SinkRecord r;
+    r.scenario = cells[0];
+    r.point = static_cast<std::size_t>(std::strtoull(cells[1].c_str(),
+                                                     nullptr, 10));
+    for (std::size_t c = 2; c < metric_col; ++c) r.axes.push_back(cells[c]);
+    r.metric = cells[metric_col];
+    r.count = static_cast<std::size_t>(
+        std::strtoull(cells[metric_col + 1].c_str(), nullptr, 10));
+    r.mean = parse_double(cells[metric_col + 2]);
+    r.stddev = parse_double(cells[metric_col + 3]);
+    r.min = parse_double(cells[metric_col + 4]);
+    r.max = parse_double(cells[metric_col + 5]);
+    r.p50 = parse_double(cells[metric_col + 6]);
+    r.p95 = parse_double(cells[metric_col + 7]);
+    r.p99 = parse_double(cells[metric_col + 8]);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+std::vector<SinkRecord> parse_jsonl(std::istream& in) {
+  std::vector<SinkRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    SinkRecord r;
+    r.scenario = json_unescape(json_raw_value(line, "scenario"));
+    r.point = static_cast<std::size_t>(
+        std::strtoull(json_raw_value(line, "point").c_str(), nullptr, 10));
+    // Axis labels, in order, from the "axes" object.
+    const auto axes_pos = line.find("\"axes\":{");
+    if (axes_pos != std::string::npos) {
+      const auto axes_end = line.find('}', axes_pos);
+      std::string axes = line.substr(axes_pos + 8, axes_end - axes_pos - 8);
+      // Pairs look like "key":"label"; pull every second quoted string.
+      std::vector<std::string> strings;
+      std::size_t i = 0;
+      while ((i = axes.find('"', i)) != std::string::npos) {
+        const std::size_t end = scan_quoted_end(axes, i + 1);
+        strings.push_back(json_unescape(axes.substr(i + 1, end - i - 1)));
+        i = end + 1;
+      }
+      for (std::size_t s = 1; s < strings.size(); s += 2)
+        r.axes.push_back(strings[s]);
+    }
+    r.metric = json_unescape(json_raw_value(line, "metric"));
+    r.count = static_cast<std::size_t>(
+        std::strtoull(json_raw_value(line, "count").c_str(), nullptr, 10));
+    r.mean = parse_double(json_raw_value(line, "mean"));
+    r.stddev = parse_double(json_raw_value(line, "stddev"));
+    r.min = parse_double(json_raw_value(line, "min"));
+    r.max = parse_double(json_raw_value(line, "max"));
+    r.p50 = parse_double(json_raw_value(line, "p50"));
+    r.p95 = parse_double(json_raw_value(line, "p95"));
+    r.p99 = parse_double(json_raw_value(line, "p99"));
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace rtds::exp

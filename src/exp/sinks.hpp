@@ -1,0 +1,71 @@
+// Result sinks: render scenario aggregates as a paper-style ASCII table,
+// CSV, or JSON lines.
+//
+// The table sink reproduces the legacy bench_e* formatting (axis labels +
+// per-metric precision/scale from the MetricSpec, "-" for metrics no trial
+// measured). CSV and JSONL are long-form — one record per (grid point,
+// metric) — and print doubles with max_digits10 precision so a parse-back
+// recovers the aggregates bit-for-bit (exp_test round-trips them).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+
+namespace rtds::exp {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void write(const ScenarioSpec& spec,
+                     const std::vector<AggregateRow>& rows,
+                     std::ostream& os) const = 0;
+};
+
+/// Legacy bench table: one row per grid point, one column per axis then
+/// per metric (the metric's mean, scaled and formatted per its spec).
+class TableSink : public ResultSink {
+ public:
+  void write(const ScenarioSpec& spec, const std::vector<AggregateRow>& rows,
+             std::ostream& os) const override;
+};
+
+/// Long-form CSV: header then one row per (grid point, metric) with the
+/// full aggregate (count, mean, stddev, min, max, p50, p95, p99). Stat
+/// fields are empty when count == 0.
+class CsvSink : public ResultSink {
+ public:
+  void write(const ScenarioSpec& spec, const std::vector<AggregateRow>& rows,
+             std::ostream& os) const override;
+};
+
+/// JSON lines, one object per (grid point, metric); stat keys are omitted
+/// when count == 0.
+class JsonlSink : public ResultSink {
+ public:
+  void write(const ScenarioSpec& spec, const std::vector<AggregateRow>& rows,
+             std::ostream& os) const override;
+};
+
+/// "table", "csv" or "jsonl". Throws ContractViolation otherwise.
+std::unique_ptr<ResultSink> make_sink(const std::string& name);
+
+/// One parsed-back record of the long-form outputs (tests, tooling).
+struct SinkRecord {
+  std::string scenario;
+  std::size_t point = 0;
+  std::vector<std::string> axes;  ///< axis labels, in axis order
+  std::string metric;             ///< MetricSpec::key
+  std::size_t count = 0;
+  double mean = 0.0, stddev = 0.0, min = 0.0, max = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+std::vector<SinkRecord> parse_csv(std::istream& in);
+std::vector<SinkRecord> parse_jsonl(std::istream& in);
+
+}  // namespace rtds::exp

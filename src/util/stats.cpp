@@ -56,6 +56,11 @@ void RunningStat::merge(const RunningStat& other) {
   max_ = std::max(max_, other.max_);
 }
 
+void Samples::merge(const Samples& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_ = false;
+}
+
 void Samples::ensure_sorted() const {
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());

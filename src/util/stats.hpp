@@ -37,14 +37,28 @@ class RunningStat {
 /// collection of a few million values at most.
 class Samples {
  public:
-  void add(double x) { values_.push_back(x); }
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
   std::size_t count() const { return values_.size(); }
   double mean() const;
   /// Exact percentile by nearest-rank; p in [0, 100].
   double percentile(double p) const;
+  /// Quantile shorthands for the experiment sinks (exact, nearest-rank).
+  double p50() const { return percentile(50.0); }
+  double p95() const { return percentile(95.0); }
+  double p99() const { return percentile(99.0); }
   double min() const;
   double max() const;
   const std::vector<double>& values() const { return values_; }
+
+  /// Parallel-combine rule (mirrors RunningStat::merge): concatenates the
+  /// stored samples. Because percentiles are computed over the sorted
+  /// multiset, the result is independent of merge order — merging
+  /// per-worker accumulators yields bit-identical quantiles to a single
+  /// serial accumulator fed the same values.
+  void merge(const Samples& other);
 
  private:
   mutable std::vector<double> values_;

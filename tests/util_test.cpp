@@ -186,6 +186,42 @@ TEST(Samples, Percentiles) {
   EXPECT_DOUBLE_EQ(s.mean(), 50.5);
 }
 
+TEST(Samples, QuantileShorthands) {
+  Samples s;
+  for (int i = 1; i <= 1000; ++i) s.add(double(i));
+  EXPECT_DOUBLE_EQ(s.p50(), 500.0);
+  EXPECT_DOUBLE_EQ(s.p95(), 950.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 990.0);
+}
+
+TEST(Samples, AddAfterQueryResorts) {
+  Samples s;
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);  // forces a sort
+  s.add(9.0);  // must invalidate the sorted state
+  EXPECT_DOUBLE_EQ(s.percentile(100), 9.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(Samples, MergeMatchesSequential) {
+  Rng rng(13);
+  Samples all, a, b;
+  for (int i = 0; i < 999; ++i) {
+    const double x = rng.normal();
+    all.add(x);
+    (i % 3 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  // Quantiles over the merged multiset are bit-identical to serial.
+  EXPECT_EQ(a.p50(), all.p50());
+  EXPECT_EQ(a.p95(), all.p95());
+  EXPECT_EQ(a.p99(), all.p99());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
 TEST(Histogram, BucketsAndClamping) {
   Histogram h(0.0, 10.0, 5);
   h.add(-1.0);   // clamps to bucket 0
