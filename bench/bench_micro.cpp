@@ -6,6 +6,13 @@
 // cost the src/exp/ TrialRunner fans out.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "core/mapper.hpp"
 #include "dag/analysis.hpp"
 #include "core/rtds_system.hpp"
@@ -210,4 +217,73 @@ BENCHMARK(BM_WorkloadSimulation);
 }  // namespace
 }  // namespace rtds
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console reporter that additionally writes the machine-readable perf
+/// record: one JSON object per benchmark with ns/op (real and CPU) and
+/// items/s, so CI can track the perf trajectory commit over commit.
+/// Target file is BENCH_micro.json in the working directory (override:
+/// RTDS_BENCH_JSON). Wraps the display reporter because google-benchmark
+/// ignores a custom file reporter unless --benchmark_out is set.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Entry e;
+      e.name = run.benchmark_name();
+      e.real_ns = run.GetAdjustedRealTime();
+      e.cpu_ns = run.GetAdjustedCPUTime();
+      e.iterations = static_cast<double>(run.iterations);
+      const auto it = run.counters.find("items_per_second");
+      e.items_per_second = it != run.counters.end() ? it->second.value : 0.0;
+      entries_.push_back(std::move(e));
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    const char* env_path = std::getenv("RTDS_BENCH_JSON");
+    const std::string path = env_path ? env_path : "BENCH_micro.json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench_micro: cannot write " << path << "\n";
+      return;
+    }
+    out << "{\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << "    {\"name\": \"" << e.name << "\", \"ns_per_op\": "
+          << std::setprecision(17) << e.real_ns
+          << ", \"cpu_ns_per_op\": " << e.cpu_ns
+          << ", \"items_per_second\": " << e.items_per_second
+          << ", \"iterations\": " << e.iterations << "}"
+          << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cerr << "bench_micro: wrote " << path << " (" << entries_.size()
+              << " benchmarks)\n";
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double real_ns = 0.0;
+    double cpu_ns = 0.0;
+    double items_per_second = 0.0;
+    double iterations = 0.0;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

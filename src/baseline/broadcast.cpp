@@ -1,8 +1,8 @@
 #include "baseline/broadcast.hpp"
 
 #include <algorithm>
-#include <any>
 
+#include "core/messages.hpp"
 #include "net/shortest_paths.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -11,22 +11,12 @@ namespace rtds {
 
 namespace {
 
+// Message structs (SurplusMsg, FocusedOffer, FocusedReply) live in
+// core/messages.hpp as MessageBody alternatives.
 enum BroadcastCategory : int {
   kMsgSurplusFlood = 21,
   kMsgFocusedOffer = 22,
   kMsgFocusedReply = 23,
-};
-
-struct SurplusMsg {
-  double surplus = 0.0;
-};
-struct FocusedOffer {
-  JobId job = 0;
-  std::shared_ptr<const Job> job_data;
-};
-struct FocusedReply {
-  JobId job = 0;
-  bool accepted = false;
 };
 
 class BroadcastDriver {
@@ -38,7 +28,7 @@ class BroadcastDriver {
       LocalSchedulerConfig sc = cfg_.sched;
       sc.computing_power = topo_.computing_power(s);
       scheds_.emplace_back(sc);
-      net_.set_handler(s, [this, s](SiteId from, const std::any& payload) {
+      net_.set_handler(s, [this, s](SiteId from, const MessageBody& payload) {
         on_message(s, from, payload);
       });
     }
@@ -101,7 +91,7 @@ class BroadcastDriver {
     });
   }
 
-  void send_job_msg(SiteId from, SiteId to, std::any payload, int category,
+  void send_job_msg(SiteId from, SiteId to, MessageBody payload, int category,
                     JobId job) {
     job_messages_[job] += paths_[from].hops[to];
     net_.send_routed(from, to, paths_[from].dist[to], paths_[from].hops[to],
@@ -183,14 +173,14 @@ class BroadcastDriver {
                  kMsgFocusedOffer, job);
   }
 
-  void on_message(SiteId self, SiteId from, const std::any& payload) {
-    if (const auto* surplus = std::any_cast<SurplusMsg>(&payload)) {
+  void on_message(SiteId self, SiteId from, const MessageBody& payload) {
+    if (const auto* surplus = std::get_if<SurplusMsg>(&payload)) {
       surplus_table_[self][from] = surplus->surplus;
-    } else if (const auto* offer = std::any_cast<FocusedOffer>(&payload)) {
+    } else if (const auto* offer = std::get_if<FocusedOffer>(&payload)) {
       const bool ok = try_local(self, *offer->job_data);
       send_job_msg(self, from, FocusedReply{offer->job, ok}, kMsgFocusedReply,
                    offer->job);
-    } else if (const auto* reply = std::any_cast<FocusedReply>(&payload)) {
+    } else if (const auto* reply = std::get_if<FocusedReply>(&payload)) {
       auto& init = active_.at(reply->job);
       if (reply->accepted) {
         decide(self, *init.job, JobOutcome::kAcceptedRemote,

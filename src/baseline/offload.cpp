@@ -1,8 +1,8 @@
 #include "baseline/offload.hpp"
 
 #include <algorithm>
-#include <any>
 
+#include "core/messages.hpp"
 #include "sim/simulator.hpp"
 
 namespace rtds {
@@ -17,27 +17,13 @@ const char* to_string(OffloadPolicy policy) {
 
 namespace {
 
+// Message structs (BidRequest, BidReply, OfferMsg, OfferReply) live in
+// core/messages.hpp as MessageBody alternatives.
 enum OffloadCategory : int {
   kMsgBidRequest = 11,
   kMsgBidReply = 12,
   kMsgOffer = 13,
   kMsgOfferReply = 14,
-};
-
-struct BidRequest {
-  JobId job = 0;
-};
-struct BidReply {
-  JobId job = 0;
-  double surplus = 0.0;
-};
-struct Offer {
-  JobId job = 0;
-  std::shared_ptr<const Job> job_data;
-};
-struct OfferReply {
-  JobId job = 0;
-  bool accepted = false;
 };
 
 class OffloadDriver {
@@ -50,7 +36,7 @@ class OffloadDriver {
       LocalSchedulerConfig sc = cfg_.sched;
       sc.computing_power = topo_.computing_power(s);
       scheds_.emplace_back(sc);
-      net_.set_handler(s, [this, s](SiteId from, const std::any& payload) {
+      net_.set_handler(s, [this, s](SiteId from, const MessageBody& payload) {
         on_message(s, from, payload);
       });
     }
@@ -91,7 +77,7 @@ class OffloadDriver {
     Time deadline = 0.0;
   };
 
-  void send(SiteId from, SiteId to, std::any payload, int category,
+  void send(SiteId from, SiteId to, MessageBody payload, int category,
             JobId job) {
     const auto& pcs = pcs_[from];
     const auto hops = pcs.hops(from, to);
@@ -180,15 +166,15 @@ class OffloadDriver {
     const SiteId target = init.candidates[init.next_candidate++];
     ++init.attempts;
     ++init.contacted;
-    send(initiator, target, Offer{job, init.job}, kMsgOffer, job);
+    send(initiator, target, OfferMsg{job, init.job}, kMsgOffer, job);
   }
 
-  void on_message(SiteId self, SiteId from, const std::any& payload) {
-    if (const auto* bid = std::any_cast<BidRequest>(&payload)) {
+  void on_message(SiteId self, SiteId from, const MessageBody& payload) {
+    if (const auto* bid = std::get_if<BidRequest>(&payload)) {
       scheds_[self].garbage_collect(sim_.now());
       send(self, from, BidReply{bid->job, scheds_[self].surplus(sim_.now())},
            kMsgBidReply, bid->job);
-    } else if (const auto* reply = std::any_cast<BidReply>(&payload)) {
+    } else if (const auto* reply = std::get_if<BidReply>(&payload)) {
       auto& init = active_.at(reply->job);
       init.bids.emplace_back(reply->surplus, from);
       if (init.bids.size() == init.bids_expected) {
@@ -201,10 +187,10 @@ class OffloadDriver {
           init.candidates.push_back(site);
         make_offer(self, reply->job);
       }
-    } else if (const auto* offer = std::any_cast<Offer>(&payload)) {
+    } else if (const auto* offer = std::get_if<OfferMsg>(&payload)) {
       const bool ok = try_local(self, *offer->job_data);
       send(self, from, OfferReply{offer->job, ok}, kMsgOfferReply, offer->job);
-    } else if (const auto* oreply = std::any_cast<OfferReply>(&payload)) {
+    } else if (const auto* oreply = std::get_if<OfferReply>(&payload)) {
       auto& init = active_.at(oreply->job);
       if (oreply->accepted) {
         decide(self, *init.job, JobOutcome::kAcceptedRemote,

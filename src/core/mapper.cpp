@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dag/analysis.hpp"
+#include "util/inline_vec.hpp"
 #include "sched/plan.hpp"
 
 namespace rtds {
@@ -28,6 +29,10 @@ const char* to_string(AdjustmentCase c) {
 
 std::vector<WindowedTask> TrialMapping::tasks_of(const Dag& dag,
                                                  std::uint32_t u) const {
+  if (u < by_processor.size()) {
+    const auto& cached = by_processor[u];
+    return {cached.begin(), cached.end()};
+  }
   std::vector<WindowedTask> tasks;
   for (TaskId t = 0; t < dag.task_count(); ++t)
     if (assignment[t] == u)
@@ -86,23 +91,27 @@ ScheduleBuild list_schedule(const MapperInput& in, const MapperConfig& cfg,
     return exact_initiator && p == in.initiator_index;
   };
 
-  std::vector<Time> priority;
+  InlineVec<Time, 32> priority_storage;
+  const Time* priority = nullptr;
   switch (cfg.task_priority) {
     case TaskPriority::kBottomLevel:
-      priority = bottom_levels(dag);
+      priority = dag.bottom_levels().data();  // finalize()-time cache
       break;
     case TaskPriority::kCost:
-      priority.reserve(n);
-      for (TaskId t = 0; t < n; ++t) priority.push_back(dag.cost(t));
+      priority_storage.assign(n, 0.0);
+      for (TaskId t = 0; t < n; ++t) priority_storage[t] = dag.cost(t);
+      priority = priority_storage.begin();
       break;
     case TaskPriority::kFifo:
-      priority.assign(n, 0.0);  // ties resolve to the smallest task id
+      priority_storage.assign(n, 0.0);  // ties resolve to the smallest id
+      priority = priority_storage.begin();
       break;
   }
-  std::vector<Time> avail(np, in.release);
-  std::vector<std::size_t> missing(n);
-  std::vector<bool> done(n, false);
-  std::vector<TaskId> free_list;
+  InlineVec<Time, 16> avail;
+  avail.assign(np, in.release);
+  InlineVec<std::size_t, 32> missing;
+  missing.assign(n, 0);
+  InlineVec<TaskId, 32> free_list;
   for (TaskId t = 0; t < n; ++t) {
     missing[t] = dag.predecessors(t).size();
     if (missing[t] == 0) free_list.push_back(t);
@@ -118,7 +127,7 @@ ScheduleBuild list_schedule(const MapperInput& in, const MapperConfig& cfg,
         best = i;
     }
     const TaskId t = free_list[best];
-    free_list.erase(free_list.begin() + static_cast<std::ptrdiff_t>(best));
+    free_list.erase(free_list.begin() + best);
 
     // Processor selection: earliest finishing time.
     std::uint32_t chosen = 0;
@@ -152,7 +161,6 @@ ScheduleBuild list_schedule(const MapperInput& in, const MapperConfig& cfg,
       initiator_scratch.reserve(
           Reservation{0, t, chosen_start, chosen_finish});
     out.order.push_back(t);
-    done[t] = true;
     for (TaskId s : dag.successors(t))
       if (--missing[s] == 0) free_list.push_back(s);
   }
@@ -177,7 +185,8 @@ ScheduleBuild recompute_full_speed(const MapperInput& in,
   const bool exact_initiator = in.initiator_plan != nullptr;
   SchedulingPlan initiator_scratch;
   if (exact_initiator) initiator_scratch = *in.initiator_plan;
-  std::vector<Time> avail(in.surpluses.size(), in.release);
+  InlineVec<Time, 16> avail;
+  avail.assign(in.surpluses.size(), in.release);
   for (TaskId t : s.order) {
     const auto p = s.assignment[t];
     Time est = avail[p];
@@ -427,6 +436,13 @@ std::optional<TrialMapping> build_trial_mapping(const MapperInput& input,
   for (TaskId t = 0; t < n; ++t) m.assignment[t] = remap[m.assignment[t]];
   m.used_processors = next;
   RTDS_CHECK(m.used_processors >= 1);
+
+  // Group the windowed tasks per logical processor once; validation reads
+  // this on every ACS site instead of re-scanning the assignment.
+  m.by_processor.assign(m.used_processors, {});
+  for (TaskId t = 0; t < n; ++t)
+    m.by_processor[m.assignment[t]].push_back(
+        WindowedTask{t, m.release[t], m.deadline[t], dag.cost(t)});
   return m;
 }
 

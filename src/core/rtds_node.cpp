@@ -4,6 +4,7 @@
 
 #include "dag/analysis.hpp"
 #include "matching/bipartite.hpp"
+#include "util/inline_vec.hpp"
 #include "util/logging.hpp"
 
 namespace rtds {
@@ -49,7 +50,7 @@ RtdsNode::RtdsNode(SiteId site, Simulator& sim, Transport& transport, Pcs pcs,
   RTDS_REQUIRE(pcs_.root() == site);
 }
 
-void RtdsNode::send(SiteId to, std::any payload, int category, JobId job,
+void RtdsNode::send(SiteId to, MessageBody payload, int category, JobId job,
                     double size_units) {
   RTDS_REQUIRE(to != site_);
   RTDS_CHECK_MSG(pcs_.contains(to),
@@ -81,7 +82,7 @@ void RtdsNode::submit(std::shared_ptr<const Job> job) {
 void RtdsNode::start_next_job() {
   if (lock_.has_value() || queue_.empty()) return;
   auto job = queue_.front();
-  queue_.pop_front();
+  queue_.erase(queue_.begin());
   begin(std::move(job));
 }
 
@@ -161,7 +162,7 @@ void RtdsNode::on_enroll_reply(SiteId from, const EnrollReply& msg) {
   ++init.received_replies;
   if (msg.accepted) {
     init.acs.push_back(from);
-    init.surplus_of[from] = msg.surplus;
+    init.surplus_of.emplace_back(from, msg.surplus);
   }
   if (init.received_replies == init.expected_replies) {
     init.phase = Initiation::Phase::kMapping;
@@ -187,7 +188,7 @@ void RtdsNode::run_mapper(JobId job) {
 
   // The initiator is always an ACS member (§13 "local knowledge of k").
   init.acs.push_back(site_);
-  init.surplus_of[site_] = surplus_for(init.job->deadline);
+  init.surplus_of.emplace_back(site_, surplus_for(init.job->deadline));
   std::sort(init.acs.begin(), init.acs.end());
   init.acs_diameter = pcs_.delay_diameter_of(init.acs);
 
@@ -261,10 +262,10 @@ void RtdsNode::begin_validation(Initiation& init) {
   init.validate_expected = init.acs.size();
   for (SiteId s : init.acs) {
     if (s == site_) {
-      init.endorsements[site_] =
-          endorsable_processors(*init.job, *init.mapping);
+      init.endorsements.emplace_back(
+          site_, endorsable_processors(*init.job, *init.mapping));
       endorsement_ = OutstandingEndorsement{job, init.job, init.mapping,
-                                            init.endorsements[site_]};
+                                            init.endorsements.back().second};
     } else {
       // Validation ships the whole Trial-Mapping (task windows): §13 notes
       // that task-code-sized messages cost real transfer time.
@@ -282,7 +283,7 @@ void RtdsNode::on_validate_reply(SiteId from, const ValidateReply& msg) {
                  "validate reply for unknown job " << msg.job);
   Initiation& init = it->second;
   RTDS_CHECK(init.phase == Initiation::Phase::kValidating);
-  init.endorsements[from] = msg.endorsable;
+  init.endorsements.emplace_back(from, msg.endorsable);
   if (init.endorsements.size() == init.validate_expected)
     finish_matching(init);
 }
@@ -295,7 +296,9 @@ void RtdsNode::finish_matching(Initiation& init) {
   // §10: maximum coupling between logical processors and ACS sites.
   BipartiteGraph graph(u_count, acs.size());
   for (std::size_t ri = 0; ri < acs.size(); ++ri) {
-    const auto endorse_it = init.endorsements.find(acs[ri]);
+    const auto endorse_it =
+        std::find_if(init.endorsements.begin(), init.endorsements.end(),
+                     [&](const auto& e) { return e.first == acs[ri]; });
     RTDS_CHECK(endorse_it != init.endorsements.end());
     for (std::uint32_t u : endorse_it->second) {
       RTDS_CHECK(u < u_count);
@@ -360,25 +363,24 @@ void RtdsNode::conclude(JobId job, const Initiation& init, JobOutcome outcome,
       init.mapping ? static_cast<int>(init.mapping->adjustment) : 0;
   env_.on_job_decision(d);
   active_.erase(job);
-  concluded_.insert(job);
 }
 
 // ---------------------------------------------------------------------------
 // Responder side
 // ---------------------------------------------------------------------------
 
-void RtdsNode::on_message(SiteId from, const std::any& payload) {
-  if (const auto* enroll = std::any_cast<EnrollRequest>(&payload)) {
+void RtdsNode::on_message(SiteId from, const MessageBody& payload) {
+  if (const auto* enroll = std::get_if<EnrollRequest>(&payload)) {
     on_enroll_request(from, *enroll);
-  } else if (const auto* reply = std::any_cast<EnrollReply>(&payload)) {
+  } else if (const auto* reply = std::get_if<EnrollReply>(&payload)) {
     on_enroll_reply(from, *reply);
-  } else if (const auto* unlock = std::any_cast<UnlockMsg>(&payload)) {
+  } else if (const auto* unlock = std::get_if<UnlockMsg>(&payload)) {
     on_unlock(from, *unlock);
-  } else if (const auto* validate = std::any_cast<ValidateRequest>(&payload)) {
+  } else if (const auto* validate = std::get_if<ValidateRequest>(&payload)) {
     on_validate_request(from, *validate);
-  } else if (const auto* vreply = std::any_cast<ValidateReply>(&payload)) {
+  } else if (const auto* vreply = std::get_if<ValidateReply>(&payload)) {
     on_validate_reply(from, *vreply);
-  } else if (const auto* dispatch = std::any_cast<DispatchMsg>(&payload)) {
+  } else if (const auto* dispatch = std::get_if<DispatchMsg>(&payload)) {
     on_dispatch(from, *dispatch);
   } else {
     RTDS_CHECK_MSG(false, "site " << site_ << " received unknown payload");
@@ -449,9 +451,8 @@ bool RtdsNode::try_local_accept(const std::shared_ptr<const Job>& job) {
   if (!placements) return false;
   if (endorsement_.has_value()) {
     for (std::uint32_t u : endorsement_->endorsed) {
-      const auto tasks =
-          endorsement_->mapping->tasks_of(endorsement_->job_data->dag, u);
-      if (!trial.test_windowed(tasks).has_value()) return false;
+      const auto tasks = endorsement_->mapping->tasks_of_span(u);
+      if (!trial.test_windowed_feasible(tasks)) return false;
     }
   }
   sched_ = std::move(trial);
@@ -485,18 +486,23 @@ double RtdsNode::surplus_for(Time deadline) const {
 
 std::vector<std::uint32_t> RtdsNode::endorsable_processors(
     const Job& job, const TrialMapping& m) const {
+  (void)job;
   std::vector<std::uint32_t> result;
   for (std::uint32_t u = 0; u < m.used_processors; ++u) {
-    const auto tasks = m.tasks_of(job.dag, u);
+    const auto tasks = m.tasks_of_span(u);
     RTDS_CHECK(!tasks.empty());
-    if (sched_.test_windowed(tasks).has_value()) result.push_back(u);
+    if (sched_.test_windowed_feasible(tasks)) result.push_back(u);
   }
   return result;
 }
 
 void RtdsNode::commit_logical(const Job& job, const TrialMapping& m,
                               std::uint32_t u) {
-  auto tasks = m.tasks_of(job.dag, u);
+  // Mutable stack copy of the logical processor's task windows.
+  (void)job;
+  InlineVec<WindowedTask, 32> task_buf;
+  for (const auto& t : m.tasks_of_span(u)) task_buf.push_back(t);
+  const std::span<WindowedTask> tasks{task_buf.begin(), task_buf.size()};
   // Execution cannot start in the past: clamp releases to now. Under the
   // ideal transport the mapper's protocol charge guarantees r(t) >= now, so
   // the clamp is a no-op; under contention it may bite.
@@ -523,12 +529,14 @@ void RtdsNode::commit_logical(const Job& job, const TrialMapping& m,
   sched_.commit(job.id, tasks, *placements);
 
   // Completion notification at the *last* segment end of each task
-  // (preemptive placements may split a task into several segments).
-  std::map<TaskId, Time> last_end;
-  for (const auto& p : *placements)
-    last_end[p.task] = std::max(last_end[p.task], p.end);
-  for (const auto& [task, end] : last_end) {
-    sim_.schedule_at(end, [this, id = job.id, task = task, end = end]() {
+  // (preemptive placements may split a task into several segments). The
+  // task set is tiny and `tasks` already enumerates it in ascending id
+  // order, so a per-task max scan replaces the old std::map.
+  for (const auto& t : tasks) {
+    Time end = 0.0;
+    for (const auto& p : *placements)
+      if (p.task == t.task) end = std::max(end, p.end);
+    sim_.schedule_at(end, [this, id = job.id, task = t.task, end = end]() {
       env_.on_task_complete(id, task, site_, end);
     });
   }
@@ -560,7 +568,7 @@ void RtdsNode::after_unlock() {
   // if the job already concluded).
   if (!lock_.has_value() && !buffered_enrolls_.empty()) {
     auto [from, req] = buffered_enrolls_.front();
-    buffered_enrolls_.pop_front();
+    buffered_enrolls_.erase(buffered_enrolls_.begin());
     acquire_lock(from, req.job);
     sched_.garbage_collect(sim_.now());
     send(from, EnrollReply{req.job, true, surplus_for(req.deadline)},

@@ -18,14 +18,14 @@
 // freezing the whole sphere for the full protocol round.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
+#include <vector>
 
 #include "core/mapper.hpp"
+#include "core/messages.hpp"
 #include "core/metrics.hpp"
 #include "core/protocol.hpp"
 #include "routing/pcs.hpp"
@@ -121,7 +121,7 @@ class RtdsNode {
   void submit(std::shared_ptr<const Job> job);
 
   /// Transport entry point; wire this to SimNetwork::set_handler.
-  void on_message(SiteId from, const std::any& payload);
+  void on_message(SiteId from, const MessageBody& payload);
 
   // --- invariant probes (tests / end-of-run checks) ---
   bool locked() const { return lock_.has_value(); }
@@ -137,10 +137,13 @@ class RtdsNode {
     std::size_t expected_replies = 0;
     std::size_t received_replies = 0;
     std::vector<SiteId> acs;                    ///< ackers + self
-    std::map<SiteId, double> surplus_of;
+    /// Flat (site, value) lists, one entry per ACS member — sphere-sized,
+    /// so linear lookups beat map nodes (these fill and drain once per
+    /// protocol round).
+    std::vector<std::pair<SiteId, double>> surplus_of;
     std::shared_ptr<const TrialMapping> mapping;
     Time acs_diameter = 0.0;
-    std::map<SiteId, std::vector<std::uint32_t>> endorsements;
+    std::vector<std::pair<SiteId, std::vector<std::uint32_t>>> endorsements;
     std::size_t validate_expected = 0;
     bool timed_out = false;
   };
@@ -191,7 +194,7 @@ class RtdsNode {
   void release_lock(SiteId initiator, JobId job);
   void after_unlock();
 
-  void send(SiteId to, std::any payload, int category, JobId job,
+  void send(SiteId to, MessageBody payload, int category, JobId job,
             double size_units = 1.0);
 
   SiteId site_;
@@ -214,13 +217,12 @@ class RtdsNode {
 
   std::optional<Lock> lock_;
   std::optional<OutstandingEndorsement> endorsement_;
-  std::deque<std::shared_ptr<const Job>> queue_;
+  // std::vector, not deque: a deque allocates two blocks just to be
+  // constructed, once per site, and these queues are almost always empty.
+  std::vector<std::shared_ptr<const Job>> queue_;
   std::map<JobId, Initiation> active_;
-  /// Jobs this node initiated that already concluded — stale (post-timeout)
-  /// enroll acks for them get an immediate unlock.
-  std::set<JobId> concluded_;
   /// kTimeout policy: enrollments buffered while locked, processed on unlock.
-  std::deque<std::pair<SiteId, EnrollRequest>> buffered_enrolls_;
+  std::vector<std::pair<SiteId, EnrollRequest>> buffered_enrolls_;
   bool start_pending_ = false;  ///< a start_next_job event is scheduled
 };
 

@@ -1,5 +1,6 @@
 #include "core/rtds_system.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "routing/transport.hpp"
@@ -40,9 +41,11 @@ RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
     const auto dist = distributed_apsp(build_sim, build_net, 2 * h);
     metrics_.pcs_build_messages = dist.messages;
     for (SiteId s = 0; s < topo_.site_count(); ++s) {
-      RTDS_CHECK_MSG(dist.tables[s].lines().size() == tables[s].lines().size(),
+      RTDS_CHECK_MSG(dist.tables[s].size() == tables[s].size(),
                      "distributed and in-memory APSP disagree at site " << s);
-      for (const auto& [dest, line] : tables[s].lines()) {
+      for (SiteId dest = 0; dest < tables[s].site_count(); ++dest) {
+        if (!tables[s].has_route(dest)) continue;
+        const auto& line = tables[s].route(dest);
         const auto& other = dist.tables[s].route(dest);
         RTDS_CHECK(time_eq(other.dist, line.dist));
         RTDS_CHECK(other.hops == line.hops);
@@ -58,7 +61,7 @@ RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
     nodes_.push_back(std::make_unique<RtdsNode>(
         s, sim_, *transport_, Pcs::build(tables, s, h), node_cfg, *this));
     transport_->set_handler(s, [node = nodes_.back().get()](
-                                   SiteId from, const std::any& payload) {
+                                   SiteId from, const MessageBody& payload) {
       node->on_message(from, payload);
     });
   }
@@ -67,18 +70,23 @@ RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
 void RtdsSystem::run(const std::vector<JobArrival>& arrivals) {
   RTDS_REQUIRE_MSG(!ran_, "RtdsSystem::run may only be called once");
   ran_ = true;
-  std::set<JobId> ids;
+  // Duplicate-id check via one sort instead of a node per arrival (large
+  // scenario trials schedule thousands of arrivals here).
+  std::vector<JobId> ids;
+  ids.reserve(arrivals.size());
   for (const auto& a : arrivals) {
     RTDS_REQUIRE(a.site < nodes_.size());
     RTDS_REQUIRE(a.job != nullptr);
-    RTDS_REQUIRE_MSG(ids.insert(a.job->id).second,
-                     "duplicate job id " << a.job->id);
+    ids.push_back(a.job->id);
     RTDS_REQUIRE_MSG(time_lt(a.job->release, a.job->deadline),
                      "job " << a.job->id << " has an empty window");
     sim_.schedule_at(a.job->release, [this, a]() {
       nodes_[a.site]->submit(a.job);
     });
   }
+  std::sort(ids.begin(), ids.end());
+  const auto dup = std::adjacent_find(ids.begin(), ids.end());
+  RTDS_REQUIRE_MSG(dup == ids.end(), "duplicate job id " << *dup);
   sim_.run();
   verify_invariants();
 }

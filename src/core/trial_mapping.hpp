@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dag/dag.hpp"
@@ -43,9 +44,18 @@ struct TrialMapping {
   /// Full-speed schedule S* (Fig. 4).
   std::vector<Time> star_start, star_finish;
 
+  /// tasks_of(u), grouped once at mapping construction: every ACS site
+  /// validates the same logical processors, so the per-(site, u) regroup
+  /// scan the old accessor did was pure waste.
+  std::vector<std::vector<WindowedTask>> by_processor;
+
   /// Tasks of logical processor u as windowed instances (release/deadline =
   /// adjusted windows, cost = full-speed computational complexity) — what
-  /// validation (§10) feeds the local schedulers.
+  /// validation (§10) feeds the local schedulers. The span points into
+  /// by_processor; take a copy (tasks_of) only to mutate.
+  std::span<const WindowedTask> tasks_of_span(std::uint32_t u) const {
+    return by_processor.at(u);
+  }
   std::vector<WindowedTask> tasks_of(const Dag& dag, std::uint32_t u) const;
 };
 

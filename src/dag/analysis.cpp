@@ -5,15 +5,7 @@
 namespace rtds {
 
 std::vector<Time> bottom_levels(const Dag& dag) {
-  const auto& topo = dag.topological_order();
-  std::vector<Time> bl(dag.task_count(), 0.0);
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    const TaskId t = *it;
-    Time best = 0.0;
-    for (TaskId s : dag.successors(t)) best = std::max(best, bl[s]);
-    bl[t] = dag.cost(t) + best;
-  }
-  return bl;
+  return dag.bottom_levels();  // copy of the finalize()-time cache
 }
 
 std::vector<Time> top_levels(const Dag& dag) {
@@ -25,17 +17,12 @@ std::vector<Time> top_levels(const Dag& dag) {
   return tl;
 }
 
-Time critical_path_length(const Dag& dag) {
-  Time best = 0.0;
-  const auto bl = bottom_levels(dag);
-  for (Time v : bl) best = std::max(best, v);
-  return best;
-}
+Time critical_path_length(const Dag& dag) { return dag.critical_path(); }
 
 std::size_t critical_path_task_count(const Dag& dag) {
   if (dag.empty()) return 0;
   const Time cp = critical_path_length(dag);
-  const auto bl = bottom_levels(dag);
+  const auto& bl = dag.bottom_levels();
   const auto tl = top_levels(dag);
   // Longest (task-count) path among tasks lying on *some* critical path.
   // A task t is on a critical path iff tl[t] + bl[t] == cp. Count via DP over

@@ -26,49 +26,86 @@ void Dag::add_arc(TaskId from, TaskId to, double data_volume) {
 void Dag::finalize() {
   RTDS_REQUIRE_MSG(!finalized_, "Dag already finalized");
   const auto n = tasks_.size();
-  preds_.assign(n, {});
-  succs_.assign(n, {});
+
+  // CSR adjacency: count degrees, prefix-sum offsets, scatter, sort rows.
+  pred_off_.assign(n + 1, 0);
+  succ_off_.assign(n + 1, 0);
   for (const auto& a : arcs_) {
-    succs_[a.from].push_back(a.to);
-    preds_[a.to].push_back(a.from);
+    ++succ_off_[a.from + 1];
+    ++pred_off_[a.to + 1];
   }
-  for (auto& v : preds_) std::sort(v.begin(), v.end());
-  for (auto& v : succs_) std::sort(v.begin(), v.end());
+  for (std::size_t t = 1; t <= n; ++t) {
+    pred_off_[t] += pred_off_[t - 1];
+    succ_off_[t] += succ_off_[t - 1];
+  }
+  pred_data_.resize(arcs_.size());
+  succ_data_.resize(arcs_.size());
+  {
+    std::vector<std::uint32_t> pc(pred_off_.begin(), pred_off_.end() - 1);
+    std::vector<std::uint32_t> sc(succ_off_.begin(), succ_off_.end() - 1);
+    for (const auto& a : arcs_) {
+      succ_data_[sc[a.from]++] = a.to;
+      pred_data_[pc[a.to]++] = a.from;
+    }
+  }
+  for (TaskId t = 0; t < n; ++t) {
+    std::sort(pred_data_.begin() + pred_off_[t],
+              pred_data_.begin() + pred_off_[t + 1]);
+    std::sort(succ_data_.begin() + succ_off_[t],
+              succ_data_.begin() + succ_off_[t + 1]);
+  }
 
   // Kahn's algorithm with a min-heap for a stable (id-ordered) topo order.
   std::vector<std::size_t> indegree(n);
-  for (TaskId t = 0; t < n; ++t) indegree[t] = preds_[t].size();
+  for (TaskId t = 0; t < n; ++t) indegree[t] = pred_off_[t + 1] - pred_off_[t];
   std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
   for (TaskId t = 0; t < n; ++t)
     if (indegree[t] == 0) ready.push(t);
   topo_.clear();
   topo_.reserve(n);
+  finalized_ = true;  // successors() below requires it
   while (!ready.empty()) {
     const TaskId t = ready.top();
     ready.pop();
     topo_.push_back(t);
-    for (TaskId s : succs_[t])
+    for (TaskId s : successors(t))
       if (--indegree[s] == 0) ready.push(s);
   }
-  RTDS_REQUIRE_MSG(topo_.size() == n, "precedence graph contains a cycle");
+  if (topo_.size() != n) {
+    finalized_ = false;
+    RTDS_REQUIRE_MSG(false, "precedence graph contains a cycle");
+  }
 
   sources_.clear();
   sinks_.clear();
   for (TaskId t = 0; t < n; ++t) {
-    if (preds_[t].empty()) sources_.push_back(t);
-    if (succs_[t].empty()) sinks_.push_back(t);
+    if (pred_off_[t] == pred_off_[t + 1]) sources_.push_back(t);
+    if (succ_off_[t] == succ_off_[t + 1]) sinks_.push_back(t);
   }
-  finalized_ = true;
+
+  bottom_levels_.assign(n, 0.0);
+  critical_path_ = 0.0;
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const TaskId t = *it;
+    Time best = 0.0;
+    for (TaskId s : successors(t)) best = std::max(best, bottom_levels_[s]);
+    bottom_levels_[t] = tasks_[t].cost + best;
+    critical_path_ = std::max(critical_path_, bottom_levels_[t]);
+  }
 }
 
-const std::vector<TaskId>& Dag::predecessors(TaskId t) const {
+std::span<const TaskId> Dag::predecessors(TaskId t) const {
   require_finalized();
-  return preds_.at(t);
+  RTDS_REQUIRE(t < tasks_.size());
+  return {pred_data_.data() + pred_off_[t],
+          pred_data_.data() + pred_off_[t + 1]};
 }
 
-const std::vector<TaskId>& Dag::successors(TaskId t) const {
+std::span<const TaskId> Dag::successors(TaskId t) const {
   require_finalized();
-  return succs_.at(t);
+  RTDS_REQUIRE(t < tasks_.size());
+  return {succ_data_.data() + succ_off_[t],
+          succ_data_.data() + succ_off_[t + 1]};
 }
 
 double Dag::data_volume(TaskId from, TaskId to) const {
@@ -110,7 +147,7 @@ bool Dag::reaches(TaskId ancestor, TaskId descendant) const {
   while (!stack.empty()) {
     const TaskId t = stack.back();
     stack.pop_back();
-    for (TaskId s : succs_[t]) {
+    for (TaskId s : successors(t)) {
       if (s == descendant) return true;
       if (!seen[s]) {
         seen[s] = true;

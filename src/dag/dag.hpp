@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -61,9 +62,10 @@ class Dag {
   Time cost(TaskId t) const { return tasks_.at(t).cost; }
   const std::vector<Arc>& arcs() const { return arcs_; }
 
-  /// Immediate predecessors Γ⁻(t) / successors Γ⁺(t).
-  const std::vector<TaskId>& predecessors(TaskId t) const;
-  const std::vector<TaskId>& successors(TaskId t) const;
+  /// Immediate predecessors Γ⁻(t) / successors Γ⁺(t). Spans into the CSR
+  /// adjacency, valid while the Dag lives and is not re-finalized.
+  std::span<const TaskId> predecessors(TaskId t) const;
+  std::span<const TaskId> successors(TaskId t) const;
 
   /// Data volume on arc (from, to); requires the arc to exist.
   double data_volume(TaskId from, TaskId to) const;
@@ -74,6 +76,19 @@ class Dag {
 
   /// A topological order (stable: ties broken by task id).
   const std::vector<TaskId>& topological_order() const;
+
+  /// Bottom levels b(t) = c(t) + max over successors' b, cached at
+  /// finalize(): the admission tests, the mapper, and the enrollment gate
+  /// all re-derived this once per job per site.
+  const std::vector<Time>& bottom_levels() const {
+    require_finalized();
+    return bottom_levels_;
+  }
+  /// max_t b(t) — the critical path length.
+  Time critical_path() const {
+    require_finalized();
+    return critical_path_;
+  }
 
   /// Sum of all task costs (total work W).
   Time total_work() const;
@@ -88,11 +103,16 @@ class Dag {
 
   std::vector<Task> tasks_;
   std::vector<Arc> arcs_;
-  std::vector<std::vector<TaskId>> preds_;
-  std::vector<std::vector<TaskId>> succs_;
+  // CSR adjacency (offsets + packed ids): two allocations total instead of
+  // one vector per task — DAG construction and copies sit on the hot path
+  // of every trial.
+  std::vector<std::uint32_t> pred_off_, succ_off_;
+  std::vector<TaskId> pred_data_, succ_data_;
   std::vector<TaskId> topo_;
   std::vector<TaskId> sources_;
   std::vector<TaskId> sinks_;
+  std::vector<Time> bottom_levels_;
+  Time critical_path_ = 0.0;
   bool finalized_ = false;
 };
 

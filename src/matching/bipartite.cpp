@@ -15,12 +15,29 @@ BipartiteGraph::BipartiteGraph(std::size_t left_count, std::size_t right_count)
 void BipartiteGraph::add_edge(std::size_t left, std::size_t right) {
   RTDS_REQUIRE(left < adj_.size());
   RTDS_REQUIRE(right < right_count_);
-  auto& nbrs = adj_[left];
-  if (std::find(nbrs.begin(), nbrs.end(), right) == nbrs.end())
-    nbrs.push_back(right);
+  adj_[left].push_back(right);
+  deduped_ = false;
+}
+
+void BipartiteGraph::dedupe() const {
+  // Stable first-occurrence dedupe; `stamp[r] == left+1` marks r as already
+  // seen from the current left vertex.
+  std::vector<std::size_t> stamp(right_count_, 0);
+  for (std::size_t l = 0; l < adj_.size(); ++l) {
+    auto& nbrs = adj_[l];
+    std::size_t kept = 0;
+    for (const std::size_t r : nbrs) {
+      if (stamp[r] == l + 1) continue;
+      stamp[r] = l + 1;
+      nbrs[kept++] = r;
+    }
+    nbrs.resize(kept);
+  }
+  deduped_ = true;
 }
 
 std::size_t BipartiteGraph::edge_count() const {
+  if (!deduped_) dedupe();
   std::size_t total = 0;
   for (const auto& nbrs : adj_) total += nbrs.size();
   return total;
@@ -77,16 +94,48 @@ MatchingResult max_matching_hopcroft_karp(const BipartiteGraph& g) {
     return found_free;
   };
 
-  std::function<bool(std::size_t)> dfs = [&](std::size_t l) -> bool {
-    for (std::size_t r : g.neighbors(l)) {
-      const std::size_t next = match_r[r];
-      if (next == kUnmatched || (dist[next] == dist[l] + 1 && dfs(next))) {
-        match_l[l] = r;
-        match_r[r] = l;
-        return true;
+  // Explicit-stack DFS (the recursive version burned a std::function frame
+  // per level). A frame remembers which edge led downward (`via`); on
+  // success the whole stack is the augmenting path, flipped in one sweep.
+  // Edge order, the dist gate, and the fail marker (dist[l] = kInf) are
+  // exactly the recursive algorithm's, so the matching is identical.
+  struct Frame {
+    std::size_t l;
+    std::size_t edge;
+    std::size_t via;
+  };
+  std::vector<Frame> stack;
+  stack.reserve(nl);
+
+  auto dfs = [&](std::size_t root) -> bool {
+    stack.clear();
+    stack.push_back(Frame{root, 0, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto& nbrs = g.neighbors(f.l);
+      bool descended = false;
+      while (f.edge < nbrs.size()) {
+        const std::size_t r = nbrs[f.edge++];
+        const std::size_t next = match_r[r];
+        if (next == kUnmatched) {
+          f.via = r;
+          for (const Frame& fr : stack) {
+            match_l[fr.l] = fr.via;
+            match_r[fr.via] = fr.l;
+          }
+          return true;
+        }
+        if (dist[next] == dist[f.l] + 1) {
+          f.via = r;
+          stack.push_back(Frame{next, 0, 0});  // invalidates f
+          descended = true;
+          break;
+        }
       }
+      if (descended) continue;
+      dist[f.l] = kInf;
+      stack.pop_back();
     }
-    dist[l] = kInf;
     return false;
   };
 

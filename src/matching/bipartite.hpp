@@ -19,18 +19,27 @@ class BipartiteGraph {
  public:
   BipartiteGraph(std::size_t left_count, std::size_t right_count);
 
+  /// O(1): records the edge unconditionally. Duplicates are removed in one
+  /// O(E) pass the first time the graph is read (a per-insertion duplicate
+  /// scan made construction O(E·deg)). First-occurrence order is kept, so
+  /// adjacency lists — and hence augmenting-path choices — are identical
+  /// to what the scan-on-insert build produced.
   void add_edge(std::size_t left, std::size_t right);
 
   std::size_t left_count() const { return adj_.size(); }
   std::size_t right_count() const { return right_count_; }
   const std::vector<std::size_t>& neighbors(std::size_t left) const {
-    return adj_.at(left);
+    if (!deduped_) dedupe();
+    return adj_[left];
   }
   std::size_t edge_count() const;
 
  private:
-  std::vector<std::vector<std::size_t>> adj_;
+  void dedupe() const;
+
+  mutable std::vector<std::vector<std::size_t>> adj_;
   std::size_t right_count_;
+  mutable bool deduped_ = true;
 };
 
 /// match_of_left[l] = matched right vertex or kUnmatched.

@@ -1,5 +1,6 @@
 #include "routing/apsp.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace rtds {
@@ -13,29 +14,42 @@ std::vector<RoutingTable> phased_apsp(const Topology& topo,
     tables.emplace_back(s);
     tables.back().init_from_neighbors(topo);
   }
+  if (n == 0 || phases == 0) return tables;
+  // Synchronous semantics: all merges in a phase read the phase-start
+  // snapshot. The snapshot is double-buffered against the live tables:
+  // after each phase only the tables that changed are re-snapshotted, and
+  // merges from neighbours whose table did not change last phase are
+  // skipped outright. Both are exact no-ops on the monotone min-relaxation
+  // (re-offering an already-absorbed table can never win a tie), so the
+  // result is bit-identical to the copy-everything-every-phase loop.
+  std::vector<RoutingTable> snapshot = tables;
+  std::vector<char> changed(n, 1);
+  std::vector<char> changed_now(n);
   for (std::size_t phase = 0; phase < phases; ++phase) {
-    // Synchronous semantics: all sends happen against the phase-start
-    // snapshot, then all merges apply.
-    std::vector<RoutingTable> snapshot = tables;
-    bool changed = false;
+    std::fill(changed_now.begin(), changed_now.end(), 0);
     for (SiteId s = 0; s < n; ++s)
       for (const auto& nb : topo.neighbors(s))
-        changed |= tables[s].merge_from(nb.site, nb.delay, snapshot[nb.site]);
-    if (!changed) break;  // converged early; further phases are no-ops
+        if (changed[nb.site])
+          changed_now[s] |=
+              tables[s].merge_from(nb.site, nb.delay, snapshot[nb.site]);
+    bool any = false;
+    for (SiteId s = 0; s < n; ++s) {
+      if (changed_now[s]) {
+        snapshot[s] = tables[s];
+        any = true;
+      }
+    }
+    if (!any) break;  // converged early; further phases are no-ops
+    changed.swap(changed_now);
   }
   return tables;
 }
 
 namespace {
 
-/// Payload exchanged between neighbours: the sender's table as of the start
-/// of `phase`.
-struct ApspMessage {
-  std::size_t phase;
-  RoutingTable table;
-};
-
-/// Per-site protocol state for the distributed run.
+/// Per-site protocol state for the distributed run. The payload exchanged
+/// between neighbours is ApspTableMsg (core/messages.hpp): the sender's
+/// table as of the start of its current phase.
 struct ApspSite {
   RoutingTable table;
   std::size_t phase = 0;               // next phase to send
@@ -69,8 +83,7 @@ DistributedApspResult distributed_apsp(Simulator& sim, SimNetwork& net,
     auto& st = sites[s];
     for (const auto& nb : topo.neighbors(s)) {
       result.route_lines += st.table.size();
-      net.send_adjacent(s, nb.site,
-                        ApspMessage{st.phase, st.table},
+      net.send_adjacent(s, nb.site, ApspTableMsg{st.phase, st.table},
                         kApspMessageCategory);
     }
   };
@@ -104,8 +117,8 @@ DistributedApspResult distributed_apsp(Simulator& sim, SimNetwork& net,
   };
 
   for (SiteId s = 0; s < n; ++s) {
-    net.set_handler(s, [&, s](SiteId from, const std::any& payload) {
-      const auto& msg = std::any_cast<const ApspMessage&>(payload);
+    net.set_handler(s, [&, s](SiteId from, const MessageBody& payload) {
+      const auto& msg = std::get<ApspTableMsg>(payload);
       auto& st = sites[s];
       if (st.done) return;
       if (msg.phase == st.phase) {

@@ -7,55 +7,47 @@
 namespace rtds {
 
 bool Pcs::contains(SiteId s) const {
-  return std::any_of(members_.begin(), members_.end(),
-                     [s](const PcsMember& m) { return m.site == s; });
-}
-
-std::size_t Pcs::index_of(SiteId s) const {
-  for (std::size_t i = 0; i < members_.size(); ++i)
-    if (members_[i].site == s) return i;
-  RTDS_REQUIRE_MSG(false, "site " << s << " not in PCS(" << root_ << ")");
-  return 0;
+  return s < member_index_.size() && member_index_[s] != kNotMember;
 }
 
 const PcsMember& Pcs::member(SiteId s) const { return members_[index_of(s)]; }
 
 Time Pcs::delay(SiteId a, SiteId b) const {
-  return pair_delay_[index_of(a)][index_of(b)];
+  return pair_delay_[index_of(a) * members_.size() + index_of(b)];
 }
 
 std::size_t Pcs::hops(SiteId a, SiteId b) const {
-  return pair_hops_[index_of(a)][index_of(b)];
+  return pair_hops_[index_of(a) * members_.size() + index_of(b)];
 }
 
 Time Pcs::delay_diameter() const {
   Time best = 0.0;
-  for (const auto& row : pair_delay_)
-    for (Time d : row) best = std::max(best, d);
+  for (Time d : pair_delay_) best = std::max(best, d);
   return best;
 }
 
 std::size_t Pcs::hop_diameter() const {
   std::size_t best = 0;
-  for (const auto& row : pair_hops_)
-    for (std::size_t h : row) best = std::max(best, h);
+  for (std::size_t h : pair_hops_) best = std::max(best, h);
   return best;
 }
 
 Time Pcs::delay_diameter_of(const std::vector<SiteId>& subset) const {
+  const auto m = members_.size();
   Time best = 0.0;
   for (SiteId a : subset) {
-    const auto ia = index_of(a);
-    for (SiteId b : subset) best = std::max(best, pair_delay_[ia][index_of(b)]);
+    const Time* row = pair_delay_.data() + index_of(a) * m;
+    for (SiteId b : subset) best = std::max(best, row[index_of(b)]);
   }
   return best;
 }
 
 std::size_t Pcs::hop_diameter_of(const std::vector<SiteId>& subset) const {
+  const auto m = members_.size();
   std::size_t best = 0;
   for (SiteId a : subset) {
-    const auto ia = index_of(a);
-    for (SiteId b : subset) best = std::max(best, pair_hops_[ia][index_of(b)]);
+    const std::size_t* row = pair_hops_.data() + index_of(a) * m;
+    for (SiteId b : subset) best = std::max(best, row[index_of(b)]);
   }
   return best;
 }
@@ -67,36 +59,41 @@ Pcs Pcs::build(const std::vector<RoutingTable>& tables, SiteId root,
   pcs.root_ = root;
   pcs.radius_ = radius_h;
 
+  // Ascending destination scan, so members_ comes out sorted by site id.
   const RoutingTable& root_table = tables[root];
-  for (const auto& [dest, line] : root_table.lines()) {
-    if (line.dist == kInfiniteTime) continue;
-    if (line.hops <= radius_h)
+  pcs.member_index_.assign(tables.size(), kNotMember);
+  std::size_t member_count = 0;
+  for (SiteId dest = 0; dest < root_table.site_count(); ++dest)
+    if (root_table.has_route(dest) &&
+        root_table.route(dest).hops <= radius_h)
+      ++member_count;
+  pcs.members_.reserve(member_count);
+  for (SiteId dest = 0; dest < root_table.site_count(); ++dest) {
+    if (!root_table.has_route(dest)) continue;
+    const RouteLine& line = root_table.route(dest);
+    if (line.hops <= radius_h) {
+      pcs.member_index_[dest] = static_cast<std::int32_t>(pcs.members_.size());
       pcs.members_.push_back(PcsMember{dest, line.dist, line.hops});
+    }
   }
-  std::sort(pcs.members_.begin(), pcs.members_.end(),
-            [](const PcsMember& a, const PcsMember& b) {
-              return a.site < b.site;
-            });
 
   const auto m = pcs.members_.size();
-  pcs.pair_delay_.assign(m, std::vector<Time>(m, 0.0));
-  pcs.pair_hops_.assign(m, std::vector<std::size_t>(m, 0));
+  pcs.pair_delay_.assign(m * m, 0.0);
+  pcs.pair_hops_.assign(m * m, 0);
   for (std::size_t i = 0; i < m; ++i) {
     const SiteId a = pcs.members_[i].site;
     for (std::size_t j = 0; j < m; ++j) {
       if (i == j) continue;
       const SiteId b = pcs.members_[j].site;
-      if (tables[a].has_route(b) &&
-          tables[a].route(b).dist != kInfiniteTime) {
-        const auto& line = tables[a].route(b);
-        pcs.pair_delay_[i][j] = line.dist;
-        pcs.pair_hops_[i][j] = line.hops;
+      if (const RouteLine* line = tables[a].find(b)) {
+        pcs.pair_delay_[i * m + j] = line->dist;
+        pcs.pair_hops_[i * m + j] = line->hops;
       } else {
         // Relay through the root: always possible inside the sphere and a
         // safe over-estimate (the paper only needs an upper bound ω).
-        pcs.pair_delay_[i][j] =
+        pcs.pair_delay_[i * m + j] =
             pcs.members_[i].delay + pcs.members_[j].delay;
-        pcs.pair_hops_[i][j] = pcs.members_[i].hops + pcs.members_[j].hops;
+        pcs.pair_hops_[i * m + j] = pcs.members_[i].hops + pcs.members_[j].hops;
       }
     }
   }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "routing/routing_table.hpp"
@@ -54,14 +55,26 @@ class Pcs {
                    std::size_t radius_h);
 
  private:
-  std::size_t index_of(SiteId s) const;
+  static constexpr std::int32_t kNotMember = -1;
+
+  std::size_t index_of(SiteId s) const {
+    RTDS_REQUIRE_MSG(s < member_index_.size() &&
+                         member_index_[s] != kNotMember,
+                     "site " << s << " not in PCS(" << root_ << ")");
+    return static_cast<std::size_t>(member_index_[s]);
+  }
 
   SiteId root_ = kNoSite;
   std::size_t radius_ = 0;
   std::vector<PcsMember> members_;
-  // Dense member-index matrices.
-  std::vector<std::vector<Time>> pair_delay_;
-  std::vector<std::vector<std::size_t>> pair_hops_;
+  /// site id -> index into members_, kNotMember outside the sphere. O(1)
+  /// membership and pair lookups (index_of was a linear scan per call,
+  /// squaring the diameter computations).
+  std::vector<std::int32_t> member_index_;
+  // Dense member-index matrices, row-major m×m (one allocation each; a
+  // vector-of-vectors cost ~30 allocations per sphere, once per site).
+  std::vector<Time> pair_delay_;
+  std::vector<std::size_t> pair_hops_;
 };
 
 }  // namespace rtds

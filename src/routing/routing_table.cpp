@@ -1,47 +1,49 @@
 #include "routing/routing_table.hpp"
 
-#include "util/error.hpp"
-
 namespace rtds {
 
 RoutingTable::RoutingTable(SiteId owner) : owner_(owner) {}
 
 void RoutingTable::init_from_neighbors(const Topology& topo) {
   RTDS_REQUIRE(owner_ < topo.site_count());
-  lines_.clear();
+  lines_.assign(topo.site_count(), RouteLine{});
+  dests_.clear();
   lines_[owner_] = RouteLine{0.0, owner_, 0};
-  for (const auto& nb : topo.neighbors(owner_))
+  dests_.push_back(owner_);
+  for (const auto& nb : topo.neighbors(owner_)) {
     lines_[nb.site] = RouteLine{nb.delay, nb.site, 1};
+    dests_.push_back(nb.site);
+  }
 }
 
 const RouteLine& RoutingTable::route(SiteId dest) const {
-  const auto it = lines_.find(dest);
-  RTDS_REQUIRE_MSG(it != lines_.end(),
+  RTDS_REQUIRE_MSG(has_route(dest),
                    "site " << owner_ << " has no route to " << dest);
-  return it->second;
+  return lines_[dest];
 }
 
 bool RoutingTable::merge_from(SiteId neighbor, Time link_delay,
                               const RoutingTable& other) {
+  RTDS_REQUIRE(other.lines_.size() == lines_.size());
   bool changed = false;
-  for (const auto& [dest, line] : other.lines()) {
+  for (const SiteId dest : other.dests_) {
     if (dest == owner_) continue;
-    if (line.dist == kInfiniteTime) continue;
+    const RouteLine& line = other.lines_[dest];
     const Time cand_dist = link_delay + line.dist;
-    const std::size_t cand_hops = line.hops + 1;
-    auto it = lines_.find(dest);
+    const std::uint32_t cand_hops = line.hops + 1;
+    RouteLine& cur = lines_[dest];
     bool better;
-    if (it == lines_.end()) {
+    if (cur.dist == kInfiniteTime) {
       better = true;
+      dests_.push_back(dest);
     } else {
-      const RouteLine& cur = it->second;
       better = time_lt(cand_dist, cur.dist) ||
                (time_eq(cand_dist, cur.dist) &&
                 (cand_hops < cur.hops ||
                  (cand_hops == cur.hops && neighbor < cur.next_hop)));
     }
     if (better) {
-      lines_[dest] = RouteLine{cand_dist, neighbor, cand_hops};
+      cur = RouteLine{cand_dist, neighbor, cand_hops};
       changed = true;
     }
   }

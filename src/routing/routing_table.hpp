@@ -4,12 +4,20 @@
 // Bellman–Ford). We additionally track the hop length of the recorded path,
 // which the PCS needs both for membership (hop radius h) and for charging
 // routed sends with the correct number of link-messages.
+//
+// Storage is a dense per-destination array (unreachable = infinite dist),
+// not a map: merge_from and route() are the inner loop of the APSP build
+// and of every PCS construction, and the linear scan of a 16-byte-entry
+// array beats a node-based map walk by an order of magnitude. Iterate
+// destinations 0..site_count() and filter with has_route — entries come
+// out in ascending destination order, as the map did.
 #pragma once
 
 #include <cstddef>
-#include <map>
+#include <vector>
 
 #include "net/topology.hpp"
+#include "util/error.hpp"
 #include "util/time.hpp"
 
 namespace rtds {
@@ -17,7 +25,7 @@ namespace rtds {
 struct RouteLine {
   Time dist = kInfiniteTime;
   SiteId next_hop = kNoSite;
-  std::size_t hops = 0;
+  std::uint32_t hops = 0;
 };
 
 class RoutingTable {
@@ -27,12 +35,24 @@ class RoutingTable {
 
   SiteId owner() const { return owner_; }
 
+  /// Destinations the dense array covers (the whole topology after
+  /// init_from_neighbors).
+  std::size_t site_count() const { return lines_.size(); }
+
   /// Installs the trivial route to self plus one-hop routes to neighbours —
   /// the §7.1 start condition.
   void init_from_neighbors(const Topology& topo);
 
-  bool has_route(SiteId dest) const { return lines_.count(dest) > 0; }
+  bool has_route(SiteId dest) const {
+    return dest < lines_.size() && lines_[dest].dist != kInfiniteTime;
+  }
   const RouteLine& route(SiteId dest) const;
+
+  /// route() without the contract check: nullptr when unreachable. For
+  /// tight loops (PCS construction) that probe every pair.
+  const RouteLine* find(SiteId dest) const {
+    return has_route(dest) ? &lines_[dest] : nullptr;
+  }
 
   /// Merges a neighbour's table received over a link with the given delay:
   /// candidate distance = link delay + neighbour's distance. Shorter delay
@@ -41,12 +61,18 @@ class RoutingTable {
   /// Returns true if any line changed.
   bool merge_from(SiteId neighbor, Time link_delay, const RoutingTable& other);
 
-  const std::map<SiteId, RouteLine>& lines() const { return lines_; }
-  std::size_t size() const { return lines_.size(); }
+  /// Number of destinations with a route (the paper's table volume).
+  std::size_t size() const { return dests_.size(); }
 
  private:
   SiteId owner_ = kNoSite;
-  std::map<SiteId, RouteLine> lines_;
+  std::vector<RouteLine> lines_;
+  /// Reached destinations in first-reach order. merge_from iterates this
+  /// instead of the dense array: after an interrupted (2h-phase) APSP on a
+  /// wide network a table covers only the local neighbourhood, and each
+  /// destination's relaxation is independent, so iteration order does not
+  /// affect the result.
+  std::vector<SiteId> dests_;
 };
 
 }  // namespace rtds

@@ -16,7 +16,7 @@ void IdealTransport::set_handler(SiteId site, Handler handler) {
   handlers_[site] = std::move(handler);
 }
 
-std::size_t IdealTransport::send(SiteId from, SiteId to, std::any payload,
+std::size_t IdealTransport::send(SiteId from, SiteId to, MessageBody payload,
                                  int category, double size_units) {
   RTDS_REQUIRE(from < handlers_.size());
   RTDS_REQUIRE(to < handlers_.size());
@@ -59,7 +59,7 @@ void ContendedTransport::set_handler(SiteId site, Handler handler) {
   handlers_[site] = std::move(handler);
 }
 
-std::size_t ContendedTransport::send(SiteId from, SiteId to, std::any payload,
+std::size_t ContendedTransport::send(SiteId from, SiteId to, MessageBody payload,
                                      int category, double size_units) {
   RTDS_REQUIRE(from < handlers_.size());
   RTDS_REQUIRE(to < handlers_.size());
@@ -77,12 +77,12 @@ std::size_t ContendedTransport::send(SiteId from, SiteId to, std::any payload,
   const auto hops = tables_[from].route(to).hops;
   stats_.record(category, hops);
   forward(from, to,
-          std::make_shared<const std::any>(std::move(payload)), size_units);
+          std::make_shared<const MessageBody>(std::move(payload)), size_units);
   return hops;
 }
 
 void ContendedTransport::forward(SiteId at, SiteId to,
-                                 std::shared_ptr<const std::any> payload,
+                                 std::shared_ptr<const MessageBody> payload,
                                  double size_units) {
   // `at` on the first call is the origin; handlers receive the *logical*
   // sender, which we thread through the whole hop chain.
@@ -90,7 +90,7 @@ void ContendedTransport::forward(SiteId at, SiteId to,
 }
 
 void ContendedTransport::hop(SiteId origin, SiteId cur, SiteId to,
-                             std::shared_ptr<const std::any> payload,
+                             std::shared_ptr<const MessageBody> payload,
                              double size_units) {
   if (cur == to) {
     RTDS_CHECK(handlers_[to] != nullptr);

@@ -20,12 +20,12 @@
 // actually built.
 #pragma once
 
-#include <any>
 #include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "core/messages.hpp"
 #include "routing/routing_table.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -34,7 +34,7 @@ namespace rtds {
 
 class Transport {
  public:
-  using Handler = std::function<void(SiteId from, const std::any& payload)>;
+  using Handler = std::function<void(SiteId from, const MessageBody& payload)>;
 
   virtual ~Transport() = default;
 
@@ -43,7 +43,7 @@ class Transport {
   /// Sends `payload` from `from` to `to` (self-sends deliver immediately
   /// and are free). `size_units` models the message volume (task codes are
   /// bigger than acks). Returns the hop-weighted link-message count charged.
-  virtual std::size_t send(SiteId from, SiteId to, std::any payload,
+  virtual std::size_t send(SiteId from, SiteId to, MessageBody payload,
                            int category, double size_units) = 0;
 
   virtual const MessageStats& stats() const = 0;
@@ -57,7 +57,7 @@ class IdealTransport final : public Transport {
   IdealTransport(Simulator& sim, const std::vector<RoutingTable>& tables);
 
   void set_handler(SiteId site, Handler handler) override;
-  std::size_t send(SiteId from, SiteId to, std::any payload, int category,
+  std::size_t send(SiteId from, SiteId to, MessageBody payload, int category,
                    double size_units) override;
   const MessageStats& stats() const override { return stats_; }
 
@@ -78,7 +78,7 @@ class ContendedTransport final : public Transport {
                      double bandwidth);
 
   void set_handler(SiteId site, Handler handler) override;
-  std::size_t send(SiteId from, SiteId to, std::any payload, int category,
+  std::size_t send(SiteId from, SiteId to, MessageBody payload, int category,
                    double size_units) override;
   const MessageStats& stats() const override { return stats_; }
 
@@ -87,10 +87,10 @@ class ContendedTransport final : public Transport {
   Time max_queueing_delay() const { return max_queueing_delay_; }
 
  private:
-  void forward(SiteId at, SiteId to, std::shared_ptr<const std::any> payload,
-               double size_units);
+  void forward(SiteId at, SiteId to,
+               std::shared_ptr<const MessageBody> payload, double size_units);
   void hop(SiteId origin, SiteId cur, SiteId to,
-           std::shared_ptr<const std::any> payload, double size_units);
+           std::shared_ptr<const MessageBody> payload, double size_units);
 
   Simulator& sim_;
   const Topology& topo_;

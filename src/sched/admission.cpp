@@ -2,9 +2,15 @@
 
 #include <algorithm>
 
+#include "util/inline_vec.hpp"
+
 namespace rtds {
 
 namespace {
+
+/// Typical per-call task counts are single digits (the tasks of one logical
+/// processor); keep that case allocation-free.
+constexpr std::size_t kInlineTasks = 32;
 
 /// Plan copy we can extend during a trial without touching the real plan.
 class TrialPlan {
@@ -32,11 +38,12 @@ class TrialPlan {
   }
 
   void place(const Placement& p) {
-    placed_.push_back(p);
-    std::sort(placed_.begin(), placed_.end(),
-              [](const Placement& a, const Placement& b) {
-                return a.start < b.start;
-              });
+    // placed_ stays sorted by start (placements never overlap, so starts
+    // are unique and this equals the re-sort it replaces).
+    auto* pos = std::upper_bound(
+        placed_.begin(), placed_.end(), p,
+        [](const Placement& a, const Placement& b) { return a.start < b.start; });
+    placed_.insert(pos, p);
   }
 
   void unplace_last_of(TaskId task) {
@@ -51,39 +58,71 @@ class TrialPlan {
 
  private:
   const SchedulingPlan& base_;
-  std::vector<Placement> placed_;
+  InlineVec<Placement, kInlineTasks> placed_;
 };
 
-std::vector<WindowedTask> edf_order(std::span<const WindowedTask> tasks) {
-  std::vector<WindowedTask> order(tasks.begin(), tasks.end());
-  std::sort(order.begin(), order.end(),
-            [](const WindowedTask& a, const WindowedTask& b) {
-              if (!time_eq(a.deadline, b.deadline)) return a.deadline < b.deadline;
-              if (!time_eq(a.release, b.release)) return a.release < b.release;
-              return a.task < b.task;
-            });
-  return order;
+void sort_edf(WindowedTask* first, WindowedTask* last) {
+  const auto before = [](const WindowedTask& a, const WindowedTask& b) {
+    if (!time_eq(a.deadline, b.deadline)) return a.deadline < b.deadline;
+    if (!time_eq(a.release, b.release)) return a.release < b.release;
+    return a.task < b.task;
+  };
+  const std::ptrdiff_t n = last - first;
+  if (n <= 16) {  // typical case; std::sort's dispatch costs more than it buys
+    for (std::ptrdiff_t i = 1; i < n; ++i) {
+      const WindowedTask key = first[i];
+      std::ptrdiff_t j = i;
+      while (j > 0 && before(key, first[j - 1])) {
+        first[j] = first[j - 1];
+        --j;
+      }
+      first[j] = key;
+    }
+    return;
+  }
+  std::sort(first, last, before);
+}
+
+}  // namespace
+
+namespace {
+
+/// Shared EDF pass; `emit` receives each placement in EDF order.
+template <typename Emit>
+bool run_edf(const SchedulingPlan& plan, std::span<const WindowedTask> tasks,
+             Emit&& emit) {
+  for (const auto& t : tasks) {
+    RTDS_REQUIRE(t.cost > 0.0);
+    if (time_gt(t.release + t.cost, t.deadline)) return false;
+  }
+  TrialPlan trial(plan);
+  InlineVec<WindowedTask, kInlineTasks> order;
+  for (const auto& t : tasks) order.push_back(t);
+  sort_edf(order.begin(), order.end());
+  for (const auto& t : order) {
+    const Time start = trial.earliest_fit(t.release, t.deadline, t.cost);
+    if (start == kInfiniteTime) return false;
+    const Placement p{t.task, start, start + t.cost};
+    trial.place(p);
+    emit(p);
+  }
+  return true;
 }
 
 }  // namespace
 
 std::optional<std::vector<Placement>> admit_edf(
     const SchedulingPlan& plan, std::span<const WindowedTask> tasks) {
-  for (const auto& t : tasks) {
-    RTDS_REQUIRE(t.cost > 0.0);
-    if (time_gt(t.release + t.cost, t.deadline)) return std::nullopt;
-  }
-  TrialPlan trial(plan);
   std::vector<Placement> placements;
   placements.reserve(tasks.size());
-  for (const auto& t : edf_order(tasks)) {
-    const Time start = trial.earliest_fit(t.release, t.deadline, t.cost);
-    if (start == kInfiniteTime) return std::nullopt;
-    const Placement p{t.task, start, start + t.cost};
-    trial.place(p);
-    placements.push_back(p);
-  }
+  if (!run_edf(plan, tasks, [&](const Placement& p) { placements.push_back(p); }))
+    return std::nullopt;
   return placements;
+}
+
+bool admit_edf_feasible(const SchedulingPlan& plan,
+                        std::span<const WindowedTask> tasks) {
+  return run_edf(plan, tasks, [](const Placement&) {});
 }
 
 namespace {

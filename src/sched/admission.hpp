@@ -41,6 +41,11 @@ struct Placement {
 std::optional<std::vector<Placement>> admit_edf(
     const SchedulingPlan& plan, std::span<const WindowedTask> tasks);
 
+/// Same decision as admit_edf without materializing the placements —
+/// allocation-free, for the §10 validation loop that only asks yes/no.
+bool admit_edf_feasible(const SchedulingPlan& plan,
+                        std::span<const WindowedTask> tasks);
+
 /// Exact non-preemptive feasibility via branch and bound over task orders,
 /// with earliest-fit placement and deadline-based pruning. Exponential worst
 /// case: requires tasks.size() <= max_tasks (default 12).

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "dag/analysis.hpp"
+#include "util/inline_vec.hpp"
 
 namespace rtds {
 
@@ -115,19 +116,20 @@ std::optional<std::vector<Placement>> LocalScheduler::try_accept_dag_local(
 
   // Greedy list scheduling by bottom level into idle gaps; on one site all
   // communication is free, so only ordering and gaps matter.
-  const auto priority = bottom_levels(dag);
-  std::vector<Time> finish(dag.task_count(), 0.0);
-  std::vector<bool> scheduled(dag.task_count(), false);
-  std::vector<std::size_t> missing_preds(dag.task_count());
+  const auto& priority = dag.bottom_levels();
+  InlineVec<Time, 32> finish;
+  finish.assign(dag.task_count(), 0.0);
+  InlineVec<std::size_t, 32> missing_preds;
+  missing_preds.assign(dag.task_count(), 0);
   for (TaskId t = 0; t < dag.task_count(); ++t)
     missing_preds[t] = dag.predecessors(t).size();
 
-  std::vector<TaskId> ready;
+  InlineVec<TaskId, 32> ready;
   for (TaskId t : dag.sources()) ready.push_back(t);
 
   // Trial placements (not committed until all succeed).
   SchedulingPlan trial = plan_;
-  std::vector<Reservation> reservations;
+  InlineVec<Reservation, 32> reservations;
   Time completion = earliest_start;
   std::size_t done = 0;
   while (!ready.empty()) {
@@ -140,7 +142,7 @@ std::optional<std::vector<Placement>> LocalScheduler::try_accept_dag_local(
         best = i;
     }
     const TaskId t = ready[best];
-    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+    ready.erase(ready.begin() + best);
 
     Time est = earliest_start;
     for (TaskId p : dag.predecessors(t)) est = std::max(est, finish[p]);
@@ -152,7 +154,6 @@ std::optional<std::vector<Placement>> LocalScheduler::try_accept_dag_local(
     reservations.push_back(r);
     finish[t] = r.end;
     completion = std::max(completion, r.end);
-    scheduled[t] = true;
     ++done;
     for (TaskId s : dag.successors(t))
       if (--missing_preds[s] == 0) ready.push_back(s);
@@ -170,7 +171,13 @@ std::optional<std::vector<Placement>> LocalScheduler::try_accept_dag_local(
 
 std::optional<std::vector<Placement>> LocalScheduler::test_windowed(
     std::span<const WindowedTask> tasks) const {
-  const auto scaled = scale_costs(tasks);
+  // Unit computing power needs no cost scaling — run on the caller's span.
+  std::vector<WindowedTask> scaled_storage;
+  std::span<const WindowedTask> scaled = tasks;
+  if (cfg_.computing_power != 1.0) {
+    scaled_storage = scale_costs(tasks);
+    scaled = scaled_storage;
+  }
   switch (cfg_.policy) {
     case AdmissionPolicy::kEdf:
       return admit_edf(plan_, scaled);
@@ -183,6 +190,23 @@ std::optional<std::vector<Placement>> LocalScheduler::test_windowed(
   }
   RTDS_CHECK(false);
   return std::nullopt;
+}
+
+bool LocalScheduler::test_windowed_feasible(
+    std::span<const WindowedTask> tasks) const {
+  // Allocation-free fast path exactly where test_windowed would run greedy
+  // EDF; the other policies share test_windowed's dispatch so the two
+  // entry points cannot drift apart.
+  if (cfg_.policy == AdmissionPolicy::kEdf ||
+      (cfg_.policy == AdmissionPolicy::kExact &&
+       tasks.size() > cfg_.exact_max_tasks)) {
+    if (cfg_.computing_power != 1.0) {
+      const auto scaled = scale_costs(tasks);
+      return admit_edf_feasible(plan_, scaled);
+    }
+    return admit_edf_feasible(plan_, tasks);
+  }
+  return test_windowed(tasks).has_value();
 }
 
 void LocalScheduler::commit(JobId job, std::span<const WindowedTask> tasks,

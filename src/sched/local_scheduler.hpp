@@ -67,6 +67,10 @@ class LocalScheduler {
   std::optional<std::vector<Placement>> test_windowed(
       std::span<const WindowedTask> tasks) const;
 
+  /// test_windowed's yes/no, without materializing placements (the §10
+  /// endorsement loop runs this once per logical processor per site).
+  bool test_windowed_feasible(std::span<const WindowedTask> tasks) const;
+
   /// Commits previously tested placements under a job id. The caller must
   /// pass placements produced against the current plan state.
   void commit(JobId job, std::span<const WindowedTask> tasks,

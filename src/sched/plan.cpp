@@ -63,8 +63,18 @@ std::vector<TimeInterval> SchedulingPlan::idle_intervals(Time from,
 }
 
 Time SchedulingPlan::idle_time(Time from, Time to) const {
+  // Same walk as idle_intervals, accumulating lengths without building the
+  // vector (surplus() runs on every enrollment).
   Time total = 0.0;
-  for (const auto& g : idle_intervals(from, to)) total += g.length();
+  Time cursor = from;
+  for (const auto& r : items_) {
+    if (time_le(r.end, cursor)) continue;
+    if (time_ge(r.start, to)) break;
+    if (time_lt(cursor, r.start)) total += std::min(r.start, to) - cursor;
+    cursor = std::max(cursor, r.end);
+    if (time_ge(cursor, to)) break;
+  }
+  if (time_lt(cursor, to)) total += to - cursor;
   return total;
 }
 

@@ -4,6 +4,12 @@
 
 namespace rtds {
 
+// The zero-allocation contract: a MessageBody moves without throwing (so
+// delivery closures qualify for EventFn's inline buffer) and the closure
+// below actually fits that buffer.
+static_assert(std::is_nothrow_move_constructible_v<MessageBody>,
+              "MessageBody must be nothrow-movable for inline event storage");
+
 SimNetwork::SimNetwork(Simulator& sim, const Topology& topo)
     : sim_(sim), topo_(topo), handlers_(topo.site_count()) {}
 
@@ -13,7 +19,7 @@ void SimNetwork::set_handler(SiteId site, Handler handler) {
   handlers_[site] = std::move(handler);
 }
 
-void SimNetwork::send_adjacent(SiteId from, SiteId to, std::any payload,
+void SimNetwork::send_adjacent(SiteId from, SiteId to, MessageBody payload,
                                int category) {
   RTDS_REQUIRE_MSG(topo_.adjacent(from, to),
                    "send_adjacent requires a link " << from << "--" << to);
@@ -22,7 +28,8 @@ void SimNetwork::send_adjacent(SiteId from, SiteId to, std::any payload,
 }
 
 void SimNetwork::send_routed(SiteId from, SiteId to, Time path_delay,
-                             std::size_t hops, std::any payload, int category) {
+                             std::size_t hops, MessageBody payload,
+                             int category) {
   RTDS_REQUIRE(from < handlers_.size());
   RTDS_REQUIRE(to < handlers_.size());
   if (from == to) {
@@ -36,7 +43,7 @@ void SimNetwork::send_routed(SiteId from, SiteId to, Time path_delay,
   deliver(from, to, path_delay, std::move(payload));
 }
 
-void SimNetwork::send_local(SiteId site, Time delay, std::any payload,
+void SimNetwork::send_local(SiteId site, Time delay, MessageBody payload,
                             int category) {
   RTDS_REQUIRE(site < handlers_.size());
   RTDS_REQUIRE(delay >= 0.0);
@@ -45,12 +52,15 @@ void SimNetwork::send_local(SiteId site, Time delay, std::any payload,
 }
 
 void SimNetwork::deliver(SiteId from, SiteId to, Time delay,
-                         std::any payload) {
-  sim_.schedule_in(delay, [this, from, to, p = std::move(payload)]() {
+                         MessageBody payload) {
+  auto fire = [this, from, to, p = std::move(payload)]() {
     RTDS_CHECK_MSG(handlers_[to] != nullptr,
                    "no handler registered for site " << to);
     handlers_[to](from, p);
-  });
+  };
+  static_assert(EventFn::stores_inline<decltype(fire)>(),
+                "delivery closure must fit EventFn's inline buffer");
+  sim_.schedule_in(delay, std::move(fire));
 }
 
 }  // namespace rtds

@@ -11,31 +11,105 @@
 //    reflects real link usage, which is what the paper's "limited number of
 //    communication links" claim is about.
 //
-// Payloads are type-erased (std::any); the protocol layers define their own
-// message structs. Every send carries a small integer category for
-// per-message-type accounting.
+// Payloads are MessageBody — a closed variant over every protocol struct
+// (core/messages.hpp) — so a send moves the body straight into the
+// delivery event's inline storage: no heap allocation per message. Every
+// send carries a small integer category for per-message-type accounting.
 #pragma once
 
-#include <any>
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <string>
+#include <utility>
 #include <vector>
 
+#include "core/messages.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
+#include "util/error.hpp"
 
 namespace rtds {
 
-/// Per-category message counters.
+/// Per-category message counters. Categories are small dense integers
+/// (protocol 1–6, baselines 11–23, APSP 100), so the table is a flat
+/// array indexed by category — the per-send increment is two adds, not a
+/// std::map walk. `by_category` keeps the map-shaped read API (at /
+/// count / iteration over recorded categories, ascending).
 struct MessageStats {
   struct Entry {
     std::uint64_t sends = 0;          ///< logical sends
     std::uint64_t link_messages = 0;  ///< hop-weighted physical messages
   };
 
-  std::map<int, Entry> by_category;
+  class CategoryCounters {
+   public:
+    /// One past the largest category in the tree (kApspMessageCategory).
+    static constexpr int kCapacity = 101;
+
+    Entry& operator[](int category) {
+      const auto i = checked(category);
+      recorded_[i] = true;
+      return slots_[i];
+    }
+
+    const Entry& at(int category) const {
+      const auto i = checked(category);
+      RTDS_REQUIRE_MSG(recorded_[i], "category " << category
+                                                 << " never recorded");
+      return slots_[i];
+    }
+
+    std::size_t count(int category) const {
+      return recorded_[checked(category)] ? 1u : 0u;
+    }
+
+    void clear() {
+      slots_.fill(Entry{});
+      recorded_.fill(false);
+    }
+
+    /// Iterates (category, entry) over recorded categories in ascending
+    /// category order — the iteration order of the std::map it replaces.
+    class const_iterator {
+     public:
+      const_iterator(const CategoryCounters* c, int i) : c_(c), i_(i) {
+        skip();
+      }
+      std::pair<int, const Entry&> operator*() const {
+        return {i_, c_->slots_[static_cast<std::size_t>(i_)]};
+      }
+      const_iterator& operator++() {
+        ++i_;
+        skip();
+        return *this;
+      }
+      bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+      bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+
+     private:
+      void skip() {
+        while (i_ < kCapacity && !c_->recorded_[static_cast<std::size_t>(i_)])
+          ++i_;
+      }
+      const CategoryCounters* c_;
+      int i_;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, kCapacity}; }
+
+   private:
+    static std::size_t checked(int category) {
+      RTDS_REQUIRE_MSG(category >= 0 && category < kCapacity,
+                       "message category " << category << " out of range");
+      return static_cast<std::size_t>(category);
+    }
+
+    std::array<Entry, kCapacity> slots_{};
+    std::array<bool, kCapacity> recorded_{};
+  };
+
+  CategoryCounters by_category;
   std::uint64_t total_sends = 0;
   std::uint64_t total_link_messages = 0;
 
@@ -54,11 +128,11 @@ struct MessageStats {
   }
 };
 
-/// Delivers type-erased messages between sites with simulated delays.
+/// Delivers typed messages between sites with simulated delays.
 class SimNetwork {
  public:
   /// (from, payload) -> handled by the receiving site's handler.
-  using Handler = std::function<void(SiteId from, const std::any& payload)>;
+  using Handler = std::function<void(SiteId from, const MessageBody& payload)>;
 
   SimNetwork(Simulator& sim, const Topology& topo);
 
@@ -70,7 +144,7 @@ class SimNetwork {
 
   /// Sends one hop across an existing physical link; arrives after the link
   /// delay. Charged 1 link-message.
-  void send_adjacent(SiteId from, SiteId to, std::any payload,
+  void send_adjacent(SiteId from, SiteId to, MessageBody payload,
                      int category = 0);
 
   /// Sends along a known multi-hop route: arrives after `path_delay`,
@@ -78,17 +152,18 @@ class SimNetwork {
   /// delay/hops it learned during PCS construction; hops must be >= 1 for
   /// distinct sites.
   void send_routed(SiteId from, SiteId to, Time path_delay, std::size_t hops,
-                   std::any payload, int category = 0);
+                   MessageBody payload, int category = 0);
 
   /// Local self-delivery after `delay` (e.g. mapper compute time). Charged
   /// zero link-messages.
-  void send_local(SiteId site, Time delay, std::any payload, int category = 0);
+  void send_local(SiteId site, Time delay, MessageBody payload,
+                  int category = 0);
 
   MessageStats& stats() { return stats_; }
   const MessageStats& stats() const { return stats_; }
 
  private:
-  void deliver(SiteId from, SiteId to, Time delay, std::any payload);
+  void deliver(SiteId from, SiteId to, Time delay, MessageBody payload);
 
   Simulator& sim_;
   const Topology& topo_;

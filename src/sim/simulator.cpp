@@ -1,44 +1,268 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 namespace rtds {
 
-void Simulator::schedule_at(Time at, EventFn fn) {
-  RTDS_REQUIRE_MSG(time_ge(at, now_),
-                   "cannot schedule in the past: " << at << " < " << now_);
-  RTDS_REQUIRE(fn != nullptr);
-  // Clamp FP noise so now() never goes backwards.
-  queue_.push(Event{std::max(at, now_), next_seq_++, std::move(fn)});
+namespace {
+
+/// Staged batches small enough that per-node heap pushes beat setting up a
+/// bucket sort.
+constexpr std::size_t kSmallBatch = 8;
+
+/// Batches above this get the coarse pre-pass; below it, a single fine
+/// scatter already fits the cache.
+constexpr std::size_t kCoarseThreshold = 8192;
+constexpr std::size_t kCoarseBuckets = 64;
+
+/// Small ranges (and the per-bucket fix-ups) use insertion sort.
+constexpr std::size_t kInsertionSortMax = 32;
+
+}  // namespace
+
+void Simulator::push_heap_node(const Node& n) {
+  heap_.push_back(n);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(n, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = n;
+}
+
+void Simulator::pop_heap_node() {
+  const Node last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c)
+      if (earlier(heap_[c], heap_[best])) best = c;
+    if (!earlier(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+/// Linear-time bucket sort on the event time, two-phase so the scatter
+/// working set stays cache-resident: a huge batch first fans out into 64
+/// coarse buckets (few write streams, pure streaming), then each coarse
+/// bucket — now cache-sized — is scattered at fine granularity. staged_ is
+/// in scheduling order (seq strictly ascending), the counting scatter is
+/// stable, and the per-bucket fix-ups use the full (time, seq) order — so
+/// equal times end up in scheduling order, exactly as a comparison sort
+/// would leave them.
+void Simulator::sort_staged_ascending() {
+  const std::size_t n = staged_.size();
+  scratch_.resize(n);
+  Node* const data = staged_.data();
+  if (n <= kCoarseThreshold) {
+    sort_fine(data, n);
+    return;
+  }
+  Time lo = data[0].at, hi = data[0].at;
+  for (std::size_t i = 1; i < n; ++i) {
+    lo = std::min(lo, data[i].at);
+    hi = std::max(hi, data[i].at);
+  }
+  if (!(hi > lo)) return;  // all timestamps equal: input order is the answer
+
+  const double scale = static_cast<double>(kCoarseBuckets) / (hi - lo);
+  auto bucket_of = [&](const Node& node) {
+    const auto b = static_cast<std::size_t>((node.at - lo) * scale);
+    return std::min(b, kCoarseBuckets - 1);
+  };
+  std::uint32_t counts[kCoarseBuckets + 1] = {};
+  for (std::size_t i = 0; i < n; ++i) ++counts[bucket_of(data[i]) + 1];
+  for (std::size_t b = 1; b <= kCoarseBuckets; ++b) counts[b] += counts[b - 1];
+  {
+    std::uint32_t cursor[kCoarseBuckets];
+    std::copy(counts, counts + kCoarseBuckets, cursor);
+    for (std::size_t i = 0; i < n; ++i)
+      scratch_[cursor[bucket_of(data[i])]++] = data[i];
+  }
+  std::copy(scratch_.begin(), scratch_.begin() + static_cast<std::ptrdiff_t>(n),
+            data);
+  for (std::size_t b = 0; b < kCoarseBuckets; ++b) {
+    const std::size_t len = counts[b + 1] - counts[b];
+    if (len <= 1) continue;
+    if (len > kCoarseThreshold) {
+      // Adversarial clustering: give up on linear-time for this bucket.
+      std::sort(data + counts[b], data + counts[b + 1], earlier);
+    } else {
+      sort_fine(data + counts[b], len);
+    }
+  }
+}
+
+void Simulator::sort_fine(Node* first, std::size_t n) {
+  if (n <= kInsertionSortMax) {
+    insertion_sort_nodes(first, n);
+    return;
+  }
+  Time lo = first[0].at, hi = first[0].at;
+  for (std::size_t i = 1; i < n; ++i) {
+    lo = std::min(lo, first[i].at);
+    hi = std::max(hi, first[i].at);
+  }
+  if (!(hi > lo)) return;  // all timestamps equal: input order is the answer
+
+  const std::size_t buckets = std::bit_ceil(n);
+  const double scale = static_cast<double>(buckets) / (hi - lo);
+  auto bucket_of = [&](const Node& node) {
+    const auto b = static_cast<std::size_t>((node.at - lo) * scale);
+    return std::min(b, buckets - 1);
+  };
+  bucket_counts_.assign(buckets + 1, 0);
+  std::uint32_t* counts = bucket_counts_.data();
+  for (std::size_t i = 0; i < n; ++i) ++counts[bucket_of(first[i]) + 1];
+  for (std::size_t b = 1; b <= buckets; ++b) counts[b] += counts[b - 1];
+
+  Node* const out = scratch_.data() + (first - staged_.data());
+  {
+    std::uint32_t* cursor = counts;  // walks each bucket start -> end
+    for (std::size_t i = 0; i < n; ++i)
+      out[cursor[bucket_of(first[i])]++] = first[i];
+  }
+  std::copy(out, out + n, first);
+
+  // counts[b] now holds bucket b's END offset; fix up each bucket.
+  std::size_t begin = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t end = counts[b];
+    const std::size_t len = end - begin;
+    if (len > 1) {
+      if (len <= kInsertionSortMax)
+        insertion_sort_nodes(first + begin, len);
+      else
+        std::sort(first + begin, first + end, earlier);
+    }
+    begin = end;
+  }
+}
+
+void Simulator::insertion_sort_nodes(Node* first, std::size_t n) {
+  for (std::size_t i = 1; i < n; ++i) {
+    const Node key = first[i];
+    std::size_t j = i;
+    while (j > 0 && earlier(key, first[j - 1])) {
+      first[j] = first[j - 1];
+      --j;
+    }
+    first[j] = key;
+  }
+}
+
+void Simulator::flush_staged() {
+  const std::size_t s = staged_.size();
+  if (s == 0) return;
+  const std::size_t live = run_.size() - run_head_;
+  if (s <= kSmallBatch || s * 8 < live) {
+    // Too small to be worth (re)building a run: feed the heap.
+    for (const Node& n : staged_) push_heap_node(n);
+    staged_.clear();
+    return;
+  }
+  sort_staged_ascending();
+  if (live == 0) {
+    run_.swap(staged_);
+  } else {
+    scratch_.clear();
+    scratch_.reserve(live + s);
+    std::merge(run_.begin() + static_cast<std::ptrdiff_t>(run_head_),
+               run_.end(), staged_.begin(), staged_.end(),
+               std::back_inserter(scratch_), earlier);
+    run_.swap(scratch_);
+  }
+  run_head_ = 0;
+  staged_.clear();
+}
+
+const Simulator::Node* Simulator::peek() const {
+  const Node* best = run_head_ < run_.size() ? &run_[run_head_] : nullptr;
+  if (!heap_.empty() && (best == nullptr || earlier(heap_[0], *best)))
+    best = &heap_[0];
+  return best;
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // Move out of the const top; priority_queue has no non-const top().
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.at;
+  flush_staged();
+  const bool have_run = run_head_ < run_.size();
+  const bool have_heap = !heap_.empty();
+  if (!have_run && !have_heap) return false;
+  Node top;
+  if (have_run && (!have_heap || earlier(run_[run_head_], heap_[0]))) {
+    top = run_[run_head_++];
+    if (run_head_ == run_.size()) {
+      run_.clear();
+      run_head_ = 0;
+    } else if (run_head_ + 4 < run_.size()) {
+      // Slab slots were filled in scheduling order but are consumed in time
+      // order, so the slot walk is random; the run tells us the slots a few
+      // pops ahead — pull them into cache while this event executes.
+      const std::uint32_t ahead = run_[run_head_ + 4].slot;
+      if (ahead & kBigSlot)
+        big_slab_.prefetch(ahead & ~kBigSlot);
+      else
+        small_slab_.prefetch(ahead);
+    }
+  } else {
+    top = heap_[0];
+    pop_heap_node();
+  }
+  now_ = top.at;
   ++executed_;
-  ev.fn();
+  // Invoke in place: the slot stays occupied (not in the free list) while
+  // the event body runs, and chunk storage is stable even if the body
+  // schedules events that grow the slab. Recycle after.
+  if (top.slot & kBigSlot) {
+    const std::uint32_t id = top.slot & ~kBigSlot;
+    EventFn& fn = big_slab_.at(id);
+    fn();
+    fn = nullptr;
+    big_slab_.release(id);
+  } else {
+    SmallEventFn& fn = small_slab_.at(top.slot);
+    fn();
+    fn = nullptr;
+    small_slab_.release(top.slot);
+  }
   return true;
 }
 
 std::size_t Simulator::run(std::size_t max_events) {
   std::size_t fired = 0;
   while (fired < max_events && step()) ++fired;
-  RTDS_CHECK_MSG(fired < max_events || queue_.empty(),
+  RTDS_CHECK_MSG(fired < max_events || !has_events(),
                  "event budget exhausted at t=" << now_);
   return fired;
 }
 
 std::size_t Simulator::run_until(Time t_end, std::size_t max_events) {
   std::size_t fired = 0;
-  while (fired < max_events && !queue_.empty() &&
-         time_le(queue_.top().at, t_end)) {
+  for (;;) {
+    flush_staged();
+    const Node* next = peek();
+    if (next == nullptr || !time_le(next->at, t_end)) break;
+    if (fired == max_events) {
+      // Budget exhaustion means eligible events remain, mirroring run():
+      // draining — or everything left being beyond t_end — is a normal
+      // return even when fired == max_events.
+      RTDS_CHECK_MSG(false, "event budget exhausted at t=" << now_);
+    }
     step();
     ++fired;
   }
-  RTDS_CHECK_MSG(fired < max_events, "event budget exhausted at t=" << now_);
   return fired;
 }
 

@@ -4,13 +4,39 @@
 // scheduling order (a monotonic sequence number breaks ties), so a run is
 // reproducible bit-for-bit from its inputs. This is the substrate standing
 // in for the paper's physical "arbitrary wide network" testbed.
+//
+// The queue is allocation-free in steady state and sorts nothing until it
+// must. Event callables are EventFn (small-buffer-optimized, see
+// event_fn.hpp) stored in a slab of fixed-size slots recycled through a
+// free list; the priority structure holds only 24-byte POD nodes
+// (time, seq, slot) split across three tiers:
+//
+//  * staged_ — raw appends, in scheduling order. Nothing is ordered at
+//    schedule time, so bulk loads (a scenario's whole arrival list, the
+//    event-queue microbenchmark) cost O(1) per event.
+//  * run_   — an ascending sorted run consumed through a cursor. A large
+//    staged batch becomes a run via a linear-time bucket sort keyed on the
+//    event time (stable, so equal times keep scheduling order), not a
+//    comparison sort.
+//  * heap_  — a 4-ary implicit min-heap for events scheduled while a run
+//    is live (the protocol's dynamic sends), which would otherwise force
+//    repeated re-sorting.
+//
+// step() flushes staged_ and pops the global (time, seq) minimum of
+// run_/heap_, which is exactly the pop order of the std::priority_queue
+// this replaces: the key is unique, so any correct priority queue yields
+// the identical event sequence.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "util/error.hpp"
 #include "util/time.hpp"
 
@@ -18,18 +44,44 @@ namespace rtds {
 
 class Simulator {
  public:
-  using EventFn = std::function<void()>;
-
   Time now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `at` (>= now).
-  void schedule_at(Time at, EventFn fn);
+  /// Schedules `fn` at absolute time `at` (>= now). The callable is
+  /// constructed directly in a slot of the size-class slab its capture
+  /// needs — no temporary, no relocation, no allocation.
+  template <typename F,
+            typename = std::enable_if_t<
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void schedule_at(Time at, F&& fn) {
+    RTDS_REQUIRE_MSG(time_ge(at, now_),
+                     "cannot schedule in the past: " << at << " < " << now_);
+    if constexpr (std::is_same_v<std::decay_t<F>, EventFn>)
+      RTDS_REQUIRE(fn != nullptr);
+    std::uint32_t idx;
+    if constexpr (SmallEventFn::stores_inline<F>()) {
+      idx = small_slab_.place(std::forward<F>(fn));
+    } else {
+      idx = big_slab_.place(std::forward<F>(fn)) | kBigSlot;
+    }
+    // Clamp FP noise so now() never goes backwards.
+    if (staged_.capacity() == 0) staged_.reserve(64);
+    staged_.push_back(Node{std::max(at, now_), next_seq_++, idx});
+  }
 
   /// Schedules `fn` after a non-negative delay.
-  void schedule_in(Time delay, EventFn fn) { schedule_at(now_ + delay, std::move(fn)); }
+  template <typename F,
+            typename = std::enable_if_t<
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void schedule_in(Time delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
-  bool has_events() const { return !queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool has_events() const {
+    return !staged_.empty() || run_head_ < run_.size() || !heap_.empty();
+  }
+  std::size_t pending() const {
+    return staged_.size() + (run_.size() - run_head_) + heap_.size();
+  }
 
   /// Executes the next event; returns false if none remain.
   bool step();
@@ -46,21 +98,114 @@ class Simulator {
   static constexpr std::size_t kDefaultEventBudget = 100'000'000;
 
  private:
-  struct Event {
+  /// Queue node: POD, so sorting and sifting move 24 bytes, never a
+  /// callable.
+  struct Node {
     Time at;
     std::uint64_t seq;
-    EventFn fn;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+
+  /// Strict weak order of the original priority_queue, inverted to
+  /// min-first. seq is unique, so this is a total order.
+  static bool earlier(const Node& a, const Node& b) {
+    return a.at < b.at || (a.at == b.at && a.seq < b.seq);
+  }
+
+  void flush_staged();
+  void sort_staged_ascending();
+  void sort_fine(Node* first, std::size_t n);
+  static void insertion_sort_nodes(Node* first, std::size_t n);
+  void push_heap_node(const Node& n);
+  void pop_heap_node();
+  /// Global (time, seq) minimum across run_ and heap_; staged_ must be
+  /// flushed. Returns nullptr when drained.
+  const Node* peek() const;
+
+  /// Fixed-size-slot pool for one callable size class. Slots live in raw
+  /// chunks (no value-init sweep); construction happens on first use via a
+  /// monotone bump cursor, recycling via a LIFO free list. Chunk storage
+  /// never moves, so an executing event may schedule freely.
+  template <typename FnT>
+  class Slab {
+   public:
+    static constexpr std::uint32_t kChunkShift = 8;
+    static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+    Slab() = default;
+    Slab(const Slab&) = delete;
+    Slab& operator=(const Slab&) = delete;
+    ~Slab() {
+      // Every id below the bump cursor holds a constructed FnT (freed slots
+      // were reset to empty, pending ones still own their callable).
+      for (std::uint32_t id = 0; id < bump_next_; ++id) at(id).~FnT();
     }
+
+    /// Constructs `fn` in a slot and returns its id.
+    template <typename F>
+    std::uint32_t place(F&& fn) {
+      if (!free_.empty()) {
+        const std::uint32_t id = free_.back();
+        free_.pop_back();
+        at(id).emplace(std::forward<F>(fn));
+        return id;
+      }
+      if (bump_next_ == bump_end_) grow();
+      const std::uint32_t id = bump_next_++;
+      ::new (static_cast<void*>(addr(id))) FnT(std::forward<F>(fn));
+      return id;
+    }
+
+    FnT& at(std::uint32_t id) {
+      return *std::launder(reinterpret_cast<FnT*>(addr(id)));
+    }
+
+    void prefetch(std::uint32_t id) const {
+      __builtin_prefetch(chunks_[id >> kChunkShift].get() +
+                         sizeof(FnT) * (id & (kChunkSize - 1)));
+    }
+
+    /// Recycles a slot whose callable has already been reset to empty.
+    void release(std::uint32_t id) { free_.push_back(id); }
+
+   private:
+    std::byte* addr(std::uint32_t id) {
+      return chunks_[id >> kChunkShift].get() +
+             sizeof(FnT) * (id & (kChunkSize - 1));
+    }
+    void grow() {
+      chunks_.push_back(
+          std::make_unique_for_overwrite<std::byte[]>(kChunkSize *
+                                                      sizeof(FnT)));
+      bump_next_ = (static_cast<std::uint32_t>(chunks_.size()) - 1)
+                   << kChunkShift;
+      bump_end_ = bump_next_ + kChunkSize;
+    }
+
+    std::vector<std::unique_ptr<std::byte[]>> chunks_;
+    std::vector<std::uint32_t> free_;
+    std::uint32_t bump_next_ = 0;
+    std::uint32_t bump_end_ = 0;
   };
+
+  /// Node::slot tag: big-slab ids have the top bit set.
+  static constexpr std::uint32_t kBigSlot = 0x8000'0000u;
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+  std::vector<Node> staged_;
+  std::vector<Node> run_;
+  std::size_t run_head_ = 0;
+  std::vector<Node> heap_;
+  // Reused buffers for the bucket sort / run merge (no steady-state
+  // allocation).
+  std::vector<Node> scratch_;
+  std::vector<std::uint32_t> bucket_counts_;
+
+  Slab<SmallEventFn> small_slab_;
+  Slab<EventFn> big_slab_;
 };
 
 }  // namespace rtds

@@ -1,0 +1,82 @@
+// InlineVec<T, N>: a vector whose first N elements live on the stack.
+//
+// The admission tests and trial plans handle a handful of tasks per call
+// but run tens of times per protocol round; their temporaries were ~40% of
+// the round's allocator traffic. Restricted to trivially copyable T so
+// growth and erase are memcpy/memmove, nothing more.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rtds {
+
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  InlineVec() = default;
+  InlineVec(const InlineVec&) = delete;
+  InlineVec& operator=(const InlineVec&) = delete;
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) spill(2 * capacity_);
+    data_[size_++] = v;
+  }
+
+  void assign(std::size_t n, const T& v) {
+    size_ = 0;  // contents need not survive the spill
+    if (n > capacity_) spill(n);
+    for (std::size_t i = 0; i < n; ++i) data_[i] = v;
+    size_ = n;
+  }
+
+  void insert(T* pos, const T& v) {
+    const std::size_t idx = static_cast<std::size_t>(pos - data_);
+    RTDS_CHECK(idx <= size_);
+    if (size_ == capacity_) spill(2 * capacity_);
+    std::memmove(data_ + idx + 1, data_ + idx, sizeof(T) * (size_ - idx));
+    data_[idx] = v;
+    ++size_;
+  }
+
+  void erase(T* pos) {
+    RTDS_CHECK(pos >= data_ && pos < data_ + size_);
+    std::memmove(pos, pos + 1,
+                 sizeof(T) * static_cast<std::size_t>(data_ + size_ - pos - 1));
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+ private:
+  void spill(std::size_t new_cap) {
+    std::vector<T> bigger(new_cap);
+    std::memcpy(bigger.data(), data_, sizeof(T) * size_);
+    heap_.swap(bigger);  // old heap_ (possibly data_'s target) dies after
+    data_ = heap_.data();
+    capacity_ = new_cap;
+  }
+
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+  std::vector<T> heap_;
+  T inline_[N];
+  T* data_ = inline_;
+};
+
+}  // namespace rtds

@@ -23,8 +23,8 @@ TEST(Dag, BuildAndQuery) {
   dag.finalize();
   EXPECT_EQ(dag.task_count(), 3u);
   EXPECT_EQ(dag.arc_count(), 3u);
-  EXPECT_EQ(dag.successors(a), (std::vector<TaskId>{b, c}));
-  EXPECT_EQ(dag.predecessors(c), (std::vector<TaskId>{a, b}));
+  EXPECT_EQ(std::vector<TaskId>(dag.successors(a).begin(), dag.successors(a).end()), (std::vector<TaskId>{b, c}));
+  EXPECT_EQ(std::vector<TaskId>(dag.predecessors(c).begin(), dag.predecessors(c).end()), (std::vector<TaskId>{a, b}));
   EXPECT_EQ(dag.topological_order(), (std::vector<TaskId>{a, b, c}));
   EXPECT_DOUBLE_EQ(dag.total_work(), 6.0);
   EXPECT_TRUE(dag.reaches(a, c));

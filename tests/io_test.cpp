@@ -20,8 +20,10 @@ void expect_same_dag(const Dag& a, const Dag& b) {
   for (TaskId t = 0; t < a.task_count(); ++t) {
     EXPECT_DOUBLE_EQ(a.cost(t), b.cost(t));
     EXPECT_EQ(a.task(t).label, b.task(t).label);
-    EXPECT_EQ(a.predecessors(t), b.predecessors(t));
-    EXPECT_EQ(a.successors(t), b.successors(t));
+    EXPECT_EQ(std::vector<TaskId>(a.predecessors(t).begin(), a.predecessors(t).end()),
+              std::vector<TaskId>(b.predecessors(t).begin(), b.predecessors(t).end()));
+    EXPECT_EQ(std::vector<TaskId>(a.successors(t).begin(), a.successors(t).end()),
+              std::vector<TaskId>(b.successors(t).begin(), b.successors(t).end()));
   }
   for (const auto& arc : a.arcs())
     EXPECT_DOUBLE_EQ(a.data_volume(arc.from, arc.to),

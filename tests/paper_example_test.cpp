@@ -29,9 +29,9 @@ TEST(PaperExample, Figure2Structure) {
   EXPECT_DOUBLE_EQ(dag.cost(2), 4.0);
   EXPECT_DOUBLE_EQ(dag.cost(3), 2.0);
   EXPECT_DOUBLE_EQ(dag.cost(4), 5.0);
-  EXPECT_EQ(dag.predecessors(2), (std::vector<TaskId>{0, 1}));
-  EXPECT_EQ(dag.predecessors(3), (std::vector<TaskId>{0, 1}));
-  EXPECT_EQ(dag.predecessors(4), (std::vector<TaskId>{2, 3}));
+  EXPECT_EQ(std::vector<TaskId>(dag.predecessors(2).begin(), dag.predecessors(2).end()), (std::vector<TaskId>{0, 1}));
+  EXPECT_EQ(std::vector<TaskId>(dag.predecessors(3).begin(), dag.predecessors(3).end()), (std::vector<TaskId>{0, 1}));
+  EXPECT_EQ(std::vector<TaskId>(dag.predecessors(4).begin(), dag.predecessors(4).end()), (std::vector<TaskId>{2, 3}));
   EXPECT_EQ(dag.sources(), (std::vector<TaskId>{0, 1}));
   EXPECT_EQ(dag.sinks(), (std::vector<TaskId>{4}));
 }

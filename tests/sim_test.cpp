@@ -90,9 +90,9 @@ class NetworkFixture : public ::testing::Test {
   NetworkFixture() : rng_(1), topo_(make_line(3, DelayRange{2.0, 2.0}, rng_)),
                      net_(sim_, topo_) {
     for (SiteId s = 0; s < topo_.site_count(); ++s) {
-      net_.set_handler(s, [this, s](SiteId from, const std::any& payload) {
+      net_.set_handler(s, [this, s](SiteId from, const MessageBody& payload) {
         received_.push_back(Recorded{s, from,
-                                     std::any_cast<std::string>(payload),
+                                     std::get<std::string>(payload),
                                      sim_.now()});
       });
     }

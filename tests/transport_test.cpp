@@ -33,8 +33,8 @@ class TransportFixture : public ::testing::Test {
 
   void wire(Transport& t) {
     for (SiteId s = 0; s < topo_.site_count(); ++s)
-      t.set_handler(s, [this, s](SiteId from, const std::any& payload) {
-        log_.push_back(Delivery{s, from, std::any_cast<std::string>(payload),
+      t.set_handler(s, [this, s](SiteId from, const MessageBody& payload) {
+        log_.push_back(Delivery{s, from, std::get<std::string>(payload),
                                 sim_.now()});
       });
   }
