@@ -6,25 +6,30 @@
 //   gen-load   --sites=N [--rate --horizon --laxity-min --laxity-max
 //              --process=poisson|bursty --deadline=cp|work --seed]
 //              [--out=FILE]            generate a workload trace file
-//   run        --net=FILE --load=FILE [--scheduler=rtds|local|bid|random|
-//              central|bcast] [--h --policy --transport=ideal|contended
-//              --bandwidth]            run a scheduler over saved inputs
+//   run        --net=FILE --load=FILE [--policy=NAME | --scheduler=NAME]
+//              [--set key=value ...] [--h --policy=edf|exact|preemptive
+//              --transport=ideal|contended --bandwidth --slack]
+//              run a registered scheduler policy over saved inputs; --set
+//              is validated against the policy's ParamSchema
 //   inspect    --net=FILE | --load=FILE   summarize a saved artifact
+//
+// Scheduler dispatch goes through the PolicyRegistry: any registered
+// policy name works for --policy/--scheduler (rtds, local, central, bcast,
+// bid, random, plus whatever else registered). `--policy=edf|exact|
+// preemptive` keeps its legacy meaning — the §5 local admission test —
+// and maps to `--set admission=...`.
 //
 // Everything round-trips through the text formats in dag/io, net/io and
 // core/trace_io, so experiments are archivable and replayable byte-for-byte.
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
-#include "baseline/broadcast.hpp"
-#include "baseline/centralized.hpp"
-#include "baseline/local_only.hpp"
-#include "baseline/offload.hpp"
-#include "core/rtds_system.hpp"
 #include "core/trace_io.hpp"
 #include "dag/analysis.hpp"
 #include "net/generators.hpp"
 #include "net/io.hpp"
+#include "policy/policy.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -40,18 +45,11 @@ namespace {
       "  gen-load --sites=64 [--rate=0.02 --horizon=1000 --laxity-min=2\n"
       "           --laxity-max=6 --process=poisson --deadline=cp --seed=42\n"
       "           --out=load.txt]\n"
-      "  run      --net=net.txt --load=load.txt [--scheduler=rtds --h=2\n"
-      "           --policy=edf --transport=ideal --bandwidth=100]\n"
+      "  run      --net=net.txt --load=load.txt [--policy=rtds\n"
+      "           --set h=2 --set admission=edf ... | --h=2 --policy=edf\n"
+      "           --transport=ideal --bandwidth=100]\n"
       "  inspect  --net=net.txt | --load=load.txt\n";
   std::exit(2);
-}
-
-NetShape parse_net_shape(const std::string& name) {
-  for (int i = 0; i <= static_cast<int>(NetShape::kScaleFree); ++i)
-    if (name == to_string(static_cast<NetShape>(i)))
-      return static_cast<NetShape>(i);
-  RTDS_REQUIRE_MSG(false, "unknown network shape " << name);
-  return NetShape::kGrid;
 }
 
 void write_file_or_stdout(const std::string& path, const std::string& text) {
@@ -72,7 +70,7 @@ std::string read_file(const std::string& path) {
 }
 
 int cmd_gen_net(const Flags& flags) {
-  const auto shape = parse_net_shape(flags.get_string("net", "grid"));
+  const auto shape = net_shape_from_string(flags.get_string("net", "grid"));
   const auto sites = static_cast<std::size_t>(flags.get_int("sites", 64));
   DelayRange delays{flags.get_double("delay-min", 0.5),
                     flags.get_double("delay-max", 2.0)};
@@ -113,23 +111,60 @@ int cmd_gen_load(const Flags& flags) {
   return 0;
 }
 
-AdmissionPolicy parse_policy(const std::string& name) {
-  if (name == "edf") return AdmissionPolicy::kEdf;
-  if (name == "exact") return AdmissionPolicy::kExact;
-  if (name == "preemptive") return AdmissionPolicy::kPreemptive;
-  RTDS_REQUIRE_MSG(false, "unknown --policy=" << name);
-  return AdmissionPolicy::kEdf;
-}
-
 int cmd_run(const Flags& flags) {
   const auto net_path = flags.get_string("net", "");
   const auto load_path = flags.get_string("load", "");
   RTDS_REQUIRE_MSG(!net_path.empty() && !load_path.empty(),
                    "run needs --net=FILE and --load=FILE");
-  const auto scheduler = flags.get_string("scheduler", "rtds");
-  const auto h = static_cast<std::size_t>(flags.get_int("h", 2));
-  LocalSchedulerConfig sched_cfg;
-  sched_cfg.policy = parse_policy(flags.get_string("policy", "edf"));
+
+  // Family selection: --scheduler, or --policy when it names a registered
+  // policy. A non-policy --policy value keeps its legacy meaning (the §5
+  // admission test) and becomes a `--set admission=...` override.
+  auto& registry = policy::PolicyRegistry::instance();
+  std::string family = flags.get_string("scheduler", "");
+  const std::string policy_flag = flags.get_string("policy", "");
+  std::string admission;
+  if (registry.contains(policy_flag)) {
+    RTDS_REQUIRE_MSG(family.empty() || family == policy_flag,
+                     "--scheduler=" << family << " and --policy="
+                                    << policy_flag << " disagree");
+    family = policy_flag;
+  } else if (policy_flag == "edf" || policy_flag == "exact" ||
+             policy_flag == "preemptive") {
+    admission = policy_flag;
+  } else if (!policy_flag.empty()) {
+    // Anything else is a typo'd family name, not an admission label —
+    // diagnose it as such instead of forwarding it into the ParamMap.
+    std::ostringstream os;
+    for (const auto& known : registry.names()) os << " " << known;
+    RTDS_REQUIRE_MSG(false, "unknown --policy=" << policy_flag
+                                                << "; registered policies:"
+                                                << os.str()
+                                                << "; admission tests: edf "
+                                                   "exact preemptive");
+  }
+  if (family.empty()) family = "rtds";
+  const auto policy = registry.create(family);  // throws, listing names
+
+  // Convenience flags become schema overrides; explicit --set wins (last
+  // assignment takes precedence in ParamMap::parse).
+  std::vector<std::string> sets;
+  if (!admission.empty()) sets.push_back("admission=" + admission);
+  if (flags.has("h")) sets.push_back("h=" + flags.get_string("h", ""));
+  const std::string transport = flags.get_string("transport", "");
+  if (!transport.empty()) {
+    sets.push_back("transport=" + transport);
+    if (transport == "contended") {
+      sets.push_back("bandwidth=" + flags.get_string("bandwidth", "100"));
+      // The contended transport needs protocol-overhead slack to absorb
+      // queueing; keep this front end's historical default of 1.0.
+      sets.push_back("overhead_slack=" + flags.get_string("slack", "1"));
+    }
+  }
+  for (const auto& assignment : flags.get_all("set"))
+    sets.push_back(assignment);
+  flags.check_unused();
+  const policy::ParamMap params = policy->parse_params(sets);
 
   const Topology topo = topology_from_string(read_file(net_path));
   const auto arrivals = trace_from_string(read_file(load_path));
@@ -137,50 +172,10 @@ int cmd_run(const Flags& flags) {
     RTDS_REQUIRE_MSG(a.site < topo.site_count(),
                      "trace site " << a.site << " outside topology");
 
-  RunMetrics metrics;
-  if (scheduler == "rtds") {
-    SystemConfig cfg;
-    cfg.node.sphere_radius_h = h;
-    cfg.node.sched = sched_cfg;
-    const auto transport = flags.get_string("transport", "ideal");
-    if (transport == "contended") {
-      cfg.transport_model = TransportModel::kContended;
-      cfg.link_bandwidth = flags.get_double("bandwidth", 100.0);
-      cfg.node.protocol_overhead_slack = flags.get_double("slack", 1.0);
-    } else {
-      RTDS_REQUIRE_MSG(transport == "ideal",
-                       "unknown --transport=" << transport);
-    }
-    flags.check_unused();
-    RtdsSystem system(topo, cfg);
-    system.run(arrivals);
-    metrics = system.metrics();
-  } else if (scheduler == "local") {
-    flags.check_unused();
-    metrics = run_local_only(topo, arrivals, sched_cfg);
-  } else if (scheduler == "bid" || scheduler == "random") {
-    OffloadConfig cfg;
-    cfg.sphere_radius_h = h;
-    cfg.sched = sched_cfg;
-    if (scheduler == "random") cfg.policy = OffloadPolicy::kRandom;
-    flags.check_unused();
-    metrics = run_offload(topo, arrivals, cfg);
-  } else if (scheduler == "central") {
-    CentralizedConfig cfg;
-    cfg.sched = sched_cfg;
-    flags.check_unused();
-    metrics = run_centralized(topo, arrivals, cfg);
-  } else if (scheduler == "bcast") {
-    BroadcastConfig cfg;
-    cfg.sched = sched_cfg;
-    flags.check_unused();
-    metrics = run_broadcast(topo, arrivals, cfg);
-  } else {
-    RTDS_REQUIRE_MSG(false, "unknown --scheduler=" << scheduler);
-  }
+  const RunMetrics metrics = policy->run(topo, arrivals, params);
 
   Table t({"metric", "value"});
-  t.add_row({"scheduler", scheduler});
+  t.add_row({"scheduler", family});
   t.add_row({"jobs", Table::num(std::size_t{metrics.arrived})});
   t.add_row({"guarantee ratio", Table::num(metrics.guarantee_ratio(), 4)});
   t.add_row({"delivered ratio", Table::num(metrics.delivered_ratio(), 4)});
@@ -244,8 +239,9 @@ int cmd_inspect(const Flags& flags) {
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
+  policy::register_builtin_policies();
   const std::string command = argv[1];
-  const Flags flags(argc - 1, argv + 1);
+  const Flags flags(argc - 1, argv + 1, {"set"});
   try {
     if (command == "gen-net") return cmd_gen_net(flags);
     if (command == "gen-load") return cmd_gen_load(flags);

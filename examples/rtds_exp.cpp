@@ -1,7 +1,8 @@
-// rtds_exp — list and run registered experiment scenarios.
+// rtds_exp — list and run registered experiment scenarios and policies.
 //
 //   rtds_exp --list
-//       names + descriptions of every sweep scenario and report
+//       names + descriptions of every sweep scenario, report, and
+//       registered scheduler policy
 //   rtds_exp --scenario=NAME [--jobs=N] [--replicates=R]
 //            [--seeds=fixed|derived] [--sink=table|csv|jsonl] [--out=FILE]
 //            [--verify]
@@ -12,15 +13,25 @@
 //       paper tables) reuses the scenario's fixed seed everywhere.
 //   rtds_exp --report=NAME [--out=FILE]
 //       print a report scenario (worked examples, protocol traces)
+//   rtds_exp --policy=NAME [--describe] [--set key=value ...]
+//            [condition flags] [--out=FILE]
+//       run one registered policy over one generated condition and print
+//       its metrics. --set validates against the policy's ParamSchema
+//       (unknown keys and bad values fail loudly with the schema).
+//       --describe prints the schema instead of running. Condition flags:
+//       --net --sites --rate --horizon --laxity-min --laxity-max
+//       --delay-min --delay-max --min-tasks --max-tasks --seed.
 //
 // Exit status: 0 on success, 1 on a failed --verify, 2 on usage errors.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "exp/condition.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenarios.hpp"
 #include "exp/sinks.hpp"
+#include "policy/policy.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -36,7 +47,11 @@ namespace {
       "       rtds_exp --scenario=NAME [--jobs=N] [--replicates=R]\n"
       "                [--seeds=fixed|derived] [--sink=table|csv|jsonl]\n"
       "                [--out=FILE] [--verify]\n"
-      "       rtds_exp --report=NAME [--out=FILE]\n";
+      "       rtds_exp --report=NAME [--out=FILE]\n"
+      "       rtds_exp --policy=NAME [--describe] [--set key=value ...]\n"
+      "                [--net=grid --sites=64 --rate=0.02 --horizon=400\n"
+      "                 --laxity-min --laxity-max --delay-min --delay-max\n"
+      "                 --min-tasks --max-tasks --seed] [--out=FILE]\n";
   std::exit(2);
 }
 
@@ -56,6 +71,84 @@ void list_scenarios() {
     reports.add_row({name, registry.report_description(name)});
   std::cout << "\nreport scenarios:\n";
   reports.print(std::cout);
+
+  Table policies({"policy", "params", "description"});
+  for (const auto& name : policy::PolicyRegistry::instance().names()) {
+    const auto p = policy::PolicyRegistry::instance().create(name);
+    policies.add_row({name,
+                      Table::num(p->describe_params().specs().size()),
+                      p->description()});
+  }
+  std::cout << "\nregistered policies (run with --policy=NAME, inspect with "
+               "--policy=NAME --describe):\n";
+  policies.print(std::cout);
+}
+
+/// --policy mode: one registered policy, one generated condition.
+int run_policy_cmd(const std::string& name, const Flags& flags) {
+  const auto policy = policy::PolicyRegistry::instance().create(name);
+
+  if (flags.get_bool("describe", false)) {
+    // --set is valid alongside --describe (usage lists them independently);
+    // validate the assignments so typos still fail, but don't run.
+    policy->parse_params(flags.get_all("set"));
+    flags.check_unused();
+    std::cout << name << " — " << policy->description() << "\nparams:\n"
+              << policy->describe_params().describe();
+    return 0;
+  }
+
+  const std::vector<std::string> assignments = flags.get_all("set");
+  const policy::ParamMap params = policy->parse_params(assignments);
+
+  ConditionSpec cs;
+  cs.net = net_shape_from_string(flags.get_string("net", "grid"));
+  cs.sites = static_cast<std::size_t>(flags.get_int("sites", 64));
+  cs.rate = flags.get_double("rate", 0.02);
+  cs.horizon = flags.get_double("horizon", 400.0);
+  cs.laxity_min = flags.get_double("laxity-min", 2.0);
+  cs.laxity_max = flags.get_double("laxity-max", 6.0);
+  cs.delay_min = flags.get_double("delay-min", 0.5);
+  cs.delay_max = flags.get_double("delay-max", 2.0);
+  cs.min_tasks = static_cast<std::size_t>(flags.get_int("min-tasks", 4));
+  cs.max_tasks = static_cast<std::size_t>(flags.get_int("max-tasks", 12));
+  cs.seed = flags.get_seed("seed", 42);
+  const std::string out = flags.get_string("out", "");
+  flags.check_unused();
+
+  const Condition c = make_condition(cs);
+  const RunMetrics m = policy->run(c.topo, c.arrivals, params);
+
+  Table t({"metric", "value"});
+  t.add_row({"policy", name});
+  for (const auto& assignment : assignments) t.add_row({"set", assignment});
+  t.add_row({"jobs", Table::num(std::size_t{m.arrived})});
+  t.add_row({"guarantee ratio", Table::num(m.guarantee_ratio(), 4)});
+  t.add_row({"delivered ratio", Table::num(m.delivered_ratio(), 4)});
+  t.add_row({"accepted local", Table::num(std::size_t{m.accepted_local})});
+  t.add_row({"accepted remote", Table::num(std::size_t{m.accepted_remote})});
+  t.add_row({"rejected", Table::num(std::size_t{m.rejected})});
+  t.add_row({"deadline misses", Table::num(std::size_t{m.deadline_misses})});
+  t.add_row({"link messages",
+             Table::num(std::size_t{m.transport.total_link_messages})});
+  t.add_row({"msgs/job mean",
+             Table::num(m.msgs_per_job.count() ? m.msgs_per_job.mean() : 0.0,
+                        2)});
+  t.add_row({"decision latency mean",
+             Table::num(
+                 m.decision_latency.count() ? m.decision_latency.mean() : 0.0,
+                 3)});
+
+  std::ostringstream text;
+  t.print(text);
+  if (out.empty()) {
+    std::cout << text.str();
+  } else {
+    std::ofstream file(out);
+    RTDS_REQUIRE_MSG(file.good(), "cannot open " << out);
+    file << text.str();
+  }
+  return 0;
 }
 
 int run_sweep(const ScenarioSpec& base, const Flags& flags) {
@@ -137,7 +230,7 @@ int run_report_cmd(const std::string& name, const Flags& flags) {
 int main(int argc, char** argv) {
   try {
     register_builtin_scenarios();
-    Flags flags(argc, argv);
+    Flags flags(argc, argv, {"set"});
 
     if (flags.get_bool("list", false)) {
       flags.check_unused();
@@ -147,6 +240,8 @@ int main(int argc, char** argv) {
 
     const std::string scenario = flags.get_string("scenario", "");
     const std::string report = flags.get_string("report", "");
+    const std::string policy_name = flags.get_string("policy", "");
+    if (!policy_name.empty()) return run_policy_cmd(policy_name, flags);
     if (!scenario.empty()) {
       const ScenarioSpec* spec = Registry::instance().find(scenario);
       if (spec == nullptr) {

@@ -78,7 +78,8 @@ class BroadcastDriver {
     if (time_gt(at, broadcast_until_)) return;
     sim_.schedule_at(at, [this, s]() {
       scheds_[s].garbage_collect(sim_.now());
-      const double surplus = scheds_[s].surplus(sim_.now());
+      const double surplus =
+          scheds_[s].plan().surplus(sim_.now(), cfg_.surplus_window);
       surplus_table_[s][s] = surplus;
       // Flood to every other site, shortest-path routed: the O(N) per-site
       // per-period cost the Computing Sphere exists to avoid.

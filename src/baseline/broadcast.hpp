@@ -28,6 +28,7 @@ struct BroadcastConfig {
   /// Surplus window used in broadcasts (no job context exists at broadcast
   /// time, so a fixed observation window is the only option — exactly the
   /// staleness problem the paper's job-scoped enrollment avoids).
+  Time surplus_window = 100.0;
   bool stop_with_arrivals = true;  ///< cease broadcasting after last arrival
 };
 

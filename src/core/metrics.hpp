@@ -73,6 +73,13 @@ struct RunMetrics {
   MessageStats transport;        ///< network-level totals (incl. PCS build)
   std::uint64_t pcs_build_messages = 0;  ///< one-time APSP cost
 
+  /// Largest PCS over all sites and its largest hop diameter (RTDS only;
+  /// baselines leave both 0). These feed E1's analytic per-job message
+  /// bound, and carrying them here keeps the Policy API's RunMetrics the
+  /// complete experiment record — scenarios never reach into live nodes.
+  std::uint64_t pcs_size_max = 0;
+  std::uint64_t pcs_hop_diameter_max = 0;
+
   double guarantee_ratio() const {
     return arrived == 0
                ? 0.0

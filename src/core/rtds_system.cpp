@@ -70,6 +70,8 @@ RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
 void RtdsSystem::run(const std::vector<JobArrival>& arrivals) {
   RTDS_REQUIRE_MSG(!ran_, "RtdsSystem::run may only be called once");
   ran_ = true;
+  job_messages_.reserve(arrivals.size());
+  accepted_.reserve(arrivals.size());
   // Duplicate-id check via one sort instead of a node per arrival (large
   // scenario trials schedule thousands of arrivals here).
   std::vector<JobId> ids;
@@ -100,8 +102,8 @@ void RtdsSystem::on_job_decision(const JobDecision& decision) {
     JobTrack track;
     track.tasks_expected = d.task_count;
     track.deadline = d.deadline;
-    track.failed = early_failures_.count(d.job) > 0;
-    accepted_.emplace(d.job, track);
+    track.failed = early_failures_.contains(d.job);
+    accepted_[d.job] = track;
   }
 }
 
@@ -109,11 +111,10 @@ void RtdsSystem::on_task_complete(JobId job, TaskId task, SiteId site,
                                   Time end) {
   (void)task;
   (void)site;
-  const auto it = accepted_.find(job);
-  RTDS_CHECK_MSG(it != accepted_.end(),
-                 "task completion for unaccepted job " << job);
-  ++it->second.tasks_done;
-  it->second.completion = std::max(it->second.completion, end);
+  JobTrack* track = accepted_.find(job);
+  RTDS_CHECK_MSG(track != nullptr, "task completion for unaccepted job " << job);
+  ++track->tasks_done;
+  track->completion = std::max(track->completion, end);
 }
 
 void RtdsSystem::on_job_messages(JobId job, std::uint64_t hops) {
@@ -123,9 +124,8 @@ void RtdsSystem::on_job_messages(JobId job, std::uint64_t hops) {
 void RtdsSystem::on_dispatch_failure(JobId job, SiteId site) {
   (void)site;
   ++metrics_.dispatch_failures;
-  const auto it = accepted_.find(job);
-  if (it != accepted_.end())
-    it->second.failed = true;
+  if (JobTrack* track = accepted_.find(job))
+    track->failed = true;
   else
     early_failures_.insert(job);  // initiator self-commit precedes conclude
 }
@@ -139,7 +139,7 @@ void RtdsSystem::verify_invariants() {
     RTDS_CHECK_MSG(node->active_initiations() == 0,
                    "site " << node->site() << " has unfinished initiations");
   }
-  for (const auto& [job, track] : accepted_) {
+  for (const auto& [job, track] : accepted_.sorted_items()) {
     if (track.failed) {
       ++metrics_.failed_jobs;
       continue;
@@ -156,6 +156,12 @@ void RtdsSystem::verify_invariants() {
                      metrics_.dispatch_failures == 0,
                  "dispatch failures under the ideal transport");
   metrics_.transport = transport_->stats();
+  for (const auto& node : nodes_) {
+    metrics_.pcs_size_max =
+        std::max<std::uint64_t>(metrics_.pcs_size_max, node->pcs().size());
+    metrics_.pcs_hop_diameter_max = std::max<std::uint64_t>(
+        metrics_.pcs_hop_diameter_max, node->pcs().hop_diameter());
+  }
 }
 
 }  // namespace rtds

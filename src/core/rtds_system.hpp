@@ -4,8 +4,6 @@
 // released, every queue drained).
 #pragma once
 
-#include <map>
-#include <set>
 #include <memory>
 #include <vector>
 
@@ -13,6 +11,7 @@
 #include "core/rtds_node.hpp"
 #include "core/workload.hpp"
 #include "routing/apsp.hpp"
+#include "util/flat_map.hpp"
 
 namespace rtds {
 
@@ -66,7 +65,12 @@ class RtdsSystem : public NodeEnv {
   std::vector<std::unique_ptr<RtdsNode>> nodes_;
   RunMetrics metrics_;
   std::vector<JobDecision> decisions_;
-  std::map<JobId, std::uint64_t> job_messages_;
+  // Per-job bookkeeping is open-addressed (util/flat_map.hpp), consistent
+  // with the zero-allocation core: these are touched on every protocol
+  // message / task completion, and a node-based map paid an allocation plus
+  // pointer chases per job. verify_invariants folds accepted_ in sorted key
+  // order, so metrics stay bit-identical to the std::map this replaces.
+  FlatMap<JobId, std::uint64_t> job_messages_;
 
   struct JobTrack {
     std::size_t tasks_expected = 0;
@@ -75,11 +79,11 @@ class RtdsSystem : public NodeEnv {
     Time deadline = 0.0;
     bool failed = false;  ///< a dispatch for this job could not be honoured
   };
-  std::map<JobId, JobTrack> accepted_;
+  FlatMap<JobId, JobTrack> accepted_;
   /// Dispatch failures observed before the initiator's decision record
   /// arrived (possible for the initiator's own commit, which precedes its
   /// conclude); reconciled in on_job_decision.
-  std::set<JobId> early_failures_;
+  FlatSet<JobId> early_failures_;
   bool ran_ = false;
 };
 

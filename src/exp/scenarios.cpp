@@ -3,20 +3,22 @@
 // drivers calling run_and_print over these names. Tables are byte-for-byte
 // identical to the pre-subsystem serial output: the legacy sweeps used one
 // shared seed (42) for every grid point, which SeedMode::kFixed preserves.
+//
+// Since the unified Policy API every condition is (policy name, param
+// overrides) *data* resolved through PolicyRegistry — no scenario calls a
+// scheduler family directly, so a newly registered policy is sweepable
+// here (and in the generic policy_sweep scenario) without touching this
+// file.
 #include "exp/scenarios.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
 
-#include "baseline/broadcast.hpp"
-#include "baseline/centralized.hpp"
-#include "baseline/local_only.hpp"
-#include "baseline/offload.hpp"
 #include "exp/condition.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
-#include "net/shortest_paths.hpp"
+#include "policy/policy.hpp"
 #include "util/table.hpp"
 
 namespace rtds::exp {
@@ -25,7 +27,30 @@ void register_builtin_reports();  // reports.cpp
 
 namespace {
 
+using policy::ParamMap;
+using policy::PolicyRegistry;
+
 constexpr double kSkip = std::numeric_limits<double>::quiet_NaN();
+
+/// One scheduler condition as data: which registered policy, with which
+/// `key=value` overrides on its schema defaults.
+struct PolicySpec {
+  std::string policy;
+  std::vector<std::pair<std::string, std::string>> params;
+};
+
+/// Resolves and runs a PolicySpec, with optional per-trial overrides
+/// appended (later assignments win, so grid-point values can refine a
+/// variant's fixed params).
+RunMetrics run_policy(
+    const PolicySpec& ps, const Condition& c,
+    const std::vector<std::pair<std::string, std::string>>& extra = {}) {
+  const auto policy = PolicyRegistry::instance().create(ps.policy);
+  auto pairs = ps.params;
+  pairs.insert(pairs.end(), extra.begin(), extra.end());
+  return policy->run(c.topo, c.arrivals,
+                     ParamMap::parse_pairs(pairs, policy->describe_params()));
+}
 
 MetricSpec ratio(std::string header, std::string key) {
   return MetricSpec{std::move(header), std::move(key), 1, 100.0};
@@ -35,11 +60,7 @@ MetricSpec count(std::string header, std::string key) {
   return MetricSpec{std::move(header), std::move(key), 0, 1.0};
 }
 
-SystemConfig h2_config() {
-  SystemConfig cfg;
-  cfg.node.sphere_radius_h = 2;
-  return cfg;
-}
+const PolicySpec kRtdsH2{"rtds", {{"h", "2"}}};
 
 // ------------------------------------------------------------------- E1 ----
 
@@ -72,29 +93,19 @@ void register_e1() {
     cs.seed = seed;
     const Condition c = make_condition(cs);
 
-    RtdsSystem system(c.topo, h2_config());
-    system.run(c.arrivals);
-    const auto& m = system.metrics();
-
-    std::size_t max_pcs = 0, max_hop_diam = 0;
-    for (SiteId s = 0; s < c.topo.site_count(); ++s) {
-      max_pcs = std::max(max_pcs, system.node(s).pcs().size());
-      max_hop_diam =
-          std::max(max_hop_diam, system.node(s).pcs().hop_diameter());
-    }
+    const RunMetrics m = run_policy(kRtdsH2, c);
     // Analytic per-job bound: 4 sphere-wide rounds (enroll, reply,
     // validate+reply, dispatch) of |PCS|-1 sends, each <= hop-diameter
     // hops, plus unlock slack -> 8 covers every code path.
-    const double bound =
-        8.0 * static_cast<double>(max_pcs) * static_cast<double>(max_hop_diam);
+    const double bound = 8.0 * static_cast<double>(m.pcs_size_max) *
+                         static_cast<double>(m.pcs_hop_diameter_max);
 
     // Measured cost of the [4]-style periodic network-wide surplus flood,
     // amortized per job. Skipped above 256 sites: the flood itself is what
     // makes large runs expensive — which is the point.
     double bcast_msgs = kSkip;
     if (c.topo.site_count() <= 256) {
-      BroadcastConfig bcfg;
-      const auto bm = run_broadcast(c.topo, c.arrivals, bcfg);
+      const RunMetrics bm = run_policy(PolicySpec{"bcast", {}}, c);
       bcast_msgs = static_cast<double>(bm.transport.total_link_messages) /
                    static_cast<double>(bm.arrived);
     }
@@ -105,15 +116,25 @@ void register_e1() {
             m.msgs_per_job.max(),
             bound,
             bcast_msgs,
-            static_cast<double>(max_pcs)};
+            static_cast<double>(m.pcs_size_max)};
   };
   Registry::instance().add(std::move(spec));
 }
 
 // ------------------------------------------------------------------- E2 ----
 
+/// The comparison columns: one (policy, overrides) pair per family, in the
+/// paper's table order.
+std::vector<std::pair<std::string, PolicySpec>> e2_families() {
+  return {{"RTDS%", kRtdsH2},          {"LOCAL%", {"local", {}}},
+          {"BID%", {"bid", {}}},       {"RANDOM%", {"random", {}}},
+          {"BCAST%", {"bcast", {}}},   {"CENTRAL%", {"central", {}}}};
+}
+
 void register_e2(const std::string& name, std::string title,
                  ConditionSpec base, const std::vector<double>& rates) {
+  const auto families = e2_families();
+
   ScenarioSpec spec;
   spec.name = name;
   spec.title = std::move(title);
@@ -121,34 +142,24 @@ void register_e2(const std::string& name, std::string title,
       "guarantee ratio vs offered load, RTDS against all baselines (8x8 "
       "grid, h=2)";
   spec.axes = {GridAxis::numeric("rate/site", "rate", rates, 3)};
-  spec.metrics = {count("jobs", "jobs"),          ratio("RTDS%", "rtds"),
-                  ratio("LOCAL%", "local"),       ratio("BID%", "bid"),
-                  ratio("RANDOM%", "random"),     ratio("BCAST%", "bcast"),
-                  ratio("CENTRAL%", "central")};
+  spec.metrics = {count("jobs", "jobs")};
+  for (const auto& [header, ps] : families)
+    spec.metrics.push_back(ratio(header, ps.policy));
   spec.seed_mode = SeedMode::kFixed;
-  spec.trial = [base](const GridPoint& p, std::uint64_t seed) -> TrialResult {
+  spec.trial = [base, families](const GridPoint& p,
+                                std::uint64_t seed) -> TrialResult {
     ConditionSpec cs = base;
     cs.rate = p.value(0);
     cs.seed = seed;
     const Condition c = make_condition(cs);
 
-    const auto rtds = run_rtds(c, h2_config());
-    const auto local =
-        run_local_only(c.topo, c.arrivals, LocalSchedulerConfig{});
-    OffloadConfig bid_cfg;
-    const auto bid = run_offload(c.topo, c.arrivals, bid_cfg);
-    OffloadConfig rnd_cfg;
-    rnd_cfg.policy = OffloadPolicy::kRandom;
-    const auto rnd = run_offload(c.topo, c.arrivals, rnd_cfg);
-    BroadcastConfig bcast_cfg;
-    const auto bcast = run_broadcast(c.topo, c.arrivals, bcast_cfg);
-    const auto central =
-        run_centralized(c.topo, c.arrivals, CentralizedConfig{});
-
-    return {static_cast<double>(rtds.arrived), rtds.guarantee_ratio(),
-            local.guarantee_ratio(),           bid.guarantee_ratio(),
-            rnd.guarantee_ratio(),             bcast.guarantee_ratio(),
-            central.guarantee_ratio()};
+    TrialResult result{kSkip};  // jobs filled from the first family's run
+    for (const auto& [header, ps] : families) {
+      const RunMetrics m = run_policy(ps, c);
+      if (std::isnan(result[0])) result[0] = static_cast<double>(m.arrived);
+      result.push_back(m.guarantee_ratio());
+    }
+    return result;
   };
   Registry::instance().add(std::move(spec));
 }
@@ -193,20 +204,16 @@ void register_e3(const std::string& name, std::string title,
     ConditionSpec cs = base;
     cs.seed = seed;
     const Condition c = make_condition(cs);
-    SystemConfig cfg;
-    cfg.node.sphere_radius_h = static_cast<std::size_t>(p.value(0));
-    RtdsSystem system(c.topo, cfg);
-    system.run(c.arrivals);
-    const auto& m = system.metrics();
-    std::size_t max_pcs = 0;
-    for (SiteId s = 0; s < c.topo.site_count(); ++s)
-      max_pcs = std::max(max_pcs, system.node(s).pcs().size());
+    // The grid point overrides the sweep axis on an otherwise-default rtds.
+    const RunMetrics m = run_policy(
+        PolicySpec{"rtds", {}}, c,
+        {{"h", Table::num(static_cast<std::size_t>(p.value(0)))}});
     return {m.guarantee_ratio(),
             static_cast<double>(m.accepted_remote),
             m.msgs_per_job.count() ? m.msgs_per_job.mean() : 0.0,
             m.acs_size.count() ? m.acs_size.mean() : 0.0,
             m.decision_latency.mean(),
-            static_cast<double>(max_pcs)};
+            static_cast<double>(m.pcs_size_max)};
   };
   Registry::instance().add(std::move(spec));
 }
@@ -268,9 +275,7 @@ void register_e4() {
     cs.delay_max = 0.4;
     cs.seed = seed;
     const Condition c = make_condition(cs);
-    RtdsSystem system(c.topo, SystemConfig{});
-    system.run(c.arrivals);
-    const auto& m = system.metrics();
+    const RunMetrics m = run_policy(PolicySpec{"rtds", {}}, c);
     auto rejects = [&](RejectReason r) {
       const auto it = m.reject_by_reason.find(static_cast<int>(r));
       return it == m.reject_by_reason.end() ? 0.0
@@ -314,13 +319,14 @@ ConditionSpec e5_offload_spec() {
   return cs;
 }
 
+/// An ablation variant: a display label over a (policy, overrides) pair.
 struct Variant {
   std::string name;
-  SystemConfig cfg;
+  PolicySpec spec;
 };
 
-/// An ablation group: one labeled "variant" axis over fixed configs on a
-/// fixed condition, with the standard comparison metric set.
+/// An ablation group: one labeled "variant" axis over fixed PolicySpecs on
+/// a fixed condition, with the standard comparison metric set.
 void register_e5_group(const std::string& name, std::string title,
                        std::string description, ConditionSpec condition,
                        std::vector<Variant> variants) {
@@ -343,10 +349,8 @@ void register_e5_group(const std::string& name, std::string title,
     ConditionSpec cs = condition;
     cs.seed = seed;
     const Condition c = make_condition(cs);
-    const auto& cfg = variants[static_cast<std::size_t>(p.value(0))].cfg;
-    RtdsSystem system(c.topo, cfg);
-    system.run(c.arrivals);
-    const auto& m = system.metrics();
+    const RunMetrics m =
+        run_policy(variants[static_cast<std::size_t>(p.value(0))].spec, c);
     return {m.guarantee_ratio(),
             static_cast<double>(m.accepted_local),
             static_cast<double>(m.accepted_remote),
@@ -356,102 +360,82 @@ void register_e5_group(const std::string& name, std::string title,
   Registry::instance().add(std::move(spec));
 }
 
+/// kRtdsH2 plus extra overrides — the E5 groups ablate one knob at a time.
+Variant rtds_variant(std::string label,
+                     std::vector<std::pair<std::string, std::string>> extra) {
+  PolicySpec ps = kRtdsH2;
+  ps.params.insert(ps.params.end(), extra.begin(), extra.end());
+  return Variant{std::move(label), std::move(ps)};
+}
+
 void register_e5() {
-  auto base = [] {
-    SystemConfig cfg;
-    cfg.node.sphere_radius_h = 2;
-    return cfg;
-  };
+  register_e5_group(
+      "e5_enroll_policy", "(1) enrollment policy [parallel regime]",
+      "ablation: Nack vs faithful-§8 Timeout enrollment", e5_parallel_spec(),
+      {rtds_variant("enroll=nack (default)", {}),
+       rtds_variant("enroll=timeout (faithful §8)", {{"enroll", "timeout"}})});
 
   {
-    Variant nack{"enroll=nack (default)", base()};
-    Variant timeout{"enroll=timeout (faithful §8)", base()};
-    timeout.cfg.node.enroll_policy = EnrollPolicy::kTimeout;
-    register_e5_group("e5_enroll_policy",
-                      "(1) enrollment policy [parallel regime]",
-                      "ablation: Nack vs faithful-§8 Timeout enrollment",
-                      e5_parallel_spec(), {nack, timeout});
-  }
-  {
     std::vector<Variant> variants;
-    for (const auto gate : {EnrollGate::kNone, EnrollGate::kCriticalPath,
-                            EnrollGate::kProtocolAware})
+    for (const char* gate : {"none", "critical_path", "protocol_aware"})
       variants.push_back(
-          {std::string("gate=") + to_string(gate),
-           [&] {
-             auto cfg = base();
-             cfg.node.enroll_gate = gate;
-             return cfg;
-           }()});
+          rtds_variant(std::string("gate=") + gate, {{"gate", gate}}));
     register_e5_group("e5_enroll_gate",
                       "(2) pre-enrollment gate [offload regime, loaded]",
                       "ablation: §9 pre-enrollment feasibility gate",
                       e5_offload_spec(), std::move(variants));
   }
-  {
-    Variant jobwin{"surplus=job-window (default)", base()};
-    Variant fixed{"surplus=fixed-window (literal §2)", base()};
-    fixed.cfg.node.job_window_surplus = false;
-    register_e5_group("e5_surplus_window",
-                      "(3) surplus observation window [offload regime]",
-                      "ablation: job-relative vs fixed surplus window",
-                      e5_offload_spec(), {jobwin, fixed});
-  }
-  {
-    Variant uniform{"laxity=uniform (eq. 4)", base()};
-    Variant weighted{"laxity=busyness-weighted (§13)", base()};
-    weighted.cfg.node.mapper.busyness_weighted_laxity = true;
-    register_e5_group("e5_laxity_weighting",
-                      "(4) laxity dispatching [parallel regime]",
-                      "ablation: §13 busyness-weighted laxity dispatching",
-                      e5_parallel_spec(), {uniform, weighted});
-  }
+
+  register_e5_group(
+      "e5_surplus_window", "(3) surplus observation window [offload regime]",
+      "ablation: job-relative vs fixed surplus window", e5_offload_spec(),
+      {rtds_variant("surplus=job-window (default)", {}),
+       rtds_variant("surplus=fixed-window (literal §2)",
+                    {{"job_window_surplus", "false"}})});
+
+  register_e5_group(
+      "e5_laxity_weighting", "(4) laxity dispatching [parallel regime]",
+      "ablation: §13 busyness-weighted laxity dispatching", e5_parallel_spec(),
+      {rtds_variant("laxity=uniform (eq. 4)", {}),
+       rtds_variant("laxity=busyness-weighted (§13)",
+                    {{"busyness_weighted_laxity", "true"}})});
+
   {
     std::vector<Variant> variants;
-    for (const auto policy : {AdmissionPolicy::kEdf, AdmissionPolicy::kExact,
-                              AdmissionPolicy::kPreemptive})
-      variants.push_back(
-          {std::string("admission=") + to_string(policy),
-           [&] {
-             auto cfg = base();
-             cfg.node.sched.policy = policy;
-             return cfg;
-           }()});
+    for (const char* policy : {"edf", "exact", "preemptive"})
+      variants.push_back(rtds_variant(std::string("admission=") + policy,
+                                      {{"admission", policy}}));
     register_e5_group("e5_admission_policy",
                       "(5) local admission test [parallel regime]",
                       "ablation: greedy EDF vs exact B&B vs preemptive "
                       "admission",
                       e5_parallel_spec(), std::move(variants));
   }
-  {
-    Variant off{"initiator=surplus-only (paper base)", base()};
-    Variant on{"initiator=exact-idle-intervals (§13)", base()};
-    on.cfg.node.initiator_local_knowledge = true;
-    register_e5_group("e5_local_knowledge",
-                      "(6) local knowledge of k [parallel regime]",
-                      "ablation: §13 exact initiator idle intervals",
-                      e5_parallel_spec(), {off, on});
-  }
+
+  register_e5_group(
+      "e5_local_knowledge", "(6) local knowledge of k [parallel regime]",
+      "ablation: §13 exact initiator idle intervals", e5_parallel_spec(),
+      {rtds_variant("initiator=surplus-only (paper base)", {}),
+       rtds_variant("initiator=exact-idle-intervals (§13)",
+                    {{"initiator_local_knowledge", "true"}})});
+
   {
     // Transport realism gets its own metric set (delivered, not accepted).
-    std::vector<Variant> variants;
-    Variant ideal{"transport=ideal (paper model)", base()};
-    Variant roomy{"transport=contended bw=100", base()};
-    roomy.cfg.transport_model = TransportModel::kContended;
-    roomy.cfg.link_bandwidth = 100.0;
-    Variant roomy_slack{"contended bw=100 + slack 1", base()};
-    roomy_slack.cfg.transport_model = TransportModel::kContended;
-    roomy_slack.cfg.link_bandwidth = 100.0;
-    roomy_slack.cfg.node.protocol_overhead_slack = 1.0;
-    Variant tight{"transport=contended bw=8", base()};
-    tight.cfg.transport_model = TransportModel::kContended;
-    tight.cfg.link_bandwidth = 8.0;
-    Variant tuned{"contended bw=8 + x2 + slack 8", base()};
-    tuned.cfg.transport_model = TransportModel::kContended;
-    tuned.cfg.link_bandwidth = 8.0;
-    tuned.cfg.node.protocol_overhead_factor = 2.0;
-    tuned.cfg.node.protocol_overhead_slack = 8.0;
-    variants = {ideal, roomy, roomy_slack, tight, tuned};
+    const std::vector<Variant> variants = {
+        rtds_variant("transport=ideal (paper model)", {}),
+        rtds_variant("transport=contended bw=100",
+                     {{"transport", "contended"}, {"bandwidth", "100"}}),
+        rtds_variant("contended bw=100 + slack 1",
+                     {{"transport", "contended"},
+                      {"bandwidth", "100"},
+                      {"overhead_slack", "1"}}),
+        rtds_variant("transport=contended bw=8",
+                     {{"transport", "contended"}, {"bandwidth", "8"}}),
+        rtds_variant("contended bw=8 + x2 + slack 8",
+                     {{"transport", "contended"},
+                      {"bandwidth", "8"},
+                      {"overhead_factor", "2"},
+                      {"overhead_slack", "8"}})};
 
     std::vector<std::string> labels;
     for (const auto& v : variants) labels.push_back(v.name);
@@ -472,26 +456,19 @@ void register_e5() {
       ConditionSpec cs = condition;
       cs.seed = seed;
       const Condition c = make_condition(cs);
-      RtdsSystem system(c.topo,
-                        variants[static_cast<std::size_t>(p.value(0))].cfg);
-      system.run(c.arrivals);
-      const auto& m = system.metrics();
+      const RunMetrics m =
+          run_policy(variants[static_cast<std::size_t>(p.value(0))].spec, c);
       return {m.delivered_ratio(), static_cast<double>(m.accepted_remote),
               static_cast<double>(m.failed_jobs), m.decision_latency.mean()};
     };
     Registry::instance().add(std::move(spec));
   }
+
   {
     std::vector<Variant> variants;
-    for (const auto prio : {TaskPriority::kBottomLevel, TaskPriority::kCost,
-                            TaskPriority::kFifo})
-      variants.push_back(
-          {std::string("mapper-priority=") + to_string(prio),
-           [&] {
-             auto cfg = base();
-             cfg.node.mapper.task_priority = prio;
-             return cfg;
-           }()});
+    for (const char* prio : {"bottom_level", "cost", "fifo"})
+      variants.push_back(rtds_variant(std::string("mapper-priority=") + prio,
+                                      {{"task_priority", prio}}));
     register_e5_group("e5_mapper_priority",
                       "(8) mapper task selection [parallel regime]",
                       "ablation: §9 mapper task-selection heuristic",
@@ -499,15 +476,61 @@ void register_e5() {
   }
 }
 
+// ----------------------------------------------------------- policy_sweep --
+
+/// Generic cross of every registered policy against a load grid: the seam
+/// new protocol variants get swept through with zero scenario code. The
+/// policy axis is built from the registry at registration time, so a
+/// policy registered before register_builtin_scenarios() is in the sweep
+/// automatically.
+void register_policy_sweep() {
+  const std::vector<std::string> policies = PolicyRegistry::instance().names();
+
+  ScenarioSpec spec;
+  spec.name = "policy_sweep";
+  spec.description =
+      "every registered policy x offered load (8x8 grid, offload regime)";
+  spec.axes = {
+      GridAxis::labeled("policy", "policy",
+                        std::vector<std::string>(policies.begin(),
+                                                 policies.end())),
+      GridAxis::numeric("rate/site", "rate", {0.005, 0.01, 0.02, 0.04}, 3)};
+  spec.metrics = {count("jobs", "jobs"),
+                  ratio("ratio%", "guarantee_ratio"),
+                  count("remote", "accepted_remote"),
+                  MetricSpec{"msgs/job", "msgs_per_job", 1},
+                  MetricSpec{"latency", "decision_latency", 2}};
+  spec.trial = [policies](const GridPoint& p,
+                          std::uint64_t seed) -> TrialResult {
+    ConditionSpec cs = offload_regime();
+    cs.net = NetShape::kGrid;
+    cs.sites = 64;
+    cs.horizon = 400.0;
+    cs.rate = p.value(1);
+    cs.seed = seed;
+    const Condition c = make_condition(cs);
+    const RunMetrics m = run_policy(
+        PolicySpec{policies[static_cast<std::size_t>(p.value(0))], {}}, c);
+    return {static_cast<double>(m.arrived),
+            m.guarantee_ratio(),
+            static_cast<double>(m.accepted_remote),
+            m.msgs_per_job.count() ? m.msgs_per_job.mean() : 0.0,
+            m.decision_latency.count() ? m.decision_latency.mean() : 0.0};
+  };
+  Registry::instance().add(std::move(spec));
+}
+
 }  // namespace
 
 void register_builtin_scenarios() {
   static const bool once = [] {
+    policy::register_builtin_policies();
     register_e1();
     register_e2_pair();
     register_e3_pair();
     register_e4();
     register_e5();
+    register_policy_sweep();
     register_builtin_reports();
     return true;
   }();

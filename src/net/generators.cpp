@@ -249,6 +249,17 @@ const char* to_string(NetShape shape) {
   return "?";
 }
 
+NetShape net_shape_from_string(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(NetShape::kScaleFree); ++i)
+    if (name == to_string(static_cast<NetShape>(i)))
+      return static_cast<NetShape>(i);
+  std::ostringstream os;
+  os << "unknown network shape " << name << "; valid:";
+  for (int i = 0; i <= static_cast<int>(NetShape::kScaleFree); ++i)
+    os << " " << to_string(static_cast<NetShape>(i));
+  throw ContractViolation(os.str());
+}
+
 Topology make_net(NetShape shape, std::size_t approx_sites, DelayRange delays,
                   Rng& rng) {
   const std::size_t n = std::max<std::size_t>(4, approx_sites);

@@ -75,6 +75,8 @@ enum class NetShape {
 };
 
 const char* to_string(NetShape shape);
+/// Inverse of to_string. Throws ContractViolation listing the valid names.
+NetShape net_shape_from_string(const std::string& name);
 
 /// Draws a topology of the given shape with roughly `approx_sites` sites.
 Topology make_net(NetShape shape, std::size_t approx_sites, DelayRange delays,

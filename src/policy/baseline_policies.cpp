@@ -1,0 +1,180 @@
+// The five comparison baselines as Policies: LOCAL, CENTRAL, BCAST, BID,
+// RANDOM. Each schema subsumes the family's config struct with identical
+// defaults, so an empty ParamMap reproduces the legacy free function bit
+// for bit (pinned by tests/policy_test.cpp).
+#include "baseline/broadcast.hpp"
+#include "baseline/centralized.hpp"
+#include "baseline/local_only.hpp"
+#include "baseline/offload.hpp"
+#include "policy/policy.hpp"
+#include "policy/sched_params.hpp"
+
+namespace rtds::policy {
+
+namespace {
+
+class LocalPolicy final : public Policy {
+ public:
+  std::string name() const override { return "local"; }
+  std::string description() const override {
+    return "LOCAL baseline: every site schedules only its own arrivals "
+           "(§5 test, no cooperation)";
+  }
+  const ParamSchema& describe_params() const override {
+    static const ParamSchema schema = [] {
+      ParamSchema s;
+      add_sched_params(s);
+      return s;
+    }();
+    return schema;
+  }
+  RunMetrics run(const Topology& topo, const std::vector<JobArrival>& arrivals,
+                 const ParamMap& params) const override {
+    return run_local_only(topo, arrivals, sched_config_from(params));
+  }
+};
+
+class CentralPolicy final : public Policy {
+ public:
+  std::string name() const override { return "central"; }
+  std::string description() const override {
+    return "CENTRAL baseline: omniscient zero-cost centralized scheduler "
+           "(upper bound)";
+  }
+  const ParamSchema& describe_params() const override {
+    static const ParamSchema schema = [] {
+      ParamSchema s;
+      s.add_int("h", -1,
+                "restrict candidates to the arrival site's h-hop sphere "
+                "(-1 = whole network)");
+      add_sched_params(s);
+      return s;
+    }();
+    return schema;
+  }
+  RunMetrics run(const Topology& topo, const std::vector<JobArrival>& arrivals,
+                 const ParamMap& params) const override {
+    CentralizedConfig cfg;
+    cfg.sched = sched_config_from(params);
+    const auto h = params.get_int("h", -1);
+    cfg.sphere_radius_h = h < 0 ? CentralizedConfig::kNoRadiusLimit
+                                : static_cast<std::size_t>(h);
+    return run_centralized(topo, arrivals, cfg);
+  }
+};
+
+class BcastPolicy final : public Policy {
+ public:
+  std::string name() const override { return "bcast"; }
+  std::string description() const override {
+    return "BCAST baseline: periodic network-wide surplus floods + focused "
+           "addressing ([4])";
+  }
+  const ParamSchema& describe_params() const override {
+    static const ParamSchema schema = [] {
+      ParamSchema s;
+      s.add_double("broadcast_period", 25.0,
+                   "surplus flood interval per site")
+          .add_int("max_attempts", 3, "focused-addressing offers per job")
+          .add_double("surplus_window", 100.0,
+                      "fixed observation window for flooded surpluses")
+          .add_bool("stop_with_arrivals", true,
+                    "cease broadcasting after the last arrival");
+      add_sched_params(s);
+      return s;
+    }();
+    return schema;
+  }
+  RunMetrics run(const Topology& topo, const std::vector<JobArrival>& arrivals,
+                 const ParamMap& params) const override {
+    BroadcastConfig cfg;
+    cfg.sched = sched_config_from(params);
+    cfg.broadcast_period =
+        params.get_double("broadcast_period", cfg.broadcast_period);
+    cfg.max_attempts = static_cast<std::size_t>(params.get_int(
+        "max_attempts", static_cast<std::int64_t>(cfg.max_attempts)));
+    cfg.surplus_window = params.get_double("surplus_window", cfg.surplus_window);
+    cfg.stop_with_arrivals =
+        params.get_bool("stop_with_arrivals", cfg.stop_with_arrivals);
+    return run_broadcast(topo, arrivals, cfg);
+  }
+};
+
+/// BID and RANDOM share OffloadConfig; they differ only in the pinned
+/// OffloadPolicy (which is what makes them distinct registry entries).
+class OffloadFamilyPolicy : public Policy {
+ public:
+  explicit OffloadFamilyPolicy(OffloadPolicy pick) : pick_(pick) {}
+
+  const ParamSchema& describe_params() const override {
+    static const ParamSchema schema = [] {
+      ParamSchema s;
+      s.add_int("h", 2, "sphere radius the offers are confined to")
+          .add_int("max_attempts", 3, "offers before giving up (BID)")
+          .add_int("seed", 7, "RANDOM pick stream");
+      add_sched_params(s);
+      return s;
+    }();
+    return schema;
+  }
+  RunMetrics run(const Topology& topo, const std::vector<JobArrival>& arrivals,
+                 const ParamMap& params) const override {
+    OffloadConfig cfg;
+    cfg.policy = pick_;
+    cfg.sched = sched_config_from(params);
+    cfg.sphere_radius_h = static_cast<std::size_t>(params.get_int(
+        "h", static_cast<std::int64_t>(cfg.sphere_radius_h)));
+    cfg.max_attempts = static_cast<std::size_t>(params.get_int(
+        "max_attempts", static_cast<std::int64_t>(cfg.max_attempts)));
+    cfg.seed = static_cast<std::uint64_t>(
+        params.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+    return run_offload(topo, arrivals, cfg);
+  }
+
+ private:
+  OffloadPolicy pick_;
+};
+
+class BidPolicy final : public OffloadFamilyPolicy {
+ public:
+  BidPolicy() : OffloadFamilyPolicy(OffloadPolicy::kBestSurplus) {}
+  std::string name() const override { return "bid"; }
+  std::string description() const override {
+    return "BID baseline: per-job sphere bidding, whole-DAG offers to the "
+           "best surpluses ([10])";
+  }
+};
+
+class RandomPolicy final : public OffloadFamilyPolicy {
+ public:
+  RandomPolicy() : OffloadFamilyPolicy(OffloadPolicy::kRandom) {}
+  std::string name() const override { return "random"; }
+  std::string description() const override {
+    return "RANDOM baseline: whole-DAG offer to one uniformly random "
+           "sphere member";
+  }
+};
+
+const PolicyRegistrar local_registrar{
+    "local", [] { return std::make_unique<LocalPolicy>(); }};
+const PolicyRegistrar central_registrar{
+    "central", [] { return std::make_unique<CentralPolicy>(); }};
+const PolicyRegistrar bcast_registrar{
+    "bcast", [] { return std::make_unique<BcastPolicy>(); }};
+const PolicyRegistrar bid_registrar{
+    "bid", [] { return std::make_unique<BidPolicy>(); }};
+const PolicyRegistrar random_registrar{
+    "random", [] { return std::make_unique<RandomPolicy>(); }};
+
+}  // namespace
+
+void register_baseline_policies() {
+  // Anchor the TU so static-library linking keeps the registrars above.
+  (void)local_registrar;
+  (void)central_registrar;
+  (void)bcast_registrar;
+  (void)bid_registrar;
+  (void)random_registrar;
+}
+
+}  // namespace rtds::policy

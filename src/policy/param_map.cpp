@@ -1,0 +1,235 @@
+#include "policy/param_map.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rtds::policy {
+
+const char* to_string(ParamType type) {
+  switch (type) {
+    case ParamType::kInt: return "int";
+    case ParamType::kDouble: return "double";
+    case ParamType::kBool: return "bool";
+    case ParamType::kEnum: return "enum";
+  }
+  return "?";
+}
+
+ParamSpec& ParamSchema::add(std::string key, ParamType type,
+                            std::string description) {
+  RTDS_REQUIRE_MSG(find(key) == nullptr, "duplicate param key " << key);
+  ParamSpec spec;
+  spec.key = std::move(key);
+  spec.type = type;
+  spec.description = std::move(description);
+  specs_.push_back(std::move(spec));
+  return specs_.back();
+}
+
+ParamSchema& ParamSchema::add_int(std::string key, std::int64_t def,
+                                  std::string description) {
+  auto& spec = add(std::move(key), ParamType::kInt, std::move(description));
+  spec.default_value = std::to_string(def);
+  return *this;
+}
+
+ParamSchema& ParamSchema::add_double(std::string key, double def,
+                                     std::string description) {
+  auto& spec = add(std::move(key), ParamType::kDouble, std::move(description));
+  std::ostringstream os;
+  os << def;
+  spec.default_value = os.str();
+  return *this;
+}
+
+ParamSchema& ParamSchema::add_bool(std::string key, bool def,
+                                   std::string description) {
+  auto& spec = add(std::move(key), ParamType::kBool, std::move(description));
+  spec.default_value = def ? "true" : "false";
+  return *this;
+}
+
+ParamSchema& ParamSchema::add_enum(std::string key, std::string def,
+                                   std::vector<std::string> values,
+                                   std::string description) {
+  RTDS_REQUIRE_MSG(std::find(values.begin(), values.end(), def) != values.end(),
+                   "enum default " << def << " not among its values");
+  auto& spec = add(std::move(key), ParamType::kEnum, std::move(description));
+  spec.default_value = std::move(def);
+  spec.enum_values = std::move(values);
+  return *this;
+}
+
+const ParamSpec* ParamSchema::find(const std::string& key) const {
+  for (const auto& spec : specs_)
+    if (spec.key == key) return &spec;
+  return nullptr;
+}
+
+std::string ParamSchema::describe() const {
+  std::ostringstream os;
+  for (const auto& spec : specs_) {
+    os << "  " << spec.key << " (";
+    if (spec.type == ParamType::kEnum) {
+      for (std::size_t i = 0; i < spec.enum_values.size(); ++i)
+        os << (i ? "|" : "") << spec.enum_values[i];
+    } else {
+      os << to_string(spec.type);
+    }
+    os << ", default " << spec.default_value << ") — " << spec.description
+       << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void param_error(const ParamSchema& schema,
+                              const std::string& what) {
+  std::ostringstream os;
+  os << what << "\nvalid params:\n" << schema.describe();
+  throw ContractViolation(os.str());
+}
+
+std::int64_t parse_int(const ParamSchema& schema, const std::string& key,
+                       const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const auto v = std::strtoll(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value.empty() || errno == ERANGE)
+    param_error(schema, "param " + key + " expects an integer, got '" +
+                            value + "'");
+  return v;
+}
+
+double parse_double(const ParamSchema& schema, const std::string& key,
+                    const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == nullptr || *end != '\0' || value.empty() ||
+      (errno == ERANGE && std::isinf(v)))
+    param_error(schema,
+                "param " + key + " expects a number, got '" + value + "'");
+  return v;
+}
+
+bool parse_bool(const ParamSchema& schema, const std::string& key,
+                const std::string& value) {
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  param_error(schema,
+              "param " + key + " expects a boolean, got '" + value + "'");
+}
+
+}  // namespace
+
+ParamMap ParamMap::parse_pairs(
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    const ParamSchema& schema) {
+  ParamMap map;
+  for (const auto& [key, value] : pairs) {
+    const ParamSpec* spec = schema.find(key);
+    if (spec == nullptr) param_error(schema, "unknown param '" + key + "'");
+
+    Entry entry;
+    entry.key = key;
+    entry.type = spec->type;
+    switch (spec->type) {
+      case ParamType::kInt:
+        entry.int_value = parse_int(schema, key, value);
+        break;
+      case ParamType::kDouble:
+        entry.double_value = parse_double(schema, key, value);
+        break;
+      case ParamType::kBool:
+        entry.int_value = parse_bool(schema, key, value) ? 1 : 0;
+        break;
+      case ParamType::kEnum: {
+        const auto it = std::find(spec->enum_values.begin(),
+                                  spec->enum_values.end(), value);
+        if (it == spec->enum_values.end())
+          param_error(schema, "param " + key + " has no value '" + value +
+                                  "' (see the valid labels below)");
+        entry.int_value =
+            static_cast<std::int64_t>(it - spec->enum_values.begin());
+        break;
+      }
+    }
+
+    // Later assignments override earlier ones in place.
+    const auto existing =
+        std::find_if(map.entries_.begin(), map.entries_.end(),
+                     [&](const Entry& e) { return e.key == key; });
+    if (existing != map.entries_.end())
+      *existing = std::move(entry);
+    else
+      map.entries_.push_back(std::move(entry));
+  }
+  return map;
+}
+
+ParamMap ParamMap::parse(const std::vector<std::string>& assignments,
+                         const ParamSchema& schema) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (const auto& assignment : assignments) {
+    const auto eq = assignment.find('=');
+    if (eq == std::string::npos)
+      param_error(schema, "malformed param assignment '" + assignment +
+                              "' (expected key=value)");
+    pairs.emplace_back(assignment.substr(0, eq), assignment.substr(eq + 1));
+  }
+  return parse_pairs(pairs, schema);
+}
+
+bool ParamMap::has(const std::string& key) const {
+  for (const auto& e : entries_)
+    if (e.key == key) return true;
+  return false;
+}
+
+const ParamMap::Entry* ParamMap::find(const std::string& key,
+                                      ParamType want) const {
+  for (const auto& e : entries_) {
+    if (e.key != key) continue;
+    RTDS_CHECK_MSG(e.type == want, "param " << key << " read as "
+                                            << to_string(want) << " but set as "
+                                            << to_string(e.type));
+    return &e;
+  }
+  return nullptr;
+}
+
+std::int64_t ParamMap::get_int(const std::string& key, std::int64_t def) const {
+  const Entry* e = find(key, ParamType::kInt);
+  return e == nullptr ? def : e->int_value;
+}
+
+double ParamMap::get_double(const std::string& key, double def) const {
+  const Entry* e = find(key, ParamType::kDouble);
+  return e == nullptr ? def : e->double_value;
+}
+
+bool ParamMap::get_bool(const std::string& key, bool def) const {
+  const Entry* e = find(key, ParamType::kBool);
+  return e == nullptr ? def : e->int_value != 0;
+}
+
+std::size_t ParamMap::get_enum(const std::string& key, std::size_t def) const {
+  const Entry* e = find(key, ParamType::kEnum);
+  return e == nullptr ? def : static_cast<std::size_t>(e->int_value);
+}
+
+std::vector<std::string> ParamMap::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.key);
+  return out;
+}
+
+}  // namespace rtds::policy

@@ -1,0 +1,107 @@
+// Typed key=value parameters for the unified Policy API.
+//
+// A ParamSchema declares the parameters a policy understands — key, type,
+// default and one-line description — and a ParamMap holds a *validated* set
+// of overrides against one schema. Validation is strict and loud: unknown
+// keys, malformed values and out-of-range enum labels all throw
+// ContractViolation with the full schema appended, so a typo in
+// `--set broadcst_period=10` fails with the list of spellings that would
+// have worked instead of silently running the defaults.
+//
+// Schemas subsume the per-family config structs (SystemConfig,
+// BroadcastConfig, CentralizedConfig, OffloadConfig, LocalSchedulerConfig):
+// every schema default equals the corresponding struct default, so an empty
+// ParamMap reproduces the legacy free-function behaviour bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rtds::policy {
+
+enum class ParamType { kInt, kDouble, kBool, kEnum };
+
+const char* to_string(ParamType type);
+
+struct ParamSpec {
+  std::string key;
+  ParamType type = ParamType::kDouble;
+  std::string description;
+  std::string default_value;             ///< rendered default, for listings
+  std::vector<std::string> enum_values;  ///< kEnum only: the valid labels
+};
+
+/// Ordered parameter declarations for one policy. Insertion order is the
+/// listing order (keep related keys together).
+class ParamSchema {
+ public:
+  ParamSchema& add_int(std::string key, std::int64_t def,
+                       std::string description);
+  ParamSchema& add_double(std::string key, double def,
+                          std::string description);
+  ParamSchema& add_bool(std::string key, bool def, std::string description);
+  /// `def` must be one of `values`; get_enum returns the label's index.
+  ParamSchema& add_enum(std::string key, std::string def,
+                        std::vector<std::string> values,
+                        std::string description);
+
+  const ParamSpec* find(const std::string& key) const;  ///< nullptr if absent
+  const std::vector<ParamSpec>& specs() const { return specs_; }
+
+  /// Human-readable one-line-per-param rendering, used in listings and
+  /// appended to every validation error.
+  std::string describe() const;
+
+ private:
+  ParamSpec& add(std::string key, ParamType type, std::string description);
+  std::vector<ParamSpec> specs_;
+};
+
+/// A validated bag of overrides for one schema. Construct via parse();
+/// a default-constructed map is empty (every lookup returns the default).
+class ParamMap {
+ public:
+  ParamMap() = default;
+
+  /// Validates `key=value` assignments against `schema`. Throws
+  /// ContractViolation (message includes schema.describe()) on an unknown
+  /// key, a value that does not parse as the declared type, or an enum
+  /// label not in the declared set. Later assignments override earlier
+  /// ones for the same key.
+  static ParamMap parse(const std::vector<std::string>& assignments,
+                        const ParamSchema& schema);
+  /// Same, from already-split (key, value) pairs. (A distinct name: an
+  /// overload would make single-element brace lists ambiguous.)
+  static ParamMap parse_pairs(
+      const std::vector<std::pair<std::string, std::string>>& pairs,
+      const ParamSchema& schema);
+
+  bool has(const std::string& key) const;
+
+  // Typed lookups. The key must have been declared with the matching type
+  // in the schema the map was parsed against (checked at parse time); a
+  // mismatched accessor on a *set* key is a policy bug and throws.
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+  /// Index of the set label in the schema's enum_values, or `def` when the
+  /// key is unset.
+  std::size_t get_enum(const std::string& key, std::size_t def) const;
+
+  /// Keys explicitly set, in first-set order (stable for labels/logs).
+  std::vector<std::string> keys() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    ParamType type = ParamType::kDouble;
+    std::int64_t int_value = 0;     // kInt / kBool (0/1) / kEnum (index)
+    double double_value = 0.0;      // kDouble
+  };
+  const Entry* find(const std::string& key, ParamType want) const;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rtds::policy

@@ -1,0 +1,69 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rtds::policy {
+
+PolicyRegistry& PolicyRegistry::instance() {
+  static PolicyRegistry registry;
+  return registry;
+}
+
+void PolicyRegistry::add(std::string name, PolicyFactory factory) {
+  RTDS_REQUIRE_MSG(!contains(name), "policy " << name << " already registered");
+  RTDS_REQUIRE(factory != nullptr);
+  factories_.emplace_back(std::move(name), std::move(factory));
+}
+
+std::unique_ptr<Policy> PolicyRegistry::create(const std::string& name) const {
+  for (const auto& [key, factory] : factories_) {
+    if (key != name) continue;
+    auto policy = factory();
+    RTDS_CHECK_MSG(policy != nullptr && policy->name() == key,
+                   "factory for " << key << " built a mismatched policy");
+    return policy;
+  }
+  std::ostringstream os;
+  os << "unknown policy '" << name << "'; registered policies:";
+  for (const auto& known : names()) os << " " << known;
+  throw ContractViolation(os.str());
+}
+
+bool PolicyRegistry::contains(const std::string& name) const {
+  for (const auto& [key, factory] : factories_) {
+    (void)factory;
+    if (key == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> PolicyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [key, factory] : factories_) {
+    (void)factory;
+    out.push_back(key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Defined in rtds_policy.cpp / baseline_policies.cpp. Explicit hooks keep
+// the registrations alive under static-library linking, where a TU nothing
+// references would be dropped along with its registrar objects.
+void register_rtds_policy();
+void register_baseline_policies();
+
+void register_builtin_policies() {
+  static const bool once = [] {
+    register_rtds_policy();
+    register_baseline_policies();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace rtds::policy

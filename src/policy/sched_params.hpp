@@ -1,0 +1,39 @@
+// The local-scheduler parameter fragment every policy family shares.
+//
+// All six families run the same §5 local admission machinery underneath
+// (LocalSchedulerConfig), so its knobs appear under the same keys in every
+// schema and decode through one helper. computing_power is deliberately
+// not a param: it is per-site data owned by the Topology (§13 uniform
+// machines), not a scheduler knob.
+#pragma once
+
+#include "policy/param_map.hpp"
+#include "sched/local_scheduler.hpp"
+
+namespace rtds::policy {
+
+inline ParamSchema& add_sched_params(ParamSchema& schema) {
+  schema
+      .add_enum("admission", "edf", {"edf", "exact", "preemptive"},
+                "§5 local admission test (greedy EDF, exact B&B, "
+                "preemptive EDF)")
+      .add_int("exact_max_tasks", 12,
+               "B&B size cap for admission=exact; larger sets fall back to "
+               "EDF")
+      .add_double("observation_window", 100.0,
+                  "W in the §2 surplus definition");
+  return schema;
+}
+
+inline LocalSchedulerConfig sched_config_from(const ParamMap& params) {
+  LocalSchedulerConfig cfg;
+  cfg.policy = static_cast<AdmissionPolicy>(
+      params.get_enum("admission", static_cast<std::size_t>(cfg.policy)));
+  cfg.exact_max_tasks = static_cast<std::size_t>(params.get_int(
+      "exact_max_tasks", static_cast<std::int64_t>(cfg.exact_max_tasks)));
+  cfg.observation_window =
+      params.get_double("observation_window", cfg.observation_window);
+  return cfg;
+}
+
+}  // namespace rtds::policy

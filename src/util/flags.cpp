@@ -6,7 +6,13 @@
 
 namespace rtds {
 
-Flags::Flags(int argc, const char* const* argv) {
+Flags::Flags(int argc, const char* const* argv,
+             std::initializer_list<const char*> value_flags) {
+  auto takes_value = [&](const std::string& name) {
+    for (const char* vf : value_flags)
+      if (name == vf) return true;
+    return false;
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -15,11 +21,15 @@ Flags::Flags(int argc, const char* const* argv) {
     }
     arg.erase(0, 2);
     const auto eq = arg.find('=');
-    if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-    } else {
-      values_[arg] = "true";  // bare boolean flag
+    std::string name = eq == std::string::npos ? arg : arg.substr(0, eq);
+    std::string value =
+        eq == std::string::npos ? "true" : arg.substr(eq + 1);  // bare = bool
+    if (eq == std::string::npos && takes_value(name)) {
+      RTDS_REQUIRE_MSG(i + 1 < argc, "--" << name << " expects a value");
+      value = argv[++i];
     }
+    values_[name] = value;
+    ordered_.emplace_back(std::move(name), std::move(value));
   }
 }
 
@@ -32,6 +42,14 @@ std::string Flags::get_string(const std::string& name, std::string def) const {
   used_[name] = true;
   const auto it = values_.find(name);
   return it == values_.end() ? def : it->second;
+}
+
+std::vector<std::string> Flags::get_all(const std::string& name) const {
+  used_[name] = true;
+  std::vector<std::string> out;
+  for (const auto& [key, value] : ordered_)
+    if (key == name) out.push_back(value);
+  return out;
 }
 
 std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {

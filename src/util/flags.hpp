@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
@@ -15,11 +16,18 @@ class Flags {
  public:
   /// Parses argv. Throws ContractViolation on malformed input. Call
   /// `check_unused()` after all lookups to reject unknown flags.
-  Flags(int argc, const char* const* argv);
+  /// Flags named in `value_flags` consume the next argv element when given
+  /// bare, so `--set key=value` parses like `--set=key=value` (needed
+  /// because param assignments themselves contain '=').
+  Flags(int argc, const char* const* argv,
+        std::initializer_list<const char*> value_flags = {});
 
   bool has(const std::string& name) const;
 
   std::string get_string(const std::string& name, std::string def) const;
+  /// Every value given for a repeatable flag, in command-line order
+  /// (`--set a=1 --set b=2`; the single-value getters see only the last).
+  std::vector<std::string> get_all(const std::string& name) const;
   std::int64_t get_int(const std::string& name, std::int64_t def) const;
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def) const;
@@ -33,6 +41,8 @@ class Flags {
 
  private:
   std::map<std::string, std::string> values_;
+  /// All (name, value) pairs in argv order, for repeatable flags.
+  std::vector<std::pair<std::string, std::string>> ordered_;
   mutable std::map<std::string, bool> used_;
   std::vector<std::string> positional_;
 };

@@ -15,6 +15,7 @@
 #include "exp/scenarios.hpp"
 #include "exp/seed.hpp"
 #include "exp/sinks.hpp"
+#include "policy/policy.hpp"
 #include "util/error.hpp"
 
 namespace rtds::exp {
@@ -282,7 +283,7 @@ TEST(Registry, BuiltinsRegisteredOnce) {
         "e3_sphere_radius", "e3_sphere_radius_offload", "e4_adjustment_cases",
         "e5_enroll_policy", "e5_enroll_gate", "e5_surplus_window",
         "e5_laxity_weighting", "e5_admission_policy", "e5_local_knowledge",
-        "e5_transport", "e5_mapper_priority"})
+        "e5_transport", "e5_mapper_priority", "policy_sweep"})
     EXPECT_NE(registry.find(name), nullptr) << name;
   for (const char* name :
        {"fig1_protocol", "fig2_table1", "e4a_case_boundaries"})
@@ -293,6 +294,17 @@ TEST(Registry, BuiltinsRegisteredOnce) {
   EXPECT_EQ(registry.find("e2_guarantee_ratio")->seed_mode, SeedMode::kFixed);
   EXPECT_EQ(registry.find("e2_guarantee_ratio")->fixed_seed, 42u);
   EXPECT_EQ(registry.find("e1_message_bound")->grid_size(), 7u);
+}
+
+TEST(Registry, PolicySweepAxisCoversPolicyRegistry) {
+  register_builtin_scenarios();
+  const ScenarioSpec* sweep = Registry::instance().find("policy_sweep");
+  ASSERT_NE(sweep, nullptr);
+  ASSERT_FALSE(sweep->axes.empty());
+  const auto names = policy::PolicyRegistry::instance().names();
+  ASSERT_EQ(sweep->axes[0].values.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i)
+    EXPECT_EQ(sweep->axes[0].values[i].label, names[i]);
 }
 
 }  // namespace

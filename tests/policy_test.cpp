@@ -1,0 +1,291 @@
+// Unified Policy API tests: every registered policy runs from schema
+// defaults and reproduces its legacy free-function entry point bit for
+// bit; ParamMap validation fails loudly on unknown keys, wrong types and
+// out-of-range enum labels; the registry errors list valid names.
+#include <gtest/gtest.h>
+
+#include "baseline/broadcast.hpp"
+#include "baseline/centralized.hpp"
+#include "baseline/local_only.hpp"
+#include "baseline/offload.hpp"
+#include "core/rtds_system.hpp"
+#include "exp/condition.hpp"
+#include "policy/policy.hpp"
+#include "util/error.hpp"
+
+namespace rtds::policy {
+namespace {
+
+class PolicyApi : public ::testing::Test {
+ protected:
+  void SetUp() override { register_builtin_policies(); }
+};
+
+// ---------------------------------------------------------- registry ----
+
+TEST_F(PolicyApi, AllSixFamiliesRegistered) {
+  register_builtin_policies();  // idempotent
+  auto& registry = PolicyRegistry::instance();
+  for (const char* name :
+       {"rtds", "local", "central", "bcast", "bid", "random"}) {
+    ASSERT_TRUE(registry.contains(name)) << name;
+    const auto policy = registry.create(name);
+    EXPECT_EQ(policy->name(), name);
+    EXPECT_FALSE(policy->description().empty());
+    EXPECT_FALSE(policy->describe_params().specs().empty());
+  }
+}
+
+TEST_F(PolicyApi, UnknownPolicyErrorListsRegisteredNames) {
+  try {
+    PolicyRegistry::instance().create("bogus");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    for (const char* name :
+         {"rtds", "local", "central", "bcast", "bid", "random"})
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+  }
+}
+
+// ------------------------------------------- bit-identity vs legacy ----
+
+/// The E2 comparison condition, scaled down to run all six families in a
+/// test: 4x4 grid, offload-regime windows.
+exp::Condition small_e2_condition() {
+  exp::ConditionSpec cs = exp::offload_regime();
+  cs.net = NetShape::kGrid;
+  cs.sites = 16;
+  cs.rate = 0.03;
+  cs.horizon = 200.0;
+  cs.seed = 42;
+  return exp::make_condition(cs);
+}
+
+void expect_stat_identical(const RunningStat& a, const RunningStat& b,
+                           const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.mean(), b.mean()) << what;
+  EXPECT_EQ(a.variance(), b.variance()) << what;
+  EXPECT_EQ(a.sum(), b.sum()) << what;
+  if (a.count() > 0 && b.count() > 0) {
+    EXPECT_EQ(a.min(), b.min()) << what;
+    EXPECT_EQ(a.max(), b.max()) << what;
+  }
+}
+
+/// Bit-identical across every field the sinks and scenario tables can
+/// read: exact integer counts, exact double-compare on the accumulators.
+void expect_metrics_identical(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.arrived, b.arrived);
+  EXPECT_EQ(a.accepted_local, b.accepted_local);
+  EXPECT_EQ(a.accepted_remote, b.accepted_remote);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.dispatch_failures, b.dispatch_failures);
+  EXPECT_EQ(a.failed_jobs, b.failed_jobs);
+  EXPECT_EQ(a.reject_by_reason, b.reject_by_reason);
+  EXPECT_EQ(a.adjustment_cases, b.adjustment_cases);
+  expect_stat_identical(a.decision_latency, b.decision_latency,
+                        "decision_latency");
+  expect_stat_identical(a.acs_size, b.acs_size, "acs_size");
+  expect_stat_identical(a.msgs_per_job, b.msgs_per_job, "msgs_per_job");
+  expect_stat_identical(a.job_lateness, b.job_lateness, "job_lateness");
+  EXPECT_EQ(a.transport.total_sends, b.transport.total_sends);
+  EXPECT_EQ(a.transport.total_link_messages, b.transport.total_link_messages);
+  auto it_a = a.transport.by_category.begin();
+  auto it_b = b.transport.by_category.begin();
+  for (; it_a != a.transport.by_category.end() &&
+         it_b != b.transport.by_category.end();
+       ++it_a, ++it_b) {
+    EXPECT_EQ((*it_a).first, (*it_b).first);
+    EXPECT_EQ((*it_a).second.sends, (*it_b).second.sends);
+    EXPECT_EQ((*it_a).second.link_messages, (*it_b).second.link_messages);
+  }
+  EXPECT_EQ(it_a != a.transport.by_category.end(),
+            it_b != b.transport.by_category.end());
+  EXPECT_EQ(a.pcs_build_messages, b.pcs_build_messages);
+  EXPECT_EQ(a.pcs_size_max, b.pcs_size_max);
+  EXPECT_EQ(a.pcs_hop_diameter_max, b.pcs_hop_diameter_max);
+}
+
+RunMetrics run_via_registry(const std::string& name, const exp::Condition& c,
+                            const std::vector<std::string>& sets = {}) {
+  const auto policy = PolicyRegistry::instance().create(name);
+  return policy->run(c.topo, c.arrivals, policy->parse_params(sets));
+}
+
+TEST_F(PolicyApi, RtdsMatchesLegacyEntryPoint) {
+  const exp::Condition c = small_e2_condition();
+  RtdsSystem system(c.topo, SystemConfig{});
+  system.run(c.arrivals);
+  expect_metrics_identical(run_via_registry("rtds", c), system.metrics());
+}
+
+TEST_F(PolicyApi, LocalMatchesLegacyEntryPoint) {
+  const exp::Condition c = small_e2_condition();
+  expect_metrics_identical(
+      run_via_registry("local", c),
+      run_local_only(c.topo, c.arrivals, LocalSchedulerConfig{}));
+}
+
+TEST_F(PolicyApi, CentralMatchesLegacyEntryPoint) {
+  const exp::Condition c = small_e2_condition();
+  expect_metrics_identical(
+      run_via_registry("central", c),
+      run_centralized(c.topo, c.arrivals, CentralizedConfig{}));
+}
+
+TEST_F(PolicyApi, BcastMatchesLegacyEntryPoint) {
+  const exp::Condition c = small_e2_condition();
+  expect_metrics_identical(run_via_registry("bcast", c),
+                           run_broadcast(c.topo, c.arrivals, BroadcastConfig{}));
+}
+
+TEST_F(PolicyApi, BidMatchesLegacyEntryPoint) {
+  const exp::Condition c = small_e2_condition();
+  expect_metrics_identical(run_via_registry("bid", c),
+                           run_offload(c.topo, c.arrivals, OffloadConfig{}));
+}
+
+TEST_F(PolicyApi, RandomMatchesLegacyEntryPoint) {
+  const exp::Condition c = small_e2_condition();
+  OffloadConfig cfg;
+  cfg.policy = OffloadPolicy::kRandom;
+  expect_metrics_identical(run_via_registry("random", c),
+                           run_offload(c.topo, c.arrivals, cfg));
+}
+
+TEST_F(PolicyApi, OverridesMatchLegacyConfigs) {
+  // A non-default override through the ParamMap equals the same override
+  // through the legacy config struct.
+  const exp::Condition c = small_e2_condition();
+
+  SystemConfig rtds_cfg;
+  rtds_cfg.node.sphere_radius_h = 3;
+  rtds_cfg.node.enroll_gate = EnrollGate::kProtocolAware;
+  RtdsSystem system(c.topo, rtds_cfg);
+  system.run(c.arrivals);
+  expect_metrics_identical(
+      run_via_registry("rtds", c, {"h=3", "gate=protocol_aware"}),
+      system.metrics());
+
+  BroadcastConfig bcfg;
+  bcfg.broadcast_period = 10.0;
+  bcfg.surplus_window = 50.0;
+  expect_metrics_identical(
+      run_via_registry("bcast", c,
+                       {"broadcast_period=10", "surplus_window=50"}),
+      run_broadcast(c.topo, c.arrivals, bcfg));
+
+  CentralizedConfig ccfg;
+  ccfg.sphere_radius_h = 1;
+  expect_metrics_identical(run_via_registry("central", c, {"h=1"}),
+                           run_centralized(c.topo, c.arrivals, ccfg));
+}
+
+TEST_F(PolicyApi, EveryRegisteredPolicyRunsFromDefaults) {
+  // Registry-completeness sweep: whatever is registered must run the small
+  // E2 condition from an all-defaults ParamMap and produce sound counts.
+  const exp::Condition c = small_e2_condition();
+  for (const auto& name : PolicyRegistry::instance().names()) {
+    const RunMetrics m = run_via_registry(name, c);
+    EXPECT_EQ(m.arrived, c.arrivals.size()) << name;
+    EXPECT_EQ(m.arrived, m.accepted() + m.rejected) << name;
+    EXPECT_EQ(m.deadline_misses, 0u) << name;
+  }
+}
+
+// ----------------------------------------------------------- ParamMap ----
+
+ParamSchema probe_schema() {
+  ParamSchema schema;
+  schema.add_int("count", 3, "an int")
+      .add_double("rate", 0.5, "a double")
+      .add_bool("flag", false, "a bool")
+      .add_enum("mode", "slow", {"slow", "fast"}, "an enum");
+  return schema;
+}
+
+TEST(ParamMapTest, DefaultsAndOverrides) {
+  const ParamSchema schema = probe_schema();
+  const ParamMap empty;
+  EXPECT_EQ(empty.get_int("count", 3), 3);
+  EXPECT_EQ(empty.get_double("rate", 0.5), 0.5);
+  EXPECT_FALSE(empty.get_bool("flag", false));
+  EXPECT_EQ(empty.get_enum("mode", 0), 0u);
+
+  const ParamMap map = ParamMap::parse(
+      {"count=7", "rate=0.25", "flag=true", "mode=fast"}, schema);
+  EXPECT_EQ(map.get_int("count", 3), 7);
+  EXPECT_EQ(map.get_double("rate", 0.5), 0.25);
+  EXPECT_TRUE(map.get_bool("flag", false));
+  EXPECT_EQ(map.get_enum("mode", 0), 1u);
+  EXPECT_TRUE(map.has("count"));
+  EXPECT_FALSE(map.has("missing"));
+}
+
+TEST(ParamMapTest, LaterAssignmentWins) {
+  const ParamMap map =
+      ParamMap::parse({"count=1", "count=9"}, probe_schema());
+  EXPECT_EQ(map.get_int("count", 3), 9);
+  EXPECT_EQ(map.keys().size(), 1u);
+}
+
+TEST(ParamMapTest, UnknownKeyReportsSchema) {
+  try {
+    ParamMap::parse({"cnt=7"}, probe_schema());
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown param 'cnt'"), std::string::npos) << what;
+    // The error carries the full valid schema.
+    for (const char* key : {"count", "rate", "flag", "mode"})
+      EXPECT_NE(what.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ParamMapTest, WrongTypeReportsSchema) {
+  for (const char* bad : {"count=seven", "count=7.5", "rate=fast",
+                          "flag=maybe", "count=",
+                          "count=99999999999999999999999", "rate=1e999"}) {
+    try {
+      ParamMap::parse({bad}, probe_schema());
+      FAIL() << "expected ContractViolation for " << bad;
+    } catch (const ContractViolation& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("valid params"), std::string::npos) << bad;
+    }
+  }
+}
+
+TEST(ParamMapTest, OutOfRangeEnumReportsLabels) {
+  try {
+    ParamMap::parse({"mode=medium"}, probe_schema());
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("mode"), std::string::npos);
+    EXPECT_NE(what.find("slow|fast"), std::string::npos) << what;
+  }
+}
+
+TEST(ParamMapTest, MalformedAssignmentRejected) {
+  EXPECT_THROW(ParamMap::parse({"count"}, probe_schema()), ContractViolation);
+}
+
+TEST(ParamMapTest, MismatchedAccessorOnSetKeyThrows) {
+  const ParamMap map = ParamMap::parse({"count=7"}, probe_schema());
+  EXPECT_THROW(map.get_double("count", 0.0), ContractViolation);
+}
+
+TEST(ParamMapTest, SchemaRejectsDuplicateKeysAndBadEnumDefault) {
+  ParamSchema schema;
+  schema.add_int("k", 0, "");
+  EXPECT_THROW(schema.add_double("k", 0.0, ""), ContractViolation);
+  EXPECT_THROW(schema.add_enum("m", "c", {"a", "b"}, ""), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtds::policy

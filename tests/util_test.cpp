@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <set>
 #include <sstream>
 
 #include "util/error.hpp"
 #include "util/flags.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -280,6 +282,82 @@ TEST(Flags, MalformedNumberRejected) {
   const char* argv[] = {"prog", "--n=abc"};
   Flags flags(2, argv);
   EXPECT_THROW(flags.get_int("n", 0), ContractViolation);
+}
+
+TEST(Flags, RepeatableValueFlag) {
+  // --set consumes the next argv element when bare (its values contain '='
+  // themselves); get_all sees every occurrence in order, in both forms.
+  const char* argv[] = {"prog", "--set", "a=1", "--set=b=2", "--set", "a=3"};
+  Flags flags(6, argv, {"set"});
+  const auto all = flags.get_all("set");
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], "a=1");
+  EXPECT_EQ(all[1], "b=2");
+  EXPECT_EQ(all[2], "a=3");
+  EXPECT_TRUE(flags.positional().empty());
+  flags.check_unused();  // one lookup covers every occurrence
+
+  const char* dangling[] = {"prog", "--set"};
+  EXPECT_THROW(Flags(2, dangling, {"set"}), ContractViolation);
+}
+
+// ------------------------------------------------------------ flat map ----
+
+TEST(FlatMapTest, InsertFindGrow) {
+  FlatMap<std::uint64_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7), nullptr);
+
+  // Push through several growth rehashes.
+  for (std::uint64_t k = 0; k < 1000; ++k) map[k * 3] += static_cast<int>(k);
+  EXPECT_EQ(map.size(), 1000u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const int* v = map.find(k * 3);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, static_cast<int>(k));
+  }
+  EXPECT_EQ(map.find(1), nullptr);
+  EXPECT_FALSE(map.contains(2));
+
+  // operator[] default-constructs on first touch, like std::map.
+  EXPECT_EQ(map[9999], 0);
+  EXPECT_EQ(map.size(), 1001u);
+}
+
+TEST(FlatMapTest, SortedItemsMatchesMapOrder) {
+  FlatMap<std::uint64_t, int> flat;
+  std::map<std::uint64_t, int> reference;
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const auto key = static_cast<std::uint64_t>(rng.uniform_int(0, 100000));
+    flat[key] = i;
+    reference[key] = i;
+  }
+  const auto items = flat.sorted_items();
+  ASSERT_EQ(items.size(), reference.size());
+  std::size_t i = 0;
+  for (const auto& [key, value] : reference) {
+    EXPECT_EQ(items[i].first, key);
+    EXPECT_EQ(items[i].second, value);
+    ++i;
+  }
+}
+
+TEST(FlatMapTest, ReserveAvoidsGrowthAndZeroKeyWorks) {
+  FlatMap<std::uint64_t, int> map;
+  map.reserve(100);
+  map[0] = 42;  // 0 must be a valid key (occupancy is a flag, not a sentinel)
+  ASSERT_NE(map.find(0), nullptr);
+  EXPECT_EQ(*map.find(0), 42);
+}
+
+TEST(FlatSetTest, InsertContains) {
+  FlatSet<std::uint64_t> set;
+  EXPECT_FALSE(set.contains(5));
+  set.insert(5);
+  set.insert(5);
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_EQ(set.size(), 1u);
 }
 
 }  // namespace
