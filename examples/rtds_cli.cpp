@@ -9,8 +9,11 @@
 //   run        --net=FILE --load=FILE [--policy=NAME | --scheduler=NAME]
 //              [--set key=value ...] [--h --policy=edf|exact|preemptive
 //              --transport=ideal|contended --bandwidth --slack]
+//              [--faults=k=v,k=v,...]
 //              run a registered scheduler policy over saved inputs; --set
-//              is validated against the policy's ParamSchema
+//              is validated against the policy's ParamSchema. --faults is
+//              shorthand for fault-injection overrides: each k=v becomes
+//              --set faults.k=v (e.g. --faults=site_rate=0.002,drop=0.01)
 //   inspect    --net=FILE | --load=FILE   summarize a saved artifact
 //
 // Scheduler dispatch goes through the PolicyRegistry: any registered
@@ -48,6 +51,7 @@ namespace {
       "  run      --net=net.txt --load=load.txt [--policy=rtds\n"
       "           --set h=2 --set admission=edf ... | --h=2 --policy=edf\n"
       "           --transport=ideal --bandwidth=100]\n"
+      "           [--faults=site_rate=0.002,site_mttr=25,drop=0.01]\n"
       "  inspect  --net=net.txt | --load=load.txt\n";
   std::exit(2);
 }
@@ -161,6 +165,18 @@ int cmd_run(const Flags& flags) {
       sets.push_back("overhead_slack=" + flags.get_string("slack", "1"));
     }
   }
+  // --faults=k=v,k=v is sugar over the schema's faults.* keys; explicit
+  // --set still wins (later assignments take precedence).
+  const std::string faults = flags.get_string("faults", "");
+  if (!faults.empty()) {
+    std::istringstream in(faults);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+      RTDS_REQUIRE_MSG(item.find('=') != std::string::npos,
+                       "--faults expects k=v[,k=v...], got '" << item << "'");
+      sets.push_back("faults." + item);
+    }
+  }
   for (const auto& assignment : flags.get_all("set"))
     sets.push_back(assignment);
   flags.check_unused();
@@ -184,6 +200,11 @@ int cmd_run(const Flags& flags) {
   t.add_row({"rejected", Table::num(std::size_t{metrics.rejected})});
   t.add_row({"deadline misses", Table::num(std::size_t{metrics.deadline_misses})});
   t.add_row({"dispatch failures", Table::num(std::size_t{metrics.dispatch_failures})});
+  t.add_row({"jobs lost", Table::num(std::size_t{metrics.jobs_lost})});
+  t.add_row({"jobs rescheduled", Table::num(std::size_t{metrics.jobs_rescheduled})});
+  t.add_row({"repair messages", Table::num(std::size_t{metrics.repair_messages})});
+  t.add_row({"messages dropped",
+             Table::num(std::size_t{metrics.transport.messages_dropped})});
   t.add_row({"link messages", Table::num(std::size_t{metrics.transport.total_link_messages})});
   t.add_row({"msgs/job mean",
              Table::num(metrics.msgs_per_job.count() ? metrics.msgs_per_job.mean() : 0.0, 2)});

@@ -129,6 +129,11 @@ int run_policy_cmd(const std::string& name, const Flags& flags) {
   t.add_row({"accepted remote", Table::num(std::size_t{m.accepted_remote})});
   t.add_row({"rejected", Table::num(std::size_t{m.rejected})});
   t.add_row({"deadline misses", Table::num(std::size_t{m.deadline_misses})});
+  t.add_row({"jobs lost", Table::num(std::size_t{m.jobs_lost})});
+  t.add_row({"jobs rescheduled", Table::num(std::size_t{m.jobs_rescheduled})});
+  t.add_row({"repair messages", Table::num(std::size_t{m.repair_messages})});
+  t.add_row({"messages dropped",
+             Table::num(std::size_t{m.transport.messages_dropped})});
   t.add_row({"link messages",
              Table::num(std::size_t{m.transport.total_link_messages})});
   t.add_row({"msgs/job mean",

@@ -22,7 +22,11 @@ enum BroadcastCategory : int {
 class BroadcastDriver {
  public:
   BroadcastDriver(const Topology& topo, const BroadcastConfig& cfg)
-      : topo_(topo), cfg_(cfg), net_(sim_, topo_) {
+      : topo_(topo),
+        cfg_(cfg),
+        net_(sim_, topo_),
+        alive_(topo.site_count(), 1),
+        epoch_(topo.site_count(), 0) {
     for (SiteId s = 0; s < topo_.site_count(); ++s) {
       paths_.push_back(dijkstra(topo_, s));
       LocalSchedulerConfig sc = cfg_.sched;
@@ -34,6 +38,13 @@ class BroadcastDriver {
     }
     surplus_table_.assign(topo_.site_count(),
                           std::vector<double>(topo_.site_count(), 1.0));
+    // Execution-plane faults (DESIGN.md §9) as ordinary simulator events.
+    const fault::SiteTimeline timeline(cfg_.faults, topo_.site_count());
+    for (const auto& ev : timeline.events()) {
+      sim_.schedule_at(ev.at, [this, ev]() {
+        ev.up ? recover(ev.site) : crash(ev.site);
+      });
+    }
   }
 
   RunMetrics run(const std::vector<JobArrival>& arrivals) {
@@ -49,6 +60,11 @@ class BroadcastDriver {
     sim_.run();
     RTDS_CHECK_MSG(active_.empty(), "unfinished focused-addressing offers");
     for (const auto& [job, track] : accepted_) {
+      if (track.failed) {
+        ++metrics_.jobs_lost;
+        ++metrics_.failed_jobs;
+        continue;
+      }
       RTDS_CHECK(track.tasks_done == track.tasks_expected);
       metrics_.job_lateness.add(track.completion - track.deadline);
       RTDS_CHECK_MSG(time_le(track.completion, track.deadline),
@@ -60,6 +76,7 @@ class BroadcastDriver {
 
  private:
   struct Initiation {
+    SiteId initiator = kNoSite;
     std::shared_ptr<const Job> job;
     std::vector<SiteId> candidates;
     std::size_t next_candidate = 0;
@@ -68,15 +85,45 @@ class BroadcastDriver {
   };
 
   struct JobTrack {
+    SiteId site = kNoSite;  ///< whole-DAG baselines commit on one site
     std::size_t tasks_expected = 0;
     std::size_t tasks_done = 0;
     Time completion = 0.0;
     Time deadline = 0.0;
+    bool failed = false;  ///< lost to a crash of its site
   };
+
+  void crash(SiteId s) {
+    if (!alive_[s]) return;
+    alive_[s] = 0;
+    ++epoch_[s];  // pending completion events of this life become stale
+    LocalSchedulerConfig sc = cfg_.sched;
+    sc.computing_power = topo_.computing_power(s);
+    scheds_[s] = LocalScheduler(sc);
+    for (auto& [job, track] : accepted_)
+      if (track.site == s && track.tasks_done < track.tasks_expected)
+        track.failed = true;
+    for (auto it = active_.begin(); it != active_.end();) {
+      if (it->second.initiator == s) {
+        decide(s, *it->second.job, JobOutcome::kRejected,
+               RejectReason::kSiteDown, it->second.contacted);
+        it = active_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void recover(SiteId s) { alive_[s] = 1; }
 
   void schedule_broadcast(SiteId s, Time at) {
     if (time_gt(at, broadcast_until_)) return;
     sim_.schedule_at(at, [this, s]() {
+      if (!alive_[s]) {
+        // A dead site skips this flood but keeps its period ticking.
+        schedule_broadcast(s, sim_.now() + cfg_.broadcast_period);
+        return;
+      }
       scheds_[s].garbage_collect(sim_.now());
       const double surplus =
           scheds_[s].plan().surplus(sim_.now(), cfg_.surplus_window);
@@ -106,10 +153,13 @@ class BroadcastDriver {
     const auto placements = sched.try_accept_dag_local(job, earliest);
     if (!placements) return false;
     auto& track = accepted_[job.id];
+    track.site = site;
     track.tasks_expected = job.dag.task_count();
     track.deadline = job.deadline;
     for (const auto& p : *placements) {
-      sim_.schedule_at(p.end, [this, id = job.id, end = p.end]() {
+      sim_.schedule_at(p.end, [this, id = job.id, end = p.end, site,
+                               ep = epoch_[site]]() {
+        if (ep != epoch_[site]) return;  // the site crashed; work lost
         auto& tr = accepted_.at(id);
         ++tr.tasks_done;
         tr.completion = std::max(tr.completion, end);
@@ -135,12 +185,17 @@ class BroadcastDriver {
   }
 
   void on_arrival(SiteId site, std::shared_ptr<const Job> job) {
+    if (!alive_[site]) {
+      decide(site, *job, JobOutcome::kRejected, RejectReason::kSiteDown, 0);
+      return;
+    }
     if (try_local(site, *job)) {
       decide(site, *job, JobOutcome::kAcceptedLocal, RejectReason::kNone, 0);
       return;
     }
     // Focused addressing from the (stale) global surplus table.
     Initiation init;
+    init.initiator = site;
     init.job = job;
     std::vector<std::pair<double, SiteId>> ranked;
     for (SiteId s = 0; s < topo_.site_count(); ++s)
@@ -175,6 +230,15 @@ class BroadcastDriver {
   }
 
   void on_message(SiteId self, SiteId from, const MessageBody& payload) {
+    // Reliable-control-plane idealization (DESIGN.md §9): a dead site's
+    // RPC layer refuses offers instantly instead of hanging the caller.
+    if (!alive_[self]) {
+      if (const auto* offer = std::get_if<FocusedOffer>(&payload)) {
+        send_job_msg(self, from, FocusedReply{offer->job, false},
+                     kMsgFocusedReply, offer->job);
+      }
+      return;  // floods and replies addressed to a dead site are lost
+    }
     if (const auto* surplus = std::get_if<SurplusMsg>(&payload)) {
       surplus_table_[self][from] = surplus->surplus;
     } else if (const auto* offer = std::get_if<FocusedOffer>(&payload)) {
@@ -182,7 +246,9 @@ class BroadcastDriver {
       send_job_msg(self, from, FocusedReply{offer->job, ok}, kMsgFocusedReply,
                    offer->job);
     } else if (const auto* reply = std::get_if<FocusedReply>(&payload)) {
-      auto& init = active_.at(reply->job);
+      const auto it = active_.find(reply->job);
+      if (it == active_.end()) return;  // resolved by a crash+recover cycle
+      auto& init = it->second;
       if (reply->accepted) {
         decide(self, *init.job, JobOutcome::kAcceptedRemote,
                RejectReason::kNone, init.contacted);
@@ -199,6 +265,8 @@ class BroadcastDriver {
   BroadcastConfig cfg_;
   Simulator sim_;
   SimNetwork net_;
+  std::vector<char> alive_;
+  std::vector<std::uint64_t> epoch_;
   std::vector<PathResult> paths_;
   std::vector<LocalScheduler> scheds_;
   /// surplus_table_[observer][site] = last surplus heard from `site`.

@@ -17,6 +17,7 @@
 
 #include "core/metrics.hpp"
 #include "core/workload.hpp"
+#include "fault/fault.hpp"
 #include "sched/local_scheduler.hpp"
 
 namespace rtds {
@@ -30,6 +31,11 @@ struct BroadcastConfig {
   /// staleness problem the paper's job-scoped enrollment avoids).
   Time surplus_window = 100.0;
   bool stop_with_arrivals = true;  ///< cease broadcasting after last arrival
+  /// Execution-plane faults (DESIGN.md §9): a dead site neither floods nor
+  /// accepts, arrivals at it are lost, and a crash loses its unfinished
+  /// jobs; the control plane stays reliable. Empty reproduces the
+  /// faultless run bit for bit.
+  fault::FaultPlan faults;
 };
 
 RunMetrics run_broadcast(const Topology& topo,

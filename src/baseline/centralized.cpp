@@ -21,17 +21,72 @@ RunMetrics run_centralized(const Topology& topo,
 
   std::vector<SchedulingPlan> plans(n);
 
+  // Execution-plane faults (DESIGN.md §9). Omniscience extends to the
+  // fault state: down sites are never candidates, and a crash instantly
+  // fails every job with unfinished work there (freeing its reservations
+  // on the other sites). Empty timeline = legacy path, bit for bit.
+  const fault::SiteTimeline timeline(cfg.faults, n);
+  struct JobRec {
+    JobId job = 0;
+    Time completion = 0.0;
+    Time deadline = 0.0;
+    /// (site, last task end on that site) per distinct site used: a crash
+    /// loses the job only if that *site* still had unfinished work.
+    std::vector<std::pair<SiteId, Time>> site_ends;
+  };
+  std::vector<JobRec> in_flight;
+  std::size_t next_event = 0;
+  auto apply_events_until = [&](Time t) {
+    const auto& events = timeline.events();
+    while (next_event < events.size() && events[next_event].at <= t) {
+      const auto& ev = events[next_event++];
+      if (ev.up) continue;
+      plans[ev.site] = SchedulingPlan{};  // the crash loses the local plan
+      for (auto it = in_flight.begin(); it != in_flight.end();) {
+        const auto used = std::find_if(
+            it->site_ends.begin(), it->site_ends.end(),
+            [&](const auto& se) { return se.first == ev.site; });
+        if (used != it->site_ends.end() && time_gt(used->second, ev.at)) {
+          for (const auto& [s, end] : it->site_ends)
+            if (s != ev.site) plans[s].remove_job(it->job);
+          ++metrics.jobs_lost;
+          ++metrics.failed_jobs;
+          it = in_flight.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  };
+
   for (const auto& a : arrivals) {
     const Job& job = *a.job;
     const Time now = job.release;
+    apply_events_until(now);
     for (auto& p : plans) p.garbage_collect(now);
 
     // Candidate sites (optionally sphere-limited for fairness vs. RTDS).
     std::vector<SiteId> sites;
     for (SiteId s = 0; s < n; ++s) {
+      if (!timeline.up_at(s, now)) continue;
       if (cfg.sphere_radius_h == CentralizedConfig::kNoRadiusLimit ||
           paths[a.site].hops[s] <= cfg.sphere_radius_h)
         sites.push_back(s);
+    }
+    if (!timeline.up_at(a.site, now)) {
+      // The arrival site itself is dead: the job is lost with it.
+      JobDecision d;
+      d.job = job.id;
+      d.initiator = a.site;
+      d.outcome = JobOutcome::kRejected;
+      d.reject_reason = RejectReason::kSiteDown;
+      d.arrival = now;
+      d.decision_time = now;
+      d.deadline = job.deadline;
+      d.task_count = job.dag.task_count();
+      d.acs_size = 1;
+      metrics.record(d);
+      continue;
     }
 
     // ETF list scheduling with exact idle intervals and true delays.
@@ -107,13 +162,30 @@ RunMetrics run_centralized(const Topology& topo,
       d.outcome = (used.size() == 1 && *used.begin() == a.site)
                       ? JobOutcome::kAcceptedLocal
                       : JobOutcome::kAcceptedRemote;
-      metrics.job_lateness.add(completion - job.deadline);
+      if (timeline.empty()) {
+        metrics.job_lateness.add(completion - job.deadline);
+      } else {
+        // Survivor lateness is folded in at the end, once crashes are known.
+        JobRec rec{job.id, completion, job.deadline, {}};
+        for (SiteId s : used) {
+          Time site_end = 0.0;
+          for (TaskId t2 = 0; t2 < dag.task_count(); ++t2)
+            if (where[t2] == s) site_end = std::max(site_end, finish[t2]);
+          rec.site_ends.emplace_back(s, site_end);
+        }
+        in_flight.push_back(std::move(rec));
+      }
     } else {
       d.acs_size = sites.size();
       d.outcome = JobOutcome::kRejected;
       d.reject_reason = RejectReason::kOffloadRefused;
     }
     metrics.record(d);
+  }
+  apply_events_until(kInfiniteTime);  // post-arrival crashes still lose jobs
+  for (const JobRec& rec : in_flight) {
+    metrics.job_lateness.add(rec.completion - rec.deadline);
+    RTDS_CHECK(time_le(rec.completion, rec.deadline));
   }
   return metrics;
 }

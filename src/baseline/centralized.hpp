@@ -10,6 +10,7 @@
 
 #include "core/metrics.hpp"
 #include "core/workload.hpp"
+#include "fault/fault.hpp"
 #include "sched/local_scheduler.hpp"
 
 namespace rtds {
@@ -20,6 +21,11 @@ struct CentralizedConfig {
   /// the comparison against RTDS is like-for-like (kNoLimit = whole net).
   std::size_t sphere_radius_h = kNoRadiusLimit;
   static constexpr std::size_t kNoRadiusLimit = static_cast<std::size_t>(-1);
+  /// Execution-plane faults (DESIGN.md §9): the omniscient scheduler skips
+  /// down sites, and a crash loses the site's unfinished task reservations
+  /// (which fails the whole job and frees its reservations elsewhere).
+  /// Empty reproduces the faultless run bit for bit.
+  fault::FaultPlan faults;
 };
 
 RunMetrics run_centralized(const Topology& topo,

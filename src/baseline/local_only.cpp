@@ -4,7 +4,8 @@ namespace rtds {
 
 RunMetrics run_local_only(const Topology& topo,
                           const std::vector<JobArrival>& arrivals,
-                          const LocalSchedulerConfig& sched_cfg) {
+                          const LocalSchedulerConfig& sched_cfg,
+                          const fault::FaultPlan& faults) {
   RunMetrics metrics;
   std::vector<LocalScheduler> sites;
   sites.reserve(topo.site_count());
@@ -14,12 +15,45 @@ RunMetrics run_local_only(const Topology& topo,
     sites.emplace_back(cfg);
   }
 
+  // Execution-plane faults (DESIGN.md §9): a crash resets the site's plan
+  // and loses its unfinished jobs; arrivals at a down site are lost. The
+  // timeline is empty in the fault-free case, in which the bookkeeping
+  // below is never touched and the legacy path runs bit-identically.
+  const fault::SiteTimeline timeline(faults, topo.site_count());
+  struct Flight {
+    JobId job = 0;
+    Time completion = 0.0;
+    Time deadline = 0.0;
+  };
+  std::vector<std::vector<Flight>> flights(topo.site_count());
+  std::size_t next_event = 0;
+  auto apply_events_until = [&](Time t) {
+    const auto& events = timeline.events();
+    while (next_event < events.size() && events[next_event].at <= t) {
+      const auto& ev = events[next_event++];
+      if (ev.up) continue;
+      // Crash: lose the plan and every job still executing on the site.
+      LocalSchedulerConfig cfg = sched_cfg;
+      cfg.computing_power = topo.computing_power(ev.site);
+      sites[ev.site] = LocalScheduler(cfg);
+      auto& fl = flights[ev.site];
+      for (auto it = fl.begin(); it != fl.end();) {
+        if (time_gt(it->completion, ev.at)) {
+          ++metrics.jobs_lost;
+          ++metrics.failed_jobs;
+          it = fl.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  };
+
   // Arrivals are processed in time order; decisions are instantaneous, so a
   // plain loop is equivalent to an event-driven run.
   for (const auto& a : arrivals) {
     RTDS_REQUIRE(a.site < sites.size());
-    auto& sched = sites[a.site];
-    sched.garbage_collect(a.job->release);
+    apply_events_until(a.job->release);
     JobDecision d;
     d.job = a.job->id;
     d.initiator = a.site;
@@ -28,17 +62,38 @@ RunMetrics run_local_only(const Topology& topo,
     d.deadline = a.job->deadline;
     d.task_count = a.job->dag.task_count();
     d.acs_size = 1;
+    if (!timeline.up_at(a.site, a.job->release)) {
+      d.outcome = JobOutcome::kRejected;
+      d.reject_reason = RejectReason::kSiteDown;
+      metrics.record(d);
+      continue;
+    }
+    auto& sched = sites[a.site];
+    sched.garbage_collect(a.job->release);
     if (auto placements = sched.try_accept_dag_local(*a.job, a.job->release)) {
       d.outcome = JobOutcome::kAcceptedLocal;
       Time completion = a.job->release;
       for (const auto& p : *placements) completion = std::max(completion, p.end);
-      metrics.job_lateness.add(completion - a.job->deadline);
-      RTDS_CHECK(time_le(completion, a.job->deadline));
+      if (timeline.empty()) {
+        metrics.job_lateness.add(completion - a.job->deadline);
+        RTDS_CHECK(time_le(completion, a.job->deadline));
+      } else {
+        // Lateness of fault-run survivors is folded in at the end, once
+        // it is known which jobs actually survived.
+        flights[a.site].push_back(Flight{a.job->id, completion, a.job->deadline});
+      }
     } else {
       d.outcome = JobOutcome::kRejected;
       d.reject_reason = RejectReason::kOffloadRefused;
     }
     metrics.record(d);
+  }
+  apply_events_until(kInfiniteTime);  // post-arrival crashes still lose jobs
+  for (const auto& fl : flights) {
+    for (const Flight& f : fl) {
+      metrics.job_lateness.add(f.completion - f.deadline);
+      RTDS_CHECK(time_le(f.completion, f.deadline));
+    }
   }
   return metrics;
 }

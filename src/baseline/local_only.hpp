@@ -7,12 +7,18 @@
 
 #include "core/metrics.hpp"
 #include "core/workload.hpp"
+#include "fault/fault.hpp"
 #include "sched/local_scheduler.hpp"
 
 namespace rtds {
 
+/// Runs the LOCAL baseline. `faults` drives execution-plane faults only
+/// (DESIGN.md §9): arrivals at a down site are lost and a crash loses the
+/// site's unfinished jobs. An empty plan reproduces the faultless run
+/// bit for bit.
 RunMetrics run_local_only(const Topology& topo,
                           const std::vector<JobArrival>& arrivals,
-                          const LocalSchedulerConfig& sched_cfg);
+                          const LocalSchedulerConfig& sched_cfg,
+                          const fault::FaultPlan& faults = {});
 
 }  // namespace rtds

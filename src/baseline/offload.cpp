@@ -26,10 +26,19 @@ enum OffloadCategory : int {
   kMsgOfferReply = 14,
 };
 
+/// A dead site's oracle bid: sorts below every real surplus so live
+/// members are always offered first.
+constexpr double kDeadBid = -1e300;
+
 class OffloadDriver {
  public:
   OffloadDriver(const Topology& topo, const OffloadConfig& cfg)
-      : topo_(topo), cfg_(cfg), net_(sim_, topo_), rng_(cfg.seed) {
+      : topo_(topo),
+        cfg_(cfg),
+        net_(sim_, topo_),
+        rng_(cfg.seed),
+        alive_(topo.site_count(), 1),
+        epoch_(topo.site_count(), 0) {
     const auto tables = phased_apsp(topo_, 2 * cfg_.sphere_radius_h);
     for (SiteId s = 0; s < topo_.site_count(); ++s) {
       pcs_.push_back(Pcs::build(tables, s, cfg_.sphere_radius_h));
@@ -38,6 +47,13 @@ class OffloadDriver {
       scheds_.emplace_back(sc);
       net_.set_handler(s, [this, s](SiteId from, const MessageBody& payload) {
         on_message(s, from, payload);
+      });
+    }
+    // Execution-plane faults (DESIGN.md §9) as ordinary simulator events.
+    const fault::SiteTimeline timeline(cfg_.faults, topo_.site_count());
+    for (const auto& ev : timeline.events()) {
+      sim_.schedule_at(ev.at, [this, ev]() {
+        ev.up ? recover(ev.site) : crash(ev.site);
       });
     }
   }
@@ -50,6 +66,11 @@ class OffloadDriver {
     sim_.run();
     RTDS_CHECK_MSG(active_.empty(), "unfinished offload negotiations");
     for (const auto& [job, track] : accepted_) {
+      if (track.failed) {
+        ++metrics_.jobs_lost;
+        ++metrics_.failed_jobs;
+        continue;
+      }
       RTDS_CHECK(track.tasks_done == track.tasks_expected);
       metrics_.job_lateness.add(track.completion - track.deadline);
       RTDS_CHECK_MSG(time_le(track.completion, track.deadline),
@@ -61,6 +82,7 @@ class OffloadDriver {
 
  private:
   struct Initiation {
+    SiteId initiator = kNoSite;
     std::shared_ptr<const Job> job;
     std::size_t bids_expected = 0;
     std::vector<std::pair<double, SiteId>> bids;  ///< (surplus, site)
@@ -71,11 +93,38 @@ class OffloadDriver {
   };
 
   struct JobTrack {
+    SiteId site = kNoSite;  ///< whole-DAG baselines commit on one site
     std::size_t tasks_expected = 0;
     std::size_t tasks_done = 0;
     Time completion = 0.0;
     Time deadline = 0.0;
+    bool failed = false;  ///< lost to a crash of its site
   };
+
+  void crash(SiteId s) {
+    if (!alive_[s]) return;
+    alive_[s] = 0;
+    ++epoch_[s];  // pending completion events of this life become stale
+    LocalSchedulerConfig sc = cfg_.sched;
+    sc.computing_power = topo_.computing_power(s);
+    scheds_[s] = LocalScheduler(sc);
+    for (auto& [job, track] : accepted_)
+      if (track.site == s && track.tasks_done < track.tasks_expected)
+        track.failed = true;
+    // Negotiations this site was driving die with it; their jobs still
+    // need decisions.
+    for (auto it = active_.begin(); it != active_.end();) {
+      if (it->second.initiator == s) {
+        decide(s, *it->second.job, JobOutcome::kRejected,
+               RejectReason::kSiteDown, it->second.contacted);
+        it = active_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void recover(SiteId s) { alive_[s] = 1; }
 
   void send(SiteId from, SiteId to, MessageBody payload, int category,
             JobId job) {
@@ -94,10 +143,13 @@ class OffloadDriver {
     const auto placements = sched.try_accept_dag_local(job, earliest);
     if (!placements) return false;
     auto& track = accepted_[job.id];
+    track.site = site;
     track.tasks_expected = job.dag.task_count();
     track.deadline = job.deadline;
     for (const auto& p : *placements) {
-      sim_.schedule_at(p.end, [this, id = job.id, end = p.end]() {
+      sim_.schedule_at(p.end, [this, id = job.id, end = p.end, site,
+                               ep = epoch_[site]]() {
+        if (ep != epoch_[site]) return;  // the site crashed; work lost
         auto& tr = accepted_.at(id);
         ++tr.tasks_done;
         tr.completion = std::max(tr.completion, end);
@@ -123,6 +175,10 @@ class OffloadDriver {
   }
 
   void on_arrival(SiteId site, std::shared_ptr<const Job> job) {
+    if (!alive_[site]) {
+      decide(site, *job, JobOutcome::kRejected, RejectReason::kSiteDown, 0);
+      return;
+    }
     if (try_local(site, *job)) {
       decide(site, *job, JobOutcome::kAcceptedLocal, RejectReason::kNone, 0);
       return;
@@ -133,6 +189,7 @@ class OffloadDriver {
       return;
     }
     Initiation init;
+    init.initiator = site;
     init.job = job;
     if (cfg_.policy == OffloadPolicy::kRandom) {
       // One uniformly random sphere member.
@@ -170,12 +227,29 @@ class OffloadDriver {
   }
 
   void on_message(SiteId self, SiteId from, const MessageBody& payload) {
+    // Reliable-control-plane idealization (DESIGN.md §9): a dead site's
+    // RPC layer reports refusal instantly instead of hanging the caller —
+    // the baselines get a perfect failure detector for free, which biases
+    // every fault comparison against RTDS (whose detector is a timeout).
+    if (!alive_[self]) {
+      if (const auto* bid = std::get_if<BidRequest>(&payload)) {
+        send(self, from, BidReply{bid->job, kDeadBid}, kMsgBidReply, bid->job);
+      } else if (const auto* offer = std::get_if<OfferMsg>(&payload)) {
+        send(self, from, OfferReply{offer->job, false}, kMsgOfferReply,
+             offer->job);
+      }
+      // Replies addressed to a dead initiator: its negotiations were
+      // already resolved at crash time.
+      return;
+    }
     if (const auto* bid = std::get_if<BidRequest>(&payload)) {
       scheds_[self].garbage_collect(sim_.now());
       send(self, from, BidReply{bid->job, scheds_[self].surplus(sim_.now())},
            kMsgBidReply, bid->job);
     } else if (const auto* reply = std::get_if<BidReply>(&payload)) {
-      auto& init = active_.at(reply->job);
+      const auto it = active_.find(reply->job);
+      if (it == active_.end()) return;  // resolved by a crash+recover cycle
+      auto& init = it->second;
       init.bids.emplace_back(reply->surplus, from);
       if (init.bids.size() == init.bids_expected) {
         std::sort(init.bids.begin(), init.bids.end(),
@@ -191,7 +265,9 @@ class OffloadDriver {
       const bool ok = try_local(self, *offer->job_data);
       send(self, from, OfferReply{offer->job, ok}, kMsgOfferReply, offer->job);
     } else if (const auto* oreply = std::get_if<OfferReply>(&payload)) {
-      auto& init = active_.at(oreply->job);
+      const auto it = active_.find(oreply->job);
+      if (it == active_.end()) return;  // resolved by a crash+recover cycle
+      auto& init = it->second;
       if (oreply->accepted) {
         decide(self, *init.job, JobOutcome::kAcceptedRemote,
                RejectReason::kNone, init.contacted);
@@ -209,6 +285,8 @@ class OffloadDriver {
   Simulator sim_;
   SimNetwork net_;
   Rng rng_;
+  std::vector<char> alive_;
+  std::vector<std::uint64_t> epoch_;
   std::vector<Pcs> pcs_;
   std::vector<LocalScheduler> scheds_;
   std::map<JobId, Initiation> active_;

@@ -17,6 +17,7 @@
 
 #include "core/metrics.hpp"
 #include "core/workload.hpp"
+#include "fault/fault.hpp"
 #include "routing/apsp.hpp"
 #include "routing/pcs.hpp"
 #include "sched/local_scheduler.hpp"
@@ -38,6 +39,11 @@ struct OffloadConfig {
   OffloadPolicy policy = OffloadPolicy::kBestSurplus;
   std::size_t max_attempts = 3;  ///< BID: offers before giving up
   std::uint64_t seed = 7;        ///< RANDOM pick stream
+  /// Execution-plane faults (DESIGN.md §9): arrivals at / offers to a dead
+  /// site fail, a crash loses the site's unfinished jobs, and the control
+  /// plane stays reliable (a dead site's RPC layer reports refusal instead
+  /// of hanging the caller). Empty reproduces the faultless run bit for bit.
+  fault::FaultPlan faults;
 };
 
 /// Event-driven run over the simulated network (message costs and transit

@@ -20,6 +20,7 @@ const char* to_string(RejectReason reason) {
     case RejectReason::kMapperWindows: return "mapper_windows";
     case RejectReason::kMatchingFailed: return "matching_failed";
     case RejectReason::kOffloadRefused: return "offload_refused";
+    case RejectReason::kSiteDown: return "site_down";
   }
   return "?";
 }
@@ -39,6 +40,8 @@ void RunMetrics::record(const JobDecision& d) {
       break;
   }
   if (d.adjustment_case != 0) ++adjustment_cases[d.adjustment_case];
+  if (d.fault_recovered && d.outcome != JobOutcome::kRejected)
+    ++jobs_rescheduled;
   decision_latency.add(d.decision_time - d.arrival);
   if (d.acs_size > 1) acs_size.add(static_cast<double>(d.acs_size));
   msgs_per_job.add(static_cast<double>(d.link_messages));

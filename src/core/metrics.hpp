@@ -28,6 +28,7 @@ enum class RejectReason {
   kMapperWindows,    ///< defensive infeasible-window rejection
   kMatchingFailed,   ///< §10: maximum coupling < |U|
   kOffloadRefused,   ///< baselines: remote site's local test failed
+  kSiteDown,         ///< faults: arrival at (or in-flight work on) a dead site
 };
 
 const char* to_string(RejectReason reason);
@@ -45,6 +46,10 @@ struct JobDecision {
   std::size_t acs_size = 0;          ///< sites involved (1 for local)
   std::uint64_t link_messages = 0;   ///< per-job protocol cost
   int adjustment_case = 0;           ///< 0 when no mapper ran
+  /// The accepting protocol round survived a fault-triggered timeout
+  /// (a sphere member died or a message was lost mid-protocol and the
+  /// initiator worked around it). Always false in fault-free runs.
+  bool fault_recovered = false;
 };
 
 /// Aggregated over a run; identical schema for RTDS and baselines so the
@@ -61,6 +66,16 @@ struct RunMetrics {
   std::uint64_t dispatch_failures = 0;
   /// Accepted jobs with at least one failed dispatch (not fully committed).
   std::uint64_t failed_jobs = 0;
+
+  // --- fault-injection observability (all zero in fault-free runs) ---
+  /// Accepted jobs that later lost committed work to a site crash.
+  std::uint64_t jobs_lost = 0;
+  /// Jobs accepted even though their protocol round hit a fault-triggered
+  /// timeout (the initiator rescheduled around missing members/messages).
+  std::uint64_t jobs_rescheduled = 0;
+  /// Nominal §7.2 table-exchange traffic of the routing repairs triggered
+  /// by topology-change events (2 × live links × 2h per repair).
+  std::uint64_t repair_messages = 0;
 
   std::map<int, std::uint64_t> reject_by_reason;    ///< keyed by RejectReason
   std::map<int, std::uint64_t> adjustment_cases;    ///< keyed by case 1/2/3

@@ -48,6 +48,20 @@ RtdsNode::RtdsNode(SiteId site, Simulator& sim, Transport& transport, Pcs pcs,
       env_(env),
       sched_(cfg.sched) {
   RTDS_REQUIRE(pcs_.root() == site);
+  if (cfg_.fault_tolerant) {
+    lease_ = cfg_.lock_lease;
+    if (lease_ <= 0.0) {
+      // Auto lease: must outlast a full healthy protocol round — enroll
+      // round trip + mapping + validate round trip + dispatch is at most
+      // 5 eccentricities plus the mapper latency; 8 plus the slacks leaves
+      // comfortable margin, so a lease expiry really means a fault.
+      Time ecc = 0.0;
+      for (const auto& m : pcs_.members()) ecc = std::max(ecc, m.delay);
+      lease_ = 8.0 * ecc + cfg_.mapper_compute_time +
+               2.0 * cfg_.enroll_timeout_slack +
+               cfg_.protocol_overhead_slack + 1.0;
+    }
+  }
 }
 
 void RtdsNode::send(SiteId to, MessageBody payload, int category, JobId job,
@@ -67,6 +81,12 @@ void RtdsNode::send(SiteId to, MessageBody payload, int category, JobId job,
 void RtdsNode::submit(std::shared_ptr<const Job> job) {
   RTDS_REQUIRE(job != nullptr);
   RTDS_REQUIRE(job->dag.finalized());
+  if (!alive_) {
+    // An arrival at a dead site is lost — but it still needs a decision so
+    // the run's accounting covers every arrival.
+    record_site_down(*job, 1);
+    return;
+  }
   if (lock_.has_value()) {
     // Opportunistic local accept while locked (see class comment); jobs
     // that do not fit — or would break an outstanding endorsement — wait.
@@ -80,7 +100,7 @@ void RtdsNode::submit(std::shared_ptr<const Job> job) {
 }
 
 void RtdsNode::start_next_job() {
-  if (lock_.has_value() || queue_.empty()) return;
+  if (!alive_ || lock_.has_value() || queue_.empty()) return;
   auto job = queue_.front();
   queue_.erase(queue_.begin());
   begin(std::move(job));
@@ -142,7 +162,10 @@ void RtdsNode::begin_acs_construction(Initiation& init) {
     max_delay = std::max(max_delay, m.delay);
     send(m.site, EnrollRequest{job, init.job->deadline}, kMsgEnroll, job);
   }
-  if (cfg_.enroll_policy == EnrollPolicy::kTimeout) {
+  // Under faults the timer is armed for *both* enrollment policies: a Nack
+  // normally guarantees a reply from every member, but a dead member (or a
+  // dropped request/reply) answers nothing, and the round must still end.
+  if (cfg_.enroll_policy == EnrollPolicy::kTimeout || cfg_.fault_tolerant) {
     const Time timeout = 2.0 * max_delay + cfg_.enroll_timeout_slack;
     sim_.schedule_in(timeout, [this, job]() { on_enroll_timeout(job); });
   }
@@ -183,7 +206,12 @@ void RtdsNode::on_enroll_timeout(JobId job) {
 
 void RtdsNode::run_mapper(JobId job) {
   const auto it = active_.find(job);
-  RTDS_CHECK(it != active_.end());
+  if (it == active_.end()) {
+    // Only a crash can clear an initiation between the enrollment round
+    // and its scheduled mapper event.
+    RTDS_CHECK_MSG(cfg_.fault_tolerant, "mapper event for unknown job " << job);
+    return;
+  }
   Initiation& init = it->second;
 
   // The initiator is always an ACS member (§13 "local knowledge of k").
@@ -273,16 +301,55 @@ void RtdsNode::begin_validation(Initiation& init) {
            1.0 + double(init.job->dag.task_count()));
     }
   }
-  if (init.endorsements.size() == init.validate_expected)
+  if (init.endorsements.size() == init.validate_expected) {
     finish_matching(init);  // degenerate ACS == {k}
+    return;
+  }
+  if (cfg_.fault_tolerant) {
+    // A dead member (or a lost request/reply) never answers; close the
+    // round after a validation round trip plus the configured slacks.
+    Time max_delay = 0.0;
+    for (SiteId s : init.acs)
+      if (s != site_) max_delay = std::max(max_delay, pcs_.delay(site_, s));
+    const Time timeout = 2.0 * max_delay + cfg_.enroll_timeout_slack +
+                         cfg_.protocol_overhead_slack;
+    sim_.schedule_in(timeout, [this, job]() { on_validate_timeout(job); });
+  }
+}
+
+void RtdsNode::on_validate_timeout(JobId job) {
+  const auto it = active_.find(job);
+  if (it == active_.end() || it->second.phase != Initiation::Phase::kValidating)
+    return;  // every reply arrived (or the site crashed) first
+  Initiation& init = it->second;
+  init.timed_out = true;
+  // Members that never answered endorse nothing; the maximum coupling
+  // decides what survives without them (often everything — their logical
+  // processors simply land on the members that did answer).
+  for (SiteId s : init.acs) {
+    const bool answered =
+        std::any_of(init.endorsements.begin(), init.endorsements.end(),
+                    [&](const auto& e) { return e.first == s; });
+    if (!answered) init.endorsements.emplace_back(s, std::vector<std::uint32_t>{});
+  }
+  RTDS_TRACE("t=" << sim_.now() << " site " << site_ << " job " << job
+                  << ": validation timed out, matching over "
+                  << init.endorsements.size() << " endorsements");
+  finish_matching(init);
 }
 
 void RtdsNode::on_validate_reply(SiteId from, const ValidateReply& msg) {
   const auto it = active_.find(msg.job);
-  RTDS_CHECK_MSG(it != active_.end(),
-                 "validate reply for unknown job " << msg.job);
+  if (it == active_.end() ||
+      it->second.phase != Initiation::Phase::kValidating) {
+    // Possible only under faults: a slow reply landing after the
+    // validation timeout resolved the round (the conclude already sent
+    // `from` its dispatch or unlock).
+    RTDS_CHECK_MSG(cfg_.fault_tolerant,
+                   "validate reply for unknown job " << msg.job);
+    return;
+  }
   Initiation& init = it->second;
-  RTDS_CHECK(init.phase == Initiation::Phase::kValidating);
   init.endorsements.emplace_back(from, msg.endorsable);
   if (init.endorsements.size() == init.validate_expected)
     finish_matching(init);
@@ -361,8 +428,58 @@ void RtdsNode::conclude(JobId job, const Initiation& init, JobOutcome outcome,
   d.acs_size = std::max<std::size_t>(1, init.acs.size());
   d.adjustment_case =
       init.mapping ? static_cast<int>(init.mapping->adjustment) : 0;
+  d.fault_recovered = cfg_.fault_tolerant && init.timed_out;
   env_.on_job_decision(d);
   active_.erase(job);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+void RtdsNode::crash() {
+  if (!alive_) return;
+  alive_ = false;
+  ++epoch_;  // committed reservations of this life never complete
+  // Committed-but-unfinished work dies with the plan.
+  for (const auto& [job, pending] : pending_completions_)
+    if (pending > 0) env_.on_job_lost(job, site_);
+  pending_completions_.clear();
+  // Every job this site still owed a decision gets one, so the run's
+  // accounting covers every arrival even across crashes.
+  for (const auto& [id, init] : active_)
+    record_site_down(*init.job, init.acs.size());
+  active_.clear();
+  for (const auto& job : queue_) record_site_down(*job, 1);
+  queue_.clear();
+  buffered_enrolls_.clear();
+  // Locks held *by* this site's initiations resolve via the members'
+  // leases; a lock held *on* this site dies here.
+  lock_.reset();
+  endorsement_.reset();
+  ++lock_seq_;  // cancel any armed lease
+  sched_ = LocalScheduler(cfg_.sched);
+  RTDS_TRACE("t=" << sim_.now() << " site " << site_ << " CRASHED");
+}
+
+void RtdsNode::record_site_down(const Job& job, std::size_t acs_size) {
+  JobDecision d;
+  d.job = job.id;
+  d.initiator = site_;
+  d.outcome = JobOutcome::kRejected;
+  d.reject_reason = RejectReason::kSiteDown;
+  d.arrival = job.release;
+  d.decision_time = sim_.now();
+  d.deadline = job.deadline;
+  d.task_count = job.dag.task_count();
+  d.acs_size = std::max<std::size_t>(1, acs_size);
+  env_.on_job_decision(d);
+}
+
+void RtdsNode::recover() {
+  if (alive_) return;
+  alive_ = true;  // the plan is already empty (reset at crash)
+  RTDS_TRACE("t=" << sim_.now() << " site " << site_ << " recovers");
 }
 
 // ---------------------------------------------------------------------------
@@ -370,6 +487,9 @@ void RtdsNode::conclude(JobId job, const Initiation& init, JobOutcome outcome,
 // ---------------------------------------------------------------------------
 
 void RtdsNode::on_message(SiteId from, const MessageBody& payload) {
+  // The transport drops deliveries to dead sites; this guards the
+  // scripted-plan edge where a crash and a delivery share a timestamp.
+  if (!alive_) return;
   if (const auto* enroll = std::get_if<EnrollRequest>(&payload)) {
     on_enroll_request(from, *enroll);
   } else if (const auto* reply = std::get_if<EnrollReply>(&payload)) {
@@ -407,8 +527,14 @@ void RtdsNode::on_enroll_request(SiteId from, const EnrollRequest& msg) {
 }
 
 void RtdsNode::on_validate_request(SiteId from, const ValidateRequest& msg) {
-  RTDS_CHECK_MSG(lock_ && lock_->initiator == from && lock_->job == msg.job,
-                 "validate request while not locked by " << from);
+  if (!lock_matches(from, msg.job)) {
+    // The lease released this lock (the enroll reply or this request was
+    // slow/lost, or we crashed and recovered in between). Stay silent; the
+    // initiator's validation timeout covers us.
+    RTDS_CHECK_MSG(cfg_.fault_tolerant,
+                   "validate request while not locked by " << from);
+    return;
+  }
   auto endorsed = endorsable_processors(*msg.job_data, *msg.mapping);
   RTDS_TRACE("t=" << sim_.now() << " site " << site_ << " validates job "
                   << msg.job << ": endorses " << endorsed.size() << "/"
@@ -420,8 +546,15 @@ void RtdsNode::on_validate_request(SiteId from, const ValidateRequest& msg) {
 }
 
 void RtdsNode::on_dispatch(SiteId from, const DispatchMsg& msg) {
-  RTDS_CHECK_MSG(lock_ && lock_->initiator == from && lock_->job == msg.job,
-                 "dispatch while not locked by " << from);
+  if (!lock_matches(from, msg.job)) {
+    // Our lease expired before the (slow) dispatch arrived, so the
+    // endorsement it relies on is gone. An actual assignment is a failed
+    // dispatch; a mere unlock marker needs nothing.
+    RTDS_CHECK_MSG(cfg_.fault_tolerant,
+                   "dispatch while not locked by " << from);
+    if (msg.logical != kNoLogical) env_.on_dispatch_failure(msg.job, site_);
+    return;
+  }
   if (msg.logical != kNoLogical) {
     RTDS_TRACE("t=" << sim_.now() << " site " << site_
                     << " executes logical proc " << msg.logical << " of job "
@@ -436,6 +569,8 @@ void RtdsNode::on_dispatch(SiteId from, const DispatchMsg& msg) {
 }
 
 void RtdsNode::on_unlock(SiteId from, const UnlockMsg& msg) {
+  if (cfg_.fault_tolerant && !lock_matches(from, msg.job))
+    return;  // the lease already released it (maybe we re-locked since)
   release_lock(from, msg.job);
   after_unlock();
 }
@@ -459,11 +594,7 @@ bool RtdsNode::try_local_accept(const std::shared_ptr<const Job>& job) {
   RTDS_TRACE("site " << site_ << " accepts job " << job->id << " locally");
 
   // Completion notifications (one per task: local placements never split).
-  for (const auto& p : *placements) {
-    sim_.schedule_at(p.end, [this, id = job->id, t = p.task, end = p.end]() {
-      env_.on_task_complete(id, t, site_, end);
-    });
-  }
+  for (const auto& p : *placements) schedule_completion(job->id, p.task, p.end);
   JobDecision d;
   d.job = job->id;
   d.initiator = site_;
@@ -519,8 +650,10 @@ void RtdsNode::commit_logical(const Job& job, const TrialMapping& m,
     // Possible only if the clamp tightened a window, i.e. the dispatch
     // arrived after the planned release — the transport's real latency
     // exceeded the protocol over-estimate. Never happens under the ideal
-    // transport (then it would be a protocol bug, caught below).
-    RTDS_CHECK_MSG(clamped,
+    // faultless transport (then it would be a protocol bug, caught below);
+    // under faults a lease expiry may also have let local work overwrite
+    // the endorsement, with no clamp involved.
+    RTDS_CHECK_MSG(clamped || cfg_.fault_tolerant,
                    "site " << site_ << " cannot honour endorsed logical proc "
                            << u << " of job " << job.id);
     env_.on_dispatch_failure(job.id, site_);
@@ -536,10 +669,21 @@ void RtdsNode::commit_logical(const Job& job, const TrialMapping& m,
     Time end = 0.0;
     for (const auto& p : *placements)
       if (p.task == t.task) end = std::max(end, p.end);
-    sim_.schedule_at(end, [this, id = job.id, task = t.task, end = end]() {
-      env_.on_task_complete(id, task, site_, end);
-    });
+    schedule_completion(job.id, t.task, end);
   }
+}
+
+void RtdsNode::schedule_completion(JobId job, TaskId task, Time end) {
+  if (cfg_.fault_tolerant) ++pending_completions_[job];
+  sim_.schedule_at(end, [this, job, task, end, ep = epoch_]() {
+    if (ep != epoch_) return;  // scheduled by a previous life; work lost
+    if (cfg_.fault_tolerant) {
+      const auto it = pending_completions_.find(job);
+      RTDS_CHECK(it != pending_completions_.end() && it->second > 0);
+      if (--it->second == 0) pending_completions_.erase(it);
+    }
+    env_.on_task_complete(job, task, site_, end);
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -549,6 +693,25 @@ void RtdsNode::commit_logical(const Job& job, const TrialMapping& m,
 void RtdsNode::acquire_lock(SiteId initiator, JobId job) {
   RTDS_CHECK_MSG(!lock_.has_value(), "site " << site_ << " already locked");
   lock_ = Lock{initiator, job};
+  ++lock_seq_;
+  // Responder locks lease out under faults: the initiator may die (or its
+  // dispatch/unlock may be lost) and must not freeze this site forever.
+  // The initiator's own lock needs no lease — it resolves synchronously
+  // with the initiation, and a crash clears it.
+  if (cfg_.fault_tolerant && initiator != site_) {
+    sim_.schedule_in(lease_,
+                     [this, seq = lock_seq_]() { on_lease_expired(seq); });
+  }
+}
+
+void RtdsNode::on_lease_expired(std::uint64_t seq) {
+  if (!alive_ || !lock_.has_value() || seq != lock_seq_) return;
+  RTDS_TRACE("t=" << sim_.now() << " site " << site_
+                  << " lease expires on lock (" << lock_->initiator << ", "
+                  << lock_->job << ")");
+  lock_.reset();
+  endorsement_.reset();
+  after_unlock();
 }
 
 void RtdsNode::release_lock(SiteId initiator, JobId job) {

@@ -84,6 +84,19 @@ struct RtdsConfig {
   /// logical processor against its exact idle intervals instead of its
   /// surplus. Off by default (the paper's base algorithm); E5 ablates.
   bool initiator_local_knowledge = false;
+  /// Set by RtdsSystem when a non-empty FaultPlan is installed. Arms the
+  /// recovery machinery a lossy network needs — the enrollment timeout
+  /// under *both* enrollment policies, a validation timeout, and the
+  /// responder lock lease — and downgrades the protocol assertions a lost
+  /// message can legitimately violate into graceful recoveries. Off (the
+  /// default) leaves every code path bit-identical to the faultless
+  /// protocol (pinned by tests/fault_test.cpp).
+  bool fault_tolerant = false;
+  /// Responder lock lease under fault_tolerant: a lock not resolved by
+  /// dispatch/unlock within the lease self-releases, so a dead initiator
+  /// cannot freeze its sphere forever. 0 = auto (derived from the sphere
+  /// eccentricity and mapper latency at node construction).
+  Time lock_lease = 0.0;
 };
 
 /// Instrumentation interface the owning system implements. Calls are
@@ -102,6 +115,13 @@ class NodeEnv {
   /// transport's real latency exceeds the protocol over-estimate, i.e.
   /// under contention with an insufficient protocol_overhead_factor).
   virtual void on_dispatch_failure(JobId job, SiteId site) = 0;
+  /// `site` crashed with committed-but-unfinished work of `job` in its
+  /// plan; that work is lost (fault injection only — default no-op so
+  /// instrumentation-only environments need not care).
+  virtual void on_job_lost(JobId job, SiteId site) {
+    (void)job;
+    (void)site;
+  }
 };
 
 class RtdsNode {
@@ -122,6 +142,16 @@ class RtdsNode {
 
   /// Transport entry point; wire this to SimNetwork::set_handler.
   void on_message(SiteId from, const MessageBody& payload);
+
+  /// Fault injection (DESIGN.md §9): the site dies, losing all in-flight
+  /// state — lock, queue, active initiations, outstanding endorsement and
+  /// the whole scheduling plan. Queued/active jobs get a kSiteDown
+  /// decision; committed-but-unfinished jobs are reported via
+  /// NodeEnv::on_job_lost. Idempotent.
+  void crash();
+  /// The site comes back with an empty plan. Idempotent.
+  void recover();
+  bool alive() const { return alive_; }
 
   // --- invariant probes (tests / end-of-run checks) ---
   bool locked() const { return lock_.has_value(); }
@@ -154,6 +184,7 @@ class RtdsNode {
   void begin_acs_construction(Initiation& init);
   void on_enroll_reply(SiteId from, const EnrollReply& msg);
   void on_enroll_timeout(JobId job);
+  void on_validate_timeout(JobId job);
   void run_mapper(JobId job);
   void begin_validation(Initiation& init);
   void on_validate_reply(SiteId from, const ValidateReply& msg);
@@ -193,6 +224,24 @@ class RtdsNode {
   void acquire_lock(SiteId initiator, JobId job);
   void release_lock(SiteId initiator, JobId job);
   void after_unlock();
+  void on_lease_expired(std::uint64_t seq);
+
+  /// True iff the current lock matches (initiator, job) — the fault-mode
+  /// guard for validate/dispatch/unlock whose lock may have leased away.
+  bool lock_matches(SiteId initiator, JobId job) const {
+    return lock_.has_value() && lock_->initiator == initiator &&
+           lock_->job == job;
+  }
+
+  /// Records the kSiteDown decision a job lost to this dead site still
+  /// owes the accounting (dead-site arrivals and crash-cleared work).
+  void record_site_down(const Job& job, std::size_t acs_size);
+
+  /// Schedules a completion notification that survives crashes correctly:
+  /// stale (pre-crash) completions no-op via the epoch capture, and under
+  /// fault_tolerant the per-job pending count feeds crash-time job-loss
+  /// reporting.
+  void schedule_completion(JobId job, TaskId task, Time end);
 
   void send(SiteId to, MessageBody payload, int category, JobId job,
             double size_units = 1.0);
@@ -224,6 +273,19 @@ class RtdsNode {
   /// kTimeout policy: enrollments buffered while locked, processed on unlock.
   std::vector<std::pair<SiteId, EnrollRequest>> buffered_enrolls_;
   bool start_pending_ = false;  ///< a start_next_job event is scheduled
+
+  // --- fault state (inert without a fault plan) ---
+  bool alive_ = true;
+  /// Bumped on every crash; completion events capture it so reservations
+  /// of a previous life never report completions.
+  std::uint64_t epoch_ = 0;
+  /// Bumped on every lock acquisition; lease-expiry events capture it so a
+  /// stale lease can never release a newer lock.
+  std::uint64_t lock_seq_ = 0;
+  Time lease_ = 0.0;  ///< resolved responder lock lease (fault mode only)
+  /// Pending completion notifications per committed job (fault mode only):
+  /// the set of jobs a crash must report as lost.
+  std::map<JobId, std::uint32_t> pending_completions_;
 };
 
 }  // namespace rtds

@@ -16,9 +16,21 @@ const char* to_string(TransportModel model) {
 }
 
 RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
-    : topo_(std::move(topo)), cfg_(cfg) {
+    : topo_(std::move(topo)), cfg_(std::move(cfg)) {
   RTDS_REQUIRE_MSG(topo_.connected(), "topology must be connected (§2)");
   const auto h = cfg_.node.sphere_radius_h;
+
+  // §9: a non-empty fault plan switches the protocol into its
+  // fault-tolerant mode. The plan's events become ordinary simulator
+  // events, so the whole run stays deterministic.
+  if (!cfg_.faults.empty()) {
+    cfg_.node.fault_tolerant = true;
+    fault_state_ = std::make_unique<fault::FaultState>(topo_, cfg_.faults);
+    for (const auto& ev : cfg_.faults.events) {
+      RTDS_REQUIRE(ev.a < topo_.site_count());
+      sim_.schedule_at(ev.at, [this, ev]() { apply_fault(ev); });
+    }
+  }
 
   // §7: interrupted APSP, 2h phases.
   tables_ = phased_apsp(topo_, 2 * h);
@@ -32,6 +44,16 @@ RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
       transport_ = std::make_unique<ContendedTransport>(
           sim_, topo_, tables_, cfg_.link_bandwidth);
       break;
+  }
+  if (fault_state_ != nullptr) {
+    transport_->set_fault_state(
+        fault_state_.get(), [this](SiteId to, const MessageBody& body) {
+          // A lost dispatch with a real assignment means the job is not
+          // fully committed — the initiator cannot know (the paper's
+          // protocol has no dispatch ack), so the system layer accounts it.
+          if (const auto* d = std::get_if<DispatchMsg>(&body))
+            if (d->logical != kNoLogical) on_dispatch_failure(d->job, to);
+        });
   }
 
   if (cfg_.measure_pcs_build_cost) {
@@ -130,6 +152,45 @@ void RtdsSystem::on_dispatch_failure(JobId job, SiteId site) {
     early_failures_.insert(job);  // initiator self-commit precedes conclude
 }
 
+void RtdsSystem::on_job_lost(JobId job, SiteId site) {
+  (void)site;
+  // Committed work died in a crash. Decisions always precede commits (both
+  // happen inside one simulator event), so the track exists.
+  JobTrack* track = accepted_.find(job);
+  RTDS_CHECK_MSG(track != nullptr, "lost work for unaccepted job " << job);
+  if (!track->failed) {
+    track->failed = true;
+    ++metrics_.jobs_lost;
+  }
+}
+
+void RtdsSystem::apply_fault(const fault::FaultEvent& ev) {
+  if (!fault_state_->apply(ev)) return;  // redundant scripted event
+  switch (ev.kind) {
+    case fault::FaultKind::kSiteDown:
+      nodes_[ev.a]->crash();
+      break;
+    case fault::FaultKind::kSiteUp:
+      nodes_[ev.a]->recover();
+      break;
+    case fault::FaultKind::kLinkDown:
+    case fault::FaultKind::kLinkUp:
+      break;  // pure topology change
+  }
+  repair_routing();
+}
+
+void RtdsSystem::repair_routing() {
+  const auto h = cfg_.node.sphere_radius_h;
+  tables_ = phased_apsp(topo_, 2 * h, fault_state_.get());
+  // Charge the nominal §7.2 exchange: each of the 2h phases ships one
+  // table over every live directed link. (PCS membership stays the
+  // construction-time sphere — the paper's spheres are static; dead
+  // members are what the enrollment/validation timeouts are for.)
+  metrics_.repair_messages +=
+      2 * fault_state_->live_link_count(topo_) * 2 * h;
+}
+
 void RtdsSystem::verify_invariants() {
   for (const auto& node : nodes_) {
     RTDS_CHECK_MSG(!node->locked(),
@@ -153,8 +214,8 @@ void RtdsSystem::verify_invariants() {
   RTDS_CHECK_MSG(metrics_.deadline_misses == 0,
                  "accepted jobs missed deadlines: " << metrics_.deadline_misses);
   RTDS_CHECK_MSG(cfg_.transport_model == TransportModel::kContended ||
-                     metrics_.dispatch_failures == 0,
-                 "dispatch failures under the ideal transport");
+                     !cfg_.faults.empty() || metrics_.dispatch_failures == 0,
+                 "dispatch failures under the ideal faultless transport");
   metrics_.transport = transport_->stats();
   for (const auto& node : nodes_) {
     metrics_.pcs_size_max =

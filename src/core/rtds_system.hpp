@@ -10,6 +10,7 @@
 #include "core/metrics.hpp"
 #include "core/rtds_node.hpp"
 #include "core/workload.hpp"
+#include "fault/fault.hpp"
 #include "routing/apsp.hpp"
 #include "util/flat_map.hpp"
 
@@ -32,6 +33,10 @@ struct SystemConfig {
   /// simulator) to measure the one-time PCS construction cost and check it
   /// against the in-memory tables. Off by default: it is O(sites²·h).
   bool measure_pcs_build_cost = false;
+  /// Fault script (DESIGN.md §9). Empty (the default) keeps the run on the
+  /// exact faultless code path — no timers armed, no RNG consumed, output
+  /// bit-identical to a build without the fault layer.
+  fault::FaultPlan faults;
 };
 
 class RtdsSystem : public NodeEnv {
@@ -53,14 +58,24 @@ class RtdsSystem : public NodeEnv {
   void on_task_complete(JobId job, TaskId task, SiteId site, Time end) override;
   void on_job_messages(JobId job, std::uint64_t hops) override;
   void on_dispatch_failure(JobId job, SiteId site) override;
+  void on_job_lost(JobId job, SiteId site) override;
 
  private:
   void verify_invariants();
+  /// Applies one fault-plan event: flips the FaultState, crashes/recovers
+  /// the node for site events, and re-triggers the §7 routing repair on
+  /// any actual topology change.
+  void apply_fault(const fault::FaultEvent& ev);
+  /// Recomputes the phased APSP over the live topology in place (the
+  /// transports reference tables_ and see the repair immediately) and
+  /// charges its nominal exchange traffic to RunMetrics::repair_messages.
+  void repair_routing();
 
   Topology topo_;
   SystemConfig cfg_;
   Simulator sim_;
   std::vector<RoutingTable> tables_;
+  std::unique_ptr<fault::FaultState> fault_state_;
   std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<RtdsNode>> nodes_;
   RunMetrics metrics_;

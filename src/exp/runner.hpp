@@ -29,11 +29,13 @@ struct AggregateCell {
   Samples samples;
 };
 
+/// All aggregates of one grid point, in ScenarioSpec::metrics order.
 struct AggregateRow {
   GridPoint point;
   std::vector<AggregateCell> cells;  ///< ScenarioSpec::metrics order
 };
 
+/// Execution knobs for one run_scenario call.
 struct RunOptions {
   std::size_t jobs = 1;        ///< worker threads (1 = serial, in-thread)
   std::size_t replicates = 0;  ///< override; 0 = ScenarioSpec::replicates

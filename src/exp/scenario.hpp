@@ -31,6 +31,7 @@ struct AxisValue {
   std::string label;
 };
 
+/// One named sweep dimension; the grid is the cartesian product of axes.
 struct GridAxis {
   std::string header;  ///< table column header, e.g. "rate/site"
   std::string key;     ///< machine name for CSV/JSON, e.g. "rate"
@@ -56,6 +57,8 @@ struct GridPoint {
   }
 };
 
+/// Declares one column of a scenario's result schema; trial functions
+/// return values in MetricSpec order.
 struct MetricSpec {
   std::string header;   ///< table column header, e.g. "RTDS%"
   std::string key;      ///< machine name for CSV/JSON, e.g. "rtds_ratio"
@@ -68,50 +71,67 @@ struct MetricSpec {
 /// the aggregator drops NaNs so the cell's count stays honest.
 using TrialResult = std::vector<double>;
 
+/// One trial: (grid point, seed) -> metric values. Must be *pure* — no
+/// shared mutable state, all randomness from the given seed — which is
+/// what makes the parallel runner bit-deterministic (DESIGN.md §6).
 using TrialFn = std::function<TrialResult(const GridPoint&, std::uint64_t)>;
 
+/// How per-trial seeds are chosen (rtds_exp --seeds overrides at run time).
 enum class SeedMode {
   kDerived,  ///< trial_seed(name, grid_index, replicate) — the default
   kFixed,    ///< every trial uses fixed_seed (legacy bench_e* tables used
              ///< one shared seed for the whole sweep)
 };
 
+/// The full declarative description of one experiment sweep — everything
+/// run_scenario needs to expand, execute, aggregate and render it.
 struct ScenarioSpec {
-  std::string name;
+  std::string name;         ///< registry key, e.g. "e2_guarantee_ratio"
   std::string title;        ///< printed above the table by run_and_print
   std::string description;  ///< one-liner for --list
-  std::vector<GridAxis> axes;
-  std::vector<MetricSpec> metrics;
-  std::size_t replicates = 1;
+  std::vector<GridAxis> axes;      ///< sweep dimensions (product = grid)
+  std::vector<MetricSpec> metrics; ///< result schema, in trial-value order
+  std::size_t replicates = 1;      ///< trials per grid point
   SeedMode seed_mode = SeedMode::kDerived;
-  std::uint64_t fixed_seed = 42;
-  TrialFn trial;
+  std::uint64_t fixed_seed = 42;   ///< the kFixed shared seed
+  TrialFn trial;                   ///< the pure per-trial function
 
   /// Product of axis sizes.
   std::size_t grid_size() const;
   /// Decodes a row-major grid index into its coordinates.
   GridPoint grid_point(std::size_t index) const;
+  /// grid_size() × replicates — the number of trial executions.
   std::size_t trial_count() const { return grid_size() * replicates; }
+  /// The seed a given (grid point, replicate) trial receives under the
+  /// spec's seed mode (see exp/seed.hpp for the derivation).
   std::uint64_t seed_for(std::size_t grid_index, std::size_t replicate) const;
 };
 
+/// A non-sweep scenario: prints its deterministic artifact to the stream.
 using ReportFn = std::function<void(std::ostream&)>;
 
 /// Process-wide scenario registry. Built-ins are installed by
 /// register_builtin_scenarios() (scenarios.hpp); anything may add more.
 class Registry {
  public:
+  /// The process-wide registry (static-initialization safe).
   static Registry& instance();
 
+  /// Registers a sweep scenario under spec.name (duplicates throw).
   void add(ScenarioSpec spec);
+  /// Registers a report scenario (duplicates throw).
   void add_report(std::string name, std::string description, ReportFn fn);
 
   /// nullptr when absent.
   const ScenarioSpec* find(const std::string& name) const;
+  /// nullptr when absent.
   const ReportFn* find_report(const std::string& name) const;
+  /// Description of a registered report; throws for unknown names.
   const std::string& report_description(const std::string& name) const;
 
+  /// Registered sweep names, sorted.
   std::vector<std::string> scenario_names() const;
+  /// Registered report names, sorted.
   std::vector<std::string> report_names() const;
 
  private:

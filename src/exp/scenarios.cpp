@@ -476,6 +476,69 @@ void register_e5() {
   }
 }
 
+// ------------------------------------------------------------------- E6 ----
+
+/// Protocol resilience under site crashes (DESIGN.md §9): every family's
+/// *delivered* ratio (accepted AND fully executed — acceptance alone is
+/// meaningless when sites die) as the crash rate and offered load grow.
+/// The zero-crash row must reproduce the faultless run bit for bit: with
+/// every fault rate 0 the FaultPlan is empty and each policy takes its
+/// exact pre-fault code path (pinned by tests/fault_test.cpp).
+void register_e6() {
+  const auto families = e2_families();
+
+  ScenarioSpec spec;
+  spec.name = "e6_fault_tolerance";
+  spec.description =
+      "delivered ratio under site crashes: crash rate x offered load, all "
+      "six policies (8x8 grid, h=2)";
+  spec.axes = {GridAxis::numeric("crash/site", "crash_rate",
+                                 {0.0, 0.001, 0.002, 0.004}, 4),
+               GridAxis::numeric("rate/site", "rate", {0.01, 0.04}, 3)};
+  spec.metrics = {count("jobs", "jobs")};
+  for (const auto& [header, ps] : families)
+    spec.metrics.push_back(ratio(header, ps.policy));
+  spec.metrics.push_back(count("lost", "rtds_jobs_lost"));
+  spec.metrics.push_back(count("resched", "rtds_jobs_rescheduled"));
+  spec.metrics.push_back(count("repair", "rtds_repair_messages"));
+  spec.seed_mode = SeedMode::kFixed;
+  spec.trial = [families](const GridPoint& p,
+                          std::uint64_t seed) -> TrialResult {
+    ConditionSpec cs = offload_regime();
+    cs.net = NetShape::kGrid;
+    cs.sites = 64;
+    cs.horizon = 400.0;
+    cs.rate = p.value(1);
+    cs.seed = seed;
+    const Condition c = make_condition(cs);
+
+    // The crash process rides the shared faults.* keys, so the same
+    // overrides apply to every family (each runs its own deterministic
+    // plan from the same spec).
+    const std::vector<std::pair<std::string, std::string>> extra = {
+        {"faults.site_rate", Table::num(p.value(0), 4)},
+        {"faults.site_mttr", "25"}};
+
+    TrialResult result{kSkip};  // jobs filled from the first family's run
+    double lost = 0.0, resched = 0.0, repair = 0.0;
+    for (const auto& [header, ps] : families) {
+      const RunMetrics m = run_policy(ps, c, extra);
+      if (std::isnan(result[0])) result[0] = static_cast<double>(m.arrived);
+      result.push_back(m.delivered_ratio());
+      if (ps.policy == "rtds") {
+        lost = static_cast<double>(m.jobs_lost);
+        resched = static_cast<double>(m.jobs_rescheduled);
+        repair = static_cast<double>(m.repair_messages);
+      }
+    }
+    result.push_back(lost);
+    result.push_back(resched);
+    result.push_back(repair);
+    return result;
+  };
+  Registry::instance().add(std::move(spec));
+}
+
 // ----------------------------------------------------------- policy_sweep --
 
 /// Generic cross of every registered policy against a load grid: the seam
@@ -530,6 +593,7 @@ void register_builtin_scenarios() {
     register_e3_pair();
     register_e4();
     register_e5();
+    register_e6();
     register_policy_sweep();
     register_builtin_reports();
     return true;

@@ -18,9 +18,13 @@
 
 namespace rtds::exp {
 
+/// Renders one finished sweep. Sinks are pure formatters: same (spec,
+/// rows) in, same bytes out — which is what lets tests pin digests of
+/// sink output as determinism evidence.
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
+  /// Writes every row of `rows` (grid order) to `os`.
   virtual void write(const ScenarioSpec& spec,
                      const std::vector<AggregateRow>& rows,
                      std::ostream& os) const = 0;
@@ -57,15 +61,17 @@ std::unique_ptr<ResultSink> make_sink(const std::string& name);
 /// One parsed-back record of the long-form outputs (tests, tooling).
 struct SinkRecord {
   std::string scenario;
-  std::size_t point = 0;
+  std::size_t point = 0;          ///< row-major grid index
   std::vector<std::string> axes;  ///< axis labels, in axis order
   std::string metric;             ///< MetricSpec::key
-  std::size_t count = 0;
+  std::size_t count = 0;          ///< trials that measured this metric
   double mean = 0.0, stddev = 0.0, min = 0.0, max = 0.0;
   double p50 = 0.0, p95 = 0.0, p99 = 0.0;
 };
 
+/// Parses CsvSink output back; aggregates round-trip bit-for-bit.
 std::vector<SinkRecord> parse_csv(std::istream& in);
+/// Parses JsonlSink output back; aggregates round-trip bit-for-bit.
 std::vector<SinkRecord> parse_jsonl(std::istream& in);
 
 }  // namespace rtds::exp

@@ -1,0 +1,183 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+namespace rtds::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSiteDown: return "site_down";
+    case FaultKind::kSiteUp: return "site_up";
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLinkUp: return "link_up";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Generates the alternating up/down toggle times of one element and
+/// appends the corresponding event pairs. Each element draws from its own
+/// split() child generator, so adding sites/links to a spec never perturbs
+/// the streams of the others.
+void generate_on_off(Rng& rng, double fail_rate, double mttr, Time horizon,
+                     FaultKind down, FaultKind up, SiteId a, SiteId b,
+                     std::vector<FaultEvent>& out) {
+  if (fail_rate <= 0.0 || horizon <= 0.0) return;
+  RTDS_REQUIRE_MSG(mttr > 0.0, "fault mean-time-to-recover must be > 0");
+  Time t = 0.0;
+  for (;;) {
+    t += rng.exponential(fail_rate);
+    if (t >= horizon) return;
+    out.push_back(FaultEvent{t, down, a, b});
+    t += rng.exponential(1.0 / mttr);
+    if (t >= horizon) return;  // still down at the horizon: stays down
+    out.push_back(FaultEvent{t, up, a, b});
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::from_spec(const FaultSpec& spec, const Topology& topo) {
+  RTDS_REQUIRE_MSG(spec.drop_prob >= 0.0 && spec.drop_prob < 1.0,
+                   "faults.drop must be in [0, 1): " << spec.drop_prob);
+  RTDS_REQUIRE(spec.extra_delay_max >= 0.0);
+  FaultPlan plan;
+  plan.drop_prob = spec.drop_prob;
+  plan.extra_delay_max = spec.extra_delay_max;
+  plan.seed = spec.seed;
+  if (spec.empty()) return plan;
+
+  Rng root(spec.seed);
+  for (SiteId s = 0; s < topo.site_count(); ++s) {
+    Rng child = root.split();
+    generate_on_off(child, spec.site_rate, spec.site_mttr, spec.horizon,
+                    FaultKind::kSiteDown, FaultKind::kSiteUp, s, kNoSite,
+                    plan.events);
+  }
+  for (const Link& l : topo.links()) {
+    Rng child = root.split();
+    generate_on_off(child, spec.link_rate, spec.link_mttr, spec.horizon,
+                    FaultKind::kLinkDown, FaultKind::kLinkUp, l.a, l.b,
+                    plan.events);
+  }
+  // Stable by time: simultaneous events keep generation order (sites by id,
+  // then links by Topology::links() order) — a total, reproducible order.
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+  return plan;
+}
+
+// ------------------------------------------------------------ FaultState --
+
+FaultState::FaultState(const Topology& topo, const FaultPlan& plan)
+    : topo_(topo),
+      site_up_(topo.site_count(), 1),
+      link_up_(topo.link_count(), 1),
+      drop_prob_(plan.drop_prob),
+      extra_delay_max_(plan.extra_delay_max),
+      perturb_rng_(plan.seed ^ 0x9e3779b97f4a7c15ULL) {
+  link_of_pair_.reserve(topo.link_count());
+  const auto& links = topo.links();
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const auto lo = std::min(links[i].a, links[i].b);
+    const auto hi = std::max(links[i].a, links[i].b);
+    link_of_pair_.emplace_back((std::uint64_t{lo} << 32) | hi, i);
+  }
+  std::sort(link_of_pair_.begin(), link_of_pair_.end());
+}
+
+std::size_t FaultState::link_index(SiteId a, SiteId b) const {
+  const auto lo = std::min(a, b);
+  const auto hi = std::max(a, b);
+  const std::uint64_t key = (std::uint64_t{lo} << 32) | hi;
+  const auto it = std::lower_bound(
+      link_of_pair_.begin(), link_of_pair_.end(), key,
+      [](const auto& entry, std::uint64_t k) { return entry.first < k; });
+  RTDS_REQUIRE_MSG(it != link_of_pair_.end() && it->first == key,
+                   "no link " << a << "--" << b << " in the topology");
+  return it->second;
+}
+
+bool FaultState::link_up(SiteId a, SiteId b) const {
+  return site_up_[a] && site_up_[b] && link_up_[link_index(a, b)];
+}
+
+bool FaultState::apply(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kSiteDown:
+      if (!site_up_[ev.a]) return false;
+      site_up_[ev.a] = 0;
+      ++sites_down_;
+      return true;
+    case FaultKind::kSiteUp:
+      if (site_up_[ev.a]) return false;
+      site_up_[ev.a] = 1;
+      --sites_down_;
+      return true;
+    case FaultKind::kLinkDown: {
+      const auto i = link_index(ev.a, ev.b);
+      if (!link_up_[i]) return false;
+      link_up_[i] = 0;
+      ++links_down_;
+      return true;
+    }
+    case FaultKind::kLinkUp: {
+      const auto i = link_index(ev.a, ev.b);
+      if (link_up_[i]) return false;
+      link_up_[i] = 1;
+      --links_down_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultState::sample_drop() {
+  if (drop_prob_ <= 0.0) return false;
+  return perturb_rng_.bernoulli(drop_prob_);
+}
+
+Time FaultState::sample_extra_delay() {
+  if (extra_delay_max_ <= 0.0) return 0.0;
+  return perturb_rng_.uniform(0.0, extra_delay_max_);
+}
+
+std::size_t FaultState::live_link_count(const Topology& topo) const {
+  std::size_t live = 0;
+  const auto& links = topo.links();
+  for (std::size_t i = 0; i < links.size(); ++i)
+    if (link_up_[i] && site_up_[links[i].a] && site_up_[links[i].b]) ++live;
+  return live;
+}
+
+// ----------------------------------------------------------- SiteTimeline --
+
+SiteTimeline::SiteTimeline(const FaultPlan& plan, std::size_t sites)
+    : toggles_(sites) {
+  for (const FaultEvent& ev : plan.events) {
+    if (ev.kind != FaultKind::kSiteDown && ev.kind != FaultKind::kSiteUp)
+      continue;
+    const bool up = ev.kind == FaultKind::kSiteUp;
+    RTDS_REQUIRE(ev.a < sites);
+    auto& t = toggles_[ev.a];
+    // Sites start up and generated plans alternate; tolerate redundant
+    // scripted events by skipping no-op toggles.
+    const bool currently_up = t.size() % 2 == 0;
+    if (up == currently_up) continue;
+    t.push_back(ev.at);
+    events_.push_back(Event{ev.at, ev.a, up});
+  }
+}
+
+bool SiteTimeline::up_at(SiteId s, Time t) const {
+  if (s >= toggles_.size()) return true;
+  const auto& tg = toggles_[s];
+  const auto applied = static_cast<std::size_t>(
+      std::upper_bound(tg.begin(), tg.end(), t) - tg.begin());
+  return applied % 2 == 0;
+}
+
+}  // namespace rtds::fault

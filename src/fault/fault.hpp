@@ -1,0 +1,166 @@
+// Deterministic fault injection and dynamic topology (DESIGN.md §9).
+//
+// The paper's §2 network model is faultless: links are loss-less and sites
+// never die. This layer relaxes exactly that assumption, as *data*: a
+// FaultPlan is a time-ordered script of site-crash/recover and
+// link-down/up events plus per-send message perturbations (drop
+// probability, extra delay), either written explicitly (tests, worked
+// examples) or generated from seeded exponential on/off processes
+// (FaultPlan::from_spec). Everything downstream consumes the plan through
+// FaultState, a runtime view the simulator advances event by event.
+//
+// Determinism contract: a plan is a pure function of its FaultSpec (seed
+// included), and a run under a plan is single-threaded discrete-event
+// simulation — so fault runs are bit-identical for a given seed regardless
+// of experiment-runner worker count. An empty plan must leave every
+// consumer on its exact pre-fault code path (no timers armed, no RNG
+// consumed); tests/fault_test.cpp pins both properties.
+//
+// Crash semantics (the §9 design choice): crash = lose in-flight state.
+// A crashed site drops its lock, queue, active initiations, outstanding
+// endorsements and its whole scheduling plan; committed-but-unfinished
+// jobs with work on the site are lost. Link-down = drop (messages in
+// flight on a downed link are lost, not buffered).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace rtds::fault {
+
+enum class FaultKind : std::uint8_t {
+  kSiteDown,  ///< site `a` crashes (loses all in-flight state)
+  kSiteUp,    ///< site `a` recovers with an empty plan
+  kLinkDown,  ///< link `a`--`b` stops carrying messages
+  kLinkUp,    ///< link `a`--`b` comes back
+};
+
+const char* to_string(FaultKind kind);
+
+/// One scripted fault, applied at absolute simulation time `at`. For site
+/// events `b` is unused (kNoSite).
+struct FaultEvent {
+  Time at = 0.0;
+  FaultKind kind = FaultKind::kSiteDown;
+  SiteId a = 0;
+  SiteId b = kNoSite;
+};
+
+/// Seeded random fault processes. Each site (link) alternates exponential
+/// up-times at rate `site_rate` (`link_rate`) with exponential down-times
+/// of mean `site_mttr` (`link_mttr`); events are generated over
+/// [0, horizon). All-zero rates and perturbations yield an empty plan.
+struct FaultSpec {
+  double site_rate = 0.0;       ///< crashes per site per time unit
+  double site_mttr = 25.0;      ///< mean site down-time
+  double link_rate = 0.0;       ///< failures per link per time unit
+  double link_mttr = 10.0;      ///< mean link down-time
+  double drop_prob = 0.0;       ///< per-send message loss probability
+  double extra_delay_max = 0.0; ///< uniform [0, max) extra delay per send
+  Time horizon = 0.0;           ///< event generation window
+  std::uint64_t seed = 42;      ///< plan + perturbation stream seed
+
+  bool empty() const {
+    return site_rate <= 0.0 && link_rate <= 0.0 && drop_prob <= 0.0 &&
+           extra_delay_max <= 0.0;
+  }
+};
+
+/// The full fault script for one run: time-sorted events plus the message
+/// perturbation parameters. Copyable value type — it rides inside
+/// SystemConfig / baseline configs.
+struct FaultPlan {
+  std::vector<FaultEvent> events;  ///< ascending by `at` (ties: input order)
+  double drop_prob = 0.0;
+  double extra_delay_max = 0.0;
+  std::uint64_t seed = 42;
+
+  /// True iff the plan changes nothing: consumers must then behave
+  /// bit-identically to a run with no plan at all.
+  bool empty() const {
+    return events.empty() && drop_prob <= 0.0 && extra_delay_max <= 0.0;
+  }
+
+  /// Generates the deterministic plan for `spec` on `topo` (sites/links
+  /// index into it). Same spec -> same plan, always.
+  static FaultPlan from_spec(const FaultSpec& spec, const Topology& topo);
+};
+
+/// Runtime fault view: which sites/links are currently up, plus the
+/// deterministic per-send perturbation stream. The owner (RtdsSystem)
+/// applies plan events in time order via apply(); transports consult the
+/// up/down state and sample perturbations at send/delivery time.
+class FaultState {
+ public:
+  FaultState(const Topology& topo, const FaultPlan& plan);
+
+  bool site_up(SiteId s) const { return site_up_[s]; }
+  /// Both endpoints up and the link itself up.
+  bool link_up(SiteId a, SiteId b) const;
+
+  /// Applies one event (idempotent: re-downing a down site is a no-op).
+  /// Returns true if the up/down state actually changed.
+  bool apply(const FaultEvent& ev);
+
+  /// Samples the per-send loss coin. Consumes RNG only when drop_prob > 0.
+  bool sample_drop();
+  /// Samples the per-send extra delay. Consumes RNG only when
+  /// extra_delay_max > 0.
+  Time sample_extra_delay();
+
+  std::size_t sites_down() const { return sites_down_; }
+  std::size_t links_down() const { return links_down_; }
+  /// Live undirected links: link up and both endpoints up.
+  std::size_t live_link_count(const Topology& topo) const;
+
+ private:
+  std::size_t link_index(SiteId a, SiteId b) const;
+
+  const Topology& topo_;
+  std::vector<char> site_up_;
+  std::vector<char> link_up_;  ///< by Topology::links() index
+  /// (min,max) endpoint pair -> links() index, sorted for binary search.
+  std::vector<std::pair<std::uint64_t, std::size_t>> link_of_pair_;
+  std::size_t sites_down_ = 0;
+  std::size_t links_down_ = 0;
+  double drop_prob_ = 0.0;
+  double extra_delay_max_ = 0.0;
+  Rng perturb_rng_;
+};
+
+/// Site up/down schedule extracted from a plan, for drivers that model
+/// execution-plane faults only (the comparison baselines): arrivals at a
+/// down site are lost, a crash loses the site's in-flight jobs, and the
+/// control plane stays reliable (see DESIGN.md §9 on why this idealization
+/// is conservative *against* RTDS).
+class SiteTimeline {
+ public:
+  struct Event {
+    Time at = 0.0;
+    SiteId site = 0;
+    bool up = false;  ///< state after the event
+  };
+
+  SiteTimeline() = default;
+  SiteTimeline(const FaultPlan& plan, std::size_t sites);
+
+  /// Site events in plan (time) order.
+  const std::vector<Event>& events() const { return events_; }
+
+  /// State of `s` at time `t` (events at exactly `t` have been applied).
+  bool up_at(SiteId s, Time t) const;
+
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<Event> events_;
+  /// Per-site toggle times; state after toggles_[s][i] is (i % 2 == 0) ?
+  /// down : up (sites start up, toggles alternate).
+  std::vector<std::vector<Time>> toggles_;
+};
+
+}  // namespace rtds::fault

@@ -1,0 +1,49 @@
+#include "fault/fault_params.hpp"
+
+#include <algorithm>
+
+namespace rtds::fault {
+
+Time fault_horizon(const std::vector<JobArrival>& arrivals) {
+  Time horizon = 0.0;
+  for (const auto& a : arrivals) horizon = std::max(horizon, a.job->deadline);
+  return horizon;
+}
+
+policy::ParamSchema& add_crash_params(policy::ParamSchema& schema) {
+  schema
+      .add_double("faults.site_rate", 0.0,
+                  "site crashes per site per time unit (0 = faultless)")
+      .add_double("faults.site_mttr", 25.0, "mean site down-time")
+      .add_int("faults.seed", 42, "fault plan + perturbation stream seed");
+  return schema;
+}
+
+policy::ParamSchema& add_fault_params(policy::ParamSchema& schema) {
+  add_crash_params(schema);
+  schema
+      .add_double("faults.link_rate", 0.0,
+                  "link failures per link per time unit")
+      .add_double("faults.link_mttr", 10.0, "mean link down-time")
+      .add_double("faults.drop", 0.0, "per-send message loss probability")
+      .add_double("faults.extra_delay", 0.0,
+                  "uniform [0, max) extra delay per send");
+  return schema;
+}
+
+FaultSpec fault_spec_from(const policy::ParamMap& params, Time horizon) {
+  FaultSpec spec;
+  spec.site_rate = params.get_double("faults.site_rate", spec.site_rate);
+  spec.site_mttr = params.get_double("faults.site_mttr", spec.site_mttr);
+  spec.link_rate = params.get_double("faults.link_rate", spec.link_rate);
+  spec.link_mttr = params.get_double("faults.link_mttr", spec.link_mttr);
+  spec.drop_prob = params.get_double("faults.drop", spec.drop_prob);
+  spec.extra_delay_max =
+      params.get_double("faults.extra_delay", spec.extra_delay_max);
+  spec.seed = static_cast<std::uint64_t>(
+      params.get_int("faults.seed", static_cast<std::int64_t>(spec.seed)));
+  spec.horizon = horizon;
+  return spec;
+}
+
+}  // namespace rtds::fault

@@ -1,0 +1,37 @@
+// The faults.* parameter fragment of the unified Policy API.
+//
+// Every registered policy understands the crash-process keys
+// (faults.site_rate / faults.site_mttr / faults.seed): all six families
+// model the execution plane, so "a site dies and takes its in-flight work
+// with it" is meaningful everywhere. The full network-fault keys
+// (faults.link_rate / faults.link_mttr / faults.drop / faults.extra_delay)
+// exist only on the rtds schema — only the RTDS protocol runs over the
+// simulated message transport where lossy links are expressible; the
+// baselines keep an idealized reliable control plane (DESIGN.md §9), which
+// biases every fault comparison *against* RTDS.
+#pragma once
+
+#include <vector>
+
+#include "core/workload.hpp"
+#include "fault/fault.hpp"
+#include "policy/param_map.hpp"
+
+namespace rtds::fault {
+
+/// Adds the crash-process keys every policy shares.
+policy::ParamSchema& add_crash_params(policy::ParamSchema& schema);
+
+/// Adds the crash keys plus the network-fault keys (rtds only).
+policy::ParamSchema& add_fault_params(policy::ParamSchema& schema);
+
+/// Decodes the faults.* keys into a FaultSpec over [0, horizon). Keys the
+/// schema did not declare read as their 0 defaults, so one decoder serves
+/// both schema variants.
+FaultSpec fault_spec_from(const policy::ParamMap& params, Time horizon);
+
+/// Fault-event generation horizon for a workload: the last deadline — no
+/// fault after it can change any outcome.
+Time fault_horizon(const std::vector<JobArrival>& arrivals);
+
+}  // namespace rtds::fault

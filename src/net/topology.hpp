@@ -1,8 +1,10 @@
 // Communication network model (§2): an arbitrary connected graph of sites
 // with bidirectional weighted links. Link weights are communication delays
-// (propagation); they need not satisfy the triangle inequality. Links are
-// faithful, loss-less and order-preserving; sites are faultless — so the
-// topology is immutable once built.
+// (propagation); they need not satisfy the triangle inequality. The paper
+// assumes faithful loss-less links and faultless sites; the Topology
+// object stays immutable once built, and dynamic faults (site crashes,
+// link outages — DESIGN.md §9) are layered on top as fault::FaultState
+// masks over this static graph.
 #pragma once
 
 #include <cstdint>

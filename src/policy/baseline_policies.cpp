@@ -6,12 +6,21 @@
 #include "baseline/centralized.hpp"
 #include "baseline/local_only.hpp"
 #include "baseline/offload.hpp"
+#include "fault/fault_params.hpp"
 #include "policy/policy.hpp"
 #include "policy/sched_params.hpp"
 
 namespace rtds::policy {
 
 namespace {
+
+/// Every baseline drives execution-plane faults from the shared crash keys
+/// (DESIGN.md §9); their control planes stay reliable by design.
+fault::FaultPlan crash_plan(const ParamMap& params, const Topology& topo,
+                            const std::vector<JobArrival>& arrivals) {
+  return fault::FaultPlan::from_spec(
+      fault::fault_spec_from(params, fault::fault_horizon(arrivals)), topo);
+}
 
 class LocalPolicy final : public Policy {
  public:
@@ -24,13 +33,15 @@ class LocalPolicy final : public Policy {
     static const ParamSchema schema = [] {
       ParamSchema s;
       add_sched_params(s);
+      fault::add_crash_params(s);
       return s;
     }();
     return schema;
   }
   RunMetrics run(const Topology& topo, const std::vector<JobArrival>& arrivals,
                  const ParamMap& params) const override {
-    return run_local_only(topo, arrivals, sched_config_from(params));
+    return run_local_only(topo, arrivals, sched_config_from(params),
+                          crash_plan(params, topo, arrivals));
   }
 };
 
@@ -48,6 +59,7 @@ class CentralPolicy final : public Policy {
                 "restrict candidates to the arrival site's h-hop sphere "
                 "(-1 = whole network)");
       add_sched_params(s);
+      fault::add_crash_params(s);
       return s;
     }();
     return schema;
@@ -59,6 +71,7 @@ class CentralPolicy final : public Policy {
     const auto h = params.get_int("h", -1);
     cfg.sphere_radius_h = h < 0 ? CentralizedConfig::kNoRadiusLimit
                                 : static_cast<std::size_t>(h);
+    cfg.faults = crash_plan(params, topo, arrivals);
     return run_centralized(topo, arrivals, cfg);
   }
 };
@@ -81,6 +94,7 @@ class BcastPolicy final : public Policy {
           .add_bool("stop_with_arrivals", true,
                     "cease broadcasting after the last arrival");
       add_sched_params(s);
+      fault::add_crash_params(s);
       return s;
     }();
     return schema;
@@ -96,6 +110,7 @@ class BcastPolicy final : public Policy {
     cfg.surplus_window = params.get_double("surplus_window", cfg.surplus_window);
     cfg.stop_with_arrivals =
         params.get_bool("stop_with_arrivals", cfg.stop_with_arrivals);
+    cfg.faults = crash_plan(params, topo, arrivals);
     return run_broadcast(topo, arrivals, cfg);
   }
 };
@@ -113,6 +128,7 @@ class OffloadFamilyPolicy : public Policy {
           .add_int("max_attempts", 3, "offers before giving up (BID)")
           .add_int("seed", 7, "RANDOM pick stream");
       add_sched_params(s);
+      fault::add_crash_params(s);
       return s;
     }();
     return schema;
@@ -128,6 +144,7 @@ class OffloadFamilyPolicy : public Policy {
         "max_attempts", static_cast<std::int64_t>(cfg.max_attempts)));
     cfg.seed = static_cast<std::uint64_t>(
         params.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+    cfg.faults = crash_plan(params, topo, arrivals);
     return run_offload(topo, arrivals, cfg);
   }
 

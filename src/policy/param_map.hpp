@@ -21,10 +21,14 @@
 
 namespace rtds::policy {
 
+/// Value types a parameter can declare. kBool parses true/false/1/0/on/off;
+/// kEnum parses one of the declared labels and reads back as its index.
 enum class ParamType { kInt, kDouble, kBool, kEnum };
 
+/// Lower-case type name ("int", "double", "bool", "enum") for messages.
 const char* to_string(ParamType type);
 
+/// One parameter declaration: its key, type, default and documentation.
 struct ParamSpec {
   std::string key;
   ParamType type = ParamType::kDouble;
@@ -37,6 +41,9 @@ struct ParamSpec {
 /// listing order (keep related keys together).
 class ParamSchema {
  public:
+  // Declaration builders: each adds one key (duplicates throw) and
+  // returns *this for chaining. The default is rendered into the listing
+  // and must equal the corresponding config-struct default (DESIGN.md §8).
   ParamSchema& add_int(std::string key, std::int64_t def,
                        std::string description);
   ParamSchema& add_double(std::string key, double def,
@@ -48,6 +55,7 @@ class ParamSchema {
                         std::string description);
 
   const ParamSpec* find(const std::string& key) const;  ///< nullptr if absent
+  /// All declarations, in insertion (listing) order.
   const std::vector<ParamSpec>& specs() const { return specs_; }
 
   /// Human-readable one-line-per-param rendering, used in listings and
@@ -78,6 +86,7 @@ class ParamMap {
       const std::vector<std::pair<std::string, std::string>>& pairs,
       const ParamSchema& schema);
 
+  /// True iff `key` was explicitly set (typed getters then ignore `def`).
   bool has(const std::string& key) const;
 
   // Typed lookups. The key must have been declared with the matching type

@@ -28,12 +28,18 @@
 
 namespace rtds::policy {
 
+/// One scheduler family. Implementations are stateless façades: identity
+/// (name/description), a schema of typed knobs, and a pure run().
 class Policy {
  public:
   virtual ~Policy() = default;
 
+  /// Registry key, stable across releases (e.g. "rtds", "bcast").
   virtual std::string name() const = 0;
+  /// One-line human description, shown by `rtds_exp --list`.
   virtual std::string description() const = 0;
+  /// The parameters this policy understands. Must return the same schema
+  /// object every call (callers keep references across runs).
   virtual const ParamSchema& describe_params() const = 0;
 
   /// Runs the whole workload to completion. Pure: all state is local to
@@ -49,6 +55,8 @@ class Policy {
   }
 };
 
+/// Constructs a fresh Policy instance (factories run at create() time, so
+/// registration itself is cheap and order-independent).
 using PolicyFactory = std::function<std::unique_ptr<Policy>()>;
 
 /// Process-wide policy registry. Policies self-register via PolicyRegistrar
@@ -58,14 +66,18 @@ using PolicyFactory = std::function<std::unique_ptr<Policy>()>;
 /// dropped by the linker.
 class PolicyRegistry {
  public:
+  /// The process-wide registry (static-initialization safe).
   static PolicyRegistry& instance();
 
+  /// Registers a factory under `name`. Throws ContractViolation on a
+  /// duplicate name — two families must never shadow each other.
   void add(std::string name, PolicyFactory factory);
 
   /// Instantiates the named policy. Throws ContractViolation listing every
   /// registered name when `name` is unknown.
   std::unique_ptr<Policy> create(const std::string& name) const;
 
+  /// True iff `name` is registered (no instantiation).
   bool contains(const std::string& name) const;
   /// Registered names, sorted.
   std::vector<std::string> names() const;

@@ -3,6 +3,7 @@
 // and every default equals the struct default, so an empty ParamMap is
 // exactly `RtdsSystem(topo, SystemConfig{})`.
 #include "core/rtds_system.hpp"
+#include "fault/fault_params.hpp"
 #include "policy/policy.hpp"
 #include "policy/sched_params.hpp"
 
@@ -56,6 +57,10 @@ ParamSchema make_rtds_schema() {
       .add_bool("measure_pcs_build", false,
                 "also run the §7 distributed APSP as real messages");
   add_sched_params(schema);
+  // rtds is the only family on the simulated transport, so it gets the
+  // full network-fault surface (link failures, drops, extra delay) on top
+  // of the crash process every policy shares.
+  fault::add_fault_params(schema);
   return schema;
 }
 
@@ -114,7 +119,10 @@ class RtdsPolicy final : public Policy {
   }
   RunMetrics run(const Topology& topo, const std::vector<JobArrival>& arrivals,
                  const ParamMap& params) const override {
-    RtdsSystem system(topo, system_config_from(params));
+    SystemConfig cfg = system_config_from(params);
+    cfg.faults = fault::FaultPlan::from_spec(
+        fault::fault_spec_from(params, fault::fault_horizon(arrivals)), topo);
+    RtdsSystem system(topo, cfg);
     system.run(arrivals);
     return system.metrics();
   }

@@ -3,16 +3,27 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/fault.hpp"
+
 namespace rtds {
 
 std::vector<RoutingTable> phased_apsp(const Topology& topo,
-                                      std::size_t phases) {
+                                      std::size_t phases,
+                                      const fault::FaultState* faults) {
   const auto n = topo.site_count();
+  const auto site_live = [&](SiteId s) {
+    return faults == nullptr || faults->site_up(s);
+  };
+  const auto link_live = [&](SiteId a, SiteId b) {
+    return faults == nullptr || faults->link_up(a, b);
+  };
   std::vector<RoutingTable> tables;
   tables.reserve(n);
   for (SiteId s = 0; s < n; ++s) {
     tables.emplace_back(s);
-    tables.back().init_from_neighbors(topo);
+    // A down site keeps an empty table: it routes nothing until it
+    // recovers and the next repair re-seeds it.
+    if (site_live(s)) tables.back().init_from_neighbors(topo, faults);
   }
   if (n == 0 || phases == 0) return tables;
   // Synchronous semantics: all merges in a phase read the phase-start
@@ -27,11 +38,13 @@ std::vector<RoutingTable> phased_apsp(const Topology& topo,
   std::vector<char> changed_now(n);
   for (std::size_t phase = 0; phase < phases; ++phase) {
     std::fill(changed_now.begin(), changed_now.end(), 0);
-    for (SiteId s = 0; s < n; ++s)
+    for (SiteId s = 0; s < n; ++s) {
+      if (!site_live(s)) continue;
       for (const auto& nb : topo.neighbors(s))
-        if (changed[nb.site])
+        if (changed[nb.site] && link_live(s, nb.site))
           changed_now[s] |=
               tables[s].merge_from(nb.site, nb.delay, snapshot[nb.site]);
+    }
     bool any = false;
     for (SiteId s = 0; s < n; ++s) {
       if (changed_now[s]) {

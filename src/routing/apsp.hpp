@@ -15,7 +15,8 @@
 //  * distributed_apsp  — runs the same protocol as actual messages over a
 //                        SimNetwork, so the one-time PCS construction cost
 //                        (messages, route lines shipped, completion time)
-//                        can be measured (bench E6 / example traces).
+//                        can be measured (rtds --set measure_pcs_build=true,
+//                        example traces).
 // Both produce identical tables; a gtest asserts this site-by-site.
 #pragma once
 
@@ -27,9 +28,14 @@
 
 namespace rtds {
 
-/// Runs `phases` synchronous table-exchange rounds in memory.
-std::vector<RoutingTable> phased_apsp(const Topology& topo,
-                                      std::size_t phases);
+/// Runs `phases` synchronous table-exchange rounds in memory. With a
+/// non-null fault view the exchange is restricted to the *live* topology —
+/// down sites neither seed nor merge tables (their tables come back empty)
+/// and down links carry no exchange — which is exactly the repair RTDS
+/// re-triggers after every topology-change notification (DESIGN.md §9).
+std::vector<RoutingTable> phased_apsp(
+    const Topology& topo, std::size_t phases,
+    const fault::FaultState* faults = nullptr);
 
 struct DistributedApspResult {
   std::vector<RoutingTable> tables;

@@ -3,8 +3,11 @@
 // PCS(k) = every site whose minimum-delay path from k uses at most h hops,
 // together with the control structure RTDS needs: per-member delay/hops
 // from the root and pairwise delays between members (available because the
-// APSP was run for 2h phases). Built once at system initialization; the
-// topology never changes (§2: no failures).
+// APSP was run for 2h phases). Built once at system initialization: the
+// paper's spheres are static, and under injected faults (DESIGN.md §9)
+// membership deliberately stays construction-time — dead members are what
+// the enrollment/validation timeouts recover from, while routing repair
+// only refreshes the tables underneath.
 #pragma once
 
 #include <cstddef>

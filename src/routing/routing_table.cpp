@@ -1,16 +1,20 @@
 #include "routing/routing_table.hpp"
 
+#include "fault/fault.hpp"
+
 namespace rtds {
 
 RoutingTable::RoutingTable(SiteId owner) : owner_(owner) {}
 
-void RoutingTable::init_from_neighbors(const Topology& topo) {
+void RoutingTable::init_from_neighbors(const Topology& topo,
+                                       const fault::FaultState* faults) {
   RTDS_REQUIRE(owner_ < topo.site_count());
   lines_.assign(topo.site_count(), RouteLine{});
   dests_.clear();
   lines_[owner_] = RouteLine{0.0, owner_, 0};
   dests_.push_back(owner_);
   for (const auto& nb : topo.neighbors(owner_)) {
+    if (faults != nullptr && !faults->link_up(owner_, nb.site)) continue;
     lines_[nb.site] = RouteLine{nb.delay, nb.site, 1};
     dests_.push_back(nb.site);
   }

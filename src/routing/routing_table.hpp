@@ -20,6 +20,10 @@
 #include "util/error.hpp"
 #include "util/time.hpp"
 
+namespace rtds::fault {
+class FaultState;
+}
+
 namespace rtds {
 
 struct RouteLine {
@@ -40,8 +44,10 @@ class RoutingTable {
   std::size_t site_count() const { return lines_.size(); }
 
   /// Installs the trivial route to self plus one-hop routes to neighbours —
-  /// the §7.1 start condition.
-  void init_from_neighbors(const Topology& topo);
+  /// the §7.1 start condition. With a fault view, only *live* links seed
+  /// routes (the repair path of DESIGN.md §9).
+  void init_from_neighbors(const Topology& topo,
+                           const fault::FaultState* faults = nullptr);
 
   bool has_route(SiteId dest) const {
     return dest < lines_.size() && lines_[dest].dist != kInfiniteTime;

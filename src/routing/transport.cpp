@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "fault/fault.hpp"
+
 namespace rtds {
 
 // --------------------------------------------------------------- ideal ----
@@ -14,6 +16,17 @@ void IdealTransport::set_handler(SiteId site, Handler handler) {
   RTDS_REQUIRE(site < handlers_.size());
   RTDS_REQUIRE(handler != nullptr);
   handlers_[site] = std::move(handler);
+}
+
+void IdealTransport::set_fault_state(fault::FaultState* faults,
+                                     DropHook on_drop) {
+  faults_ = faults;
+  on_drop_ = std::move(on_drop);
+}
+
+void IdealTransport::drop(SiteId to, const MessageBody& payload) {
+  ++stats_.messages_dropped;
+  if (on_drop_) on_drop_(to, payload);
 }
 
 std::size_t IdealTransport::send(SiteId from, SiteId to, MessageBody payload,
@@ -29,11 +42,32 @@ std::size_t IdealTransport::send(SiteId from, SiteId to, MessageBody payload,
     });
     return 0;
   }
+  if (faults_ != nullptr && !tables_[from].has_route(to)) {
+    // Topology repair left no live path (the destination's component is
+    // unreachable right now). The send is lost like any other fault loss.
+    stats_.record(category, 0);
+    drop(to, payload);
+    return 0;
+  }
   RTDS_REQUIRE_MSG(tables_[from].has_route(to),
                    "no route " << from << " -> " << to);
   const auto& line = tables_[from].route(to);
   stats_.record(category, line.hops);
-  sim_.schedule_in(line.dist, [this, from, to, p = std::move(payload)]() {
+  Time delay = line.dist;
+  if (faults_ != nullptr) {
+    if (faults_->sample_drop()) {
+      drop(to, payload);
+      return line.hops;
+    }
+    delay += faults_->sample_extra_delay();
+  }
+  sim_.schedule_in(delay, [this, from, to, p = std::move(payload)]() {
+    // Arrival-time liveness: the destination must be up when the message
+    // lands, not merely when it was sent.
+    if (faults_ != nullptr && !faults_->site_up(to)) {
+      drop(to, p);
+      return;
+    }
     RTDS_CHECK(handlers_[to] != nullptr);
     handlers_[to](from, p);
   });
@@ -59,6 +93,17 @@ void ContendedTransport::set_handler(SiteId site, Handler handler) {
   handlers_[site] = std::move(handler);
 }
 
+void ContendedTransport::set_fault_state(fault::FaultState* faults,
+                                         DropHook on_drop) {
+  faults_ = faults;
+  on_drop_ = std::move(on_drop);
+}
+
+void ContendedTransport::drop(SiteId to, const MessageBody& payload) {
+  ++stats_.messages_dropped;
+  if (on_drop_) on_drop_(to, payload);
+}
+
 std::size_t ContendedTransport::send(SiteId from, SiteId to, MessageBody payload,
                                      int category, double size_units) {
   RTDS_REQUIRE(from < handlers_.size());
@@ -72,12 +117,31 @@ std::size_t ContendedTransport::send(SiteId from, SiteId to, MessageBody payload
     });
     return 0;
   }
+  if (faults_ != nullptr && !tables_[from].has_route(to)) {
+    stats_.record(category, 0);
+    drop(to, payload);
+    return 0;
+  }
   RTDS_REQUIRE_MSG(tables_[from].has_route(to),
                    "no route " << from << " -> " << to);
   const auto hops = tables_[from].route(to).hops;
   stats_.record(category, hops);
-  forward(from, to,
-          std::make_shared<const MessageBody>(std::move(payload)), size_units);
+  auto shared = std::make_shared<const MessageBody>(std::move(payload));
+  if (faults_ != nullptr) {
+    if (faults_->sample_drop()) {
+      drop(to, *shared);
+      return hops;
+    }
+    // The store-and-forward chain already models queueing; the plan's
+    // extra delay perturbs the injection instant instead of each hop.
+    const Time extra = faults_->sample_extra_delay();
+    if (extra > 0.0) {
+      sim_.schedule_in(extra, [this, from, to, p = std::move(shared),
+                               size_units]() { forward(from, to, p, size_units); });
+      return hops;
+    }
+  }
+  forward(from, to, std::move(shared), size_units);
   return hops;
 }
 
@@ -93,13 +157,27 @@ void ContendedTransport::hop(SiteId origin, SiteId cur, SiteId to,
                              std::shared_ptr<const MessageBody> payload,
                              double size_units) {
   if (cur == to) {
+    if (faults_ != nullptr && !faults_->site_up(to)) {
+      drop(to, *payload);
+      return;
+    }
     RTDS_CHECK(handlers_[to] != nullptr);
     handlers_[to](origin, *payload);
+    return;
+  }
+  if (faults_ != nullptr && !tables_[cur].has_route(to)) {
+    // A repair invalidated the path mid-flight; store-and-forward loses
+    // the message at the stranded relay.
+    drop(to, *payload);
     return;
   }
   RTDS_CHECK(tables_[cur].has_route(to));
   const SiteId next = tables_[cur].route(to).next_hop;
   RTDS_CHECK(next != kNoSite);
+  if (faults_ != nullptr && !faults_->link_up(cur, next)) {
+    drop(to, *payload);
+    return;
+  }
   const Time now = sim_.now();
   Time& busy_until = link_busy_until_[{cur, next}];
   const Time queue_start = std::max(now, busy_until);

@@ -35,10 +35,22 @@ namespace rtds {
 class Transport {
  public:
   using Handler = std::function<void(SiteId from, const MessageBody& payload)>;
+  /// Invoked whenever a send is lost to injected faults, with the intended
+  /// destination and the undelivered payload (the system layer inspects
+  /// lost dispatches to mark their jobs failed).
+  using DropHook = std::function<void(SiteId to, const MessageBody& payload)>;
 
   virtual ~Transport() = default;
 
   virtual void set_handler(SiteId site, Handler handler) = 0;
+
+  /// Installs a fault view plus drop notification (nullptr = faultless,
+  /// the default). With faults installed, sends consult site/link/route
+  /// liveness and the plan's drop/extra-delay perturbations; a lost send
+  /// still counts its link messages but also increments
+  /// MessageStats::messages_dropped and fires `on_drop`.
+  virtual void set_fault_state(fault::FaultState* faults,
+                               DropHook on_drop) = 0;
 
   /// Sends `payload` from `from` to `to` (self-sends deliver immediately
   /// and are free). `size_units` models the message volume (task codes are
@@ -57,15 +69,20 @@ class IdealTransport final : public Transport {
   IdealTransport(Simulator& sim, const std::vector<RoutingTable>& tables);
 
   void set_handler(SiteId site, Handler handler) override;
+  void set_fault_state(fault::FaultState* faults, DropHook on_drop) override;
   std::size_t send(SiteId from, SiteId to, MessageBody payload, int category,
                    double size_units) override;
   const MessageStats& stats() const override { return stats_; }
 
  private:
+  void drop(SiteId to, const MessageBody& payload);
+
   Simulator& sim_;
   const std::vector<RoutingTable>& tables_;
   std::vector<Handler> handlers_;
   MessageStats stats_;
+  fault::FaultState* faults_ = nullptr;
+  DropHook on_drop_;
 };
 
 /// Store-and-forward with per-directed-link FIFO queues and finite
@@ -78,6 +95,7 @@ class ContendedTransport final : public Transport {
                      double bandwidth);
 
   void set_handler(SiteId site, Handler handler) override;
+  void set_fault_state(fault::FaultState* faults, DropHook on_drop) override;
   std::size_t send(SiteId from, SiteId to, MessageBody payload, int category,
                    double size_units) override;
   const MessageStats& stats() const override { return stats_; }
@@ -87,6 +105,7 @@ class ContendedTransport final : public Transport {
   Time max_queueing_delay() const { return max_queueing_delay_; }
 
  private:
+  void drop(SiteId to, const MessageBody& payload);
   void forward(SiteId at, SiteId to,
                std::shared_ptr<const MessageBody> payload, double size_units);
   void hop(SiteId origin, SiteId cur, SiteId to,
@@ -101,6 +120,8 @@ class ContendedTransport final : public Transport {
   std::map<std::pair<SiteId, SiteId>, Time> link_busy_until_;
   MessageStats stats_;
   Time max_queueing_delay_ = 0.0;
+  fault::FaultState* faults_ = nullptr;
+  DropHook on_drop_;
 };
 
 }  // namespace rtds

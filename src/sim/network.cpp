@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "fault/fault.hpp"
+
 namespace rtds {
 
 // The zero-allocation contract: a MessageBody moves without throwing (so
@@ -24,6 +26,10 @@ void SimNetwork::send_adjacent(SiteId from, SiteId to, MessageBody payload,
   RTDS_REQUIRE_MSG(topo_.adjacent(from, to),
                    "send_adjacent requires a link " << from << "--" << to);
   stats_.record(category, 1);
+  if (faults_ != nullptr && !faults_->link_up(from, to)) {
+    ++stats_.messages_dropped;
+    return;
+  }
   deliver(from, to, topo_.link_delay(from, to), std::move(payload));
 }
 
@@ -53,7 +59,20 @@ void SimNetwork::send_local(SiteId site, Time delay, MessageBody payload,
 
 void SimNetwork::deliver(SiteId from, SiteId to, Time delay,
                          MessageBody payload) {
+  if (faults_ != nullptr) {
+    if (faults_->sample_drop()) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    delay += faults_->sample_extra_delay();
+  }
   auto fire = [this, from, to, p = std::move(payload)]() {
+    // Arrival-time fault check: the destination must be up when the
+    // message lands, not merely when it was sent.
+    if (faults_ != nullptr && !faults_->site_up(to)) {
+      ++stats_.messages_dropped;
+      return;
+    }
     RTDS_CHECK_MSG(handlers_[to] != nullptr,
                    "no handler registered for site " << to);
     handlers_[to](from, p);

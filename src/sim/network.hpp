@@ -28,6 +28,10 @@
 #include "sim/simulator.hpp"
 #include "util/error.hpp"
 
+namespace rtds::fault {
+class FaultState;
+}
+
 namespace rtds {
 
 /// Per-category message counters. Categories are small dense integers
@@ -112,6 +116,9 @@ struct MessageStats {
   CategoryCounters by_category;
   std::uint64_t total_sends = 0;
   std::uint64_t total_link_messages = 0;
+  /// Sends lost to injected faults (dead destination, downed link, drop
+  /// coin, vanished route). Always 0 without a fault plan.
+  std::uint64_t messages_dropped = 0;
 
   void record(int category, std::uint64_t hops) {
     auto& e = by_category[category];
@@ -125,6 +132,7 @@ struct MessageStats {
     by_category.clear();
     total_sends = 0;
     total_link_messages = 0;
+    messages_dropped = 0;
   }
 };
 
@@ -159,6 +167,14 @@ class SimNetwork {
   void send_local(SiteId site, Time delay, MessageBody payload,
                   int category = 0);
 
+  /// Installs a fault view (nullptr = faultless, the default). With faults
+  /// installed every send consults it: the drop coin and extra delay are
+  /// sampled at send time, adjacency additionally requires the link up at
+  /// send time, and delivery is suppressed when the destination is down at
+  /// arrival time. Dropped sends still count their link messages (the
+  /// traffic was emitted) and increment MessageStats::messages_dropped.
+  void set_fault_state(fault::FaultState* faults) { faults_ = faults; }
+
   MessageStats& stats() { return stats_; }
   const MessageStats& stats() const { return stats_; }
 
@@ -169,6 +185,7 @@ class SimNetwork {
   const Topology& topo_;
   std::vector<Handler> handlers_;
   MessageStats stats_;
+  fault::FaultState* faults_ = nullptr;
 };
 
 }  // namespace rtds

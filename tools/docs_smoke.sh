@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Executable documentation: extracts every line starting with "$ " inside
+# fenced code blocks of README.md and EXPERIMENTS.md and runs them, in
+# document order, from the repository root. CI runs this job on every
+# change, so a renamed scenario, dropped flag or stale example fails the
+# build instead of silently rotting in the docs.
+#
+# Convention: inside a ``` fence, "$ cmd" is a command this script runs
+# verbatim; lines without the prefix (comments, sample output) are prose.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+extract() {
+  awk '
+    /^```/ { fence = !fence; next }
+    fence && /^\$ / { print substr($0, 3) }
+  ' "$1"
+}
+
+status=0
+for doc in README.md EXPERIMENTS.md; do
+  echo "==== $doc"
+  mapfile -t cmds < <(extract "$doc")
+  if [ "${#cmds[@]}" -eq 0 ]; then
+    echo "error: no \$-prefixed commands found in $doc" >&2
+    exit 1
+  fi
+  for cmd in "${cmds[@]}"; do
+    echo "---- \$ $cmd"
+    if ! eval "$cmd" </dev/null; then
+      echo "FAILED: $cmd (from $doc)" >&2
+      status=1
+    fi
+  done
+done
+[ "$status" -eq 0 ] && echo "docs-smoke: every documented command succeeded"
+exit "$status"
