@@ -19,8 +19,10 @@
 #include "dag/generators.hpp"
 #include "exp/condition.hpp"
 #include "matching/bipartite.hpp"
+#include "fault/fault.hpp"
 #include "net/generators.hpp"
 #include "routing/apsp.hpp"
+#include "routing/pcs.hpp"
 #include "sched/admission.hpp"
 
 namespace rtds {
@@ -69,6 +71,75 @@ void BM_PcsBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PcsBuild);
+
+// ---------------------------------------------------------- large topo ----
+//
+// The DESIGN.md §10 scale path: sphere-local tables and incremental repair
+// are what keep these sub-millisecond at 1024 sites — the pre-PR-5 dense
+// tables and full-recompute repair were quadratic-to-cubic here.
+
+void BM_LargeTopoPcsBuild(benchmark::State& state) {
+  // Full control-plane bring-up at N=1024: interrupted APSP plus every
+  // site's sphere, exactly what RtdsSystem construction pays.
+  Rng rng(12);
+  const Topology topo = make_grid(32, 32, DelayRange{0.5, 2.0}, rng);
+  for (auto _ : state) {
+    const auto tables = phased_apsp(topo, 4);
+    std::size_t members = 0;
+    for (SiteId s = 0; s < topo.site_count(); ++s)
+      members += Pcs::build(tables, s, 2).size();
+    benchmark::DoNotOptimize(members);
+  }
+  state.SetLabel("1024 sites: APSP + all spheres, h=2");
+}
+BENCHMARK(BM_LargeTopoPcsBuild);
+
+void BM_LargeTopoRepairLinkFlap(benchmark::State& state) {
+  // One link flap (down + up) against prebuilt tables — the §7 repair the
+  // fault layer triggers on every topology change. Timed per repair.
+  Rng rng(13);
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const Topology topo = make_grid(side, side, DelayRange{0.5, 2.0}, rng);
+  // Flap a central link so the dirty region does not fall off the grid.
+  const SiteId a = static_cast<SiteId>(side * (side / 2) + side / 2);
+  const SiteId b = a + 1;
+  fault::FaultPlan plan;
+  plan.events = {fault::FaultEvent{1.0, fault::FaultKind::kLinkDown, a, b},
+                 fault::FaultEvent{2.0, fault::FaultKind::kLinkUp, a, b}};
+  fault::FaultState faults(topo, plan);
+  auto tables = phased_apsp(topo, 4);
+  ApspRepairer repairer(topo, 4);  // reused across events, as RtdsSystem does
+  const SiteId changed[2] = {a, b};
+  for (auto _ : state) {
+    faults.apply(plan.events[0]);
+    repairer.repair(tables, &faults, changed);
+    faults.apply(plan.events[1]);
+    repairer.repair(tables, &faults, changed);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 2);  // repairs
+  state.SetLabel(std::to_string(side * side) + " sites, per flap=2 repairs");
+}
+BENCHMARK(BM_LargeTopoRepairLinkFlap)->Arg(16)->Arg(32);
+
+void BM_LargeTopoEndToEndRound(benchmark::State& state) {
+  // Whole-system round at N=1024: construction (APSP + 1024 spheres) plus
+  // one distributed protocol round.
+  Rng topo_rng(14);
+  const Topology topo = make_grid(32, 32, DelayRange{0.5, 1.0}, topo_rng);
+  for (auto _ : state) {
+    RtdsSystem system(topo, SystemConfig{});
+    Rng rng(15);
+    auto job = std::make_shared<Job>();
+    job->id = 1;
+    job->dag = make_fork_join(8, CostRange{3.0, 6.0}, rng);
+    job->release = 0.1;
+    job->deadline = 0.1 + 0.8 * job->dag.total_work();
+    system.run({{512, job}});
+    benchmark::DoNotOptimize(system.metrics().arrived);
+  }
+  state.SetLabel("1024 sites: system build + 1 round");
+}
+BENCHMARK(BM_LargeTopoEndToEndRound);
 
 // ----------------------------------------------------------- admission ----
 

@@ -26,10 +26,14 @@
 namespace rtds {
 
 /// §7.2 — one phase-stamped routing-table snapshot, exchanged between
-/// immediate neighbours during the interrupted APSP build.
+/// immediate neighbours during the interrupted APSP build. The snapshot
+/// rides shared_ptr-to-const like the other bulky immutable payloads: one
+/// phase-start copy is shared by every neighbour send of that phase, and
+/// the message stays small enough for the delivery closure's inline
+/// buffer now that RoutingTable carries its sphere-local slot map.
 struct ApspTableMsg {
   std::size_t phase = 0;
-  RoutingTable table;
+  std::shared_ptr<const RoutingTable> table;
 };
 
 // --- baseline/offload.cpp (sphere-limited bid/offer negotiation) ---

@@ -177,16 +177,22 @@ void RtdsSystem::apply_fault(const fault::FaultEvent& ev) {
     case fault::FaultKind::kLinkUp:
       break;  // pure topology change
   }
-  repair_routing();
+  repair_routing(ev);
 }
 
-void RtdsSystem::repair_routing() {
+void RtdsSystem::repair_routing(const fault::FaultEvent& ev) {
   const auto h = cfg_.node.sphere_radius_h;
-  tables_ = phased_apsp(topo_, 2 * h, fault_state_.get());
+  if (repairer_ == nullptr)
+    repairer_ = std::make_unique<ApspRepairer>(topo_, 2 * h);
+  const SiteId changed[2] = {ev.a, ev.b};
+  repairer_->repair(tables_, fault_state_.get(),
+                    std::span<const SiteId>(changed, ev.b == kNoSite ? 1 : 2));
   // Charge the nominal §7.2 exchange: each of the 2h phases ships one
-  // table over every live directed link. (PCS membership stays the
-  // construction-time sphere — the paper's spheres are static; dead
-  // members are what the enrollment/validation timeouts are for.)
+  // table over every live directed link. The *simulator* repairs
+  // incrementally, but the modelled protocol still floods, so the charge —
+  // and with it every experiment table — is unchanged. (PCS membership
+  // stays the construction-time sphere — the paper's spheres are static;
+  // dead members are what the enrollment/validation timeouts are for.)
   metrics_.repair_messages +=
       2 * fault_state_->live_link_count(topo_) * 2 * h;
 }

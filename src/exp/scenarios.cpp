@@ -539,6 +539,65 @@ void register_e6() {
   Registry::instance().add(std::move(spec));
 }
 
+// ------------------------------------------------------------------- E7 ----
+
+/// The scale workload (DESIGN.md §10): sites × load on grids up to 32×32.
+/// RTDS's sphere-local control structure is the whole point of the paper —
+/// per-job cost depends on |PCS|, not on the network — so the guarantee
+/// ratio and msgs/job must hold flat from 256 to 1024 sites while the
+/// [4]-style broadcast baseline (measured to 256 sites, like E1) pays the
+/// network-wide flood. This is also the sweep the CI scale job runs in
+/// Release under a wall-clock budget, so large-N regressions in the
+/// routing/PCS/event-queue layers fail the build rather than rotting.
+void register_e7() {
+  ScenarioSpec spec;
+  spec.name = "e7_scale";
+  spec.description =
+      "production-scale sweep: sites x load, rtds vs local/bcast baselines "
+      "(grid, h=2; bcast measured to 256 sites)";
+  spec.axes = {GridAxis::numeric("sites", "sites", {256, 512, 1024}, 0),
+               GridAxis::numeric("rate/site", "rate", {0.01, 0.02}, 3)};
+  spec.metrics = {count("jobs", "jobs"),
+                  ratio("RTDS%", "rtds"),
+                  ratio("LOCAL%", "local"),
+                  ratio("BCAST%", "bcast"),
+                  MetricSpec{"msgs/job", "rtds_msgs_per_job", 1},
+                  count("PCS max", "pcs_size_max"),
+                  MetricSpec{"latency", "rtds_decision_latency", 2}};
+  spec.seed_mode = SeedMode::kFixed;
+  spec.trial = [](const GridPoint& p, std::uint64_t seed) -> TrialResult {
+    ConditionSpec cs;
+    cs.net = NetShape::kGrid;
+    cs.sites = static_cast<std::size_t>(p.value(0));
+    cs.rate = p.value(1);
+    cs.horizon = 400.0;
+    cs.laxity_min = 1.5;
+    cs.laxity_max = 3.0;
+    cs.delay_min = 0.2;
+    cs.delay_max = 0.8;
+    cs.seed = seed;
+    const Condition c = make_condition(cs);
+
+    const RunMetrics m = run_policy(kRtdsH2, c);
+    const RunMetrics lm = run_policy(PolicySpec{"local", {}}, c);
+    // The periodic network-wide surplus flood is what makes bcast
+    // unaffordable at scale — which is the point; measured to 256 sites
+    // (the E1 cap), skipped beyond.
+    double bcast = kSkip;
+    if (c.topo.site_count() <= 256)
+      bcast = run_policy(PolicySpec{"bcast", {}}, c).guarantee_ratio();
+
+    return {static_cast<double>(m.arrived),
+            m.guarantee_ratio(),
+            lm.guarantee_ratio(),
+            bcast,
+            m.msgs_per_job.count() ? m.msgs_per_job.mean() : 0.0,
+            static_cast<double>(m.pcs_size_max),
+            m.decision_latency.count() ? m.decision_latency.mean() : 0.0};
+  };
+  Registry::instance().add(std::move(spec));
+}
+
 // ----------------------------------------------------------- policy_sweep --
 
 /// Generic cross of every registered policy against a load grid: the seam
@@ -594,6 +653,7 @@ void register_builtin_scenarios() {
     register_e4();
     register_e5();
     register_e6();
+    register_e7();
     register_policy_sweep();
     register_builtin_reports();
     return true;

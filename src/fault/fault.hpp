@@ -101,6 +101,11 @@ class FaultState {
   bool site_up(SiteId s) const { return site_up_[s]; }
   /// Both endpoints up and the link itself up.
   bool link_up(SiteId a, SiteId b) const;
+  /// Raw link state by Topology::links() index (ignores endpoint
+  /// liveness): bulk consumers — the routing repair rebuilding its live
+  /// adjacency — combine it with site_up in one O(links) sweep instead of
+  /// paying a per-pair lookup per edge.
+  bool link_index_up(std::size_t link) const { return link_up_[link] != 0; }
 
   /// Applies one event (idempotent: re-downing a down site is a no-op).
   /// Returns true if the up/down state actually changed.

@@ -7,6 +7,221 @@
 
 namespace rtds {
 
+namespace {
+
+/// Scratch for the per-destination layered relaxation: O(sites) arrays
+/// allocated once and reused across every destination via version stamps,
+/// so one full build touches O(sites · ball) memory, never O(sites²).
+struct ApspScratch {
+  /// A site whose line changed last phase, with its phase-end snapshot
+  /// (synchronous §7.2 semantics: offers read phase-start state, so the
+  /// values ride in the frontier, not in the live arrays).
+  struct Src {
+    SiteId site = kNoSite;
+    Time dist = 0.0;
+    std::uint32_t hops = 0;
+  };
+
+  ApspScratch(const Topology& topo, const fault::FaultState* faults)
+      : dist(topo.site_count()),
+        hops(topo.site_count()),
+        via(topo.site_count()),
+        seen(topo.site_count(), 0),
+        chg_stamp(topo.site_count(), 0),
+        ball_stamp(topo.site_count(), 0),
+        dirty_stamp(topo.site_count(), 0) {
+    rebuild_live(topo, faults);
+  }
+
+  /// (Re)builds the *live* CSR adjacency: with a fault view, dead links
+  /// (and with them every edge of a dead site) are filtered out up front,
+  /// so the relaxation never consults FaultState per edge — the per-edge
+  /// link_up binary search used to dominate the whole repair. One O(links)
+  /// counting pass over Topology::links() (whose order per site matches
+  /// adjacency order: add_link appends to both in the same call), not a
+  /// per-pair lookup per edge. Reuses all capacity, so the per-event
+  /// refresh of a long fault run allocates nothing in steady state.
+  void rebuild_live(const Topology& topo, const fault::FaultState* faults) {
+    const auto n = topo.site_count();
+    const auto& links = topo.links();
+    const auto live = [&](std::size_t i) {
+      return faults == nullptr ||
+             (faults->link_index_up(i) && faults->site_up(links[i].a) &&
+              faults->site_up(links[i].b));
+    };
+    adj_off.assign(n + 1, 0);
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (!live(i)) continue;
+      ++adj_off[links[i].a + 1];
+      ++adj_off[links[i].b + 1];
+    }
+    for (std::size_t s = 1; s <= n; ++s) adj_off[s] += adj_off[s - 1];
+    adj_site.resize(adj_off[n]);
+    adj_delay.resize(adj_off[n]);
+    adj_cursor.assign(adj_off.begin(), adj_off.end() - 1);
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (!live(i)) continue;
+      const Link& l = links[i];
+      adj_site[adj_cursor[l.a]] = l.b;
+      adj_delay[adj_cursor[l.a]++] = l.delay;
+      adj_site[adj_cursor[l.b]] = l.a;
+      adj_delay[adj_cursor[l.b]++] = l.delay;
+    }
+  }
+
+  std::vector<std::uint32_t> adj_off;  ///< live CSR offsets, one per site + 1
+  std::vector<SiteId> adj_site;        ///< live CSR neighbour ids
+  std::vector<Time> adj_delay;         ///< live CSR link delays
+  std::vector<std::uint32_t> adj_cursor;  ///< rebuild_live scatter cursors
+  std::vector<Time> dist;
+  std::vector<std::uint32_t> hops;
+  std::vector<SiteId> via;
+  std::vector<std::uint64_t> seen;       ///< == tag: line exists this dest
+  std::vector<std::uint64_t> chg_stamp;  ///< == tag+p: changed this phase
+  std::vector<std::uint64_t> ball_stamp; ///< static-ball BFS dedup (repair)
+  std::vector<std::uint64_t> dirty_stamp;///< dirty-set membership (repair)
+  std::vector<Src> cur;
+  std::vector<SiteId> changed;  ///< sites improved during the current phase
+  std::vector<SiteId> reached;  ///< sites with a line, first-reach order
+  std::uint64_t version = 0;
+};
+
+/// Runs the §7.2 phase recurrence for one destination `d` over the live
+/// topology: after `phases` phases, site s's line for d is exactly the
+/// interrupted-APSP table line. Offers carry phase-start snapshots (the
+/// synchronous semantics of the neighbour-table exchange) and use the same
+/// strict (dist, hops, next-hop-id) `better` test, so every phase computes
+/// the same per-destination minimum as the merge loop; offers the merge
+/// loop would re-send for lines that did not change are dropped — a
+/// re-offer can never win the strict test.
+std::uint64_t relax_dest(SiteId d, std::size_t phases,
+                         const fault::FaultState* faults, ApspScratch& sc) {
+  sc.reached.clear();
+  sc.cur.clear();
+  const std::uint64_t tag = sc.version + 1;
+  sc.version += phases + 2;  // distinct change stamps for every phase
+
+  // A dead destination seeds nothing: every line to it is withdrawn. (Dead
+  // links — including every edge of a dead site — are already absent from
+  // the live CSR, so this is the only liveness probe the relaxation makes.)
+  if (faults != nullptr && !faults->site_up(d)) return tag;
+
+  // Phase 0 — the §7.1 start condition, seen from destination d: d itself
+  // plus every site with a live direct link to d.
+  sc.seen[d] = tag;
+  sc.dist[d] = 0.0;
+  sc.hops[d] = 0;
+  sc.via[d] = d;
+  sc.reached.push_back(d);
+  sc.cur.push_back({d, 0.0, 0});
+  for (std::uint32_t e = sc.adj_off[d]; e < sc.adj_off[d + 1]; ++e) {
+    const SiteId nb = sc.adj_site[e];
+    sc.seen[nb] = tag;
+    sc.dist[nb] = sc.adj_delay[e];
+    sc.hops[nb] = 1;
+    sc.via[nb] = d;
+    sc.reached.push_back(nb);
+    sc.cur.push_back({nb, sc.adj_delay[e], 1});
+  }
+
+  for (std::size_t p = 1; p <= phases; ++p) {
+    // Scatter: every phase-(p-1) change offers itself over each live link
+    // once. The per-line minimum is order-independent (the tie-break is a
+    // total preference over candidate values), so source-major scatter
+    // computes exactly what a per-site fold over neighbour tables would.
+    const std::uint64_t phase_tag = tag + p;
+    sc.changed.clear();
+    for (const ApspScratch::Src& src : sc.cur) {
+      const std::uint32_t end = sc.adj_off[src.site + 1];
+      for (std::uint32_t e = sc.adj_off[src.site]; e < end; ++e) {
+        const SiteId s = sc.adj_site[e];
+        if (s == d) continue;
+        const Time cand_dist = sc.adj_delay[e] + src.dist;
+        const std::uint32_t cand_hops = src.hops + 1;
+        if (sc.seen[s] == tag) {
+          const Time cd = sc.dist[s];
+          const bool better =
+              time_lt(cand_dist, cd) ||
+              (time_eq(cand_dist, cd) &&
+               (cand_hops < sc.hops[s] ||
+                (cand_hops == sc.hops[s] && src.site < sc.via[s])));
+          if (!better) continue;
+        } else {
+          sc.seen[s] = tag;
+          sc.reached.push_back(s);
+        }
+        sc.dist[s] = cand_dist;
+        sc.hops[s] = cand_hops;
+        sc.via[s] = src.site;
+        if (sc.chg_stamp[s] != phase_tag) {
+          sc.chg_stamp[s] = phase_tag;
+          sc.changed.push_back(s);
+        }
+      }
+    }
+    if (sc.changed.empty()) break;  // converged; further phases are no-ops
+    // Phase-end snapshot of every changed line — next phase's offers.
+    sc.cur.clear();
+    for (const SiteId s : sc.changed)
+      sc.cur.push_back({s, sc.dist[s], sc.hops[s]});
+  }
+  return tag;
+}
+
+/// Static CSR adjacency (no delays, no fault filtering) for the repair
+/// path's hop-ball sweeps: the static ball over-approximates every live
+/// ball (faults only remove links), which is what makes it a safe
+/// dirtying rule.
+struct StaticCsr {
+  explicit StaticCsr(const Topology& topo) {
+    const auto n = topo.site_count();
+    const auto& links = topo.links();
+    off.assign(n + 1, 0);
+    for (const Link& l : links) {
+      ++off[l.a + 1];
+      ++off[l.b + 1];
+    }
+    for (std::size_t s = 1; s <= n; ++s) off[s] += off[s - 1];
+    site.resize(off[n]);
+    std::vector<std::uint32_t> cursor(off.begin(), off.end() - 1);
+    for (const Link& l : links) {
+      site[cursor[l.a]++] = l.b;
+      site[cursor[l.b]++] = l.a;
+    }
+  }
+  std::vector<std::uint32_t> off;
+  std::vector<SiteId> site;
+};
+
+/// Multi-source BFS over the static topology up to `depth` hops. Appends
+/// the visited sites to `out` in BFS order.
+void static_ball(const StaticCsr& csr, std::span<const SiteId> sources,
+                 std::size_t depth, ApspScratch& sc, std::vector<SiteId>& out) {
+  const std::uint64_t tag = ++sc.version;
+  out.clear();
+  for (const SiteId s : sources) {
+    if (sc.ball_stamp[s] == tag) continue;
+    sc.ball_stamp[s] = tag;
+    out.push_back(s);
+  }
+  std::size_t head = 0;
+  std::size_t level_end = out.size();
+  for (std::size_t level = 0; level < depth && head < out.size(); ++level) {
+    for (; head < level_end; ++head) {
+      const SiteId at = out[head];
+      for (std::uint32_t e = csr.off[at]; e < csr.off[at + 1]; ++e) {
+        const SiteId nb = csr.site[e];
+        if (sc.ball_stamp[nb] == tag) continue;
+        sc.ball_stamp[nb] = tag;
+        out.push_back(nb);
+      }
+    }
+    level_end = out.size();
+  }
+}
+
+}  // namespace
+
 std::vector<RoutingTable> phased_apsp(const Topology& topo,
                                       std::size_t phases,
                                       const fault::FaultState* faults) {
@@ -14,48 +229,138 @@ std::vector<RoutingTable> phased_apsp(const Topology& topo,
   const auto site_live = [&](SiteId s) {
     return faults == nullptr || faults->site_up(s);
   };
-  const auto link_live = [&](SiteId a, SiteId b) {
-    return faults == nullptr || faults->link_up(a, b);
-  };
   std::vector<RoutingTable> tables;
   tables.reserve(n);
   for (SiteId s = 0; s < n; ++s) {
     tables.emplace_back(s);
     // A down site keeps an empty table: it routes nothing until it
     // recovers and the next repair re-seeds it.
-    if (site_live(s)) tables.back().init_from_neighbors(topo, faults);
+    if (phases == 0 && site_live(s)) tables.back().init_from_neighbors(topo, faults);
   }
   if (n == 0 || phases == 0) return tables;
-  // Synchronous semantics: all merges in a phase read the phase-start
-  // snapshot. The snapshot is double-buffered against the live tables:
-  // after each phase only the tables that changed are re-snapshotted, and
-  // merges from neighbours whose table did not change last phase are
-  // skipped outright. Both are exact no-ops on the monotone min-relaxation
-  // (re-offering an already-absorbed table can never win a tie), so the
-  // result is bit-identical to the copy-everything-every-phase loop.
-  std::vector<RoutingTable> snapshot = tables;
-  std::vector<char> changed(n, 1);
-  std::vector<char> changed_now(n);
-  for (std::size_t phase = 0; phase < phases; ++phase) {
-    std::fill(changed_now.begin(), changed_now.end(), 0);
-    for (SiteId s = 0; s < n; ++s) {
-      if (!site_live(s)) continue;
-      for (const auto& nb : topo.neighbors(s))
-        if (changed[nb.site] && link_live(s, nb.site))
-          changed_now[s] |=
-              tables[s].merge_from(nb.site, nb.delay, snapshot[nb.site]);
-    }
-    bool any = false;
-    for (SiteId s = 0; s < n; ++s) {
-      if (changed_now[s]) {
-        snapshot[s] = tables[s];
-        any = true;
-      }
-    }
-    if (!any) break;  // converged early; further phases are no-ops
-    changed.swap(changed_now);
+
+  // Degree-based ball-size hint: a (phases+1)-hop ball on a degree-d
+  // graph holds at most 1 + d·(phases+1)·(phases+2)/2 sites when growth is
+  // polynomial (grids, meshes); clamping to n covers expander-like
+  // topologies. Overshooting slightly costs idle capacity, undershooting
+  // costs mid-build reallocations of every table.
+  for (SiteId s = 0; s < n; ++s) {
+    const std::size_t deg = topo.neighbors(s).size();
+    const std::size_t hint =
+        std::min<std::size_t>(n, 1 + deg * (phases + 1) * (phases + 2) / 2);
+    tables[s].reset(n, hint);
+  }
+
+  // Destination-major sweep: each destination's lines spread at most one
+  // hop per phase, so the whole build costs O(sites · ball · degree).
+  // Ascending destinations leave every table's slots in ascending
+  // destination order — sorted by construction, so the id→slot binary
+  // search needs no per-line bookkeeping at all.
+  ApspScratch sc(topo, faults);
+  for (SiteId d = 0; d < n; ++d) {
+    relax_dest(d, phases, faults, sc);
+    for (const SiteId s : sc.reached)
+      tables[s].append_line(d, RouteLine{sc.dist[s], sc.via[s], sc.hops[s]});
   }
   return tables;
+}
+
+struct ApspRepairer::Impl {
+  Impl(const Topology& t, std::size_t p)
+      : topo(t), phases(p), sc(t, nullptr), csr(t) {}
+
+  const Topology& topo;
+  const std::size_t phases;
+  ApspScratch sc;
+  const StaticCsr csr;  ///< static adjacency: a property of the topology
+  // Per-repair buffers, reused across events.
+  std::vector<SiteId> dirty;
+  std::vector<SiteId> holders;
+  struct Update {
+    SiteId site;
+    RoutingTable::DestLine dl;
+  };
+  std::vector<Update> updates;
+  std::vector<RoutingTable::DestLine> sorted;
+  std::vector<std::uint32_t> counts;
+  std::vector<std::uint32_t> cursor;
+  RoutingTable::MergeScratch merge_scratch;
+};
+
+ApspRepairer::ApspRepairer(const Topology& topo, std::size_t phases)
+    : impl_(std::make_unique<Impl>(topo, phases)) {}
+
+ApspRepairer::~ApspRepairer() = default;
+
+void ApspRepairer::repair(std::vector<RoutingTable>& tables,
+                          const fault::FaultState* faults,
+                          std::span<const SiteId> changed) {
+  Impl& im = *impl_;
+  const auto n = im.topo.site_count();
+  const std::size_t phases = im.phases;
+  RTDS_REQUIRE_MSG(tables.size() == n, "repair needs one table per site");
+  if (n == 0) return;
+  ApspScratch& sc = im.sc;
+  sc.rebuild_live(im.topo, faults);
+
+  // Dirtying rule (DESIGN.md §10). A line (s → d) changes only if some
+  // ≤(phases+1)-hop path from s to d runs through the changed element:
+  //  * flapped link (a, b): the path's sub-path from a (or b) to d spans
+  //    at most `phases` hops, so d lies within `phases` static hops of an
+  //    endpoint — and symmetrically for s;
+  //  * crashed/recovered site x: x's *own* table spans phases+1 hops, so
+  //    destinations up to phases+1 hops away are dirty.
+  // Callers pass both endpoints for a link change and the single site for
+  // a site change, which is how the two radii are told apart.
+  const std::size_t dirty_radius = changed.size() == 1 ? phases + 1 : phases;
+  static_ball(im.csr, changed, dirty_radius, sc, im.dirty);
+  std::sort(im.dirty.begin(), im.dirty.end());
+  const std::uint64_t dirty_tag = ++sc.version;
+  for (const SiteId s : im.dirty) sc.dirty_stamp[s] = dirty_tag;
+
+  // Batch every line update (dest-major, so each site's batch comes out
+  // sorted by destination) and apply them per table in one merge pass —
+  // scattered per-line searches and insertions would dominate otherwise.
+  im.updates.clear();
+  for (const SiteId d : im.dirty) {
+    const std::uint64_t tag = relax_dest(d, phases, faults, sc);
+    // Every site whose line for d may change sits inside d's static
+    // (phases+1)-hop ball *and* the dirty ball around the change; visit
+    // them all so stale lines are withdrawn, not just overwritten.
+    const SiteId src[1] = {d};
+    static_ball(im.csr, src, phases + 1, sc, im.holders);
+    for (const SiteId s : im.holders) {
+      if (sc.dirty_stamp[s] != dirty_tag) continue;
+      if (sc.seen[s] == tag)
+        im.updates.push_back(
+            {s, {d, RouteLine{sc.dist[s], sc.via[s], sc.hops[s]}}});
+      else
+        im.updates.push_back({s, {d, RouteLine{}}});  // withdraw if held
+    }
+  }
+
+  // Stable counting sort by site: per-site runs stay dest-ascending.
+  im.counts.assign(n + 1, 0);
+  for (const Impl::Update& u : im.updates) ++im.counts[u.site + 1];
+  for (std::size_t s = 1; s <= n; ++s) im.counts[s] += im.counts[s - 1];
+  im.sorted.resize(im.updates.size());
+  im.cursor.assign(im.counts.begin(), im.counts.end() - 1);
+  for (const Impl::Update& u : im.updates)
+    im.sorted[im.cursor[u.site]++] = u.dl;
+  for (const SiteId s : im.dirty) {
+    const std::uint32_t begin = im.counts[s], end = im.counts[s + 1];
+    if (begin != end)
+      tables[s].apply_updates(
+          std::span<const RoutingTable::DestLine>(im.sorted.data() + begin,
+                                                  end - begin),
+          im.merge_scratch);
+  }
+}
+
+void repair_apsp(std::vector<RoutingTable>& tables, const Topology& topo,
+                 std::size_t phases, const fault::FaultState* faults,
+                 std::span<const SiteId> changed) {
+  ApspRepairer(topo, phases).repair(tables, faults, changed);
 }
 
 namespace {
@@ -67,7 +372,9 @@ struct ApspSite {
   RoutingTable table;
   std::size_t phase = 0;               // next phase to send
   std::size_t received_this_phase = 0; // neighbour tables absorbed
-  std::vector<std::pair<std::size_t, RoutingTable>> early;  // future-phase msgs
+  /// Future-phase messages, buffered until this site catches up.
+  std::vector<std::pair<std::size_t, std::shared_ptr<const RoutingTable>>>
+      early;
   bool done = false;
 };
 
@@ -92,11 +399,13 @@ DistributedApspResult distributed_apsp(Simulator& sim, SimNetwork& net,
   std::size_t finished = 0;
 
   // send_phase(s): broadcast s's current table stamped with its phase.
+  // One phase-start snapshot is shared across all neighbour sends.
   std::function<void(SiteId)> send_phase = [&](SiteId s) {
     auto& st = sites[s];
+    const auto snapshot = std::make_shared<const RoutingTable>(st.table);
     for (const auto& nb : topo.neighbors(s)) {
       result.route_lines += st.table.size();
-      net.send_adjacent(s, nb.site, ApspTableMsg{st.phase, st.table},
+      net.send_adjacent(s, nb.site, ApspTableMsg{st.phase, snapshot},
                         kApspMessageCategory);
     }
   };
@@ -118,8 +427,9 @@ DistributedApspResult distributed_apsp(Simulator& sim, SimNetwork& net,
       auto& early = st.early;
       for (std::size_t i = 0; i < early.size();) {
         if (early[i].first == st.phase) {
-          const SiteId from = early[i].second.owner();
-          st.table.merge_from(from, topo.link_delay(s, from), early[i].second);
+          const SiteId from = early[i].second->owner();
+          st.table.merge_from(from, topo.link_delay(s, from),
+                              *early[i].second);
           ++st.received_this_phase;
           early.erase(early.begin() + static_cast<std::ptrdiff_t>(i));
         } else {
@@ -135,7 +445,7 @@ DistributedApspResult distributed_apsp(Simulator& sim, SimNetwork& net,
       auto& st = sites[s];
       if (st.done) return;
       if (msg.phase == st.phase) {
-        st.table.merge_from(from, topo.link_delay(s, from), msg.table);
+        st.table.merge_from(from, topo.link_delay(s, from), *msg.table);
         ++st.received_this_phase;
         maybe_advance(s);
       } else {

@@ -21,6 +21,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "routing/routing_table.hpp"
@@ -33,9 +35,56 @@ namespace rtds {
 /// down sites neither seed nor merge tables (their tables come back empty)
 /// and down links carry no exchange — which is exactly the repair RTDS
 /// re-triggers after every topology-change notification (DESIGN.md §9).
+///
+/// The implementation propagates per-destination frontiers instead of
+/// merging whole neighbour tables: each destination's lines spread one hop
+/// per phase, and only the lines that changed last phase are re-offered
+/// (a re-offer can never win the merge's strict tie-break, so dropping
+/// them is exact). Cost is O(sites · |(2h+1)-hop ball| · degree) and the
+/// tables produced are route-for-route identical to the neighbour-table
+/// merge formulation — distributed_apsp still runs the literal §7.2
+/// exchange and a gtest pins the equality site by site.
 std::vector<RoutingTable> phased_apsp(
     const Topology& topo, std::size_t phases,
     const fault::FaultState* faults = nullptr);
+
+/// Incremental §7.2 repair after a topology change (DESIGN.md §10). A
+/// change at `changed` (a crashed/recovered site, or both endpoints of a
+/// flapped link) can only alter routes whose destination lies within a
+/// bounded static hop ball around it — every other (site, destination)
+/// line is a function of unchanged topology. A repair re-runs the
+/// per-destination relaxation for exactly those dirty destinations over
+/// the live topology and installs (or withdraws) the affected lines in
+/// place, leaving the tables bit-identical — route for route — to a
+/// from-scratch phased_apsp(topo, phases, faults).
+///
+/// ApspRepairer is the reusable engine for one (topology, phases) pair:
+/// it owns the static adjacency and the O(sites) relaxation scratch, so a
+/// fault-heavy run pays only the live-adjacency refresh plus the
+/// dirty-ball work per event, with no steady-state allocation churn.
+class ApspRepairer {
+ public:
+  ApspRepairer(const Topology& topo, std::size_t phases);
+  ~ApspRepairer();
+  ApspRepairer(const ApspRepairer&) = delete;
+  ApspRepairer& operator=(const ApspRepairer&) = delete;
+
+  /// Repairs `tables` in place after a change at `changed` sites: pass the
+  /// crashed/recovered site alone, or both endpoints of a flapped link
+  /// (the two cases have different dirty radii).
+  void repair(std::vector<RoutingTable>& tables,
+              const fault::FaultState* faults,
+              std::span<const SiteId> changed);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot convenience wrapper around ApspRepairer (tests, tools).
+void repair_apsp(std::vector<RoutingTable>& tables, const Topology& topo,
+                 std::size_t phases, const fault::FaultState* faults,
+                 std::span<const SiteId> changed);
 
 struct DistributedApspResult {
   std::vector<RoutingTable> tables;

@@ -6,9 +6,7 @@
 
 namespace rtds {
 
-bool Pcs::contains(SiteId s) const {
-  return s < member_index_.size() && member_index_[s] != kNotMember;
-}
+bool Pcs::contains(SiteId s) const { return member_index_.contains(s); }
 
 const PcsMember& Pcs::member(SiteId s) const { return members_[index_of(s)]; }
 
@@ -59,23 +57,21 @@ Pcs Pcs::build(const std::vector<RoutingTable>& tables, SiteId root,
   pcs.root_ = root;
   pcs.radius_ = radius_h;
 
-  // Ascending destination scan, so members_ comes out sorted by site id.
+  // Scan the root's sphere-local slots only (never the whole topology).
+  // Slots are sorted by destination id — a RoutingTable invariant — so
+  // members_ comes out sorted by site id, as documented.
   const RoutingTable& root_table = tables[root];
-  pcs.member_index_.assign(tables.size(), kNotMember);
-  std::size_t member_count = 0;
-  for (SiteId dest = 0; dest < root_table.site_count(); ++dest)
-    if (root_table.has_route(dest) &&
-        root_table.route(dest).hops <= radius_h)
-      ++member_count;
-  pcs.members_.reserve(member_count);
-  for (SiteId dest = 0; dest < root_table.site_count(); ++dest) {
-    if (!root_table.has_route(dest)) continue;
-    const RouteLine& line = root_table.route(dest);
-    if (line.hops <= radius_h) {
-      pcs.member_index_[dest] = static_cast<std::int32_t>(pcs.members_.size());
-      pcs.members_.push_back(PcsMember{dest, line.dist, line.hops});
-    }
+  pcs.members_.reserve(root_table.size());
+  for (std::size_t slot = 0; slot < root_table.slot_count(); ++slot) {
+    const RouteLine& line = root_table.line_at(slot);
+    if (line.dist != kInfiniteTime && line.hops <= radius_h)
+      pcs.members_.push_back(
+          PcsMember{root_table.dest_at(slot), line.dist,
+                    static_cast<std::size_t>(line.hops)});
   }
+  pcs.member_index_.reserve(pcs.members_.size());
+  for (std::size_t i = 0; i < pcs.members_.size(); ++i)
+    pcs.member_index_[pcs.members_[i].site] = static_cast<std::uint32_t>(i);
 
   const auto m = pcs.members_.size();
   pcs.pair_delay_.assign(m * m, 0.0);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "routing/routing_table.hpp"
+#include "util/flat_map.hpp"
 
 namespace rtds {
 
@@ -58,22 +59,21 @@ class Pcs {
                    std::size_t radius_h);
 
  private:
-  static constexpr std::int32_t kNotMember = -1;
-
   std::size_t index_of(SiteId s) const {
-    RTDS_REQUIRE_MSG(s < member_index_.size() &&
-                         member_index_[s] != kNotMember,
+    const std::uint32_t* idx = member_index_.find(s);
+    RTDS_REQUIRE_MSG(idx != nullptr,
                      "site " << s << " not in PCS(" << root_ << ")");
-    return static_cast<std::size_t>(member_index_[s]);
+    return *idx;
   }
 
   SiteId root_ = kNoSite;
   std::size_t radius_ = 0;
   std::vector<PcsMember> members_;
-  /// site id -> index into members_, kNotMember outside the sphere. O(1)
-  /// membership and pair lookups (index_of was a linear scan per call,
-  /// squaring the diameter computations).
-  std::vector<std::int32_t> member_index_;
+  /// site id -> index into members_. Sphere-local: sized to the membership
+  /// (|PCS| ≈ the 2h-hop ball), not the topology — N spheres over an
+  /// N-site network used to allocate N² member-index entries, which is
+  /// what capped the simulator's network size (DESIGN.md §10).
+  FlatMap<SiteId, std::uint32_t> member_index_;
   // Dense member-index matrices, row-major m×m (one allocation each; a
   // vector-of-vectors cost ~30 allocations per sphere, once per site).
   std::vector<Time> pair_delay_;

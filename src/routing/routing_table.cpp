@@ -1,45 +1,119 @@
 #include "routing/routing_table.hpp"
 
+#include <algorithm>
+
 #include "fault/fault.hpp"
 
 namespace rtds {
 
 RoutingTable::RoutingTable(SiteId owner) : owner_(owner) {}
 
+void RoutingTable::reset(std::size_t site_count, std::size_t expected_routes) {
+  site_count_ = static_cast<std::uint32_t>(site_count);
+  lines_.clear();
+  dests_.clear();
+  live_ = 0;
+  lines_.reserve(expected_routes);
+  dests_.reserve(expected_routes);
+}
+
 void RoutingTable::init_from_neighbors(const Topology& topo,
                                        const fault::FaultState* faults) {
   RTDS_REQUIRE(owner_ < topo.site_count());
-  lines_.assign(topo.site_count(), RouteLine{});
-  dests_.clear();
-  lines_[owner_] = RouteLine{0.0, owner_, 0};
-  dests_.push_back(owner_);
-  for (const auto& nb : topo.neighbors(owner_)) {
+  const auto& neighbors = topo.neighbors(owner_);
+  reset(topo.site_count(), neighbors.size() + 1);
+  set_line(owner_, RouteLine{0.0, owner_, 0});
+  for (const auto& nb : neighbors) {
     if (faults != nullptr && !faults->link_up(owner_, nb.site)) continue;
-    lines_[nb.site] = RouteLine{nb.delay, nb.site, 1};
-    dests_.push_back(nb.site);
+    set_line(nb.site, RouteLine{nb.delay, nb.site, 1});
   }
 }
 
 const RouteLine& RoutingTable::route(SiteId dest) const {
-  RTDS_REQUIRE_MSG(has_route(dest),
+  const RouteLine* line = find(dest);
+  RTDS_REQUIRE_MSG(line != nullptr,
                    "site " << owner_ << " has no route to " << dest);
-  return lines_[dest];
+  return *line;
+}
+
+std::size_t RoutingTable::slot_for(SiteId dest) {
+  const auto pos = std::lower_bound(dests_.begin(), dests_.end(), dest);
+  const auto slot = static_cast<std::size_t>(pos - dests_.begin());
+  if (pos == dests_.end() || *pos != dest) {
+    dests_.insert(pos, dest);
+    lines_.insert(lines_.begin() + static_cast<std::ptrdiff_t>(slot),
+                  RouteLine{});
+  }
+  return slot;
+}
+
+void RoutingTable::append_line(SiteId dest, const RouteLine& line) {
+  lines_.push_back(line);
+  dests_.push_back(dest);
+  if (line.dist != kInfiniteTime) ++live_;
+}
+
+void RoutingTable::apply_updates(std::span<const DestLine> updates,
+                                 MergeScratch& scratch) {
+  if (updates.empty()) return;
+  std::vector<RouteLine>& merged_lines = scratch.lines;
+  std::vector<SiteId>& merged_dests = scratch.dests;
+  merged_lines.clear();
+  merged_dests.clear();
+  merged_lines.reserve(lines_.size() + updates.size());
+  merged_dests.reserve(dests_.size() + updates.size());
+  std::uint32_t live = 0;
+  std::size_t old_slot = 0;
+  const std::size_t old_count = dests_.size();
+  auto keep = [&](SiteId dest, const RouteLine& line) {
+    if (line.dist == kInfiniteTime) return;  // withdrawn or tombstone: drop
+    merged_dests.push_back(dest);
+    merged_lines.push_back(line);
+    ++live;
+  };
+  for (const DestLine& u : updates) {
+    while (old_slot < old_count && dests_[old_slot] < u.dest) {
+      keep(dests_[old_slot], lines_[old_slot]);
+      ++old_slot;
+    }
+    if (old_slot < old_count && dests_[old_slot] == u.dest) ++old_slot;
+    keep(u.dest, u.line);
+  }
+  while (old_slot < old_count) {
+    keep(dests_[old_slot], lines_[old_slot]);
+    ++old_slot;
+  }
+  // Swap, leaving the table's previous arrays in the scratch: the next
+  // apply_updates call reuses their capacity, so a repair loop settles
+  // into zero allocations.
+  lines_.swap(merged_lines);
+  dests_.swap(merged_dests);
+  live_ = live;
+}
+
+void RoutingTable::set_line(SiteId dest, const RouteLine& line) {
+  RouteLine& cur = lines_[slot_for(dest)];
+  if (cur.dist == kInfiniteTime && line.dist != kInfiniteTime) ++live_;
+  cur = line;
 }
 
 bool RoutingTable::merge_from(SiteId neighbor, Time link_delay,
                               const RoutingTable& other) {
-  RTDS_REQUIRE(other.lines_.size() == lines_.size());
+  RTDS_REQUIRE(other.site_count_ == site_count_);
   bool changed = false;
-  for (const SiteId dest : other.dests_) {
+  const std::size_t slots = other.dests_.size();
+  for (std::size_t i = 0; i < slots; ++i) {
+    const SiteId dest = other.dests_[i];
     if (dest == owner_) continue;
-    const RouteLine& line = other.lines_[dest];
+    const RouteLine& line = other.lines_[i];
+    if (line.dist == kInfiniteTime) continue;  // tombstoned line
     const Time cand_dist = link_delay + line.dist;
     const std::uint32_t cand_hops = line.hops + 1;
-    RouteLine& cur = lines_[dest];
+    RouteLine& cur = lines_[slot_for(dest)];
     bool better;
     if (cur.dist == kInfiniteTime) {
       better = true;
-      dests_.push_back(dest);
+      ++live_;
     } else {
       better = time_lt(cand_dist, cur.dist) ||
                (time_eq(cand_dist, cur.dist) &&

@@ -42,22 +42,21 @@ std::size_t IdealTransport::send(SiteId from, SiteId to, MessageBody payload,
     });
     return 0;
   }
-  if (faults_ != nullptr && !tables_[from].has_route(to)) {
+  const RouteLine* line = tables_[from].find(to);
+  if (faults_ != nullptr && line == nullptr) {
     // Topology repair left no live path (the destination's component is
     // unreachable right now). The send is lost like any other fault loss.
     stats_.record(category, 0);
     drop(to, payload);
     return 0;
   }
-  RTDS_REQUIRE_MSG(tables_[from].has_route(to),
-                   "no route " << from << " -> " << to);
-  const auto& line = tables_[from].route(to);
-  stats_.record(category, line.hops);
-  Time delay = line.dist;
+  RTDS_REQUIRE_MSG(line != nullptr, "no route " << from << " -> " << to);
+  stats_.record(category, line->hops);
+  Time delay = line->dist;
   if (faults_ != nullptr) {
     if (faults_->sample_drop()) {
       drop(to, payload);
-      return line.hops;
+      return line->hops;
     }
     delay += faults_->sample_extra_delay();
   }
@@ -71,7 +70,7 @@ std::size_t IdealTransport::send(SiteId from, SiteId to, MessageBody payload,
     RTDS_CHECK(handlers_[to] != nullptr);
     handlers_[to](from, p);
   });
-  return line.hops;
+  return line->hops;
 }
 
 // ----------------------------------------------------------- contended ----
@@ -117,14 +116,14 @@ std::size_t ContendedTransport::send(SiteId from, SiteId to, MessageBody payload
     });
     return 0;
   }
-  if (faults_ != nullptr && !tables_[from].has_route(to)) {
+  const RouteLine* line = tables_[from].find(to);
+  if (faults_ != nullptr && line == nullptr) {
     stats_.record(category, 0);
     drop(to, payload);
     return 0;
   }
-  RTDS_REQUIRE_MSG(tables_[from].has_route(to),
-                   "no route " << from << " -> " << to);
-  const auto hops = tables_[from].route(to).hops;
+  RTDS_REQUIRE_MSG(line != nullptr, "no route " << from << " -> " << to);
+  const auto hops = line->hops;
   stats_.record(category, hops);
   auto shared = std::make_shared<const MessageBody>(std::move(payload));
   if (faults_ != nullptr) {
@@ -165,14 +164,15 @@ void ContendedTransport::hop(SiteId origin, SiteId cur, SiteId to,
     handlers_[to](origin, *payload);
     return;
   }
-  if (faults_ != nullptr && !tables_[cur].has_route(to)) {
+  const RouteLine* line = tables_[cur].find(to);
+  if (faults_ != nullptr && line == nullptr) {
     // A repair invalidated the path mid-flight; store-and-forward loses
     // the message at the stranded relay.
     drop(to, *payload);
     return;
   }
-  RTDS_CHECK(tables_[cur].has_route(to));
-  const SiteId next = tables_[cur].route(to).next_hop;
+  RTDS_CHECK(line != nullptr);
+  const SiteId next = line->next_hop;
   RTDS_CHECK(next != kNoSite);
   if (faults_ != nullptr && !faults_->link_up(cur, next)) {
     drop(to, *payload);

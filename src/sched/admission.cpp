@@ -46,6 +46,19 @@ class TrialPlan {
     placed_.insert(pos, p);
   }
 
+  /// Idle capacity of the trial plan in [from, to]: the base plan's idle
+  /// time minus the trial placements' overlap (placements never overlap
+  /// reservations or each other, so plain subtraction is exact).
+  Time idle_time(Time from, Time to) const {
+    Time idle = base_.idle_time(from, to);
+    for (const auto& p : placed_) {
+      const Time lo = std::max(from, p.start);
+      const Time hi = std::min(to, p.end);
+      if (lo < hi) idle -= hi - lo;
+    }
+    return idle;
+  }
+
   void unplace_last_of(TaskId task) {
     for (auto it = placed_.begin(); it != placed_.end(); ++it) {
       if (it->task == task) {
@@ -130,6 +143,21 @@ namespace {
 bool exact_search(TrialPlan& trial, std::vector<WindowedTask>& remaining,
                   std::vector<Placement>& placements) {
   if (remaining.empty()) return true;
+  // Bound prune: everything still unplaced must fit the trial plan's idle
+  // capacity inside the remaining span. A necessary condition only — but
+  // when it fails, no ordering of this subtree can succeed, so cutting it
+  // changes neither the decision nor the placements of the first-found
+  // solution.
+  {
+    Time min_release = kInfiniteTime, max_deadline = 0.0, demand = 0.0;
+    for (const auto& t : remaining) {
+      min_release = std::min(min_release, t.release);
+      max_deadline = std::max(max_deadline, t.deadline);
+      demand += t.cost;
+    }
+    if (time_gt(demand, trial.idle_time(min_release, max_deadline)))
+      return false;
+  }
   // Candidate ordering: EDF first finds feasible orders early.
   std::sort(remaining.begin(), remaining.end(),
             [](const WindowedTask& a, const WindowedTask& b) {
@@ -146,7 +174,12 @@ bool exact_search(TrialPlan& trial, std::vector<WindowedTask>& remaining,
         continue;
     }
     const Time start = trial.earliest_fit(t.release, t.deadline, t.cost);
-    if (start == kInfiniteTime) continue;  // t cannot go first; try others
+    // Dominance: adding placements only ever delays or closes a task's
+    // earliest fit, so a task unplaceable *now* stays unplaceable
+    // everywhere below this node — the whole node is dead, not just this
+    // branch. (The old `continue` kept expanding siblings that each
+    // rediscovered the same dead task deeper down.)
+    if (start == kInfiniteTime) return false;
     const Placement p{t.task, start, start + t.cost};
     trial.place(p);
     remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(i));
@@ -182,6 +215,10 @@ std::optional<std::vector<Placement>> admit_exact(
   }
   // Fast path: if greedy EDF succeeds, we are done.
   if (auto edf = admit_edf(plan, tasks)) return edf;
+  // Preemptive demand bound: a set infeasible even with preemption is
+  // certainly infeasible without it, and proving that here is polynomial
+  // while the search below would prove it exponentially.
+  if (!feasible_preemptive(plan, tasks)) return std::nullopt;
   TrialPlan trial(plan);
   std::vector<WindowedTask> remaining(tasks.begin(), tasks.end());
   std::vector<Placement> placements;

@@ -15,7 +15,22 @@ constexpr std::size_t kSmallBatch = 8;
 /// Batches above this get the coarse pre-pass; below it, a single fine
 /// scatter already fits the cache.
 constexpr std::size_t kCoarseThreshold = 8192;
-constexpr std::size_t kCoarseBuckets = 64;
+
+/// Coarse bucket count scales with the batch so each bucket stays at most
+/// ~kCoarseTarget nodes (one fine scatter's cache-resident working set):
+/// the fixed 64-bucket pre-pass left ≥100k-event populations with
+/// multi-thousand-node buckets, each paying a second full scatter — the
+/// items/s cliff BENCH_micro.json showed between 10k and 100k pending
+/// events. Bounded above so the count arrays stay small relative to the
+/// batch.
+constexpr std::size_t kCoarseBucketsMin = 64;
+constexpr std::size_t kCoarseBucketsMax = 8192;
+constexpr std::size_t kCoarseTarget = 1024;
+
+std::size_t coarse_buckets_for(std::size_t n) {
+  return std::clamp(std::bit_ceil(n / kCoarseTarget), kCoarseBucketsMin,
+                    kCoarseBucketsMax);
+}
 
 /// Small ranges (and the per-bucket fix-ups) use insertion sort.
 constexpr std::size_t kInsertionSortMax = 32;
@@ -55,16 +70,16 @@ void Simulator::pop_heap_node() {
 }
 
 /// Linear-time bucket sort on the event time, two-phase so the scatter
-/// working set stays cache-resident: a huge batch first fans out into 64
-/// coarse buckets (few write streams, pure streaming), then each coarse
-/// bucket — now cache-sized — is scattered at fine granularity. staged_ is
-/// in scheduling order (seq strictly ascending), the counting scatter is
-/// stable, and the per-bucket fix-ups use the full (time, seq) order — so
-/// equal times end up in scheduling order, exactly as a comparison sort
-/// would leave them.
+/// working set stays cache-resident: a huge batch first fans out into
+/// batch-scaled coarse buckets (few write streams, pure streaming), then
+/// each coarse bucket — now cache-sized — is scattered at fine granularity
+/// straight into its final position. staged_ is in scheduling order (seq
+/// strictly ascending), the counting scatter is stable, and the per-bucket
+/// fix-ups use the full (time, seq) order — so equal times end up in
+/// scheduling order, exactly as a comparison sort would leave them.
 void Simulator::sort_staged_ascending() {
   const std::size_t n = staged_.size();
-  scratch_.resize(n);
+  ensure_sort_buf(n);
   Node* const data = staged_.data();
   if (n <= kCoarseThreshold) {
     sort_fine(data, n);
@@ -77,31 +92,84 @@ void Simulator::sort_staged_ascending() {
   }
   if (!(hi > lo)) return;  // all timestamps equal: input order is the answer
 
-  const double scale = static_cast<double>(kCoarseBuckets) / (hi - lo);
+  const std::size_t buckets = coarse_buckets_for(n);
+  const double scale = static_cast<double>(buckets) / (hi - lo);
   auto bucket_of = [&](const Node& node) {
     const auto b = static_cast<std::size_t>((node.at - lo) * scale);
-    return std::min(b, kCoarseBuckets - 1);
+    return std::min(b, buckets - 1);
   };
-  std::uint32_t counts[kCoarseBuckets + 1] = {};
+  coarse_counts_.assign(buckets + 1, 0);
+  std::uint32_t* counts = coarse_counts_.data();
   for (std::size_t i = 0; i < n; ++i) ++counts[bucket_of(data[i]) + 1];
-  for (std::size_t b = 1; b <= kCoarseBuckets; ++b) counts[b] += counts[b - 1];
+  for (std::size_t b = 1; b <= buckets; ++b) counts[b] += counts[b - 1];
   {
-    std::uint32_t cursor[kCoarseBuckets];
-    std::copy(counts, counts + kCoarseBuckets, cursor);
+    coarse_cursor_.assign(counts, counts + buckets);
+    std::uint32_t* cursor = coarse_cursor_.data();
     for (std::size_t i = 0; i < n; ++i)
-      scratch_[cursor[bucket_of(data[i])]++] = data[i];
+      sort_buf_[cursor[bucket_of(data[i])]++] = data[i];
   }
-  std::copy(scratch_.begin(), scratch_.begin() + static_cast<std::ptrdiff_t>(n),
-            data);
-  for (std::size_t b = 0; b < kCoarseBuckets; ++b) {
+  // Fused second level: each coarse bucket is fine-scattered from the raw
+  // straight into its final position in data — the two full copy-back
+  // passes the unfused pipeline made were pure memory traffic, which is
+  // what large (≥100k-event) populations are bound by.
+  for (std::size_t b = 0; b < buckets; ++b) {
     const std::size_t len = counts[b + 1] - counts[b];
-    if (len <= 1) continue;
+    if (len == 0) continue;
+    Node* const src = sort_buf_.get() + counts[b];
+    Node* const dst = data + counts[b];
     if (len > kCoarseThreshold) {
       // Adversarial clustering: give up on linear-time for this bucket.
-      std::sort(data + counts[b], data + counts[b + 1], earlier);
+      std::copy(src, src + len, dst);
+      std::sort(dst, dst + len, earlier);
     } else {
-      sort_fine(data + counts[b], len);
+      sort_fine_into(src, dst, len);
     }
+  }
+}
+
+/// Sorts `n` nodes from `src` into `dst` (disjoint ranges): counting
+/// scatter straight into the destination, then per-bucket fix-ups there.
+void Simulator::sort_fine_into(Node* src, Node* dst, std::size_t n) {
+  if (n <= kInsertionSortMax) {
+    std::copy(src, src + n, dst);
+    insertion_sort_nodes(dst, n);
+    return;
+  }
+  Time lo = src[0].at, hi = src[0].at;
+  for (std::size_t i = 1; i < n; ++i) {
+    lo = std::min(lo, src[i].at);
+    hi = std::max(hi, src[i].at);
+  }
+  if (!(hi > lo)) {  // all timestamps equal: input order is the answer
+    std::copy(src, src + n, dst);
+    return;
+  }
+  const std::size_t buckets = std::bit_ceil(n);
+  const double scale = static_cast<double>(buckets) / (hi - lo);
+  auto bucket_of = [&](const Node& node) {
+    const auto b = static_cast<std::size_t>((node.at - lo) * scale);
+    return std::min(b, buckets - 1);
+  };
+  bucket_counts_.assign(buckets + 1, 0);
+  std::uint32_t* counts = bucket_counts_.data();
+  for (std::size_t i = 0; i < n; ++i) ++counts[bucket_of(src[i]) + 1];
+  for (std::size_t b = 1; b <= buckets; ++b) counts[b] += counts[b - 1];
+  {
+    std::uint32_t* cursor = counts;  // walks each bucket start -> end
+    for (std::size_t i = 0; i < n; ++i) dst[cursor[bucket_of(src[i])]++] = src[i];
+  }
+  // counts[b] now holds bucket b's END offset; fix up each bucket.
+  std::size_t begin = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t end = counts[b];
+    const std::size_t len = end - begin;
+    if (len > 1) {
+      if (len <= kInsertionSortMax)
+        insertion_sort_nodes(dst + begin, len);
+      else
+        std::sort(dst + begin, dst + end, earlier);
+    }
+    begin = end;
   }
 }
 
@@ -128,7 +196,7 @@ void Simulator::sort_fine(Node* first, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) ++counts[bucket_of(first[i]) + 1];
   for (std::size_t b = 1; b <= buckets; ++b) counts[b] += counts[b - 1];
 
-  Node* const out = scratch_.data() + (first - staged_.data());
+  Node* const out = sort_buf_.get() + (first - staged_.data());
   {
     std::uint32_t* cursor = counts;  // walks each bucket start -> end
     for (std::size_t i = 0; i < n; ++i)

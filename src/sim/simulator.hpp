@@ -28,6 +28,8 @@
 // the identical event sequence.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -115,6 +117,7 @@ class Simulator {
   void flush_staged();
   void sort_staged_ascending();
   void sort_fine(Node* first, std::size_t n);
+  void sort_fine_into(Node* src, Node* dst, std::size_t n);
   static void insertion_sort_nodes(Node* first, std::size_t n);
   void push_heap_node(const Node& n);
   void pop_heap_node();
@@ -200,9 +203,20 @@ class Simulator {
   std::size_t run_head_ = 0;
   std::vector<Node> heap_;
   // Reused buffers for the bucket sort / run merge (no steady-state
-  // allocation).
+  // allocation). The sort temp is a raw uninitialized buffer: value-
+  // initializing a vector of 100k+ POD nodes on first use was a visible
+  // slice of a large flush.
+  void ensure_sort_buf(std::size_t n) {
+    if (sort_buf_cap_ >= n) return;
+    sort_buf_cap_ = std::bit_ceil(std::max<std::size_t>(n, 64));
+    sort_buf_ = std::make_unique_for_overwrite<Node[]>(sort_buf_cap_);
+  }
+  std::unique_ptr<Node[]> sort_buf_;
+  std::size_t sort_buf_cap_ = 0;
   std::vector<Node> scratch_;
   std::vector<std::uint32_t> bucket_counts_;
+  std::vector<std::uint32_t> coarse_counts_;
+  std::vector<std::uint32_t> coarse_cursor_;
 
   Slab<SmallEventFn> small_slab_;
   Slab<EventFn> big_slab_;

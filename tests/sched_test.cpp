@@ -155,6 +155,155 @@ TEST(AdmitExact, DetectsInfeasible) {
       ContractViolation);
 }
 
+// ---- pruned admit_exact vs the unpruned pre-PR-5 search ------------------
+//
+// PR 5 added three prunes to admit_exact (root preemptive demand bound,
+// per-node idle-capacity bound, dead-node cut on an unplaceable task). All
+// three only ever cut subtrees that contain no solution, so the decision
+// AND the returned placements must stay bit-identical to the original
+// exhaustive search, reproduced verbatim below as the oracle.
+
+namespace unpruned {
+
+class TrialPlan {
+ public:
+  explicit TrialPlan(const SchedulingPlan& base) : base_(base) {}
+
+  Time earliest_fit(Time est, Time latest_end, Time duration) const {
+    Time candidate = est;
+    for (;;) {
+      const Time base_fit = base_.earliest_fit(candidate, latest_end, duration);
+      if (base_fit == kInfiniteTime) return kInfiniteTime;
+      bool collided = false;
+      Time pushed = base_fit;
+      for (const auto& p : placed_) {
+        if (time_lt(pushed, p.end) && time_lt(p.start, pushed + duration)) {
+          pushed = p.end;
+          collided = true;
+        }
+      }
+      if (!collided) return base_fit;
+      candidate = pushed;
+      if (time_gt(candidate + duration, latest_end)) return kInfiniteTime;
+    }
+  }
+
+  void place(const Placement& p) {
+    auto pos = std::upper_bound(
+        placed_.begin(), placed_.end(), p,
+        [](const Placement& a, const Placement& b) { return a.start < b.start; });
+    placed_.insert(pos, p);
+  }
+
+  void unplace_last_of(TaskId task) {
+    for (auto it = placed_.begin(); it != placed_.end(); ++it) {
+      if (it->task == task) {
+        placed_.erase(it);
+        return;
+      }
+    }
+    FAIL() << "unplace of a task that was never placed";
+  }
+
+ private:
+  const SchedulingPlan& base_;
+  std::vector<Placement> placed_;
+};
+
+bool exact_search(TrialPlan& trial, std::vector<WindowedTask>& remaining,
+                  std::vector<Placement>& placements) {
+  if (remaining.empty()) return true;
+  std::sort(remaining.begin(), remaining.end(),
+            [](const WindowedTask& a, const WindowedTask& b) {
+              if (!time_eq(a.deadline, b.deadline)) return a.deadline < b.deadline;
+              return a.task < b.task;
+            });
+  for (std::size_t i = 0; i < remaining.size(); ++i) {
+    const WindowedTask t = remaining[i];
+    if (i > 0) {
+      const WindowedTask& prev = remaining[i - 1];
+      if (time_eq(prev.release, t.release) && time_eq(prev.cost, t.cost) &&
+          time_eq(prev.deadline, t.deadline))
+        continue;
+    }
+    const Time start = trial.earliest_fit(t.release, t.deadline, t.cost);
+    if (start == kInfiniteTime) continue;
+    const Placement p{t.task, start, start + t.cost};
+    trial.place(p);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(i));
+    placements.push_back(p);
+    if (exact_search(trial, remaining, placements)) return true;
+    placements.pop_back();
+    remaining.insert(remaining.begin() + static_cast<std::ptrdiff_t>(i), t);
+    trial.unplace_last_of(t.task);
+    Time min_other_release = kInfiniteTime;
+    for (std::size_t j = 0; j < remaining.size(); ++j)
+      if (j != i)
+        min_other_release = std::min(min_other_release, remaining[j].release);
+    if (time_le(p.end, min_other_release)) break;
+  }
+  return false;
+}
+
+std::optional<std::vector<Placement>> admit_exact(
+    const SchedulingPlan& plan, std::span<const WindowedTask> tasks) {
+  for (const auto& t : tasks)
+    if (time_gt(t.release + t.cost, t.deadline)) return std::nullopt;
+  if (auto edf = admit_edf(plan, tasks)) return edf;
+  TrialPlan trial(plan);
+  std::vector<WindowedTask> remaining(tasks.begin(), tasks.end());
+  std::vector<Placement> placements;
+  if (exact_search(trial, remaining, placements)) return placements;
+  return std::nullopt;
+}
+
+}  // namespace unpruned
+
+TEST(AdmitExact, PrunedSearchMatchesUnprunedOracle) {
+  Rng rng(20250731);
+  std::size_t accepted = 0, rejected = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    // Random existing plan: a few busy blocks.
+    SchedulingPlan plan;
+    Time cursor = 0.0;
+    const int blocks = static_cast<int>(rng.uniform_int(0, 5));
+    for (int b = 0; b < blocks; ++b) {
+      cursor += rng.uniform(0.5, 3.0);
+      const Time len = rng.uniform(0.5, 2.0);
+      plan.reserve(Reservation{99, 0, cursor, cursor + len});
+      cursor += len;
+    }
+    // Random task set, windows tight enough that all three outcomes
+    // (EDF-accept, search-accept, reject) occur across the suite.
+    const auto count = static_cast<std::size_t>(rng.uniform_int(2, 9));
+    std::vector<WindowedTask> tasks;
+    for (std::size_t i = 0; i < count; ++i) {
+      const Time r = rng.uniform(0.0, 10.0);
+      const Time c = rng.uniform(0.5, 3.0);
+      const Time slack = rng.uniform(0.0, 4.0);
+      tasks.push_back(WindowedTask{static_cast<TaskId>(i), r, r + c + slack, c});
+    }
+    const auto pruned = admit_exact(plan, tasks);
+    const auto oracle = unpruned::admit_exact(plan, tasks);
+    ASSERT_EQ(pruned.has_value(), oracle.has_value()) << "trial " << trial;
+    if (pruned.has_value()) {
+      ++accepted;
+      ASSERT_EQ(pruned->size(), oracle->size()) << "trial " << trial;
+      for (std::size_t i = 0; i < pruned->size(); ++i) {
+        EXPECT_EQ((*pruned)[i].task, (*oracle)[i].task) << "trial " << trial;
+        EXPECT_EQ((*pruned)[i].start, (*oracle)[i].start) << "trial " << trial;
+        EXPECT_EQ((*pruned)[i].end, (*oracle)[i].end) << "trial " << trial;
+      }
+      EXPECT_TRUE(placements_valid(plan, tasks, *pruned));
+    } else {
+      ++rejected;
+    }
+  }
+  // The suite must actually exercise both outcomes to pin anything.
+  EXPECT_GT(accepted, 50u);
+  EXPECT_GT(rejected, 50u);
+}
+
 TEST(Preemptive, FeasibilityCriterion) {
   SchedulingPlan plan;
   // Non-preemptively infeasible, preemptively feasible:

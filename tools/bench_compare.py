@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_micro run against the committed baseline.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json
+        [--threshold 2.0] [--noise-floor-ns 1500] [--report FILE]
+
+Reads the machine-readable perf records bench_micro writes (one entry per
+benchmark with ns/op) and reports the per-benchmark ratio
+current/baseline. Exit status 1 when any benchmark regressed by more than
+``--threshold`` x, so CI can gate on it.
+
+Design choices, so the gate stays useful rather than noisy:
+
+*  The threshold is deliberately loose (2x by default): CI machines are
+   shared and jittery, and the committed baseline usually comes from a
+   different box. The gate exists to catch algorithmic regressions
+   (accidental O(N^2), a dropped fast path), which show up as integer
+   multiples, not percentages.
+*  Benchmarks under the noise floor (default 1500 ns/op in *both* runs)
+   are reported but never gated: sub-microsecond-to-low-microsecond
+   timings swing whole multiples on loaded machines (measured: a 550 ns
+   benchmark hitting 1.26 us mid-suite on an otherwise idle box).
+*  A benchmark present in the baseline but missing from the current run
+   fails the gate: losing coverage silently is itself a regression. New
+   benchmarks are reported and pass (the baseline refresh rides the same
+   change).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict[str, float]:
+    with open(path) as fh:
+        doc = json.load(fh)
+    out = {}
+    for entry in doc.get("benchmarks", []):
+        out[entry["name"]] = float(entry["ns_per_op"])
+    if not out:
+        sys.exit(f"error: no benchmark entries in {path}")
+    return out
+
+
+def fmt_ns(ns: float) -> str:
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="fail when current/baseline exceeds this (default 2.0)")
+    ap.add_argument("--noise-floor-ns", type=float, default=1500.0,
+                    help="never gate benchmarks under this ns/op (default 1500)")
+    ap.add_argument("--report", default=None,
+                    help="also write the comparison table to this file")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    rows = []
+    regressions = []
+    missing = []
+    for name, base_ns in sorted(base.items()):
+        if name not in cur:
+            missing.append(name)
+            rows.append((name, base_ns, None, None, "MISSING"))
+            continue
+        cur_ns = cur[name]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        noisy = base_ns < args.noise_floor_ns and cur_ns < args.noise_floor_ns
+        if ratio > args.threshold and not noisy:
+            verdict = "REGRESSED"
+            regressions.append(name)
+        elif ratio > args.threshold:
+            verdict = "noisy (under floor)"
+        elif ratio < 1.0 / args.threshold:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        rows.append((name, base_ns, cur_ns, ratio, verdict))
+    for name in sorted(set(cur) - set(base)):
+        rows.append((name, None, cur[name], None, "new"))
+
+    width = max(len(r[0]) for r in rows)
+    lines = [f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  "
+             f"{'ratio':>6}  verdict"]
+    for name, base_ns, cur_ns, ratio, verdict in rows:
+        lines.append(
+            f"{name:<{width}}  "
+            f"{fmt_ns(base_ns) if base_ns is not None else '-':>10}  "
+            f"{fmt_ns(cur_ns) if cur_ns is not None else '-':>10}  "
+            f"{f'{ratio:.2f}x' if ratio is not None else '-':>6}  {verdict}")
+    lines.append("")
+    if regressions or missing:
+        lines.append(f"FAIL: {len(regressions)} regression(s) beyond "
+                     f"{args.threshold}x, {len(missing)} missing benchmark(s)")
+    else:
+        lines.append(f"OK: no regression beyond {args.threshold}x "
+                     f"(noise floor {args.noise_floor_ns:.0f}ns)")
+    text = "\n".join(lines) + "\n"
+    sys.stdout.write(text)
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(text)
+    return 1 if regressions or missing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
