@@ -6,10 +6,12 @@
 // cost the src/exp/ TrialRunner fans out.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,8 @@
 #include "matching/bipartite.hpp"
 #include "fault/fault.hpp"
 #include "net/generators.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "routing/apsp.hpp"
 #include "routing/pcs.hpp"
 #include "sched/admission.hpp"
@@ -262,6 +266,63 @@ void BM_EndToEndProtocolRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndProtocolRound);
+
+// ------------------------------------------------------- observability ----
+
+void BM_MetricsHotPath(benchmark::State& state) {
+  // The RTDS_COUNT fast path in its three states (DESIGN.md §11 overhead
+  // model): arg 0 = no Scope bound (every experiment table's default —
+  // one TLS load + branch), arg 1 = bound counter increment, arg 2 =
+  // bound histogram observe (bit_width bin + min/max).
+  const int mode = static_cast<int>(state.range(0));
+  obs::MetricsBuffer buffer;
+  std::optional<obs::Scope> scope;
+  if (mode != 0) scope.emplace(&buffer);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    if (mode == 2) {
+      RTDS_HIST("bench.obs.hist", i);
+    } else {
+      RTDS_COUNT("bench.obs.count");
+    }
+    benchmark::DoNotOptimize(++i);
+  }
+  state.SetLabel(mode == 0   ? "unbound (TLS load + branch)"
+                 : mode == 1 ? "bound counter"
+                             : "bound histogram");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsHotPath)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_EndToEndProtocolRoundTraced(benchmark::State& state) {
+  // BM_EndToEndProtocolRound with a full obs binding (metrics + trace):
+  // the traced-vs-untraced pair bounds the observability tax on a whole
+  // protocol round. tools/bench_compare.py gates the *untraced* twin, so
+  // an obs regression that leaks into the unbound path fails CI.
+  Rng topo_rng(9);
+  const Topology topo = make_grid(3, 3, DelayRange{0.5, 1.0}, topo_rng);
+  obs::MetricsBuffer metrics;
+  obs::TraceRecorder trace;
+  for (auto _ : state) {
+    trace.clear();
+    obs::Scope scope(&metrics, &trace);
+    RtdsSystem system(topo, SystemConfig{});
+    Rng rng(10);
+    auto filler = std::make_shared<Job>();
+    filler->id = 1;
+    filler->dag = make_fork_join(8, CostRange{3.0, 6.0}, rng);
+    filler->release = 0.0;
+    filler->deadline = 1000.0;
+    auto job = std::make_shared<Job>();
+    job->id = 2;
+    job->dag = make_fork_join(8, CostRange{3.0, 6.0}, rng);
+    job->release = 0.1;
+    job->deadline = 0.1 + 0.8 * job->dag.total_work();
+    system.run({{4, filler}, {4, job}});
+    benchmark::DoNotOptimize(system.metrics().arrived);
+  }
+}
+BENCHMARK(BM_EndToEndProtocolRoundTraced);
 
 void BM_WorkloadSimulation(benchmark::State& state) {
   // Sustained simulation throughput: jobs decided per wall-second. Uses

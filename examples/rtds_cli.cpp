@@ -10,10 +10,15 @@
 //              [--set key=value ...] [--h --policy=edf|exact|preemptive
 //              --transport=ideal|contended --bandwidth --slack]
 //              [--faults=k=v,k=v,...]
+//              [--trace=FILE] [--metrics=FILE] [--profile]
 //              run a registered scheduler policy over saved inputs; --set
 //              is validated against the policy's ParamSchema. --faults is
 //              shorthand for fault-injection overrides: each k=v becomes
-//              --set faults.k=v (e.g. --faults=site_rate=0.002,drop=0.01)
+//              --set faults.k=v (e.g. --faults=site_rate=0.002,drop=0.01).
+//              --trace records protocol/message events (FILE.jsonl =
+//              compact stream, otherwise Chrome trace JSON for Perfetto),
+//              --metrics dumps the run's obs counters as JSONL, --profile
+//              prints wall-clock phase timings to stderr (DESIGN.md §11)
 //   inspect    --net=FILE | --load=FILE   summarize a saved artifact
 //
 // Scheduler dispatch goes through the PolicyRegistry: any registered
@@ -26,12 +31,15 @@
 // core/trace_io, so experiments are archivable and replayable byte-for-byte.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "core/trace_io.hpp"
 #include "dag/analysis.hpp"
 #include "net/generators.hpp"
 #include "net/io.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "policy/policy.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -52,6 +60,7 @@ namespace {
       "           --set h=2 --set admission=edf ... | --h=2 --policy=edf\n"
       "           --transport=ideal --bandwidth=100]\n"
       "           [--faults=site_rate=0.002,site_mttr=25,drop=0.01]\n"
+      "           [--trace=FILE] [--metrics=FILE] [--profile]\n"
       "  inspect  --net=net.txt | --load=load.txt\n";
   std::exit(2);
 }
@@ -179,6 +188,9 @@ int cmd_run(const Flags& flags) {
   }
   for (const auto& assignment : flags.get_all("set"))
     sets.push_back(assignment);
+  const std::string trace_file = flags.get_string("trace", "");
+  const std::string metrics_file = flags.get_string("metrics", "");
+  const bool profile = flags.get_bool("profile", false);
   flags.check_unused();
   const policy::ParamMap params = policy->parse_params(sets);
 
@@ -188,7 +200,39 @@ int cmd_run(const Flags& flags) {
     RTDS_REQUIRE_MSG(a.site < topo.site_count(),
                      "trace site " << a.site << " outside topology");
 
-  const RunMetrics metrics = policy->run(topo, arrivals, params);
+  if (profile) {
+    obs::Profiler::set_enabled(true);
+    obs::Profiler::instance().reset();
+  }
+  obs::MetricsBuffer obs_metrics;
+  std::vector<obs::TraceRecorder> traces(1);
+  RunMetrics metrics;
+  {
+    // One run == one trial: bind the obs context for its duration only.
+    std::optional<obs::Scope> scope;
+    if (!trace_file.empty() || !metrics_file.empty())
+      scope.emplace(&obs_metrics,
+                    !trace_file.empty() ? &traces.front() : nullptr);
+    metrics = policy->run(topo, arrivals, params);
+  }
+  if (!trace_file.empty()) {
+    std::ofstream file(trace_file);
+    RTDS_REQUIRE_MSG(file.good(), "cannot open " << trace_file);
+    if (trace_file.size() >= 6 &&
+        trace_file.compare(trace_file.size() - 6, 6, ".jsonl") == 0)
+      obs::TraceRecorder::write_jsonl(file, traces);
+    else
+      obs::TraceRecorder::write_chrome(file, traces);
+    std::cout << "wrote " << trace_file << " (" << traces.front().size()
+              << " events)\n";
+  }
+  if (!metrics_file.empty()) {
+    std::ofstream file(metrics_file);
+    RTDS_REQUIRE_MSG(file.good(), "cannot open " << metrics_file);
+    obs_metrics.write_jsonl(file);
+    std::cout << "wrote " << metrics_file << "\n";
+  }
+  if (profile) obs::Profiler::instance().report(std::cerr);
 
   Table t({"metric", "value"});
   t.add_row({"scheduler", family});

@@ -14,23 +14,36 @@
 //   rtds_exp --report=NAME [--out=FILE]
 //       print a report scenario (worked examples, protocol traces)
 //   rtds_exp --policy=NAME [--describe] [--set key=value ...]
-//            [condition flags] [--out=FILE]
+//            [condition flags] [--json] [--out=FILE]
 //       run one registered policy over one generated condition and print
-//       its metrics. --set validates against the policy's ParamSchema
+//       its metrics (--json: the RunMetrics::to_jsonl record instead of
+//       the table). --set validates against the policy's ParamSchema
 //       (unknown keys and bad values fail loudly with the schema).
 //       --describe prints the schema instead of running. Condition flags:
 //       --net --sites --rate --horizon --laxity-min --laxity-max
 //       --delay-min --delay-max --min-tasks --max-tasks --seed.
 //
+// Observability (scenario and policy modes, DESIGN.md §11):
+//   --trace=FILE    record per-message / per-protocol-phase events; FILE
+//                   ending in .jsonl gets the compact JSONL stream, any
+//                   other name gets Chrome trace-event JSON (Perfetto).
+//   --metrics=FILE  write merged obs counters as JSONL, one metric per
+//                   line, name-sorted — byte-identical for any --jobs.
+//   --profile       time the coarse phases (APSP build, bring-up, run,
+//                   repair) on the wall clock; table goes to stderr so
+//                   determinism surfaces stay untouched.
+//
 // Exit status: 0 on success, 1 on a failed --verify, 2 on usage errors.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "exp/condition.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenarios.hpp"
 #include "exp/sinks.hpp"
+#include "obs/profile.hpp"
 #include "policy/policy.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
@@ -47,21 +60,31 @@ namespace {
       "       rtds_exp --scenario=NAME [--jobs=N] [--replicates=R]\n"
       "                [--seeds=fixed|derived] [--sink=table|csv|jsonl]\n"
       "                [--out=FILE] [--verify]\n"
+      "                [--trace=FILE] [--metrics=FILE] [--profile]\n"
       "       rtds_exp --report=NAME [--out=FILE]\n"
       "       rtds_exp --policy=NAME [--describe] [--set key=value ...]\n"
       "                [--net=grid --sites=64 --rate=0.02 --horizon=400\n"
       "                 --laxity-min --laxity-max --delay-min --delay-max\n"
-      "                 --min-tasks --max-tasks --seed] [--out=FILE]\n";
+      "                 --min-tasks --max-tasks --seed] [--json] [--out=FILE]\n"
+      "                [--trace=FILE] [--metrics=FILE] [--profile]\n";
   std::exit(2);
 }
 
 void list_scenarios() {
   const auto& registry = Registry::instance();
-  Table sweeps({"scenario", "grid", "reps", "description"});
+  Table sweeps({"scenario", "grid", "reps", "metrics", "description"});
   for (const auto& name : registry.scenario_names()) {
     const ScenarioSpec* spec = registry.find(name);
+    // The emitted-metrics column: what this sweep's trials measure —
+    // the columns of its table/CSV output, in declaration order.
+    std::string metrics;
+    for (const auto& m : spec->metrics) {
+      if (!metrics.empty()) metrics += ",";
+      metrics += m.key;
+    }
     sweeps.add_row({name, Table::num(spec->grid_size()),
-                    Table::num(spec->replicates), spec->description});
+                    Table::num(spec->replicates), metrics,
+                    spec->description});
   }
   std::cout << "sweep scenarios:\n";
   sweeps.print(std::cout);
@@ -82,6 +105,48 @@ void list_scenarios() {
   std::cout << "\nregistered policies (run with --policy=NAME, inspect with "
                "--policy=NAME --describe):\n";
   policies.print(std::cout);
+}
+
+/// --trace output: FILE ending in .jsonl gets the compact per-event
+/// stream; any other name gets Chrome trace-event JSON (Perfetto).
+void write_trace_file(const std::string& path,
+                      std::span<const obs::TraceRecorder> trials) {
+  std::ofstream file(path);
+  RTDS_REQUIRE_MSG(file.good(), "cannot open " << path);
+  if (path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0)
+    obs::TraceRecorder::write_jsonl(file, trials);
+  else
+    obs::TraceRecorder::write_chrome(file, trials);
+}
+
+void write_metrics_file(const std::string& path,
+                        const obs::MetricsBuffer& metrics) {
+  std::ofstream file(path);
+  RTDS_REQUIRE_MSG(file.good(), "cannot open " << path);
+  metrics.write_jsonl(file);
+}
+
+/// Reads the shared observability flags and arms the profiler. Returns
+/// true when a RunObservation needs to be attached.
+struct ObsFlags {
+  std::string trace_file;
+  std::string metrics_file;
+  bool profile = false;
+  bool want_observation() const {
+    return !trace_file.empty() || !metrics_file.empty();
+  }
+};
+
+ObsFlags parse_obs_flags(const Flags& flags) {
+  ObsFlags o;
+  o.trace_file = flags.get_string("trace", "");
+  o.metrics_file = flags.get_string("metrics", "");
+  o.profile = flags.get_bool("profile", false);
+  if (o.profile) {
+    obs::Profiler::set_enabled(true);
+    obs::Profiler::instance().reset();
+  }
+  return o;
 }
 
 /// --policy mode: one registered policy, one generated condition.
@@ -114,10 +179,41 @@ int run_policy_cmd(const std::string& name, const Flags& flags) {
   cs.max_tasks = static_cast<std::size_t>(flags.get_int("max-tasks", 12));
   cs.seed = flags.get_seed("seed", 42);
   const std::string out = flags.get_string("out", "");
+  const bool json = flags.get_bool("json", false);
+  const ObsFlags obs_flags = parse_obs_flags(flags);
   flags.check_unused();
 
   const Condition c = make_condition(cs);
-  const RunMetrics m = policy->run(c.topo, c.arrivals, params);
+  obs::MetricsBuffer obs_metrics;
+  std::vector<obs::TraceRecorder> traces(1);
+  RunMetrics m;
+  {
+    // Single run, so bind the obs context directly (runner not involved).
+    std::optional<obs::Scope> scope;
+    if (obs_flags.want_observation())
+      scope.emplace(&obs_metrics, !obs_flags.trace_file.empty()
+                                      ? &traces.front()
+                                      : nullptr);
+    m = policy->run(c.topo, c.arrivals, params);
+  }
+  if (!obs_flags.trace_file.empty())
+    write_trace_file(obs_flags.trace_file, traces);
+  if (!obs_flags.metrics_file.empty())
+    write_metrics_file(obs_flags.metrics_file, obs_metrics);
+  if (obs_flags.profile) obs::Profiler::instance().report(std::cerr);
+
+  if (json) {
+    std::ostringstream text;
+    m.to_jsonl(text);
+    if (out.empty()) {
+      std::cout << text.str();
+    } else {
+      std::ofstream file(out);
+      RTDS_REQUIRE_MSG(file.good(), "cannot open " << out);
+      file << text.str();
+    }
+    return 0;
+  }
 
   Table t({"metric", "value"});
   t.add_row({"policy", name});
@@ -186,14 +282,26 @@ int run_sweep(const ScenarioSpec& base, const Flags& flags) {
   const bool verify = flags.get_bool("verify", false);
   const std::string sink_name = flags.get_string("sink", "table");
   const std::string out = flags.get_string("out", "");
+  const ObsFlags obs_flags = parse_obs_flags(flags);
   flags.check_unused();
   const auto sink = make_sink(sink_name);  // validate before the sweep runs
 
+  RunObservation observation;
+  if (obs_flags.want_observation()) {
+    observation.record_traces = !obs_flags.trace_file.empty();
+    opts.observe = &observation;
+  }
   const auto rows = run_scenario(spec, opts);
+  if (!obs_flags.trace_file.empty())
+    write_trace_file(obs_flags.trace_file, observation.traces);
+  if (!obs_flags.metrics_file.empty())
+    write_metrics_file(obs_flags.metrics_file, observation.metrics);
+  if (obs_flags.profile) obs::Profiler::instance().report(std::cerr);
 
   if (verify) {
     RunOptions serial = opts;
     serial.jobs = 1;
+    serial.observe = nullptr;  // the reference run keeps its own surfaces
     const auto reference = run_scenario(spec, serial);
     if (!aggregates_identical(rows, reference)) {
       std::cerr << "FAIL: parallel aggregates (" << opts.jobs

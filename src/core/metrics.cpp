@@ -1,5 +1,10 @@
 #include "core/metrics.hpp"
 
+#include <cstdio>
+#include <ostream>
+
+#include "obs/obs.hpp"
+
 namespace rtds {
 
 const char* to_string(JobOutcome outcome) {
@@ -27,24 +32,110 @@ const char* to_string(RejectReason reason) {
 
 void RunMetrics::record(const JobDecision& d) {
   ++arrived;
+  // Decision counters for the obs layer. This choke point is shared by
+  // RTDS and every baseline policy, so one set of increments covers the
+  // whole policy registry.
+  RTDS_COUNT("jobs.decided");
   switch (d.outcome) {
     case JobOutcome::kAcceptedLocal:
       ++accepted_local;
+      RTDS_COUNT("jobs.accepted_local");
       break;
     case JobOutcome::kAcceptedRemote:
       ++accepted_remote;
+      RTDS_COUNT("jobs.accepted_remote");
       break;
     case JobOutcome::kRejected:
       ++rejected;
       ++reject_by_reason[static_cast<int>(d.reject_reason)];
+      RTDS_COUNT("jobs.rejected");
       break;
   }
   if (d.adjustment_case != 0) ++adjustment_cases[d.adjustment_case];
-  if (d.fault_recovered && d.outcome != JobOutcome::kRejected)
+  if (d.fault_recovered && d.outcome != JobOutcome::kRejected) {
     ++jobs_rescheduled;
+    RTDS_COUNT("jobs.rescheduled");
+  }
   decision_latency.add(d.decision_time - d.arrival);
   if (d.acs_size > 1) acs_size.add(static_cast<double>(d.acs_size));
   msgs_per_job.add(static_cast<double>(d.link_messages));
+}
+
+namespace {
+
+/// printf %.17g — round-trippable and byte-deterministic for identical
+/// doubles, matching the trace exporter's timestamp formatting.
+void put_num(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+void put_stat(std::ostream& os, const char* key, const RunningStat& s) {
+  os << "\"" << key << "\":{\"count\":" << s.count() << ",\"mean\":";
+  put_num(os, s.mean());
+  os << ",\"stddev\":";
+  put_num(os, s.stddev());
+  os << ",\"min\":";
+  put_num(os, s.count() ? s.min() : 0.0);
+  os << ",\"max\":";
+  put_num(os, s.count() ? s.max() : 0.0);
+  os << "}";
+}
+
+}  // namespace
+
+void RunMetrics::to_jsonl(std::ostream& os) const {
+  os << "{\"arrived\":" << arrived                       //
+     << ",\"accepted_local\":" << accepted_local         //
+     << ",\"accepted_remote\":" << accepted_remote       //
+     << ",\"rejected\":" << rejected                     //
+     << ",\"guarantee_ratio\":";
+  put_num(os, guarantee_ratio());
+  os << ",\"delivered_ratio\":";
+  put_num(os, delivered_ratio());
+  os << ",\"deadline_misses\":" << deadline_misses       //
+     << ",\"dispatch_failures\":" << dispatch_failures   //
+     << ",\"failed_jobs\":" << failed_jobs               //
+     << ",\"jobs_lost\":" << jobs_lost                   //
+     << ",\"jobs_rescheduled\":" << jobs_rescheduled     //
+     << ",\"repair_messages\":" << repair_messages;
+  os << ",\"reject_by_reason\":{";
+  bool first = true;
+  for (const auto& [reason, count] : reject_by_reason) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << to_string(static_cast<RejectReason>(reason))
+       << "\":" << count;
+  }
+  os << "},\"adjustment_cases\":{";
+  first = true;
+  for (const auto& [c, count] : adjustment_cases) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << c << "\":" << count;
+  }
+  os << "},";
+  put_stat(os, "decision_latency", decision_latency);
+  os << ",";
+  put_stat(os, "acs_size", acs_size);
+  os << ",";
+  put_stat(os, "msgs_per_job", msgs_per_job);
+  os << ",";
+  put_stat(os, "job_lateness", job_lateness);
+  os << ",\"transport\":{\"sends\":" << transport.total_sends
+     << ",\"link_messages\":" << transport.total_link_messages
+     << ",\"dropped\":" << transport.messages_dropped << ",\"by_category\":{";
+  first = true;
+  for (const auto& [category, entry] : transport.by_category) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << category << "\":{\"sends\":" << entry.sends
+       << ",\"link_messages\":" << entry.link_messages << "}";
+  }
+  os << "}},\"pcs_build_messages\":" << pcs_build_messages
+     << ",\"pcs_size_max\":" << pcs_size_max
+     << ",\"pcs_hop_diameter_max\":" << pcs_hop_diameter_max << "}\n";
 }
 
 }  // namespace rtds

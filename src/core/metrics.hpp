@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 
@@ -55,9 +56,15 @@ struct JobDecision {
 /// Aggregated over a run; identical schema for RTDS and baselines so the
 /// comparison benches print uniform rows.
 struct RunMetrics {
+  /// Jobs that received a decision. Every arrival gets exactly one
+  /// (accepted_local + accepted_remote + rejected == arrived), including
+  /// arrivals at crashed sites and jobs orphaned mid-protocol by a crash.
   std::uint64_t arrived = 0;
+  /// Accepted by the arrival site's local guarantee test alone (§5).
   std::uint64_t accepted_local = 0;
+  /// Accepted via a distributed round (RTDS ACS; offload for baselines).
   std::uint64_t accepted_remote = 0;
+  /// Rejected for any reason; reject_by_reason has the breakdown.
   std::uint64_t rejected = 0;
   std::uint64_t deadline_misses = 0;  ///< hard invariant: must stay 0
   /// Dispatches that arrived too late to honour their windows (per-site
@@ -80,8 +87,8 @@ struct RunMetrics {
   std::map<int, std::uint64_t> reject_by_reason;    ///< keyed by RejectReason
   std::map<int, std::uint64_t> adjustment_cases;    ///< keyed by case 1/2/3
 
-  RunningStat decision_latency;  ///< arrival -> accept/reject
-  RunningStat acs_size;          ///< distributed attempts only
+  RunningStat decision_latency;  ///< arrival -> accept/reject (sim time)
+  RunningStat acs_size;          ///< distributed attempts only (acs_size > 1)
   RunningStat msgs_per_job;      ///< link messages per job (all jobs)
   RunningStat job_lateness;      ///< completion - deadline (accepted jobs; <= 0)
 
@@ -112,6 +119,15 @@ struct RunMetrics {
   }
 
   void record(const JobDecision& d);
+
+  /// Emits the whole record as ONE JSON object on ONE line (JSONL row):
+  /// scalar counters verbatim, the reason/case maps as nested objects
+  /// keyed by their enum names (reasons) / case numbers, each RunningStat
+  /// as {count, mean, stddev, min, max}, and the transport block with
+  /// per-category send/link counts. Deterministic bytes for a
+  /// deterministic run: doubles print as printf %.17g, map iteration is
+  /// key-ordered, no whitespace varies. Ends with '\n'.
+  void to_jsonl(std::ostream& os) const;
 };
 
 }  // namespace rtds

@@ -4,6 +4,7 @@
 
 #include "dag/analysis.hpp"
 #include "matching/bipartite.hpp"
+#include "obs/trace.hpp"
 #include "util/inline_vec.hpp"
 #include "util/logging.hpp"
 
@@ -155,6 +156,14 @@ void RtdsNode::begin_acs_construction(Initiation& init) {
   const JobId job = init.job->id;
   init.phase = Initiation::Phase::kEnrolling;
   init.expected_replies = pcs_.size() - 1;
+  RTDS_COUNT("protocol.rounds");
+  if (auto* tr = obs::tracer()) {
+    // One nestable async track per (initiator round, job): the outer
+    // "round" span closes in conclude(); the phase spans tile its inside.
+    tr->begin("protocol", "round", sim_.now(), site_, job);
+    tr->begin("protocol", "enroll", sim_.now(), site_, job,
+              init.expected_replies);
+  }
   RTDS_TRACE("site " << site_ << " enrolls ACS for job " << job);
   Time max_delay = 0.0;
   for (const auto& m : pcs_.members()) {
@@ -189,6 +198,11 @@ void RtdsNode::on_enroll_reply(SiteId from, const EnrollReply& msg) {
   }
   if (init.received_replies == init.expected_replies) {
     init.phase = Initiation::Phase::kMapping;
+    if (auto* tr = obs::tracer()) {
+      tr->end("protocol", "enroll", sim_.now(), site_, msg.job,
+              init.acs.size());
+      tr->begin("protocol", "map", sim_.now(), site_, msg.job);
+    }
     sim_.schedule_in(cfg_.mapper_compute_time,
                      [this, job = msg.job]() { run_mapper(job); });
   }
@@ -200,6 +214,12 @@ void RtdsNode::on_enroll_timeout(JobId job) {
     return;  // already advanced (all replies arrived) or concluded
   it->second.timed_out = true;
   it->second.phase = Initiation::Phase::kMapping;
+  RTDS_COUNT("protocol.enroll.timeouts");
+  if (auto* tr = obs::tracer()) {
+    tr->end("protocol", "enroll", sim_.now(), site_, job,
+            it->second.acs.size());
+    tr->begin("protocol", "map", sim_.now(), site_, job);
+  }
   sim_.schedule_in(cfg_.mapper_compute_time,
                    [this, job]() { run_mapper(job); });
 }
@@ -213,6 +233,8 @@ void RtdsNode::run_mapper(JobId job) {
     return;
   }
   Initiation& init = it->second;
+  if (auto* tr = obs::tracer())
+    tr->end("protocol", "map", sim_.now(), site_, job);
 
   // The initiator is always an ACS member (§13 "local knowledge of k").
   init.acs.push_back(site_);
@@ -288,6 +310,9 @@ void RtdsNode::run_mapper(JobId job) {
 void RtdsNode::begin_validation(Initiation& init) {
   const JobId job = init.job->id;
   init.validate_expected = init.acs.size();
+  if (auto* tr = obs::tracer())
+    tr->begin("protocol", "validate", sim_.now(), site_, job,
+              init.validate_expected);
   for (SiteId s : init.acs) {
     if (s == site_) {
       init.endorsements.emplace_back(
@@ -323,6 +348,7 @@ void RtdsNode::on_validate_timeout(JobId job) {
     return;  // every reply arrived (or the site crashed) first
   Initiation& init = it->second;
   init.timed_out = true;
+  RTDS_COUNT("protocol.validate.timeouts");
   // Members that never answered endorse nothing; the maximum coupling
   // decides what survives without them (often everything — their logical
   // processors simply land on the members that did answer).
@@ -359,6 +385,9 @@ void RtdsNode::finish_matching(Initiation& init) {
   const JobId job = init.job->id;
   const auto& acs = init.acs;
   const auto u_count = init.mapping->used_processors;
+  if (auto* tr = obs::tracer())
+    tr->end("protocol", "validate", sim_.now(), site_, job,
+            init.endorsements.size());
 
   // §10: maximum coupling between logical processors and ACS sites.
   BipartiteGraph graph(u_count, acs.size());
@@ -429,6 +458,12 @@ void RtdsNode::conclude(JobId job, const Initiation& init, JobOutcome outcome,
   d.adjustment_case =
       init.mapping ? static_cast<int>(init.mapping->adjustment) : 0;
   d.fault_recovered = cfg_.fault_tolerant && init.timed_out;
+  // The outer "round" span exists only for initiations that enrolled —
+  // expected_replies > 0 is exactly the begin_acs_construction postcondition.
+  if (init.expected_replies > 0)
+    if (auto* tr = obs::tracer())
+      tr->end("protocol", "round", sim_.now(), site_, job,
+              static_cast<std::uint64_t>(outcome));
   env_.on_job_decision(d);
   active_.erase(job);
 }

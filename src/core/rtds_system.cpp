@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "routing/transport.hpp"
 
 namespace rtds {
@@ -33,7 +35,10 @@ RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
   }
 
   // §7: interrupted APSP, 2h phases.
-  tables_ = phased_apsp(topo_, 2 * h);
+  {
+    RTDS_OBS_PHASE("sys.apsp_build");
+    tables_ = phased_apsp(topo_, 2 * h);
+  }
   const auto& tables = tables_;
 
   switch (cfg_.transport_model) {
@@ -57,6 +62,7 @@ RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
   }
 
   if (cfg_.measure_pcs_build_cost) {
+    RTDS_OBS_PHASE("sys.pcs_build_cost");
     // Re-run as real messages on a throwaway simulator and reconcile.
     Simulator build_sim;
     SimNetwork build_net(build_sim, topo_);
@@ -75,6 +81,7 @@ RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
     }
   }
 
+  RTDS_OBS_PHASE("sys.bring_up");
   nodes_.reserve(topo_.site_count());
   for (SiteId s = 0; s < topo_.site_count(); ++s) {
     RtdsConfig node_cfg = cfg_.node;
@@ -111,7 +118,11 @@ void RtdsSystem::run(const std::vector<JobArrival>& arrivals) {
   std::sort(ids.begin(), ids.end());
   const auto dup = std::adjacent_find(ids.begin(), ids.end());
   RTDS_REQUIRE_MSG(dup == ids.end(), "duplicate job id " << *dup);
-  sim_.run();
+  {
+    RTDS_OBS_PHASE("sys.run");
+    sim_.run();
+  }
+  RTDS_GAUGE_MAX("sim.events", sim_.executed_events());
   verify_invariants();
 }
 
@@ -166,6 +177,18 @@ void RtdsSystem::on_job_lost(JobId job, SiteId site) {
 
 void RtdsSystem::apply_fault(const fault::FaultEvent& ev) {
   if (!fault_state_->apply(ev)) return;  // redundant scripted event
+  RTDS_COUNT("fault.events");
+  if (auto* tr = obs::tracer()) {
+    const char* name = "?";
+    switch (ev.kind) {
+      case fault::FaultKind::kSiteDown: name = "site_down"; break;
+      case fault::FaultKind::kSiteUp: name = "site_up"; break;
+      case fault::FaultKind::kLinkDown: name = "link_down"; break;
+      case fault::FaultKind::kLinkUp: name = "link_up"; break;
+    }
+    tr->instant("fault", name, sim_.now(), ev.a,
+                ev.b == kNoSite ? ev.a : ev.b, 0);
+  }
   switch (ev.kind) {
     case fault::FaultKind::kSiteDown:
       nodes_[ev.a]->crash();
@@ -181,6 +204,7 @@ void RtdsSystem::apply_fault(const fault::FaultEvent& ev) {
 }
 
 void RtdsSystem::repair_routing(const fault::FaultEvent& ev) {
+  RTDS_OBS_PHASE("sys.repair");
   const auto h = cfg_.node.sphere_radius_h;
   if (repairer_ == nullptr)
     repairer_ = std::make_unique<ApspRepairer>(topo_, 2 * h);

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <thread>
 
@@ -16,12 +17,21 @@ namespace rtds::exp {
 namespace {
 
 /// Runs trials [0, trials) of `spec`, storing each result in its slot.
+/// With `observe` set, each trial additionally writes into its own
+/// metrics/trace slot — same pre-sized-slot-array scheme as the results,
+/// so observability output inherits the worker-count invariance.
 void run_trials(const ScenarioSpec& spec, std::size_t replicates,
-                std::size_t jobs, std::vector<TrialResult>& slots) {
+                std::size_t jobs, std::vector<TrialResult>& slots,
+                RunObservation* observe,
+                std::vector<obs::MetricsBuffer>& metric_slots) {
   const std::size_t trials = slots.size();
   auto run_one = [&](std::size_t t) {
     const std::size_t grid_index = t / replicates;
     const std::size_t replicate = t % replicates;
+    std::optional<obs::Scope> scope;
+    if (observe != nullptr)
+      scope.emplace(&metric_slots[t],
+                    observe->record_traces ? &observe->traces[t] : nullptr);
     TrialResult result = spec.trial(spec.grid_point(grid_index),
                                     spec.seed_for(grid_index, replicate));
     RTDS_CHECK_MSG(result.size() == spec.metrics.size(),
@@ -76,7 +86,18 @@ std::vector<AggregateRow> run_scenario(const ScenarioSpec& spec,
                                     std::max<std::size_t>(trials, 1));
 
   std::vector<TrialResult> slots(trials);
-  run_trials(spec, replicates, jobs, slots);
+  std::vector<obs::MetricsBuffer> metric_slots;
+  if (opts.observe != nullptr) {
+    metric_slots.resize(trials);
+    opts.observe->traces.assign(trials, obs::TraceRecorder{});
+  }
+  run_trials(spec, replicates, jobs, slots, opts.observe, metric_slots);
+  if (opts.observe != nullptr)
+    // Trial-index merge order: commutativity makes it unnecessary for
+    // correctness, but a fixed order keeps even pathological future cell
+    // types (and debugging sessions) worker-count invariant.
+    for (const obs::MetricsBuffer& b : metric_slots)
+      opts.observe->metrics.merge(b);
 
   // Deterministic reduction: trial-index order, independent of which
   // worker computed which slot.

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "exp/scenario.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 namespace rtds::exp {
@@ -35,10 +37,26 @@ struct AggregateRow {
   std::vector<AggregateCell> cells;  ///< ScenarioSpec::metrics order
 };
 
+/// Observability capture for one run (attach via RunOptions::observe).
+/// The runner binds an obs::Scope with a private MetricsBuffer (and,
+/// unless `record_traces` is off, a private TraceRecorder) around every
+/// trial, then reduces in trial-index order: metrics merge into `metrics`
+/// (parallel-combine, worker-count invariant) and `traces` holds one
+/// recorder per trial, trial order == pid order in the Chrome export.
+/// With -DRTDS_OBS=OFF both stay empty and trial output is untouched.
+struct RunObservation {
+  obs::MetricsBuffer metrics;
+  std::vector<obs::TraceRecorder> traces;
+  bool record_traces = true;  ///< false: counters only, no event log
+};
+
 /// Execution knobs for one run_scenario call.
 struct RunOptions {
   std::size_t jobs = 1;        ///< worker threads (1 = serial, in-thread)
   std::size_t replicates = 0;  ///< override; 0 = ScenarioSpec::replicates
+  /// Borrowed observability capture, or nullptr (the default: trials run
+  /// with no obs binding, so instrumentation costs one TLS load each).
+  RunObservation* observe = nullptr;
 };
 
 /// Runs every trial of `spec` and returns one aggregate row per grid

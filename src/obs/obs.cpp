@@ -1,0 +1,163 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace rtds::obs {
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGaugeMax: return "gauge_max";
+    case MetricKind::kHist: return "hist";
+  }
+  return "?";
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+MetricId Registry::intern(std::string_view name, MetricKind kind) {
+  RTDS_REQUIRE_MSG(!name.empty(), "metric name must be non-empty");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(name); it != index_.end()) {
+    const MetricId id{it->second};
+    RTDS_REQUIRE_MSG(metrics_[id.index]->kind == kind,
+                     "metric " << name << " registered as "
+                               << to_string(metrics_[id.index]->kind)
+                               << ", re-requested as " << to_string(kind));
+    return id;
+  }
+  const auto index = static_cast<std::uint32_t>(metrics_.size());
+  metrics_.push_back(std::make_unique<Info>(Info{std::string(name), kind}));
+  index_.emplace(metrics_.back()->name, index);
+  return MetricId{index};
+}
+
+std::size_t Registry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_.size();
+}
+
+const std::string& Registry::name(MetricId id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RTDS_REQUIRE(id.index < metrics_.size());
+  return metrics_[id.index]->name;
+}
+
+MetricKind Registry::kind(MetricId id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RTDS_REQUIRE(id.index < metrics_.size());
+  return metrics_[id.index]->kind;
+}
+
+void MetricsBuffer::observe(MetricId id, std::uint64_t v) {
+  Cell& c = cell(id);
+  ++c.count;
+  c.sum += v;
+  if (v < c.min) c.min = v;
+  if (v > c.max) c.max = v;
+  if (bins_.size() <= id.index) bins_.resize(id.index + 1);
+  if (bins_[id.index] == nullptr) {
+    bins_[id.index] = std::make_unique<std::uint64_t[]>(65);
+    std::fill_n(bins_[id.index].get(), 65, 0);
+  }
+  // Bin 0 holds the value 0; bin k holds [2^(k-1), 2^k).
+  ++bins_[id.index][v == 0 ? 0 : std::bit_width(v)];
+}
+
+bool MetricsBuffer::empty() const {
+  for (const Cell& c : cells_)
+    if (c.count != 0) return false;
+  return true;
+}
+
+void MetricsBuffer::merge(const MetricsBuffer& other) {
+  if (cells_.size() < other.cells_.size()) cells_.resize(other.cells_.size());
+  for (std::size_t i = 0; i < other.cells_.size(); ++i) {
+    const Cell& o = other.cells_[i];
+    if (o.count == 0) continue;
+    Cell& c = cells_[i];
+    c.count += o.count;
+    c.sum += o.sum;
+    if (o.min < c.min) c.min = o.min;
+    if (o.max > c.max) c.max = o.max;
+  }
+  if (bins_.size() < other.bins_.size()) bins_.resize(other.bins_.size());
+  for (std::size_t i = 0; i < other.bins_.size(); ++i) {
+    if (other.bins_[i] == nullptr) continue;
+    if (bins_[i] == nullptr) {
+      bins_[i] = std::make_unique<std::uint64_t[]>(65);
+      std::fill_n(bins_[i].get(), 65, 0);
+    }
+    for (std::size_t b = 0; b < 65; ++b) bins_[i][b] += other.bins_[i][b];
+  }
+}
+
+void MetricsBuffer::write_jsonl(std::ostream& os) const {
+  const Registry& reg = Registry::instance();
+  // Name-sorted export: the registry's interning order depends on which
+  // call sites ran first (and on which thread won a race), so it must not
+  // shape the output.
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t i = 0; i < cells_.size(); ++i)
+    if (cells_[i].count != 0) order.push_back(i);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return reg.name(MetricId{a}) < reg.name(MetricId{b});
+            });
+  for (const std::uint32_t i : order) {
+    const Cell& c = cells_[i];
+    const MetricKind kind = reg.kind(MetricId{i});
+    os << "{\"metric\":\"" << reg.name(MetricId{i}) << "\",\"kind\":\""
+       << to_string(kind) << "\",\"count\":" << c.count;
+    switch (kind) {
+      case MetricKind::kCounter:
+        os << ",\"sum\":" << c.sum;
+        break;
+      case MetricKind::kGaugeMax:
+        os << ",\"max\":" << c.max;
+        break;
+      case MetricKind::kHist:
+        os << ",\"sum\":" << c.sum << ",\"min\":" << c.min
+           << ",\"max\":" << c.max << ",\"bins\":{";
+        if (i < bins_.size() && bins_[i] != nullptr) {
+          bool first = true;
+          for (std::size_t b = 0; b < 65; ++b) {
+            if (bins_[i][b] == 0) continue;
+            if (!first) os << ",";
+            first = false;
+            os << "\"" << b << "\":" << bins_[i][b];
+          }
+        }
+        os << "}";
+        break;
+    }
+    os << "}\n";
+  }
+}
+
+const MetricsBuffer::Cell* MetricsBuffer::find(std::string_view name) const {
+  const Registry& reg = Registry::instance();
+  for (std::uint32_t i = 0; i < cells_.size(); ++i)
+    if (cells_[i].count != 0 && reg.name(MetricId{i}) == name)
+      return &cells_[i];
+  return nullptr;
+}
+
+std::uint64_t MetricsBuffer::sum(std::string_view name) const {
+  const Cell* c = find(name);
+  return c != nullptr ? c->sum : 0;
+}
+
+std::uint64_t MetricsBuffer::count(std::string_view name) const {
+  const Cell* c = find(name);
+  return c != nullptr ? c->count : 0;
+}
+
+}  // namespace rtds::obs

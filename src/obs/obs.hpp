@@ -1,0 +1,273 @@
+// Deterministic metrics registry — the hot half of the observability
+// layer (DESIGN.md §11).
+//
+// Three ideas, in cost order:
+//
+//  1. A process-wide *registry* interns metric names into dense MetricIds
+//     exactly once per call site (a function-local static inside the
+//     RTDS_COUNT/RTDS_HIST macros), so the steady-state hot path never
+//     touches a string or a map.
+//  2. A per-trial *MetricsBuffer* holds the values: dense arrays indexed
+//     by MetricId. An increment is one thread-local load, one branch and
+//     two adds. Buffers from parallel trial workers merge with the same
+//     parallel-combine rule as RunningStat — commutative and associative —
+//     and the JSONL export sorts by metric name, so the emitted bytes are
+//     invariant under worker count (pinned by tests/obs_test.cpp).
+//  3. A thread-local *Context* binds the buffer (and optionally a
+//     TraceRecorder, obs/trace.hpp) to whatever code the current thread
+//     runs. Instrumented code never knows about trials or threads; the
+//     TrialRunner installs an obs::Scope around each trial and the context
+//     does the attribution.
+//
+// Overhead model (measured by BM_MetricsHotPath / bench_compare-gated):
+//  * compiled out (-DRTDS_OBS=OFF): zero — the macros expand to nothing
+//    and obs::current() is a constant nullptr, so every `if (current())`
+//    block is dead code.
+//  * compiled in, no Scope bound (the default for every experiment table):
+//    one thread-local load + predictable branch per instrumentation site.
+//  * bound: the increment itself, O(1), allocation-free in steady state.
+//
+// Determinism: metric values are functions of the simulated execution
+// only — no wall clock, no addresses, no thread ids — so a (grid point,
+// seed) trial always produces the same buffer, and trace/metrics output
+// is a determinism surface pinned by golden digests exactly like the
+// scenario tables.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef RTDS_OBS_ENABLED
+#define RTDS_OBS_ENABLED 1
+#endif
+
+namespace rtds::obs {
+
+class TraceRecorder;  // obs/trace.hpp
+
+/// Dense handle for one registered metric; index into MetricsBuffer.
+struct MetricId {
+  std::uint32_t index = 0;
+};
+
+enum class MetricKind : std::uint8_t {
+  kCounter,   ///< monotone sum of deltas
+  kGaugeMax,  ///< maximum observed value
+  kHist,      ///< count/sum/min/max plus power-of-two magnitude bins
+};
+
+const char* to_string(MetricKind kind);
+
+/// Process-wide name -> MetricId interner. Registration is mutexed (it
+/// happens once per call site); reads after interning are lock-free
+/// because ids and names are append-only.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Interns `name` with the given kind; returns the existing id when the
+  /// name is already registered. Re-registering under a different kind
+  /// throws — one name, one meaning.
+  MetricId intern(std::string_view name, MetricKind kind);
+
+  MetricId counter(std::string_view name) {
+    return intern(name, MetricKind::kCounter);
+  }
+  MetricId gauge_max(std::string_view name) {
+    return intern(name, MetricKind::kGaugeMax);
+  }
+  MetricId histogram(std::string_view name) {
+    return intern(name, MetricKind::kHist);
+  }
+
+  /// Number of registered metrics (ids are 0..size()-1).
+  std::size_t size() const;
+  /// Name of a registered metric (stable reference).
+  const std::string& name(MetricId id) const;
+  MetricKind kind(MetricId id) const;
+
+ private:
+  Registry() = default;
+  struct Info {
+    std::string name;
+    MetricKind kind;
+  };
+  mutable std::mutex mutex_;
+  // Deque-like stable storage: names_ entries are never moved once
+  // created, so name(id) may return references without the lock.
+  std::vector<std::unique_ptr<Info>> metrics_;
+  std::map<std::string, std::uint32_t, std::less<>> index_;
+};
+
+/// One trial's (or one run's) metric values: dense cells indexed by
+/// MetricId, grown on first touch. Merging and exporting are cold paths.
+class MetricsBuffer {
+ public:
+  /// Counter: accumulate `delta`.
+  void add(MetricId id, std::uint64_t delta) {
+    Cell& c = cell(id);
+    ++c.count;
+    c.sum += delta;
+  }
+
+  /// Gauge: keep the maximum observed value.
+  void observe_max(MetricId id, std::uint64_t v) {
+    Cell& c = cell(id);
+    ++c.count;
+    if (v > c.max) c.max = v;
+  }
+
+  /// Histogram: count/sum/min/max plus a power-of-two magnitude bin
+  /// (bin k holds values in [2^(k-1), 2^k); bin 0 holds value 0).
+  void observe(MetricId id, std::uint64_t v);
+
+  /// True when nothing was ever recorded.
+  bool empty() const;
+
+  /// Parallel-combine: cellwise sum/min/max/bin-add. Commutative and
+  /// associative, so merge order cannot leak into the output.
+  void merge(const MetricsBuffer& other);
+
+  void clear() { cells_.clear(); bins_.clear(); }
+
+  /// One JSON object per recorded metric, sorted by metric name:
+  ///   {"metric":NAME,"kind":KIND,"count":N,"sum":S} (counter)
+  ///   {"metric":NAME,"kind":"gauge_max","count":N,"max":M}
+  ///   {"metric":NAME,"kind":"hist","count":N,"sum":S,"min":m,"max":M,
+  ///    "bins":{"K":N,...}} (empty bins omitted)
+  /// Byte-deterministic: integers only, name-sorted.
+  void write_jsonl(std::ostream& os) const;
+
+  /// Counter sum / gauge-or-hist max by name; 0 when never recorded
+  /// (test and report convenience — walks the registry, cold).
+  std::uint64_t sum(std::string_view name) const;
+  std::uint64_t count(std::string_view name) const;
+
+ private:
+  struct Cell {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = UINT64_MAX;
+    std::uint64_t max = 0;
+  };
+  Cell& cell(MetricId id) {
+    if (id.index >= cells_.size()) cells_.resize(id.index + 1);
+    return cells_[id.index];
+  }
+  const Cell* find(std::string_view name) const;
+
+  std::vector<Cell> cells_;
+  /// Lazily allocated 64-way log2 bins, parallel to cells_ (hist only).
+  std::vector<std::unique_ptr<std::uint64_t[]>> bins_;
+};
+
+/// What the current thread attributes its observations to.
+struct Context {
+  MetricsBuffer* metrics = nullptr;
+  TraceRecorder* trace = nullptr;
+};
+
+#if RTDS_OBS_ENABLED
+namespace detail {
+inline thread_local Context* t_context = nullptr;
+}
+/// The binding installed by the innermost live Scope on this thread, or
+/// nullptr (the common case: observation off, overhead is this load).
+inline Context* current() { return detail::t_context; }
+#else
+inline constexpr Context* current() { return nullptr; }
+#endif
+
+/// RAII binding of a metrics buffer / trace recorder to the current
+/// thread. Nests: the previous binding is restored on destruction.
+class Scope {
+ public:
+  explicit Scope(MetricsBuffer* metrics, TraceRecorder* trace = nullptr) {
+#if RTDS_OBS_ENABLED
+    ctx_.metrics = metrics;
+    ctx_.trace = trace;
+    prev_ = detail::t_context;
+    detail::t_context = &ctx_;
+#else
+    (void)metrics;
+    (void)trace;
+#endif
+  }
+  ~Scope() {
+#if RTDS_OBS_ENABLED
+    detail::t_context = prev_;
+#endif
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+#if RTDS_OBS_ENABLED
+  Context ctx_;
+  Context* prev_ = nullptr;
+#endif
+};
+
+}  // namespace rtds::obs
+
+// Hot-path instrumentation macros. `name` must be a string literal (or at
+// least live for the program — it is interned once per call site through a
+// function-local static). All of them compile to nothing with
+// -DRTDS_OBS=OFF and to a thread-local load + branch when no Scope is
+// bound.
+#if RTDS_OBS_ENABLED
+
+#define RTDS_COUNT_N(name, delta)                                           \
+  do {                                                                      \
+    if (::rtds::obs::Context* rtds_obs_c_ = ::rtds::obs::current();         \
+        rtds_obs_c_ != nullptr && rtds_obs_c_->metrics != nullptr) {        \
+      static const ::rtds::obs::MetricId rtds_obs_id_ =                     \
+          ::rtds::obs::Registry::instance().counter(name);                  \
+      rtds_obs_c_->metrics->add(rtds_obs_id_,                               \
+                                static_cast<std::uint64_t>(delta));         \
+    }                                                                       \
+  } while (0)
+
+#define RTDS_GAUGE_MAX(name, value)                                         \
+  do {                                                                      \
+    if (::rtds::obs::Context* rtds_obs_c_ = ::rtds::obs::current();         \
+        rtds_obs_c_ != nullptr && rtds_obs_c_->metrics != nullptr) {        \
+      static const ::rtds::obs::MetricId rtds_obs_id_ =                     \
+          ::rtds::obs::Registry::instance().gauge_max(name);                \
+      rtds_obs_c_->metrics->observe_max(rtds_obs_id_,                       \
+                                        static_cast<std::uint64_t>(value)); \
+    }                                                                       \
+  } while (0)
+
+#define RTDS_HIST(name, value)                                              \
+  do {                                                                      \
+    if (::rtds::obs::Context* rtds_obs_c_ = ::rtds::obs::current();         \
+        rtds_obs_c_ != nullptr && rtds_obs_c_->metrics != nullptr) {        \
+      static const ::rtds::obs::MetricId rtds_obs_id_ =                     \
+          ::rtds::obs::Registry::instance().histogram(name);                \
+      rtds_obs_c_->metrics->observe(rtds_obs_id_,                           \
+                                    static_cast<std::uint64_t>(value));     \
+    }                                                                       \
+  } while (0)
+
+#else
+
+#define RTDS_COUNT_N(name, delta) \
+  do {                            \
+  } while (0)
+#define RTDS_GAUGE_MAX(name, value) \
+  do {                              \
+  } while (0)
+#define RTDS_HIST(name, value) \
+  do {                         \
+  } while (0)
+
+#endif
+
+#define RTDS_COUNT(name) RTDS_COUNT_N(name, 1)

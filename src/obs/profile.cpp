@@ -1,0 +1,74 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace rtds::obs {
+
+namespace {
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::add(const std::string& phase, std::uint64_t ns) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Acc& acc = phases_[phase];
+  ++acc.count;
+  acc.total_ns += ns;
+  acc.max_ns = std::max(acc.max_ns, ns);
+}
+
+void Profiler::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  phases_.clear();
+}
+
+void Profiler::report(std::ostream& os) const {
+  std::vector<std::pair<std::string, Acc>> rows;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    rows.assign(phases_.begin(), phases_.end());
+  }
+  if (rows.empty()) {
+    os << "profile: no phases recorded (is --profile on?)\n";
+    return;
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.total_ns != b.second.total_ns)
+      return a.second.total_ns > b.second.total_ns;
+    return a.first < b.first;
+  });
+  Table t({"phase", "count", "total ms", "mean us", "max us"});
+  for (const auto& [name, acc] : rows) {
+    t.add_row({name, Table::num(acc.count),
+               Table::num(static_cast<double>(acc.total_ns) / 1e6, 3),
+               Table::num(static_cast<double>(acc.total_ns) /
+                              static_cast<double>(acc.count) / 1e3,
+                          3),
+               Table::num(static_cast<double>(acc.max_ns) / 1e3, 3)});
+  }
+  t.print(os);
+}
+
+ScopedPhase::ScopedPhase(const char* name) : name_(name) {
+  if (Profiler::enabled()) start_ns_ = now_ns();
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (start_ns_ == 0) return;
+  Profiler::instance().add(name_, now_ns() - start_ns_);
+}
+
+}  // namespace rtds::obs

@@ -1,0 +1,94 @@
+// Wall-clock phase profiler — the "where does real time go" third of the
+// observability layer (DESIGN.md §11).
+//
+// Scoped timers around the coarse phases of a run (APSP build, PCS/node
+// bring-up, protocol execution, routing repair, trial fan-out) accumulate
+// into one process-wide table keyed by phase name: count, total, max.
+// `rtds_exp --profile` / `rtds_cli run --profile` enable it and print the
+// table, giving the strong-scaling denominators ROADMAP item 1 needs.
+//
+// Wall time is inherently nondeterministic, so the profiler is kept
+// strictly outside every determinism surface: nothing it measures ever
+// reaches a table, sink, trace or metric — the report goes to stderr (or
+// a stream the CLI owns) on request only. Disabled (the default), a
+// ScopedPhase costs one relaxed atomic load; it never reads the clock.
+// The accumulator is mutexed because trial workers are real threads —
+// phase boundaries are orders of magnitude rarer than hot-path counters,
+// so contention is irrelevant.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace rtds::obs {
+
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  /// Master switch (`--profile`). Off by default; flipping it on never
+  /// changes simulation output, only whether wall clocks are read.
+  static void set_enabled(bool on) {
+    instance().enabled_.store(on, std::memory_order_relaxed);
+  }
+  static bool enabled() {
+    return instance().enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Accumulates one timed interval under `phase`.
+  void add(const std::string& phase, std::uint64_t ns);
+
+  /// Drops all accumulated phases (CLIs reset before the timed region).
+  void reset();
+
+  /// Renders the accumulated table sorted by total time, descending:
+  /// phase, count, total ms, mean us, max us. Empty profile prints a
+  /// one-line note.
+  void report(std::ostream& os) const;
+
+ private:
+  Profiler() = default;
+  struct Acc {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::map<std::string, Acc> phases_;
+};
+
+/// RAII phase timer. Reads the clock only when the profiler is enabled at
+/// construction time; `name` must outlive the scope (string literals).
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const char* name);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;  ///< 0 = profiler was off, skip the stop
+};
+
+}  // namespace rtds::obs
+
+/// Times the rest of the enclosing scope under `name` when profiling is
+/// enabled. Compiled out entirely with -DRTDS_OBS=OFF.
+#if RTDS_OBS_ENABLED
+#define RTDS_OBS_PHASE_CAT2(a, b) a##b
+#define RTDS_OBS_PHASE_CAT(a, b) RTDS_OBS_PHASE_CAT2(a, b)
+#define RTDS_OBS_PHASE(name) \
+  ::rtds::obs::ScopedPhase RTDS_OBS_PHASE_CAT(rtds_obs_phase_, __LINE__)(name)
+#else
+#define RTDS_OBS_PHASE(name) \
+  do {                       \
+  } while (0)
+#endif

@@ -1,0 +1,88 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace rtds::obs {
+
+namespace {
+
+/// Shortest round-trippable decimal for a sim timestamp. printf %.17g is
+/// deterministic for identical doubles, which the (time, seq) contract
+/// guarantees — this is what makes trace bytes diggestible.
+void put_ts(std::ostream& os, double ts) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", ts);
+  os << buf;
+}
+
+void put_hex_id(std::ostream& os, std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%" PRIx64, id);
+  os << buf;
+}
+
+void write_chrome_event(std::ostream& os, std::size_t trial,
+                        const TraceRecorder::Event& e) {
+  os << "{\"cat\":\"" << e.cat << "\",\"name\":\"" << e.name << "\",\"ph\":\"";
+  switch (e.ph) {
+    case TraceRecorder::Phase::kBegin: os << "b"; break;
+    case TraceRecorder::Phase::kEnd: os << "e"; break;
+    case TraceRecorder::Phase::kInstant: os << "i\",\"s\":\"t"; break;
+  }
+  os << "\",\"ts\":";
+  put_ts(os, e.ts);
+  os << ",\"pid\":" << trial << ",\"tid\":" << e.site;
+  if (e.ph == TraceRecorder::Phase::kInstant) {
+    os << ",\"args\":{\"id\":" << e.id << ",\"v\":" << e.arg << "}}";
+    return;
+  }
+  // Async spans correlate begin/end through id2.local, which scopes the id
+  // to the pid — job ids repeat across trials, sim timestamps overlap, and
+  // a process-local id keeps Perfetto from pairing spans across trials.
+  os << ",\"id2\":{\"local\":\"";
+  put_hex_id(os, e.id);
+  os << "\"},\"args\":{\"v\":" << e.arg << "}}";
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome(std::ostream& os,
+                                 std::span<const TraceRecorder> trials) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    if (trials[t].empty()) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << t
+       << ",\"tid\":0,\"args\":{\"name\":\"trial " << t << "\"}}";
+    for (const Event& e : trials[t].events()) {
+      os << ",\n";
+      write_chrome_event(os, t, e);
+    }
+  }
+  os << "\n]}\n";
+}
+
+void TraceRecorder::write_jsonl(std::ostream& os,
+                                std::span<const TraceRecorder> trials) {
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    for (const Event& e : trials[t].events()) {
+      os << "{\"trial\":" << t << ",\"ph\":\"";
+      switch (e.ph) {
+        case Phase::kBegin: os << "b"; break;
+        case Phase::kEnd: os << "e"; break;
+        case Phase::kInstant: os << "i"; break;
+      }
+      os << "\",\"cat\":\"" << e.cat << "\",\"name\":\"" << e.name
+         << "\",\"ts\":";
+      put_ts(os, e.ts);
+      os << ",\"site\":" << e.site << ",\"id\":" << e.id << ",\"v\":" << e.arg
+         << "}\n";
+    }
+  }
+}
+
+}  // namespace rtds::obs

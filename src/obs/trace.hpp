@@ -1,0 +1,100 @@
+// Structured trace recorder — the timeline half of the observability
+// layer (DESIGN.md §11).
+//
+// A TraceRecorder captures an append-only sequence of events stamped with
+// simulated time: per-protocol-phase spans (async begin/end keyed by job
+// id) and per-message instants. Because one trial is single-threaded and
+// every event is emitted from inside the simulator's (time, seq) total
+// order, the recorded sequence is a pure function of (grid point, seed) —
+// trace output is a determinism surface exactly like the scenario tables,
+// and tests/obs_test.cpp pins it with a golden digest at 1 and 8 workers.
+//
+// Two exporters:
+//  * write_chrome — Chrome trace-event JSON (the "JSON Array Format"),
+//    loadable in Perfetto / chrome://tracing. Sim time maps to the `ts`
+//    microsecond field unchanged; each trial becomes one process (pid),
+//    each site one thread (tid); protocol phases are nestable async spans
+//    ("b"/"e") scoped to the trial via id2.local, messages are thread
+//    instants ("i").
+//  * write_jsonl — one compact JSON object per event, in recording order,
+//    for grep/jq pipelines and archival next to the experiment sinks.
+//
+// Event names and categories must be string literals (or outlive the
+// recorder): the recorder stores the pointers, never copies — recording an
+// event is a bounds check and a 48-byte append.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace rtds::obs {
+
+class TraceRecorder {
+ public:
+  enum class Phase : std::uint8_t {
+    kBegin,    ///< async span open  (chrome ph "b")
+    kEnd,      ///< async span close (chrome ph "e")
+    kInstant,  ///< point event      (chrome ph "i", thread scope)
+  };
+
+  struct Event {
+    const char* cat;    ///< chrome category, e.g. "protocol"
+    const char* name;   ///< event name, e.g. "enroll"
+    double ts;          ///< simulated time
+    std::uint64_t id;   ///< span correlation id (job id) / instant arg "id"
+    std::uint64_t arg;  ///< one numeric payload, exported as args.v
+    std::uint32_t site; ///< emitting site -> chrome tid
+    Phase ph;
+  };
+
+  /// Opens an async span `id` (spans of one job may interleave freely with
+  /// other jobs on the same site — async events don't need stack nesting).
+  void begin(const char* cat, const char* name, double ts, std::uint32_t site,
+             std::uint64_t id, std::uint64_t arg = 0) {
+    events_.push_back(Event{cat, name, ts, id, arg, site, Phase::kBegin});
+  }
+  /// Closes the matching async span.
+  void end(const char* cat, const char* name, double ts, std::uint32_t site,
+           std::uint64_t id, std::uint64_t arg = 0) {
+    events_.push_back(Event{cat, name, ts, id, arg, site, Phase::kEnd});
+  }
+  /// Records a point event on `site`'s timeline.
+  void instant(const char* cat, const char* name, double ts,
+               std::uint32_t site, std::uint64_t id = 0,
+               std::uint64_t arg = 0) {
+    events_.push_back(Event{cat, name, ts, id, arg, site, Phase::kInstant});
+  }
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Chrome trace-event JSON over one recorder per trial, in trial order
+  /// (trial index = pid). Deterministic bytes for deterministic input.
+  static void write_chrome(std::ostream& os,
+                           std::span<const TraceRecorder> trials);
+  /// Compact JSONL, one event per line, trials in order.
+  static void write_jsonl(std::ostream& os,
+                          std::span<const TraceRecorder> trials);
+
+ private:
+  std::vector<Event> events_;
+};
+
+#if RTDS_OBS_ENABLED
+/// The trace recorder bound to this thread, or nullptr — instrumentation
+/// guards every event with `if (auto* tr = obs::tracer())`.
+inline TraceRecorder* tracer() {
+  const Context* c = current();
+  return c != nullptr ? c->trace : nullptr;
+}
+#else
+inline constexpr TraceRecorder* tracer() { return nullptr; }
+#endif
+
+}  // namespace rtds::obs

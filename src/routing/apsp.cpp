@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "fault/fault.hpp"
+#include "obs/obs.hpp"
 
 namespace rtds {
 
@@ -159,6 +160,7 @@ std::uint64_t relax_dest(SiteId d, std::size_t phases,
         }
       }
     }
+    RTDS_HIST("apsp.frontier", sc.changed.size());
     if (sc.changed.empty()) break;  // converged; further phases are no-ops
     // Phase-end snapshot of every changed line — next phase's offers.
     sc.cur.clear();
@@ -256,9 +258,12 @@ std::vector<RoutingTable> phased_apsp(const Topology& topo,
   // Ascending destinations leave every table's slots in ascending
   // destination order — sorted by construction, so the id→slot binary
   // search needs no per-line bookkeeping at all.
+  RTDS_COUNT("apsp.build.calls");
+  RTDS_COUNT_N("apsp.build.destinations", n);
   ApspScratch sc(topo, faults);
   for (SiteId d = 0; d < n; ++d) {
     relax_dest(d, phases, faults, sc);
+    RTDS_HIST("apsp.build.ball", sc.reached.size());
     for (const SiteId s : sc.reached)
       tables[s].append_line(d, RouteLine{sc.dist[s], sc.via[s], sc.hops[s]});
   }
@@ -315,6 +320,9 @@ void ApspRepairer::repair(std::vector<RoutingTable>& tables,
   const std::size_t dirty_radius = changed.size() == 1 ? phases + 1 : phases;
   static_ball(im.csr, changed, dirty_radius, sc, im.dirty);
   std::sort(im.dirty.begin(), im.dirty.end());
+  RTDS_COUNT("apsp.repair.calls");
+  RTDS_COUNT_N("apsp.repair.dirty_destinations", im.dirty.size());
+  RTDS_HIST("apsp.repair.scope", im.dirty.size());
   const std::uint64_t dirty_tag = ++sc.version;
   for (const SiteId s : im.dirty) sc.dirty_stamp[s] = dirty_tag;
 
@@ -339,6 +347,7 @@ void ApspRepairer::repair(std::vector<RoutingTable>& tables,
     }
   }
 
+  RTDS_COUNT_N("apsp.repair.line_updates", im.updates.size());
   // Stable counting sort by site: per-site runs stay dest-ascending.
   im.counts.assign(n + 1, 0);
   for (const Impl::Update& u : im.updates) ++im.counts[u.site + 1];

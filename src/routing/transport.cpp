@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "fault/fault.hpp"
+#include "obs/trace.hpp"
 
 namespace rtds {
 
@@ -26,6 +27,7 @@ void IdealTransport::set_fault_state(fault::FaultState* faults,
 
 void IdealTransport::drop(SiteId to, const MessageBody& payload) {
   ++stats_.messages_dropped;
+  RTDS_COUNT("net.dropped");
   if (on_drop_) on_drop_(to, payload);
 }
 
@@ -52,6 +54,9 @@ std::size_t IdealTransport::send(SiteId from, SiteId to, MessageBody payload,
   }
   RTDS_REQUIRE_MSG(line != nullptr, "no route " << from << " -> " << to);
   stats_.record(category, line->hops);
+  if (auto* tr = obs::tracer())
+    tr->instant("net", msg_category_name(category), sim_.now(), from, to,
+                line->hops);
   Time delay = line->dist;
   if (faults_ != nullptr) {
     if (faults_->sample_drop()) {
@@ -100,6 +105,7 @@ void ContendedTransport::set_fault_state(fault::FaultState* faults,
 
 void ContendedTransport::drop(SiteId to, const MessageBody& payload) {
   ++stats_.messages_dropped;
+  RTDS_COUNT("net.dropped");
   if (on_drop_) on_drop_(to, payload);
 }
 
@@ -125,6 +131,9 @@ std::size_t ContendedTransport::send(SiteId from, SiteId to, MessageBody payload
   RTDS_REQUIRE_MSG(line != nullptr, "no route " << from << " -> " << to);
   const auto hops = line->hops;
   stats_.record(category, hops);
+  if (auto* tr = obs::tracer())
+    tr->instant("net", msg_category_name(category), sim_.now(), from, to,
+                hops);
   auto shared = std::make_shared<const MessageBody>(std::move(payload));
   if (faults_ != nullptr) {
     if (faults_->sample_drop()) {
@@ -182,6 +191,9 @@ void ContendedTransport::hop(SiteId origin, SiteId cur, SiteId to,
   Time& busy_until = link_busy_until_[{cur, next}];
   const Time queue_start = std::max(now, busy_until);
   max_queueing_delay_ = std::max(max_queueing_delay_, queue_start - now);
+  // Queueing in integer microsim-units: enough resolution for the bin
+  // histogram, and integral so the metric stays exactly mergeable.
+  RTDS_HIST("net.contended.queue_x1000", (queue_start - now) * 1000.0);
   const Time tx = size_units / bandwidth_;
   busy_until = queue_start + tx;
   const Time arrival = queue_start + tx + topo_.link_delay(cur, next);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/inline_vec.hpp"
 
 namespace rtds {
@@ -104,9 +105,13 @@ namespace {
 template <typename Emit>
 bool run_edf(const SchedulingPlan& plan, std::span<const WindowedTask> tasks,
              Emit&& emit) {
+  RTDS_COUNT("admit.edf.calls");
   for (const auto& t : tasks) {
     RTDS_REQUIRE(t.cost > 0.0);
-    if (time_gt(t.release + t.cost, t.deadline)) return false;
+    if (time_gt(t.release + t.cost, t.deadline)) {
+      RTDS_COUNT("admit.edf.reject");
+      return false;
+    }
   }
   TrialPlan trial(plan);
   InlineVec<WindowedTask, kInlineTasks> order;
@@ -114,7 +119,10 @@ bool run_edf(const SchedulingPlan& plan, std::span<const WindowedTask> tasks,
   sort_edf(order.begin(), order.end());
   for (const auto& t : order) {
     const Time start = trial.earliest_fit(t.release, t.deadline, t.cost);
-    if (start == kInfiniteTime) return false;
+    if (start == kInfiniteTime) {
+      RTDS_COUNT("admit.edf.reject");
+      return false;
+    }
     const Placement p{t.task, start, start + t.cost};
     trial.place(p);
     emit(p);
@@ -142,6 +150,7 @@ namespace {
 
 bool exact_search(TrialPlan& trial, std::vector<WindowedTask>& remaining,
                   std::vector<Placement>& placements) {
+  RTDS_COUNT("admit.exact.nodes");
   if (remaining.empty()) return true;
   // Bound prune: everything still unplaced must fit the trial plan's idle
   // capacity inside the remaining span. A necessary condition only — but
@@ -155,8 +164,10 @@ bool exact_search(TrialPlan& trial, std::vector<WindowedTask>& remaining,
       max_deadline = std::max(max_deadline, t.deadline);
       demand += t.cost;
     }
-    if (time_gt(demand, trial.idle_time(min_release, max_deadline)))
+    if (time_gt(demand, trial.idle_time(min_release, max_deadline))) {
+      RTDS_COUNT("admit.exact.bound_prune");
       return false;
+    }
   }
   // Candidate ordering: EDF first finds feasible orders early.
   std::sort(remaining.begin(), remaining.end(),
@@ -179,7 +190,10 @@ bool exact_search(TrialPlan& trial, std::vector<WindowedTask>& remaining,
     // everywhere below this node — the whole node is dead, not just this
     // branch. (The old `continue` kept expanding siblings that each
     // rediscovered the same dead task deeper down.)
-    if (start == kInfiniteTime) return false;
+    if (start == kInfiniteTime) {
+      RTDS_COUNT("admit.exact.dominance_cut");
+      return false;
+    }
     const Placement p{t.task, start, start + t.cost};
     trial.place(p);
     remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(i));
@@ -213,12 +227,19 @@ std::optional<std::vector<Placement>> admit_exact(
     RTDS_REQUIRE(t.cost > 0.0);
     if (time_gt(t.release + t.cost, t.deadline)) return std::nullopt;
   }
+  RTDS_COUNT("admit.exact.calls");
   // Fast path: if greedy EDF succeeds, we are done.
-  if (auto edf = admit_edf(plan, tasks)) return edf;
+  if (auto edf = admit_edf(plan, tasks)) {
+    RTDS_COUNT("admit.exact.edf_fastpath");
+    return edf;
+  }
   // Preemptive demand bound: a set infeasible even with preemption is
   // certainly infeasible without it, and proving that here is polynomial
   // while the search below would prove it exponentially.
-  if (!feasible_preemptive(plan, tasks)) return std::nullopt;
+  if (!feasible_preemptive(plan, tasks)) {
+    RTDS_COUNT("admit.exact.preemptive_prune");
+    return std::nullopt;
+  }
   TrialPlan trial(plan);
   std::vector<WindowedTask> remaining(tasks.begin(), tasks.end());
   std::vector<Placement> placements;

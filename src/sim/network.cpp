@@ -1,8 +1,11 @@
 #include "sim/network.hpp"
 
+#include <array>
+#include <string>
 #include <utility>
 
 #include "fault/fault.hpp"
+#include "obs/trace.hpp"
 
 namespace rtds {
 
@@ -11,6 +14,89 @@ namespace rtds {
 // below actually fits that buffer.
 static_assert(std::is_nothrow_move_constructible_v<MessageBody>,
               "MessageBody must be nothrow-movable for inline event storage");
+
+namespace {
+
+/// Stable obs name for every category in the tree's closed set (see the
+/// MessageStats comment: protocol 1–6, baselines 11–23, APSP 100).
+/// msg_category_name only covers the protocol six; the baseline and APSP
+/// constants are TU-local by design, so the accounting choke point names
+/// them here. Unknown categories degrade to "catN", never fail.
+std::string obs_category_name(int category) {
+  switch (category) {
+    case 1: return "enroll";
+    case 2: return "enroll_reply";
+    case 3: return "unlock";
+    case 4: return "validate";
+    case 5: return "validate_reply";
+    case 6: return "dispatch";
+    case 11: return "bid_request";
+    case 12: return "bid_reply";
+    case 13: return "offer";
+    case 14: return "offer_reply";
+    case 21: return "surplus_flood";
+    case 22: return "focused_offer";
+    case 23: return "focused_reply";
+    case 100: return "apsp";
+    default: return "cat" + std::to_string(category);
+  }
+}
+
+}  // namespace
+
+#if RTDS_OBS_ENABLED
+void obs_count_message(int category, std::uint64_t hops) {
+  obs::Context* ctx = obs::current();
+  if (ctx == nullptr || ctx->metrics == nullptr) return;
+  struct Ids {
+    obs::MetricId sends, links;
+  };
+  static const auto table = [] {
+    std::array<Ids, MessageStats::CategoryCounters::kCapacity> t;
+    auto& reg = obs::Registry::instance();
+    for (int c = 0; c < MessageStats::CategoryCounters::kCapacity; ++c) {
+      const std::string base = "net.msg." + obs_category_name(c);
+      t[static_cast<std::size_t>(c)] = {reg.counter(base + ".sends"),
+                                        reg.counter(base + ".link_messages")};
+    }
+    return t;
+  }();
+  static const obs::MetricId total_sends =
+      obs::Registry::instance().counter("net.sends");
+  static const obs::MetricId total_links =
+      obs::Registry::instance().counter("net.link_messages");
+  obs::MetricsBuffer& m = *ctx->metrics;
+  if (category >= 0 &&
+      category < MessageStats::CategoryCounters::kCapacity) {
+    const Ids& ids = table[static_cast<std::size_t>(category)];
+    m.add(ids.sends, 1);
+    m.add(ids.links, hops);
+  }
+  m.add(total_sends, 1);
+  m.add(total_links, hops);
+}
+#else
+void obs_count_message(int, std::uint64_t) {}
+#endif
+
+namespace {
+
+/// Trace-name table for message instants: tracer events store the name
+/// pointer, so the strings must be process-lived, not per-event.
+const char* obs_category_cstr(int category) {
+  static const auto& table = *[] {
+    auto* t = new std::array<std::string,
+                             MessageStats::CategoryCounters::kCapacity>();
+    for (int c = 0; c < MessageStats::CategoryCounters::kCapacity; ++c)
+      (*t)[static_cast<std::size_t>(c)] = obs_category_name(c);
+    return t;
+  }();
+  if (category >= 0 && category < MessageStats::CategoryCounters::kCapacity)
+    return table[static_cast<std::size_t>(category)].c_str();
+  return "cat?";
+}
+
+}  // namespace
 
 SimNetwork::SimNetwork(Simulator& sim, const Topology& topo)
     : sim_(sim), topo_(topo), handlers_(topo.site_count()) {}
@@ -26,8 +112,11 @@ void SimNetwork::send_adjacent(SiteId from, SiteId to, MessageBody payload,
   RTDS_REQUIRE_MSG(topo_.adjacent(from, to),
                    "send_adjacent requires a link " << from << "--" << to);
   stats_.record(category, 1);
+  if (auto* tr = obs::tracer())
+    tr->instant("net", obs_category_cstr(category), sim_.now(), from, to, 1);
   if (faults_ != nullptr && !faults_->link_up(from, to)) {
     ++stats_.messages_dropped;
+    RTDS_COUNT("net.dropped");
     return;
   }
   deliver(from, to, topo_.link_delay(from, to), std::move(payload));
@@ -46,6 +135,9 @@ void SimNetwork::send_routed(SiteId from, SiteId to, Time path_delay,
   RTDS_REQUIRE_MSG(hops >= 1, "multi-site route needs >= 1 hop");
   RTDS_REQUIRE(path_delay >= 0.0);
   stats_.record(category, hops);
+  if (auto* tr = obs::tracer())
+    tr->instant("net", obs_category_cstr(category), sim_.now(), from, to,
+                hops);
   deliver(from, to, path_delay, std::move(payload));
 }
 
@@ -62,6 +154,7 @@ void SimNetwork::deliver(SiteId from, SiteId to, Time delay,
   if (faults_ != nullptr) {
     if (faults_->sample_drop()) {
       ++stats_.messages_dropped;
+      RTDS_COUNT("net.dropped");
       return;
     }
     delay += faults_->sample_extra_delay();
@@ -71,6 +164,7 @@ void SimNetwork::deliver(SiteId from, SiteId to, Time delay,
     // message lands, not merely when it was sent.
     if (faults_ != nullptr && !faults_->site_up(to)) {
       ++stats_.messages_dropped;
+      RTDS_COUNT("net.dropped");
       return;
     }
     RTDS_CHECK_MSG(handlers_[to] != nullptr,

@@ -25,6 +25,7 @@
 
 #include "core/messages.hpp"
 #include "net/topology.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "util/error.hpp"
 
@@ -33,6 +34,13 @@ class FaultState;
 }
 
 namespace rtds {
+
+/// obs hook behind MessageStats::record — every send in the tree funnels
+/// through it, so this one call gives the observability layer its
+/// per-message-category traffic counters (net.sends / net.link_messages /
+/// net.msg.<category>.*). Out of line: it touches the metric-id table,
+/// which would bloat the inlined hot path for the common unbound case.
+void obs_count_message(int category, std::uint64_t hops);
 
 /// Per-category message counters. Categories are small dense integers
 /// (protocol 1–6, baselines 11–23, APSP 100), so the table is a flat
@@ -126,6 +134,9 @@ struct MessageStats {
     e.link_messages += hops;
     ++total_sends;
     total_link_messages += hops;
+#if RTDS_OBS_ENABLED
+    if (obs::current() != nullptr) obs_count_message(category, hops);
+#endif
   }
 
   void clear() {

@@ -1,11 +1,18 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace rtds {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+// The sink is shared process state and TrialRunner fans trials across real
+// std::thread workers, so swapping or invoking it must be serialized. The
+// mutex is only ever taken once the level check has passed — the disabled
+// fast path (the default) stays a single relaxed atomic load.
+std::mutex g_sink_mutex;
 Log::Sink g_sink;
 
 const char* level_name(LogLevel lvl) {
@@ -20,11 +27,18 @@ const char* level_name(LogLevel lvl) {
 }
 }  // namespace
 
-LogLevel Log::level() { return g_level; }
-void Log::set_level(LogLevel lvl) { g_level = lvl; }
-void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+void Log::set_level(LogLevel lvl) {
+  g_level.store(lvl, std::memory_order_relaxed);
+}
+
+void Log::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
 
 void Log::write(LogLevel lvl, const std::string& msg) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
   if (g_sink) {
     g_sink(lvl, msg);
   } else {

@@ -13,8 +13,11 @@ namespace rtds {
 
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
 
-/// Process-wide log sink and threshold. Not thread safe by design: the
-/// simulator is single-threaded and deterministic.
+/// Process-wide log sink and threshold. One simulation is single-threaded,
+/// but the experiment runner fans trials across real threads, so the level
+/// is an atomic and sink replacement/invocation is mutex-serialized —
+/// messages from concurrent trials interleave whole, never torn. The
+/// disabled fast path (the default) is a single relaxed atomic load.
 class Log {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
