@@ -346,6 +346,58 @@ void BM_WorkloadSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadSimulation);
 
+// ------------------------------------------------------- §12 hardening ----
+
+void BM_DedupWindow(benchmark::State& state) {
+  // The per-delivery cost of the anti-replay window on a realistic mix:
+  // mostly in-order sequences with periodic duplicates and in-window
+  // back-fills (the shape chaos runs actually produce).
+  std::uint64_t accepted = 0;
+  for (auto _ : state) {
+    fault::DedupWindow w;
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 1000; ++i) {
+      accepted += w.accept(++seq);       // fresh, in order
+      if (i % 7 == 0) accepted += w.accept(seq);       // network duplicate
+      if (i % 13 == 0 && seq > 4) accepted += w.accept(seq - 4);  // reorder
+    }
+    benchmark::DoNotOptimize(w.max_seq());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+  benchmark::DoNotOptimize(accepted);
+}
+BENCHMARK(BM_DedupWindow);
+
+void BM_ChaosRecoveryRound(benchmark::State& state) {
+  // The retransmit path end to end: a lossy duplicate-and-reorder network
+  // forces the backoff ladder (arm / fire / fresh-seq resend / cancel)
+  // on every protocol round. Compare against BM_WorkloadSimulation for
+  // the price of chaos recovery itself.
+  exp::ConditionSpec cs;
+  cs.net = NetShape::kGrid;
+  cs.sites = 36;
+  cs.delay_min = 0.2;
+  cs.delay_max = 0.8;
+  cs.rate = 0.02;
+  cs.horizon = 200.0;
+  cs.seed = 11;
+  const exp::Condition c = exp::make_condition(cs);
+  SystemConfig cfg;
+  cfg.faults.drop_prob = 0.05;
+  cfg.faults.dup_prob = 0.05;
+  cfg.faults.reorder_prob = 0.1;
+  cfg.node.retransmit = true;
+  std::uint64_t retransmits = 0;
+  for (auto _ : state) {
+    RtdsSystem system(c.topo, cfg);
+    system.run(c.arrivals);
+    retransmits += system.metrics().retransmits;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(retransmits));
+  state.SetLabel("items = retransmissions");
+}
+BENCHMARK(BM_ChaosRecoveryRound);
+
 }  // namespace
 }  // namespace rtds
 

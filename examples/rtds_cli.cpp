@@ -36,6 +36,7 @@
 
 #include "core/trace_io.hpp"
 #include "dag/analysis.hpp"
+#include "fault/invariants.hpp"
 #include "net/generators.hpp"
 #include "net/io.hpp"
 #include "obs/profile.hpp"
@@ -60,6 +61,7 @@ namespace {
       "           --set h=2 --set admission=edf ... | --h=2 --policy=edf\n"
       "           --transport=ideal --bandwidth=100]\n"
       "           [--faults=site_rate=0.002,site_mttr=25,drop=0.01]\n"
+      "           [--check-invariants]\n"
       "           [--trace=FILE] [--metrics=FILE] [--profile]\n"
       "  inspect  --net=net.txt | --load=load.txt\n";
   std::exit(2);
@@ -191,6 +193,10 @@ int cmd_run(const Flags& flags) {
   const std::string trace_file = flags.get_string("trace", "");
   const std::string metrics_file = flags.get_string("metrics", "");
   const bool profile = flags.get_bool("profile", false);
+  // §12 runtime invariant checker (non-fatal: violations count into the
+  // metrics row below and the obs layer).
+  if (flags.get_bool("check-invariants", false))
+    fault::set_check_invariants(true);
   flags.check_unused();
   const policy::ParamMap params = policy->parse_params(sets);
 
@@ -249,6 +255,11 @@ int cmd_run(const Flags& flags) {
   t.add_row({"repair messages", Table::num(std::size_t{metrics.repair_messages})});
   t.add_row({"messages dropped",
              Table::num(std::size_t{metrics.transport.messages_dropped})});
+  t.add_row({"messages duplicated",
+             Table::num(std::size_t{metrics.messages_duplicated})});
+  t.add_row({"retransmits", Table::num(std::size_t{metrics.retransmits})});
+  t.add_row({"invariant violations",
+             Table::num(std::size_t{metrics.invariant_violations})});
   t.add_row({"link messages", Table::num(std::size_t{metrics.transport.total_link_messages})});
   t.add_row({"msgs/job mean",
              Table::num(metrics.msgs_per_job.count() ? metrics.msgs_per_job.mean() : 0.0, 2)});
@@ -306,14 +317,22 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   policy::register_builtin_policies();
   const std::string command = argv[1];
-  const Flags flags(argc - 1, argv + 1, {"set"});
   try {
+    // Flags parsing belongs INSIDE the try: a malformed value (--sites=x)
+    // throws from the constructor, and an uncaught exception would
+    // terminate without a diagnostic or a usable exit status.
+    const Flags flags(argc - 1, argv + 1, {"set"});
     if (command == "gen-net") return cmd_gen_net(flags);
     if (command == "gen-load") return cmd_gen_load(flags);
     if (command == "run") return cmd_run(flags);
     if (command == "inspect") return cmd_inspect(flags);
-  } catch (const ContractViolation& e) {
-    std::cerr << "error: " << e.what() << "\n";
+  } catch (const std::exception& e) {
+    // Covers ContractViolation (bad params, unknown keys, malformed
+    // files) and any std:: parse error alike.
+    std::cerr << "error: " << e.what() << "\n"
+              << "hint: run with a registered <command>; for run, "
+                 "inspect parameter schemas with "
+                 "`rtds_exp --policy=NAME --describe`\n";
     return 1;
   }
   usage();

@@ -43,6 +43,7 @@
 #include "exp/runner.hpp"
 #include "exp/scenarios.hpp"
 #include "exp/sinks.hpp"
+#include "fault/invariants.hpp"
 #include "obs/profile.hpp"
 #include "policy/policy.hpp"
 #include "util/error.hpp"
@@ -59,7 +60,7 @@ namespace {
       "usage: rtds_exp --list\n"
       "       rtds_exp --scenario=NAME [--jobs=N] [--replicates=R]\n"
       "                [--seeds=fixed|derived] [--sink=table|csv|jsonl]\n"
-      "                [--out=FILE] [--verify]\n"
+      "                [--out=FILE] [--verify] [--check-invariants]\n"
       "                [--trace=FILE] [--metrics=FILE] [--profile]\n"
       "       rtds_exp --report=NAME [--out=FILE]\n"
       "       rtds_exp --policy=NAME [--describe] [--set key=value ...]\n"
@@ -344,6 +345,12 @@ int main(int argc, char** argv) {
   try {
     register_builtin_scenarios();
     Flags flags(argc, argv, {"set"});
+
+    // §12 runtime invariant checker, for any command that runs policies.
+    // Non-fatal here: violations count into the metrics and the obs layer
+    // (a test wanting hard failure sets fault::set_invariants_fatal).
+    if (flags.get_bool("check-invariants", false))
+      fault::set_check_invariants(true);
 
     if (flags.get_bool("list", false)) {
       flags.check_unused();

@@ -70,9 +70,9 @@ struct FocusedReply {
 
 using MessageBody =
     std::variant<std::monostate,
-                 // RTDS protocol (§8–§11)
+                 // RTDS protocol (§8–§11, + §12 hardening ack)
                  EnrollRequest, EnrollReply, UnlockMsg, ValidateRequest,
-                 ValidateReply, DispatchMsg,
+                 ValidateReply, DispatchMsg, DispatchAck,
                  // routing (§7.2)
                  ApspTableMsg,
                  // baselines

@@ -99,7 +99,10 @@ void RunMetrics::to_jsonl(std::ostream& os) const {
      << ",\"failed_jobs\":" << failed_jobs               //
      << ",\"jobs_lost\":" << jobs_lost                   //
      << ",\"jobs_rescheduled\":" << jobs_rescheduled     //
-     << ",\"repair_messages\":" << repair_messages;
+     << ",\"repair_messages\":" << repair_messages       //
+     << ",\"messages_duplicated\":" << messages_duplicated  //
+     << ",\"retransmits\":" << retransmits               //
+     << ",\"invariant_violations\":" << invariant_violations;
   os << ",\"reject_by_reason\":{";
   bool first = true;
   for (const auto& [reason, count] : reject_by_reason) {
@@ -125,7 +128,9 @@ void RunMetrics::to_jsonl(std::ostream& os) const {
   put_stat(os, "job_lateness", job_lateness);
   os << ",\"transport\":{\"sends\":" << transport.total_sends
      << ",\"link_messages\":" << transport.total_link_messages
-     << ",\"dropped\":" << transport.messages_dropped << ",\"by_category\":{";
+     << ",\"dropped\":" << transport.messages_dropped
+     << ",\"duplicated\":" << transport.messages_duplicated
+     << ",\"by_category\":{";
   first = true;
   for (const auto& [category, entry] : transport.by_category) {
     if (!first) os << ",";

@@ -84,6 +84,18 @@ struct RunMetrics {
   /// by topology-change events (2 × live links × 2h per repair).
   std::uint64_t repair_messages = 0;
 
+  // --- adversarial-network observability (DESIGN.md §12; all zero in
+  // fault-free runs) ---
+  /// Extra copies the duplication fault process injected (== the
+  /// transport's MessageStats::messages_duplicated).
+  std::uint64_t messages_duplicated = 0;
+  /// Protocol messages resent by the ack+retransmit path (RTDS only, and
+  /// only with RtdsConfig::retransmit enabled).
+  std::uint64_t retransmits = 0;
+  /// Safety-invariant violations the runtime checker observed (must stay 0;
+  /// only counted when the checker is enabled).
+  std::uint64_t invariant_violations = 0;
+
   std::map<int, std::uint64_t> reject_by_reason;    ///< keyed by RejectReason
   std::map<int, std::uint64_t> adjustment_cases;    ///< keyed by case 1/2/3
 

@@ -25,6 +25,7 @@ enum MsgCategory : int {
   kMsgValidate = 4,
   kMsgValidateReply = 5,
   kMsgDispatch = 6,
+  kMsgDispatchAck = 7,
 };
 
 const char* msg_category_name(int category);
@@ -40,6 +41,7 @@ inline constexpr std::uint32_t kNoLogical = static_cast<std::uint32_t>(-1);
 struct EnrollRequest {
   JobId job = 0;
   Time deadline = 0.0;
+  std::uint64_t seq = 0;  ///< per-(sender,receiver) dedup sequence (§12)
 };
 
 /// §8 — enrolled site reports its surplus. `accepted == false` is the Nack
@@ -48,11 +50,13 @@ struct EnrollReply {
   JobId job = 0;
   bool accepted = false;
   double surplus = 0.0;
+  std::uint64_t seq = 0;
 };
 
 /// §8/§10/§11 — releases the receiver's lock for this job.
 struct UnlockMsg {
   JobId job = 0;
+  std::uint64_t seq = 0;
 };
 
 /// §10 — the initiator broadcasts the Trial-Mapping M to the ACS.
@@ -60,12 +64,14 @@ struct ValidateRequest {
   JobId job = 0;
   std::shared_ptr<const Job> job_data;
   std::shared_ptr<const TrialMapping> mapping;
+  std::uint64_t seq = 0;
 };
 
 /// §10 — a site lists the logical processors it can endorse.
 struct ValidateReply {
   JobId job = 0;
   std::vector<std::uint32_t> endorsable;
+  std::uint64_t seq = 0;
 };
 
 /// §11 — the permutation + task codes. A receiver with logical ==
@@ -75,6 +81,16 @@ struct DispatchMsg {
   std::uint32_t logical = kNoLogical;
   std::shared_ptr<const Job> job_data;
   std::shared_ptr<const TrialMapping> mapping;
+  std::uint64_t seq = 0;
+};
+
+/// §12 hardening — explicit receipt for a DispatchMsg, the one protocol
+/// message with no reply of its own. Only sent when retransmission is
+/// enabled (RtdsConfig::retransmit); the initiator cancels the dispatch's
+/// retry timer on the first ack.
+struct DispatchAck {
+  JobId job = 0;
+  std::uint64_t seq = 0;
 };
 
 }  // namespace rtds

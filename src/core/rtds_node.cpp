@@ -35,6 +35,7 @@ const char* msg_category_name(int category) {
     case kMsgValidate: return "validate";
     case kMsgValidateReply: return "validate_reply";
     case kMsgDispatch: return "dispatch";
+    case kMsgDispatchAck: return "dispatch_ack";
     default: return "other";
   }
 }
@@ -47,7 +48,13 @@ RtdsNode::RtdsNode(SiteId site, Simulator& sim, Transport& transport, Pcs pcs,
       pcs_(std::move(pcs)),
       cfg_(cfg),
       env_(env),
-      sched_(cfg.sched) {
+      sched_(cfg.sched),
+      // Per-site backoff-jitter stream, derived from the fault seed with a
+      // golden-ratio odd multiplier so neighbouring sites decorrelate. Only
+      // ever consumed on the retransmit path, so fault-free (and
+      // retransmit-off) runs never draw from it.
+      retry_rng_(cfg.fault_seed ^
+                 (0x9e3779b97f4a7c15ULL * (std::uint64_t(site) + 1))) {
   RTDS_REQUIRE(pcs_.root() == site);
   if (cfg_.fault_tolerant) {
     lease_ = cfg_.lock_lease;
@@ -70,6 +77,16 @@ void RtdsNode::send(SiteId to, MessageBody payload, int category, JobId job,
   RTDS_REQUIRE(to != site_);
   RTDS_CHECK_MSG(pcs_.contains(to),
                  "site " << site_ << " routing outside its PCS to " << to);
+  // §12 hardening: every protocol message carries a per-(sender, receiver)
+  // sequence so the receiver can drop network duplicates idempotently.
+  // Retransmits re-enter send() and get a FRESH sequence — the dedup
+  // window kills copies the *network* made, protocol-level idempotency
+  // handles copies *we* made.
+  std::visit(
+      [&](auto& m) {
+        if constexpr (requires { m.seq; }) m.seq = ++send_seq_[to];
+      },
+      payload);
   const std::size_t hops =
       transport_.send(site_, to, std::move(payload), category, size_units);
   env_.on_job_messages(job, hops);
@@ -169,28 +186,54 @@ void RtdsNode::begin_acs_construction(Initiation& init) {
   for (const auto& m : pcs_.members()) {
     if (m.site == site_) continue;
     max_delay = std::max(max_delay, m.delay);
-    send(m.site, EnrollRequest{job, init.job->deadline}, kMsgEnroll, job);
+    const EnrollRequest req{job, init.job->deadline};
+    send(m.site, req, kMsgEnroll, job);
+    if (retransmit_enabled())
+      arm_retry(job, m.site, kMsgEnroll, MessageBody(req), 1.0,
+                2.0 * m.delay + cfg_.enroll_timeout_slack);
   }
   // Under faults the timer is armed for *both* enrollment policies: a Nack
   // normally guarantees a reply from every member, but a dead member (or a
   // dropped request/reply) answers nothing, and the round must still end.
   if (cfg_.enroll_policy == EnrollPolicy::kTimeout || cfg_.fault_tolerant) {
-    const Time timeout = 2.0 * max_delay + cfg_.enroll_timeout_slack;
+    Time timeout = 2.0 * max_delay + cfg_.enroll_timeout_slack;
+    // With retransmissions armed the round must outlast the whole backoff
+    // schedule (rto + 2rto + ... ~= rto * (2^(tries+1) - 1) plus jitter),
+    // or the timeout would fire while resends are still recovering replies.
+    if (retransmit_enabled())
+      timeout *= static_cast<double>(1 << (cfg_.retransmit_tries + 1));
     sim_.schedule_in(timeout, [this, job]() { on_enroll_timeout(job); });
   }
 }
 
 void RtdsNode::on_enroll_reply(SiteId from, const EnrollReply& msg) {
+  cancel_retry(msg.job, from);  // the enroll got through; stop resending
   const auto it = active_.find(msg.job);
   if (it == active_.end() ||
       it->second.phase != Initiation::Phase::kEnrolling) {
     // Stale ack: the job concluded (or left enrollment) before this reply
     // arrived — possible under the kTimeout policy when a site processed a
-    // buffered enrollment after our timer fired. Release it immediately.
-    if (msg.accepted) send(from, UnlockMsg{msg.job}, kMsgUnlock, msg.job);
+    // buffered enrollment after our timer fired. Release it immediately —
+    // UNLESS the site already counted into the ACS (a duplicate reply bred
+    // by a retransmitted request): then the round in flight owns its lock
+    // and will resolve it with a dispatch or unlock of its own.
+    const bool in_acs =
+        it != active_.end() &&
+        std::find(it->second.acs.begin(), it->second.acs.end(), from) !=
+            it->second.acs.end();
+    if (msg.accepted && !in_acs)
+      send(from, UnlockMsg{msg.job}, kMsgUnlock, msg.job);
     return;
   }
   Initiation& init = it->second;
+  if (cfg_.fault_tolerant) {
+    // Duplicate replies (each retransmit answer carries a fresh sequence,
+    // so the dedup window cannot catch them) must not double-count.
+    if (std::find(init.repliers.begin(), init.repliers.end(), from) !=
+        init.repliers.end())
+      return;
+    init.repliers.push_back(from);
+  }
   ++init.received_replies;
   if (msg.accepted) {
     init.acs.push_back(from);
@@ -322,8 +365,12 @@ void RtdsNode::begin_validation(Initiation& init) {
     } else {
       // Validation ships the whole Trial-Mapping (task windows): §13 notes
       // that task-code-sized messages cost real transfer time.
-      send(s, ValidateRequest{job, init.job, init.mapping}, kMsgValidate, job,
-           1.0 + double(init.job->dag.task_count()));
+      const ValidateRequest req{job, init.job, init.mapping};
+      const double size = 1.0 + double(init.job->dag.task_count());
+      send(s, req, kMsgValidate, job, size);
+      if (retransmit_enabled())
+        arm_retry(job, s, kMsgValidate, MessageBody(req), size,
+                  2.0 * pcs_.delay(site_, s) + cfg_.enroll_timeout_slack);
     }
   }
   if (init.endorsements.size() == init.validate_expected) {
@@ -336,8 +383,11 @@ void RtdsNode::begin_validation(Initiation& init) {
     Time max_delay = 0.0;
     for (SiteId s : init.acs)
       if (s != site_) max_delay = std::max(max_delay, pcs_.delay(site_, s));
-    const Time timeout = 2.0 * max_delay + cfg_.enroll_timeout_slack +
-                         cfg_.protocol_overhead_slack;
+    Time timeout = 2.0 * max_delay + cfg_.enroll_timeout_slack +
+                   cfg_.protocol_overhead_slack;
+    // Outlast the retransmit backoff schedule (see begin_acs_construction).
+    if (retransmit_enabled())
+      timeout *= static_cast<double>(1 << (cfg_.retransmit_tries + 1));
     sim_.schedule_in(timeout, [this, job]() { on_validate_timeout(job); });
   }
 }
@@ -375,7 +425,12 @@ void RtdsNode::on_validate_reply(SiteId from, const ValidateReply& msg) {
                    "validate reply for unknown job " << msg.job);
     return;
   }
+  cancel_retry(msg.job, from);  // the validate got through; stop resending
   Initiation& init = it->second;
+  if (cfg_.fault_tolerant &&
+      std::any_of(init.endorsements.begin(), init.endorsements.end(),
+                  [&](const auto& e) { return e.first == from; }))
+    return;  // duplicate reply to a retransmitted request
   init.endorsements.emplace_back(from, msg.endorsable);
   if (init.endorsements.size() == init.validate_expected)
     finish_matching(init);
@@ -422,8 +477,16 @@ void RtdsNode::finish_matching(Initiation& init) {
     if (acs[ri] == site_) {
       self_logical = logical;
     } else {
-      send(acs[ri], DispatchMsg{job, logical, init.job, init.mapping},
-           kMsgDispatch, job, 1.0 + double(init.job->dag.task_count()));
+      const DispatchMsg dm{job, logical, init.job, init.mapping};
+      const double size = 1.0 + double(init.job->dag.task_count());
+      send(acs[ri], dm, kMsgDispatch, job, size);
+      // Dispatch retries survive conclude() (the guarantee is already
+      // given); they die on the member's DispatchAck or, exhausted, report
+      // a dispatch failure for assignments that carried real work.
+      if (retransmit_enabled())
+        arm_retry(job, acs[ri], kMsgDispatch, MessageBody(dm), size,
+                  2.0 * pcs_.delay(site_, acs[ri]) +
+                      cfg_.enroll_timeout_slack);
     }
   }
   if (self_logical != kNoLogical)
@@ -445,6 +508,9 @@ void RtdsNode::reject(Initiation& init, RejectReason reason) {
 
 void RtdsNode::conclude(JobId job, const Initiation& init, JobOutcome outcome,
                         RejectReason reason) {
+  // Members that never answered enrollment or validation must not be
+  // re-asked once the round is decided; in-flight dispatch retries stay.
+  cancel_pre_dispatch_retries(job);
   JobDecision d;
   d.job = job;
   d.initiator = site_;
@@ -493,6 +559,10 @@ void RtdsNode::crash() {
   lock_.reset();
   endorsement_.reset();
   ++lock_seq_;  // cancel any armed lease
+  retries_.clear();  // pending retry timers no-op against the empty map
+  // send_seq_ / recv_window_ deliberately survive: sequences must stay
+  // monotone per (sender, receiver) across reincarnations, or a recovered
+  // site's fresh messages would look like replays to its peers.
   sched_ = LocalScheduler(cfg_.sched);
   RTDS_TRACE("t=" << sim_.now() << " site " << site_ << " CRASHED");
 }
@@ -525,6 +595,23 @@ void RtdsNode::on_message(SiteId from, const MessageBody& payload) {
   // The transport drops deliveries to dead sites; this guards the
   // scripted-plan edge where a crash and a delivery share a timestamp.
   if (!alive_) return;
+  // §12 dedup: drop sequences this window has already accepted. On a
+  // faultless network sequences arrive strictly increasing, so the window
+  // accepts everything and the run is bit-identical to the unhardened
+  // protocol (pinned by tests/chaos_test.cpp). seq 0 = unstamped
+  // (sequence-less message types report 0 here).
+  const std::uint64_t seq = std::visit(
+      [](const auto& m) -> std::uint64_t {
+        if constexpr (requires { m.seq; }) return m.seq;
+        return 0;
+      },
+      payload);
+  if (seq != 0 && !recv_window_[from].accept(seq)) {
+    RTDS_COUNT("protocol.dedup_dropped");
+    RTDS_TRACE("t=" << sim_.now() << " site " << site_
+                    << " drops duplicate seq " << seq << " from " << from);
+    return;
+  }
   if (const auto* enroll = std::get_if<EnrollRequest>(&payload)) {
     on_enroll_request(from, *enroll);
   } else if (const auto* reply = std::get_if<EnrollReply>(&payload)) {
@@ -537,17 +624,34 @@ void RtdsNode::on_message(SiteId from, const MessageBody& payload) {
     on_validate_reply(from, *vreply);
   } else if (const auto* dispatch = std::get_if<DispatchMsg>(&payload)) {
     on_dispatch(from, *dispatch);
+  } else if (const auto* ack = std::get_if<DispatchAck>(&payload)) {
+    on_dispatch_ack(from, *ack);
   } else {
     RTDS_CHECK_MSG(false, "site " << site_ << " received unknown payload");
   }
 }
 
 void RtdsNode::on_enroll_request(SiteId from, const EnrollRequest& msg) {
+  if (cfg_.fault_tolerant && lock_matches(from, msg.job)) {
+    // Retransmit of the very round we are locked on (our reply was lost or
+    // is still in flight): answer idempotently with the current surplus
+    // instead of Nack-ing our own initiator.
+    sched_.garbage_collect(sim_.now());
+    send(from, EnrollReply{msg.job, true, surplus_for(msg.deadline)},
+         kMsgEnrollReply, msg.job);
+    return;
+  }
   if (lock_.has_value()) {
     if (cfg_.enroll_policy == EnrollPolicy::kNack) {
       send(from, EnrollReply{msg.job, false, 0.0}, kMsgEnrollReply, msg.job);
     } else {
       // Faithful §8 semantics: ignore (buffer) until our unlock arrives.
+      // A retransmitted request must not buffer twice — it would make
+      // after_unlock() lock this site onto the same round back to back.
+      if (cfg_.fault_tolerant) {
+        for (const auto& [f, r] : buffered_enrolls_)
+          if (f == from && r.job == msg.job) return;
+      }
       buffered_enrolls_.emplace_back(from, msg);
     }
     return;
@@ -562,6 +666,15 @@ void RtdsNode::on_enroll_request(SiteId from, const EnrollRequest& msg) {
 }
 
 void RtdsNode::on_validate_request(SiteId from, const ValidateRequest& msg) {
+  if (cfg_.fault_tolerant && lock_matches(from, msg.job) &&
+      endorsement_.has_value() && endorsement_->job == msg.job) {
+    // Retransmit of a request we already endorsed (the reply was lost or
+    // is in flight): repeat the STORED endorsement verbatim — recomputing
+    // could promise a different set than the one this site is holding.
+    send(from, ValidateReply{msg.job, endorsement_->endorsed},
+         kMsgValidateReply, msg.job);
+    return;
+  }
   if (!lock_matches(from, msg.job)) {
     // The lease released this lock (the enroll reply or this request was
     // slow/lost, or we crashed and recovered in between). Stay silent; the
@@ -581,6 +694,16 @@ void RtdsNode::on_validate_request(SiteId from, const ValidateRequest& msg) {
 }
 
 void RtdsNode::on_dispatch(SiteId from, const DispatchMsg& msg) {
+  if (retransmit_enabled()) {
+    if (recently_dispatched(msg.job)) {
+      // The original was already processed and only the ack was lost:
+      // re-ack, never re-commit (and never re-count a dispatch failure).
+      send(from, DispatchAck{msg.job}, kMsgDispatchAck, msg.job);
+      return;
+    }
+    remember_dispatch(msg.job);
+    send(from, DispatchAck{msg.job}, kMsgDispatchAck, msg.job);
+  }
   if (!lock_matches(from, msg.job)) {
     // Our lease expired before the (slow) dispatch arrived, so the
     // endorsement it relies on is gone. An actual assignment is a failed
@@ -608,6 +731,98 @@ void RtdsNode::on_unlock(SiteId from, const UnlockMsg& msg) {
     return;  // the lease already released it (maybe we re-locked since)
   release_lock(from, msg.job);
   after_unlock();
+}
+
+void RtdsNode::on_dispatch_ack(SiteId from, const DispatchAck& msg) {
+  // Receipt for a dispatch we sent (only ever emitted by peers running
+  // with retransmit enabled): stop resending it.
+  cancel_retry(msg.job, from);
+}
+
+// ---------------------------------------------------------------------------
+// §12 hardening: ack + retransmit with capped exponential backoff
+// ---------------------------------------------------------------------------
+
+void RtdsNode::arm_retry(JobId job, SiteId to, int category,
+                         MessageBody payload, double size_units, Time rto) {
+  Retry r;
+  r.payload = std::move(payload);
+  r.category = category;
+  r.size_units = size_units;
+  r.gen = ++retry_gen_;
+  // One slot per (job, peer): the protocol phases are sequential, so a
+  // validate (or dispatch) template supersedes the peer's enroll (or
+  // validate) entry, and the superseded timer no-ops on its stale gen.
+  retries_[{job, to}] = std::move(r);
+  const Time next = rto + retry_rng_.uniform(0.0, 0.25 * rto);
+  sim_.schedule_in(next, [this, job, to, gen = retry_gen_, rto]() {
+    on_retry_timer(job, to, gen, rto);
+  });
+}
+
+void RtdsNode::on_retry_timer(JobId job, SiteId to, std::uint64_t gen,
+                              Time rto) {
+  if (!alive_) return;
+  const auto it = retries_.find({job, to});
+  if (it == retries_.end() || it->second.gen != gen)
+    return;  // answered, superseded, or cancelled since this timer was set
+  Retry& r = it->second;
+  if (r.attempts >= cfg_.retransmit_tries) {
+    // Backoff exhausted: the peer is unreachable (dead, partitioned away,
+    // or every copy was lost). An exhausted dispatch that carried real
+    // work is a failed dispatch — the guarantee was already given and the
+    // work will never run there; everything else just stops.
+    const auto* dm = std::get_if<DispatchMsg>(&r.payload);
+    const bool lost_work = dm != nullptr && dm->logical != kNoLogical;
+    retries_.erase(it);
+    RTDS_COUNT("protocol.retransmit.exhausted");
+    if (lost_work) env_.on_dispatch_failure(job, to);
+    return;
+  }
+  ++r.attempts;
+  RTDS_COUNT("protocol.retransmits");
+  env_.on_retransmit(job);
+  RTDS_TRACE("t=" << sim_.now() << " site " << site_ << " retransmits "
+                  << msg_category_name(r.category) << " of job " << job
+                  << " to " << to << " (attempt " << r.attempts << ")");
+  // Re-enters send(), so the copy carries a FRESH sequence: peers must
+  // process it even though the dedup window saw the original's sequence.
+  send(to, MessageBody(r.payload), r.category, job, r.size_units);
+  // Capped exponential backoff with seeded jitter (deterministic per run).
+  const Time next_rto = 2.0 * rto;
+  const Time next = next_rto + retry_rng_.uniform(0.0, 0.25 * next_rto);
+  sim_.schedule_in(next, [this, job, to, gen, next_rto]() {
+    on_retry_timer(job, to, gen, next_rto);
+  });
+}
+
+void RtdsNode::cancel_retry(JobId job, SiteId to) {
+  if (retries_.empty()) return;  // fast path: fault-free runs
+  retries_.erase({job, to});
+}
+
+void RtdsNode::cancel_pre_dispatch_retries(JobId job) {
+  if (retries_.empty()) return;
+  for (auto it = retries_.lower_bound({job, 0});
+       it != retries_.end() && it->first.first == job;) {
+    if (std::get_if<DispatchMsg>(&it->second.payload) == nullptr)
+      it = retries_.erase(it);
+    else
+      ++it;
+  }
+}
+
+bool RtdsNode::recently_dispatched(JobId job) const {
+  const std::size_t n =
+      std::min(recent_dispatch_count_, recent_dispatch_.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (recent_dispatch_[i] == job) return true;
+  return false;
+}
+
+void RtdsNode::remember_dispatch(JobId job) {
+  recent_dispatch_[recent_dispatch_count_ % recent_dispatch_.size()] = job;
+  ++recent_dispatch_count_;
 }
 
 bool RtdsNode::try_local_accept(const std::shared_ptr<const Job>& job) {

@@ -18,6 +18,7 @@
 // freezing the whole sphere for the full protocol round.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <map>
 #include <memory>
@@ -28,9 +29,12 @@
 #include "core/messages.hpp"
 #include "core/metrics.hpp"
 #include "core/protocol.hpp"
+#include "fault/dedup.hpp"
 #include "routing/pcs.hpp"
 #include "routing/transport.hpp"
 #include "sched/local_scheduler.hpp"
+#include "util/flat_map.hpp"
+#include "util/rng.hpp"
 
 namespace rtds {
 
@@ -97,6 +101,16 @@ struct RtdsConfig {
   /// cannot freeze its sphere forever. 0 = auto (derived from the sphere
   /// eccentricity and mapper latency at node construction).
   Time lock_lease = 0.0;
+  /// §12 hardening: retransmit unanswered enroll/validate requests and
+  /// un-acked dispatches with capped exponential backoff + seeded jitter.
+  /// Only meaningful under fault_tolerant (inert otherwise — the paper's
+  /// protocol has no retransmission, and without faults every message
+  /// arrives). Off by default.
+  bool retransmit = false;
+  int retransmit_tries = 3;  ///< max retransmissions per unanswered message
+  /// Seed of the backoff-jitter stream (RtdsSystem wires the fault plan's
+  /// seed in, so the whole adversarial run is one seed).
+  std::uint64_t fault_seed = 42;
 };
 
 /// Instrumentation interface the owning system implements. Calls are
@@ -122,6 +136,9 @@ class NodeEnv {
     (void)job;
     (void)site;
   }
+  /// The §12 retransmit path resent a protocol message of `job` (default
+  /// no-op; RtdsSystem counts it into RunMetrics::retransmits).
+  virtual void on_retransmit(JobId job) { (void)job; }
 };
 
 class RtdsNode {
@@ -166,6 +183,11 @@ class RtdsNode {
         Phase::kEnrolling;
     std::size_t expected_replies = 0;
     std::size_t received_replies = 0;
+    /// Sites whose enroll reply was already counted — fault mode only
+    /// (retransmitted requests can produce duplicate replies, each with a
+    /// fresh sequence, so the dedup window cannot catch them). Stays empty
+    /// in fault-free runs.
+    std::vector<SiteId> repliers;
     std::vector<SiteId> acs;                    ///< ackers + self
     /// Flat (site, value) lists, one entry per ACS member — sphere-sized,
     /// so linear lookups beat map nodes (these fill and drain once per
@@ -198,6 +220,29 @@ class RtdsNode {
   void on_validate_request(SiteId from, const ValidateRequest& msg);
   void on_dispatch(SiteId from, const DispatchMsg& msg);
   void on_unlock(SiteId from, const UnlockMsg& msg);
+  void on_dispatch_ack(SiteId from, const DispatchAck& msg);
+
+  // --- §12 hardening: ack + retransmit with capped exponential backoff ---
+  bool retransmit_enabled() const {
+    return cfg_.fault_tolerant && cfg_.retransmit;
+  }
+  /// Tracks `payload` (an unstamped template — send() stamps a fresh
+  /// sequence per resend) for retransmission to `to` until cancelled;
+  /// first retry fires after `rto`, then doubles with seeded jitter, up to
+  /// cfg_.retransmit_tries resends.
+  void arm_retry(JobId job, SiteId to, int category, MessageBody payload,
+                 double size_units, Time rto);
+  void on_retry_timer(JobId job, SiteId to, std::uint64_t gen, Time rto);
+  /// The peer answered: stop retransmitting this (job, peer) message.
+  void cancel_retry(JobId job, SiteId to);
+  /// Round resolved: drop every non-dispatch retry of `job` (members that
+  /// never answered enrollment must not be re-asked after conclude).
+  void cancel_pre_dispatch_retries(JobId job);
+  /// Ring of recently handled dispatch jobs — a retransmitted DispatchMsg
+  /// whose original was already processed is re-acked, never re-committed
+  /// (and never miscounted as a dispatch failure).
+  bool recently_dispatched(JobId job) const;
+  void remember_dispatch(JobId job);
 
   /// Computes the logical processors this site can endorse for a mapping.
   std::vector<std::uint32_t> endorsable_processors(const Job& job,
@@ -286,6 +331,35 @@ class RtdsNode {
   /// Pending completion notifications per committed job (fault mode only):
   /// the set of jobs a crash must report as lost.
   std::map<JobId, std::uint32_t> pending_completions_;
+
+  // --- §12 hardening state ---
+  // The dedup machinery is ALWAYS active (not gated on fault_tolerant):
+  // send() stamps every protocol message with a per-peer sequence and
+  // on_message() drops already-seen sequences. On a faultless network the
+  // sequences are strictly increasing, so the window accepts everything and
+  // the run stays bit-identical — pinned by tests/chaos_test.cpp.
+  // Deliberately NOT reset by crash(): sequences must stay monotone per
+  // (sender, receiver) across reincarnations or a recovered site's fresh
+  // messages would look like replays to its peers.
+  FlatMap<SiteId, std::uint64_t> send_seq_;
+  FlatMap<SiteId, fault::DedupWindow> recv_window_;
+
+  /// One in-flight retransmittable message per (job, peer): the protocol
+  /// phases are sequential, so arming validate (or dispatch) for a peer
+  /// supersedes its enroll (or validate) entry. std::map is fine — the
+  /// path only exists in fault mode.
+  struct Retry {
+    MessageBody payload;  ///< unstamped template, re-stamped per resend
+    int category = 0;
+    double size_units = 1.0;
+    int attempts = 0;
+    std::uint64_t gen = 0;  ///< arm generation; stale timers no-op
+  };
+  std::map<std::pair<JobId, SiteId>, Retry> retries_;
+  std::uint64_t retry_gen_ = 0;
+  Rng retry_rng_;  ///< backoff jitter (seeded from cfg_.fault_seed + site)
+  std::array<JobId, 64> recent_dispatch_{};
+  std::size_t recent_dispatch_count_ = 0;
 };
 
 }  // namespace rtds

@@ -26,12 +26,29 @@ RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
   // fault-tolerant mode. The plan's events become ordinary simulator
   // events, so the whole run stays deterministic.
   if (!cfg_.faults.empty()) {
+    // Reject malformed plans (scripted or generated) before any event is
+    // scheduled: out-of-range sites, unknown links, bad partition cuts,
+    // non-monotone times all fail here with the offending event index.
+    cfg_.faults.validate(topo_);
     cfg_.node.fault_tolerant = true;
+    // One seed drives the whole adversarial run: the plan's perturbation
+    // stream and every node's retransmit-backoff jitter derive from it.
+    cfg_.node.fault_seed = cfg_.faults.seed;
     fault_state_ = std::make_unique<fault::FaultState>(topo_, cfg_.faults);
     for (const auto& ev : cfg_.faults.events) {
-      RTDS_REQUIRE(ev.a < topo_.site_count());
       sim_.schedule_at(ev.at, [this, ev]() { apply_fault(ev); });
     }
+  }
+
+  // §12 runtime invariant checker: per-run flag OR the process-global one
+  // (the CLIs' --check-invariants). Pure observer — never changes bytes.
+  if (cfg_.check_invariants || fault::check_invariants_enabled()) {
+    checker_ = std::make_unique<fault::InvariantChecker>();
+    sim_.set_event_observer(
+        [](void* ctx, Time now) {
+          static_cast<fault::InvariantChecker*>(ctx)->on_event(now);
+        },
+        checker_.get());
   }
 
   // §7: interrupted APSP, 2h phases.
@@ -56,6 +73,9 @@ RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
           // A lost dispatch with a real assignment means the job is not
           // fully committed — the initiator cannot know (the paper's
           // protocol has no dispatch ack), so the system layer accounts it.
+          // With §12 retransmission on, the initiator DOES know (ack or
+          // backoff exhaustion), and that path owns the accounting.
+          if (cfg_.node.retransmit) return;
           if (const auto* d = std::get_if<DispatchMsg>(&body))
             if (d->logical != kNoLogical) on_dispatch_failure(d->job, to);
         });
@@ -89,10 +109,24 @@ RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
     node_cfg.sched.computing_power = topo_.computing_power(s);
     nodes_.push_back(std::make_unique<RtdsNode>(
         s, sim_, *transport_, Pcs::build(tables, s, h), node_cfg, *this));
-    transport_->set_handler(s, [node = nodes_.back().get()](
-                                   SiteId from, const MessageBody& payload) {
-      node->on_message(from, payload);
-    });
+    if (checker_ == nullptr) {
+      transport_->set_handler(s, [node = nodes_.back().get()](
+                                     SiteId from, const MessageBody& payload) {
+        node->on_message(from, payload);
+      });
+    } else {
+      // Checked delivery: assert no message reaches a crashed site before
+      // handing it to the node. Only this wrapper costs anything, and only
+      // when the checker is on.
+      transport_->set_handler(
+          s, [this, node = nodes_.back().get(), s](SiteId from,
+                                                   const MessageBody& payload) {
+            checker_->on_delivery(
+                s, fault_state_ == nullptr || fault_state_->site_up(s),
+                sim_.now());
+            node->on_message(from, payload);
+          });
+    }
   }
 }
 
@@ -118,6 +152,7 @@ void RtdsSystem::run(const std::vector<JobArrival>& arrivals) {
   std::sort(ids.begin(), ids.end());
   const auto dup = std::adjacent_find(ids.begin(), ids.end());
   RTDS_REQUIRE_MSG(dup == ids.end(), "duplicate job id " << *dup);
+  if (checker_ != nullptr) checker_->on_submitted(arrivals.size());
   {
     RTDS_OBS_PHASE("sys.run");
     sim_.run();
@@ -127,6 +162,7 @@ void RtdsSystem::run(const std::vector<JobArrival>& arrivals) {
 }
 
 void RtdsSystem::on_job_decision(const JobDecision& decision) {
+  if (checker_ != nullptr) checker_->on_decision(decision.job, sim_.now());
   JobDecision d = decision;
   d.link_messages = job_messages_[d.job];
   metrics_.record(d);
@@ -163,6 +199,11 @@ void RtdsSystem::on_dispatch_failure(JobId job, SiteId site) {
     early_failures_.insert(job);  // initiator self-commit precedes conclude
 }
 
+void RtdsSystem::on_retransmit(JobId job) {
+  (void)job;
+  ++metrics_.retransmits;
+}
+
 void RtdsSystem::on_job_lost(JobId job, SiteId site) {
   (void)site;
   // Committed work died in a crash. Decisions always precede commits (both
@@ -185,6 +226,8 @@ void RtdsSystem::apply_fault(const fault::FaultEvent& ev) {
       case fault::FaultKind::kSiteUp: name = "site_up"; break;
       case fault::FaultKind::kLinkDown: name = "link_down"; break;
       case fault::FaultKind::kLinkUp: name = "link_up"; break;
+      case fault::FaultKind::kPartition: name = "partition"; break;
+      case fault::FaultKind::kHeal: name = "heal"; break;
     }
     tr->instant("fault", name, sim_.now(), ev.a,
                 ev.b == kNoSite ? ev.a : ev.b, 0);
@@ -198,19 +241,27 @@ void RtdsSystem::apply_fault(const fault::FaultEvent& ev) {
       break;
     case fault::FaultKind::kLinkDown:
     case fault::FaultKind::kLinkUp:
+    case fault::FaultKind::kPartition:  // severs links; no site crashes
+    case fault::FaultKind::kHeal:
       break;  // pure topology change
   }
-  repair_routing(ev);
+  if (ev.kind == fault::FaultKind::kPartition ||
+      ev.kind == fault::FaultKind::kHeal) {
+    // Seed the repair with every endpoint of the links the cut flipped.
+    const auto& changed = fault_state_->partition_changed_sites();
+    repair_routing(std::span<const SiteId>(changed.data(), changed.size()));
+  } else {
+    const SiteId changed[2] = {ev.a, ev.b};
+    repair_routing(std::span<const SiteId>(changed, ev.b == kNoSite ? 1 : 2));
+  }
 }
 
-void RtdsSystem::repair_routing(const fault::FaultEvent& ev) {
+void RtdsSystem::repair_routing(std::span<const SiteId> changed) {
   RTDS_OBS_PHASE("sys.repair");
   const auto h = cfg_.node.sphere_radius_h;
   if (repairer_ == nullptr)
     repairer_ = std::make_unique<ApspRepairer>(topo_, 2 * h);
-  const SiteId changed[2] = {ev.a, ev.b};
-  repairer_->repair(tables_, fault_state_.get(),
-                    std::span<const SiteId>(changed, ev.b == kNoSite ? 1 : 2));
+  repairer_->repair(tables_, fault_state_.get(), changed);
   // Charge the nominal §7.2 exchange: each of the 2h phases ships one
   // table over every live directed link. The *simulator* repairs
   // incrementally, but the modelled protocol still floods, so the charge —
@@ -222,6 +273,11 @@ void RtdsSystem::repair_routing(const fault::FaultEvent& ev) {
 }
 
 void RtdsSystem::verify_invariants() {
+  if (checker_ != nullptr) {
+    std::size_t locks_held = 0;
+    for (const auto& node : nodes_) locks_held += node->locked() ? 1 : 0;
+    checker_->finish(metrics_, locks_held, sim_.now());
+  }
   for (const auto& node : nodes_) {
     RTDS_CHECK_MSG(!node->locked(),
                    "site " << node->site() << " still locked at end of run");
@@ -247,6 +303,9 @@ void RtdsSystem::verify_invariants() {
                      !cfg_.faults.empty() || metrics_.dispatch_failures == 0,
                  "dispatch failures under the ideal faultless transport");
   metrics_.transport = transport_->stats();
+  metrics_.messages_duplicated = metrics_.transport.messages_duplicated;
+  if (checker_ != nullptr)
+    metrics_.invariant_violations = checker_->violations();
   for (const auto& node : nodes_) {
     metrics_.pcs_size_max =
         std::max<std::uint64_t>(metrics_.pcs_size_max, node->pcs().size());

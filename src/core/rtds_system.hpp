@@ -7,10 +7,13 @@
 #include <memory>
 #include <vector>
 
+#include <span>
+
 #include "core/metrics.hpp"
 #include "core/rtds_node.hpp"
 #include "core/workload.hpp"
 #include "fault/fault.hpp"
+#include "fault/invariants.hpp"
 #include "routing/apsp.hpp"
 #include "util/flat_map.hpp"
 
@@ -37,6 +40,12 @@ struct SystemConfig {
   /// exact faultless code path — no timers armed, no RNG consumed, output
   /// bit-identical to a build without the fault layer.
   fault::FaultPlan faults;
+  /// Runs the §12 runtime invariant checker alongside the simulation
+  /// (lock conservation, at-most-one guarantee, job conservation, monotone
+  /// time, no delivery to a down site). Also enabled by the process-global
+  /// fault::set_check_invariants (the CLIs' --check-invariants). The
+  /// checker only *observes* — enabling it never changes simulation bytes.
+  bool check_invariants = false;
 };
 
 class RtdsSystem : public NodeEnv {
@@ -59,6 +68,7 @@ class RtdsSystem : public NodeEnv {
   void on_job_messages(JobId job, std::uint64_t hops) override;
   void on_dispatch_failure(JobId job, SiteId site) override;
   void on_job_lost(JobId job, SiteId site) override;
+  void on_retransmit(JobId job) override;
 
  private:
   void verify_invariants();
@@ -66,14 +76,15 @@ class RtdsSystem : public NodeEnv {
   /// the node for site events, and re-triggers the §7 routing repair on
   /// any actual topology change.
   void apply_fault(const fault::FaultEvent& ev);
-  /// Repairs the routing tables in place after `ev` changed the live
-  /// topology (the transports reference tables_ and see the repair
-  /// immediately). Incremental (DESIGN.md §10): only destinations whose
-  /// 2h+1-hop ball contains the changed site/link are re-converged, which
+  /// Repairs the routing tables in place after the live topology changed
+  /// at the given seed sites (the transports reference tables_ and see the
+  /// repair immediately). Incremental (DESIGN.md §10): only destinations
+  /// whose 2h+1-hop ball contains a changed site are re-converged, which
   /// is what keeps large-N fault runs affordable; the traffic charged to
   /// RunMetrics::repair_messages stays the protocol's nominal full
-  /// exchange, so experiment outputs are unchanged.
-  void repair_routing(const fault::FaultEvent& ev);
+  /// exchange, so experiment outputs are unchanged. Partitions/heals pass
+  /// every cut endpoint; single link/site events pass one or two sites.
+  void repair_routing(std::span<const SiteId> changed);
 
   Topology topo_;
   SystemConfig cfg_;
@@ -83,6 +94,9 @@ class RtdsSystem : public NodeEnv {
   /// first topology-change event — faultless runs never pay for it.
   std::unique_ptr<ApspRepairer> repairer_;
   std::unique_ptr<fault::FaultState> fault_state_;
+  /// §12 runtime invariant checker; null unless enabled (config or the
+  /// process-global flag), so disabled runs pay one null test per event.
+  std::unique_ptr<fault::InvariantChecker> checker_;
   std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<RtdsNode>> nodes_;
   RunMetrics metrics_;

@@ -598,6 +598,93 @@ void register_e7() {
   Registry::instance().add(std::move(spec));
 }
 
+// ------------------------------------------------------------------- E8 ----
+
+/// Chaos sweep (DESIGN.md §12): the adversarial network model — message
+/// duplication, FIFO-violating reordering, network partitions — crossed
+/// with the E6 crash process, over all six families. Baselines see the
+/// crash process only (their control plane is idealized, §9); RTDS runs
+/// the full adversarial transport WITH its §12 hardening on (dedup
+/// windows, ack+retransmit, invariant checker). The "none" × crash-0 cell
+/// must reproduce the faultless run bit for bit even though hardening is
+/// enabled — an empty plan arms nothing (pinned by tests/chaos_test.cpp).
+/// The invariant checker runs as part of the scenario itself, so the table
+/// digest is independent of any CLI flag — and "viol" must print 0 in
+/// every cell.
+void register_e8() {
+  const auto families = e2_families();
+
+  ScenarioSpec spec;
+  spec.name = "e8_chaos";
+  spec.description =
+      "delivered ratio under an adversarial network: dup/reorder/partition "
+      "chaos x site crashes, all six policies (6x6 grid, h=2, hardened "
+      "rtds + invariant checker)";
+  spec.axes = {
+      GridAxis::labeled("chaos", "chaos",
+                        {"none", "dup", "reorder", "partition", "all"}),
+      GridAxis::numeric("crash/site", "crash_rate", {0.0, 0.002}, 3)};
+  spec.metrics = {count("jobs", "jobs")};
+  for (const auto& [header, ps] : families)
+    spec.metrics.push_back(ratio(header, ps.policy));
+  spec.metrics.push_back(count("dup", "rtds_messages_duplicated"));
+  spec.metrics.push_back(count("retrans", "rtds_retransmits"));
+  spec.metrics.push_back(count("viol", "rtds_invariant_violations"));
+  spec.seed_mode = SeedMode::kFixed;
+  spec.trial = [families](const GridPoint& p,
+                          std::uint64_t seed) -> TrialResult {
+    ConditionSpec cs = offload_regime();
+    cs.net = NetShape::kGrid;
+    cs.sites = 36;
+    cs.horizon = 300.0;
+    cs.seed = seed;
+    const Condition c = make_condition(cs);
+
+    // The crash process is shared by every family (e6 semantics).
+    const std::vector<std::pair<std::string, std::string>> crash = {
+        {"faults.site_rate", Table::num(p.value(1), 4)},
+        {"faults.site_mttr", "25"}};
+
+    // rtds alone runs on the simulated transport, so it alone gets the
+    // network chaos — plus its §12 hardening and the invariant checker.
+    const auto chaos = static_cast<std::size_t>(p.value(0));
+    const bool dup = chaos == 1 || chaos == 4;
+    const bool reorder = chaos == 2 || chaos == 4;
+    const bool partition = chaos == 3 || chaos == 4;
+    std::vector<std::pair<std::string, std::string>> rtds_extra = crash;
+    if (dup) rtds_extra.emplace_back("faults.dup", "0.05");
+    if (reorder) {
+      rtds_extra.emplace_back("faults.reorder", "0.1");
+      rtds_extra.emplace_back("faults.reorder_delay", "0.5");
+    }
+    if (partition) {
+      rtds_extra.emplace_back("faults.partition_rate", "0.01");
+      rtds_extra.emplace_back("faults.partition_mttr", "10");
+    }
+    rtds_extra.emplace_back("faults.retransmit", "true");
+    rtds_extra.emplace_back("check_invariants", "true");
+
+    TrialResult result{kSkip};  // jobs filled from the first family's run
+    double dups = 0.0, retrans = 0.0, viol = 0.0;
+    for (const auto& [header, ps] : families) {
+      const RunMetrics m =
+          run_policy(ps, c, ps.policy == "rtds" ? rtds_extra : crash);
+      if (std::isnan(result[0])) result[0] = static_cast<double>(m.arrived);
+      result.push_back(m.delivered_ratio());
+      if (ps.policy == "rtds") {
+        dups = static_cast<double>(m.messages_duplicated);
+        retrans = static_cast<double>(m.retransmits);
+        viol = static_cast<double>(m.invariant_violations);
+      }
+    }
+    result.push_back(dups);
+    result.push_back(retrans);
+    result.push_back(viol);
+    return result;
+  };
+  Registry::instance().add(std::move(spec));
+}
+
 // ----------------------------------------------------------- policy_sweep --
 
 /// Generic cross of every registered policy against a load grid: the seam
@@ -654,6 +741,7 @@ void register_builtin_scenarios() {
     register_e5();
     register_e6();
     register_e7();
+    register_e8();
     register_policy_sweep();
     register_builtin_reports();
     return true;

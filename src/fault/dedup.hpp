@@ -1,0 +1,51 @@
+// Sliding anti-replay window for idempotent message delivery (DESIGN.md
+// §12). Senders stamp each protocol message with a per-(sender, receiver)
+// sequence number; the receiver keeps one DedupWindow per peer and drops
+// any sequence it has already accepted. The IPsec-style 64-bit bitmap
+// tolerates reordering up to kWindow positions behind the newest sequence;
+// anything older is conservatively treated as a duplicate (under the
+// retransmit scheme every live resend carries a *fresh* sequence, so a
+// too-old original can only be a stale network duplicate).
+#pragma once
+
+#include <cstdint>
+
+namespace rtds::fault {
+
+class DedupWindow {
+ public:
+  static constexpr std::uint64_t kWindow = 64;
+
+  /// True iff `seq` has never been accepted: fresh sequences advance the
+  /// window, in-window gaps are back-filled, and duplicates or sequences
+  /// older than the window are rejected. seq 0 is reserved for unstamped
+  /// messages and must be filtered by the caller.
+  bool accept(std::uint64_t seq) {
+    if (max_seq_ == 0) {  // first stamped message from this peer
+      max_seq_ = seq;
+      mask_ = 1;
+      return true;
+    }
+    if (seq > max_seq_) {
+      const std::uint64_t shift = seq - max_seq_;
+      mask_ = shift >= kWindow ? 0 : mask_ << shift;
+      mask_ |= 1;
+      max_seq_ = seq;
+      return true;
+    }
+    const std::uint64_t behind = max_seq_ - seq;
+    if (behind >= kWindow) return false;
+    const std::uint64_t bit = std::uint64_t{1} << behind;
+    if (mask_ & bit) return false;
+    mask_ |= bit;
+    return true;
+  }
+
+  std::uint64_t max_seq() const { return max_seq_; }
+
+ private:
+  std::uint64_t max_seq_ = 0;  ///< highest sequence accepted so far
+  std::uint64_t mask_ = 0;     ///< bit i set = (max_seq_ - i) accepted
+};
+
+}  // namespace rtds::fault

@@ -2,12 +2,15 @@
 //
 // The paper's §2 network model is faultless: links are loss-less and sites
 // never die. This layer relaxes exactly that assumption, as *data*: a
-// FaultPlan is a time-ordered script of site-crash/recover and
-// link-down/up events plus per-send message perturbations (drop
-// probability, extra delay), either written explicitly (tests, worked
-// examples) or generated from seeded exponential on/off processes
-// (FaultPlan::from_spec). Everything downstream consumes the plan through
-// FaultState, a runtime view the simulator advances event by event.
+// FaultPlan is a time-ordered script of site-crash/recover,
+// link-down/up and partition/heal events plus per-send message
+// perturbations (drop probability, extra delay, duplication, FIFO-violating
+// reorder jitter), either written explicitly (tests, worked examples) or
+// generated from seeded exponential on/off processes (FaultPlan::from_spec).
+// Everything downstream consumes the plan through FaultState, a runtime
+// view the simulator advances event by event. The adversarial-network
+// extension (DESIGN.md §12) is what the RtdsNode hardening — dedup windows,
+// ack+retransmit — is tested against.
 //
 // Determinism contract: a plan is a pure function of its FaultSpec (seed
 // included), and a run under a plan is single-threaded discrete-event
@@ -33,16 +36,20 @@
 namespace rtds::fault {
 
 enum class FaultKind : std::uint8_t {
-  kSiteDown,  ///< site `a` crashes (loses all in-flight state)
-  kSiteUp,    ///< site `a` recovers with an empty plan
-  kLinkDown,  ///< link `a`--`b` stops carrying messages
-  kLinkUp,    ///< link `a`--`b` comes back
+  kSiteDown,   ///< site `a` crashes (loses all in-flight state)
+  kSiteUp,     ///< site `a` recovers with an empty plan
+  kLinkDown,   ///< link `a`--`b` stops carrying messages
+  kLinkUp,     ///< link `a`--`b` comes back
+  kPartition,  ///< network splits into sites [0, a) vs [a, N)
+  kHeal,       ///< the active partition heals
 };
 
 const char* to_string(FaultKind kind);
 
 /// One scripted fault, applied at absolute simulation time `at`. For site
-/// events `b` is unused (kNoSite).
+/// events `b` is unused (kNoSite). For kPartition, `a` is the cut boundary
+/// (every link crossing [0,a) | [a,N) goes down until kHeal); for kHeal
+/// both `a` and `b` are unused.
 struct FaultEvent {
   Time at = 0.0;
   FaultKind kind = FaultKind::kSiteDown;
@@ -61,12 +68,18 @@ struct FaultSpec {
   double link_mttr = 10.0;      ///< mean link down-time
   double drop_prob = 0.0;       ///< per-send message loss probability
   double extra_delay_max = 0.0; ///< uniform [0, max) extra delay per send
+  double dup_prob = 0.0;        ///< per-send message duplication probability
+  double reorder_prob = 0.0;    ///< per-send probability of reorder jitter
+  double reorder_delay_max = 1.0;  ///< uniform [0, max) jitter when reordered
+  double partition_rate = 0.0;  ///< network partitions per time unit
+  double partition_mttr = 15.0; ///< mean partition duration before healing
   Time horizon = 0.0;           ///< event generation window
   std::uint64_t seed = 42;      ///< plan + perturbation stream seed
 
   bool empty() const {
     return site_rate <= 0.0 && link_rate <= 0.0 && drop_prob <= 0.0 &&
-           extra_delay_max <= 0.0;
+           extra_delay_max <= 0.0 && dup_prob <= 0.0 && reorder_prob <= 0.0 &&
+           partition_rate <= 0.0;
   }
 };
 
@@ -77,13 +90,24 @@ struct FaultPlan {
   std::vector<FaultEvent> events;  ///< ascending by `at` (ties: input order)
   double drop_prob = 0.0;
   double extra_delay_max = 0.0;
+  double dup_prob = 0.0;
+  double reorder_prob = 0.0;
+  double reorder_delay_max = 1.0;
   std::uint64_t seed = 42;
 
   /// True iff the plan changes nothing: consumers must then behave
   /// bit-identically to a run with no plan at all.
   bool empty() const {
-    return events.empty() && drop_prob <= 0.0 && extra_delay_max <= 0.0;
+    return events.empty() && drop_prob <= 0.0 && extra_delay_max <= 0.0 &&
+           dup_prob <= 0.0 && reorder_prob <= 0.0;
   }
+
+  /// Rejects malformed plans up front instead of failing (or, worse,
+  /// silently misbehaving) at apply time: out-of-range sites, links absent
+  /// from the topology, partition boundaries outside [1, N), negative or
+  /// non-monotone event times. Throws ContractViolation with the offending
+  /// event index. RtdsSystem calls this on every scripted plan.
+  void validate(const Topology& topo) const;
 
   /// Generates the deterministic plan for `spec` on `topo` (sites/links
   /// index into it). Same spec -> same plan, always.
@@ -116,11 +140,26 @@ class FaultState {
   /// Samples the per-send extra delay. Consumes RNG only when
   /// extra_delay_max > 0.
   Time sample_extra_delay();
+  /// Samples the per-send duplication coin. Consumes RNG only when
+  /// dup_prob > 0.
+  bool sample_duplicate();
+  /// Samples the per-send reorder jitter (0 when the coin says no jitter —
+  /// the FIFO-violating extra delay). Consumes RNG only when
+  /// reorder_prob > 0.
+  Time sample_reorder_delay();
 
   std::size_t sites_down() const { return sites_down_; }
   std::size_t links_down() const { return links_down_; }
   /// Live undirected links: link up and both endpoints up.
   std::size_t live_link_count(const Topology& topo) const;
+
+  /// Boundary of the active partition (0 when the network is whole).
+  SiteId partition_boundary() const { return partition_boundary_; }
+  /// Endpoints of every link the last kPartition/kHeal event flipped —
+  /// the routing-repair seed set. Valid until the next apply().
+  const std::vector<SiteId>& partition_changed_sites() const {
+    return partition_changed_sites_;
+  }
 
  private:
   std::size_t link_index(SiteId a, SiteId b) const;
@@ -134,6 +173,16 @@ class FaultState {
   std::size_t links_down_ = 0;
   double drop_prob_ = 0.0;
   double extra_delay_max_ = 0.0;
+  double dup_prob_ = 0.0;
+  double reorder_prob_ = 0.0;
+  double reorder_delay_max_ = 0.0;
+  /// Cut boundary of the active partition, 0 = none. While a partition is
+  /// active the cut's link states stay authoritative in link_up_ (so the
+  /// routing repair sees the partition for free); kHeal restores exactly
+  /// the links in partition_downed_, preserving independent link faults.
+  SiteId partition_boundary_ = 0;
+  std::vector<std::size_t> partition_downed_;  ///< links() indices the cut owns
+  std::vector<SiteId> partition_changed_sites_;
   Rng perturb_rng_;
 };
 

@@ -27,7 +27,22 @@ policy::ParamSchema& add_fault_params(policy::ParamSchema& schema) {
       .add_double("faults.link_mttr", 10.0, "mean link down-time")
       .add_double("faults.drop", 0.0, "per-send message loss probability")
       .add_double("faults.extra_delay", 0.0,
-                  "uniform [0, max) extra delay per send");
+                  "uniform [0, max) extra delay per send")
+      .add_double("faults.dup", 0.0,
+                  "per-send message duplication probability")
+      .add_double("faults.reorder", 0.0,
+                  "per-send probability of FIFO-violating reorder jitter")
+      .add_double("faults.reorder_delay", 1.0,
+                  "uniform [0, max) reorder jitter delay")
+      .add_double("faults.partition_rate", 0.0,
+                  "network partitions per time unit (random halving cuts)")
+      .add_double("faults.partition_mttr", 15.0,
+                  "mean partition duration before healing")
+      .add_bool("faults.retransmit", false,
+                "ack+retransmit unanswered protocol messages with capped "
+                "exponential backoff")
+      .add_int("faults.retransmit_tries", 3,
+               "max retransmissions per unanswered message");
   return schema;
 }
 
@@ -40,6 +55,14 @@ FaultSpec fault_spec_from(const policy::ParamMap& params, Time horizon) {
   spec.drop_prob = params.get_double("faults.drop", spec.drop_prob);
   spec.extra_delay_max =
       params.get_double("faults.extra_delay", spec.extra_delay_max);
+  spec.dup_prob = params.get_double("faults.dup", spec.dup_prob);
+  spec.reorder_prob = params.get_double("faults.reorder", spec.reorder_prob);
+  spec.reorder_delay_max =
+      params.get_double("faults.reorder_delay", spec.reorder_delay_max);
+  spec.partition_rate =
+      params.get_double("faults.partition_rate", spec.partition_rate);
+  spec.partition_mttr =
+      params.get_double("faults.partition_mttr", spec.partition_mttr);
   spec.seed = static_cast<std::uint64_t>(
       params.get_int("faults.seed", static_cast<std::int64_t>(spec.seed)));
   spec.horizon = horizon;

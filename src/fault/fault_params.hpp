@@ -8,7 +8,11 @@
 // exist only on the rtds schema — only the RTDS protocol runs over the
 // simulated message transport where lossy links are expressible; the
 // baselines keep an idealized reliable control plane (DESIGN.md §9), which
-// biases every fault comparison *against* RTDS.
+// biases every fault comparison *against* RTDS. PR 7 widens the rtds-only
+// set with the adversarial-network keys (faults.dup / faults.reorder /
+// faults.reorder_delay / faults.partition_rate / faults.partition_mttr)
+// and the hardening switches (faults.retransmit / faults.retransmit_tries),
+// see DESIGN.md §12.
 #pragma once
 
 #include <vector>

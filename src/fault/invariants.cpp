@@ -1,0 +1,79 @@
+#include "fault/invariants.hpp"
+
+#include <sstream>
+
+#include "core/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace rtds::fault {
+
+namespace {
+bool g_check_enabled = false;
+bool g_fatal = false;
+}  // namespace
+
+void set_check_invariants(bool on) { g_check_enabled = on; }
+bool check_invariants_enabled() { return g_check_enabled; }
+void set_invariants_fatal(bool on) { g_fatal = on; }
+bool invariants_fatal() { return g_fatal; }
+
+void InvariantChecker::violate(const std::string& what, Time now, SiteId site) {
+  ++violations_;
+  RTDS_COUNT("invariant.violations");
+  if (auto* tr = obs::tracer())
+    tr->instant("invariant", "violation", now, site);
+  if (g_fatal)
+    throw ContractViolation("invariant violated: " + what);
+}
+
+void InvariantChecker::on_event(Time now) {
+  if (now < last_event_time_) {
+    std::ostringstream os;
+    os << "monotone-time: event at t=" << now << " after t="
+       << last_event_time_;
+    violate(os.str(), now, 0);
+  }
+  last_event_time_ = now;
+}
+
+void InvariantChecker::on_delivery(SiteId to, bool up, Time now) {
+  if (!up) {
+    std::ostringstream os;
+    os << "delivery-liveness: message delivered to down site " << to
+       << " at t=" << now;
+    violate(os.str(), now, to);
+  }
+}
+
+void InvariantChecker::on_decision(JobId job, Time now) {
+  if (decided_.contains(job)) {
+    std::ostringstream os;
+    os << "at-most-one: second decision for job " << job << " at t=" << now;
+    violate(os.str(), now, 0);
+    return;
+  }
+  decided_.insert(job);
+}
+
+void InvariantChecker::finish(const RunMetrics& metrics,
+                              std::size_t locks_held, Time now) {
+  const std::uint64_t decided =
+      metrics.accepted_local + metrics.accepted_remote + metrics.rejected;
+  if (decided != metrics.arrived || metrics.arrived != submitted_) {
+    std::ostringstream os;
+    os << "job-conservation: submitted=" << submitted_ << " arrived="
+       << metrics.arrived << " decided=" << decided
+       << " (accepted+rejected must equal submitted exactly)";
+    violate(os.str(), now, 0);
+  }
+  if (locks_held != 0) {
+    std::ostringstream os;
+    os << "lock-conservation: " << locks_held
+       << " PCS lock(s) still held after the run drained";
+    violate(os.str(), now, 0);
+  }
+}
+
+}  // namespace rtds::fault

@@ -1,0 +1,70 @@
+// Runtime safety-invariant checker (DESIGN.md §12). The paper's guarantees
+// are safety properties — a guaranteed job is never double-promised, locks
+// never leak, the simulation clock never runs backwards — and under the
+// adversarial network model (duplication, reordering, partitions) they are
+// exactly what the hardening must preserve. RtdsSystem registers one
+// checker per run when enabled; each hook is O(1), and violations are
+// counted into RunMetrics::invariant_violations and reported through the
+// obs layer (an "invariant" counter plus a trace instant). In fatal mode
+// (the tests' default) the first violation throws, so a chaos soak cannot
+// quietly pass with a broken invariant.
+//
+// Catalog:
+//   monotone-time      simulator events execute at non-decreasing times
+//   delivery-liveness  no message is handed to a crashed site
+//   at-most-one        every job gets at most one decision (one guarantee)
+//   job-conservation   decided == submitted at end of run (accepted_local +
+//                      accepted_remote + rejected == arrived, exactly)
+//   lock-conservation  no site still holds a PCS lock after the run drains
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dag/dag.hpp"
+#include "net/topology.hpp"
+#include "util/flat_map.hpp"
+#include "util/time.hpp"
+
+namespace rtds {
+struct RunMetrics;
+}
+
+namespace rtds::fault {
+
+/// Process-wide enable switch (`--check-invariants` in both CLIs; tests set
+/// it directly). Per-run SystemConfig::check_invariants OR-s with this, so
+/// a scenario can force checking on regardless of the CLI flag.
+void set_check_invariants(bool on);
+bool check_invariants_enabled();
+
+/// When fatal, the first violation throws ContractViolation instead of
+/// only counting — the test-suite mode.
+void set_invariants_fatal(bool on);
+bool invariants_fatal();
+
+class InvariantChecker {
+ public:
+  /// Post-event simulator hook: the clock must never run backwards.
+  void on_event(Time now);
+  /// Transport-delivery hook: `up` is the receiving node's liveness at the
+  /// moment the handler would run.
+  void on_delivery(SiteId to, bool up, Time now);
+  /// Decision hook: at most one guarantee/rejection per job, ever.
+  void on_decision(JobId job, Time now);
+  void on_submitted(std::uint64_t count) { submitted_ += count; }
+  /// End-of-run audit: job conservation and lock conservation.
+  void finish(const RunMetrics& metrics, std::size_t locks_held, Time now);
+
+  std::uint64_t violations() const { return violations_; }
+
+ private:
+  void violate(const std::string& what, Time now, SiteId site);
+
+  Time last_event_time_ = 0.0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t violations_ = 0;
+  FlatSet<JobId> decided_;
+};
+
+}  // namespace rtds::fault

@@ -55,7 +55,10 @@ ParamSchema make_rtds_schema() {
                   "transport=contended: link bandwidth in size units per "
                   "time unit")
       .add_bool("measure_pcs_build", false,
-                "also run the §7 distributed APSP as real messages");
+                "also run the §7 distributed APSP as real messages")
+      .add_bool("check_invariants", false,
+                "run the §12 runtime invariant checker (pure observer; "
+                "also enabled by the CLIs' --check-invariants)");
   add_sched_params(schema);
   // rtds is the only family on the simulated transport, so it gets the
   // full network-fault surface (link failures, drops, extra delay) on top
@@ -103,6 +106,13 @@ SystemConfig system_config_from(const ParamMap& p) {
   cfg.link_bandwidth = p.get_double("bandwidth", cfg.link_bandwidth);
   cfg.measure_pcs_build_cost =
       p.get_bool("measure_pcs_build", cfg.measure_pcs_build_cost);
+  cfg.check_invariants = p.get_bool("check_invariants", cfg.check_invariants);
+  // §12 hardening knobs (inert with an empty fault plan: no retries are
+  // ever armed, so hardened faultless runs stay bit-identical).
+  cfg.node.retransmit = p.get_bool("faults.retransmit", cfg.node.retransmit);
+  cfg.node.retransmit_tries = static_cast<int>(p.get_int(
+      "faults.retransmit_tries",
+      static_cast<std::int64_t>(cfg.node.retransmit_tries)));
   return cfg;
 }
 

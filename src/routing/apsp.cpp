@@ -384,7 +384,21 @@ struct ApspSite {
   /// Future-phase messages, buffered until this site catches up.
   std::vector<std::pair<std::size_t, std::shared_ptr<const RoutingTable>>>
       early;
+  /// (sender, phase) pairs already counted — the APSP handler's dedup
+  /// guard (DESIGN.md §12): table merges are idempotent min-merges, but a
+  /// duplicated neighbour table must not double-count toward
+  /// received_this_phase. Bounded by neighbours × phases; linear scan is
+  /// fine at that size.
+  std::vector<std::pair<SiteId, std::size_t>> seen;
   bool done = false;
+
+  /// True the first time (from, phase) is recorded, false on a duplicate.
+  bool first_delivery(SiteId from, std::size_t phase) {
+    for (const auto& [s, p] : seen)
+      if (s == from && p == phase) return false;
+    seen.emplace_back(from, phase);
+    return true;
+  }
 };
 
 }  // namespace
@@ -453,12 +467,16 @@ DistributedApspResult distributed_apsp(Simulator& sim, SimNetwork& net,
       const auto& msg = std::get<ApspTableMsg>(payload);
       auto& st = sites[s];
       if (st.done) return;
+      if (!st.first_delivery(from, msg.phase)) return;  // network duplicate
       if (msg.phase == st.phase) {
         st.table.merge_from(from, topo.link_delay(s, from), *msg.table);
         ++st.received_this_phase;
         maybe_advance(s);
       } else {
-        // Neighbour is ahead (asynchronous links): buffer until we get there.
+        // Neighbour is ahead (asynchronous links): buffer until we get
+        // there. A behind-phase table is impossible — the phase lockstep
+        // only advances once every neighbour's table for the current phase
+        // arrived, and duplicates were filtered above.
         RTDS_CHECK_MSG(msg.phase > st.phase,
                        "duplicate phase " << msg.phase << " at site " << s);
         st.early.emplace_back(msg.phase, msg.table);

@@ -63,7 +63,24 @@ std::size_t IdealTransport::send(SiteId from, SiteId to, MessageBody payload,
       drop(to, payload);
       return line->hops;
     }
-    delay += faults_->sample_extra_delay();
+    // Fixed draw order per send: drop, dup, then per-copy perturbations
+    // (extra delay, reorder jitter) — same contract as SimNetwork.
+    const bool dup = faults_->sample_duplicate();
+    delay += faults_->sample_extra_delay() + faults_->sample_reorder_delay();
+    if (dup) {
+      ++stats_.messages_duplicated;
+      RTDS_COUNT("net.duplicated");
+      const Time dup_delay = line->dist + faults_->sample_extra_delay() +
+                             faults_->sample_reorder_delay();
+      sim_.schedule_in(dup_delay, [this, from, to, p = MessageBody(payload)]() {
+        if (faults_ != nullptr && !faults_->site_up(to)) {
+          drop(to, p);
+          return;
+        }
+        RTDS_CHECK(handlers_[to] != nullptr);
+        handlers_[to](from, p);
+      });
+    }
   }
   sim_.schedule_in(delay, [this, from, to, p = std::move(payload)]() {
     // Arrival-time liveness: the destination must be up when the message
@@ -141,8 +158,20 @@ std::size_t ContendedTransport::send(SiteId from, SiteId to, MessageBody payload
       return hops;
     }
     // The store-and-forward chain already models queueing; the plan's
-    // extra delay perturbs the injection instant instead of each hop.
-    const Time extra = faults_->sample_extra_delay();
+    // extra delay (and reorder jitter) perturbs the injection instant
+    // instead of each hop. Draw order matches SimNetwork: drop, dup, then
+    // per-copy perturbations.
+    const bool dup = faults_->sample_duplicate();
+    const Time extra =
+        faults_->sample_extra_delay() + faults_->sample_reorder_delay();
+    if (dup) {
+      ++stats_.messages_duplicated;
+      RTDS_COUNT("net.duplicated");
+      const Time dup_extra =
+          faults_->sample_extra_delay() + faults_->sample_reorder_delay();
+      sim_.schedule_in(dup_extra, [this, from, to, p = shared,
+                                   size_units]() { forward(from, to, p, size_units); });
+    }
     if (extra > 0.0) {
       sim_.schedule_in(extra, [this, from, to, p = std::move(shared),
                                size_units]() { forward(from, to, p, size_units); });

@@ -30,6 +30,7 @@ std::string obs_category_name(int category) {
     case 4: return "validate";
     case 5: return "validate_reply";
     case 6: return "dispatch";
+    case 7: return "dispatch_ack";
     case 11: return "bid_request";
     case 12: return "bid_reply";
     case 13: return "offer";
@@ -157,8 +158,25 @@ void SimNetwork::deliver(SiteId from, SiteId to, Time delay,
       RTDS_COUNT("net.dropped");
       return;
     }
-    delay += faults_->sample_extra_delay();
+    // Fixed draw order per send — drop, dup, then per-copy (extra delay,
+    // reorder jitter) — so enabling one fault process never shifts the
+    // stream another process reads.
+    const Time base = delay;
+    const bool dup = faults_->sample_duplicate();
+    delay += faults_->sample_extra_delay() + faults_->sample_reorder_delay();
+    if (dup) {
+      ++stats_.messages_duplicated;
+      RTDS_COUNT("net.duplicated");
+      const Time dup_delay = base + faults_->sample_extra_delay() +
+                             faults_->sample_reorder_delay();
+      schedule_delivery(from, to, dup_delay, MessageBody(payload));
+    }
   }
+  schedule_delivery(from, to, delay, std::move(payload));
+}
+
+void SimNetwork::schedule_delivery(SiteId from, SiteId to, Time delay,
+                                   MessageBody payload) {
   auto fire = [this, from, to, p = std::move(payload)]() {
     // Arrival-time fault check: the destination must be up when the
     // message lands, not merely when it was sent.

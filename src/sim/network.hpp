@@ -127,6 +127,9 @@ struct MessageStats {
   /// Sends lost to injected faults (dead destination, downed link, drop
   /// coin, vanished route). Always 0 without a fault plan.
   std::uint64_t messages_dropped = 0;
+  /// Extra copies injected by the duplication fault process. Always 0
+  /// without a fault plan.
+  std::uint64_t messages_duplicated = 0;
 
   void record(int category, std::uint64_t hops) {
     auto& e = by_category[category];
@@ -144,6 +147,7 @@ struct MessageStats {
     total_sends = 0;
     total_link_messages = 0;
     messages_dropped = 0;
+    messages_duplicated = 0;
   }
 };
 
@@ -179,11 +183,13 @@ class SimNetwork {
                   int category = 0);
 
   /// Installs a fault view (nullptr = faultless, the default). With faults
-  /// installed every send consults it: the drop coin and extra delay are
-  /// sampled at send time, adjacency additionally requires the link up at
-  /// send time, and delivery is suppressed when the destination is down at
-  /// arrival time. Dropped sends still count their link messages (the
-  /// traffic was emitted) and increment MessageStats::messages_dropped.
+  /// installed every send consults it: the drop coin, duplication coin,
+  /// extra delay and reorder jitter are sampled at send time, adjacency
+  /// additionally requires the link up at send time, and delivery is
+  /// suppressed when the destination is down at arrival time. Dropped
+  /// sends still count their link messages (the traffic was emitted) and
+  /// increment MessageStats::messages_dropped; a duplicated send delivers
+  /// twice and increments MessageStats::messages_duplicated.
   void set_fault_state(fault::FaultState* faults) { faults_ = faults; }
 
   MessageStats& stats() { return stats_; }
@@ -191,6 +197,10 @@ class SimNetwork {
 
  private:
   void deliver(SiteId from, SiteId to, Time delay, MessageBody payload);
+  /// Enqueues one delivery event at `delay` (deliver() may call it twice
+  /// for a duplicated send, each copy with its own sampled jitter).
+  void schedule_delivery(SiteId from, SiteId to, Time delay,
+                         MessageBody payload);
 
   Simulator& sim_;
   const Topology& topo_;

@@ -305,6 +305,7 @@ bool Simulator::step() {
     fn = nullptr;
     small_slab_.release(top.slot);
   }
+  if (observer_ != nullptr) observer_(observer_ctx_, now_);
   return true;
 }
 

@@ -96,6 +96,17 @@ class Simulator {
 
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Post-event observer (raw function pointer + context, null by default):
+  /// called after every executed event with the event's time. The invariant
+  /// checker (fault/invariants.hpp) uses it for the monotone-time check;
+  /// keeping it a plain pointer keeps the unobserved hot path to one
+  /// null test per event.
+  using EventObserver = void (*)(void* ctx, Time now);
+  void set_event_observer(EventObserver fn, void* ctx) {
+    observer_ = fn;
+    observer_ctx_ = ctx;
+  }
+
   /// Guard against runaway protocols in tests.
   static constexpr std::size_t kDefaultEventBudget = 100'000'000;
 
@@ -197,6 +208,8 @@ class Simulator {
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  EventObserver observer_ = nullptr;
+  void* observer_ctx_ = nullptr;
 
   std::vector<Node> staged_;
   std::vector<Node> run_;
