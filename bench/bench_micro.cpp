@@ -22,7 +22,10 @@
 #include "exp/condition.hpp"
 #include "matching/bipartite.hpp"
 #include "fault/fault.hpp"
+#include "load/engine.hpp"
+#include "load/source.hpp"
 #include "net/generators.hpp"
+#include "policy/policy.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "routing/apsp.hpp"
@@ -397,6 +400,65 @@ void BM_ChaosRecoveryRound(benchmark::State& state) {
   state.SetLabel("items = retransmissions");
 }
 BENCHMARK(BM_ChaosRecoveryRound);
+
+// ------------------------------------------------- open-system traffic ----
+
+void BM_ArrivalSourceNext(benchmark::State& state) {
+  // Per-arrival cost of the lazy streaming generator: the price every
+  // open-system run pays per job before any protocol work happens.
+  // Arg: 0 = poisson, 1 = bursty (MMPP), 2 = diurnal curve.
+  load::ArrivalSpec spec;
+  spec.kind = static_cast<load::ArrivalKind>(state.range(0));
+  spec.site_count = 64;
+  spec.workload.arrival_rate_per_site = 0.05;
+  spec.workload.seed = 17;
+  std::uint64_t pulled = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto source = load::make_arrival_source(spec);
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      auto a = source->next();
+      benchmark::DoNotOptimize(a);
+      ++pulled;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(pulled));
+  state.SetLabel(load::to_string(spec.kind));
+}
+BENCHMARK(BM_ArrivalSourceNext)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ShedQueuePush(benchmark::State& state) {
+  // The overload path end to end: a heavily oversubscribed open run with
+  // a one-slot admission queue, so nearly every arrival exercises the
+  // bounded-queue shed decision (drop-lowest-laxity: the O(cap) victim
+  // scan). items = jobs shed per wall-second.
+  Rng rng(13);
+  const Topology topo = make_net(NetShape::kGrid, 16, DelayRange{0.5, 2.0},
+                                 rng);
+  load::ArrivalSpec spec;
+  spec.site_count = 16;
+  spec.workload.arrival_rate_per_site = 0.3;
+  spec.workload.seed = 13;
+  policy::register_builtin_policies();  // idempotent
+  const auto policy = policy::PolicyRegistry::instance().create("rtds");
+  const auto params = policy::ParamMap::parse_pairs(
+      {{"shed.cap", "1"}, {"shed.policy", "drop_lowest_laxity"}},
+      policy->describe_params());
+  load::OpenConfig cfg;
+  cfg.duration = 60.0;
+  std::uint64_t shed = 0;
+  for (auto _ : state) {
+    const auto source = load::make_arrival_source(spec);
+    const auto r = load::run_open_rtds(topo, *source, cfg, params);
+    const auto it = r.metrics.reject_by_reason.find(
+        static_cast<int>(RejectReason::kShed));
+    shed += it == r.metrics.reject_by_reason.end() ? 0 : it->second;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(shed));
+  state.SetLabel("items = jobs shed");
+}
+BENCHMARK(BM_ShedQueuePush);
 
 }  // namespace
 }  // namespace rtds

@@ -4,9 +4,12 @@
 //   gen-net    --net=<shape> --sites=N [--delay-min --delay-max --seed]
 //              [--out=FILE]            generate a topology file
 //   gen-load   --sites=N [--rate --horizon --laxity-min --laxity-max
-//              --process=poisson|bursty --deadline=cp|work --seed]
+//              --process=poisson|bursty|diurnal --burst-on --burst-off
+//              --burst-mult --deadline=cp|work --seed]
 //              [--out=FILE]            generate a workload trace file
 //   run        --net=FILE --load=FILE [--policy=NAME | --scheduler=NAME]
+//              (--workload-trace=FILE is an alias for --load; the flag name
+//              matches rtds_exp, where --trace means the obs event output)
 //              [--set key=value ...] [--h --policy=edf|exact|preemptive
 //              --transport=ideal|contended --bandwidth --slack]
 //              [--faults=k=v,k=v,...]
@@ -37,6 +40,7 @@
 #include "core/trace_io.hpp"
 #include "dag/analysis.hpp"
 #include "fault/invariants.hpp"
+#include "load/source.hpp"
 #include "net/generators.hpp"
 #include "net/io.hpp"
 #include "obs/profile.hpp"
@@ -55,9 +59,11 @@ namespace {
       "  gen-net  --net=grid --sites=64 [--delay-min=0.5 --delay-max=2.0\n"
       "           --seed=42 --out=net.txt]\n"
       "  gen-load --sites=64 [--rate=0.02 --horizon=1000 --laxity-min=2\n"
-      "           --laxity-max=6 --process=poisson --deadline=cp --seed=42\n"
-      "           --out=load.txt]\n"
-      "  run      --net=net.txt --load=load.txt [--policy=rtds\n"
+      "           --laxity-max=6 --process=poisson|bursty|diurnal\n"
+      "           --burst-on=50 --burst-off=200 --burst-mult=6\n"
+      "           --deadline=cp|work --seed=42 --out=load.txt]\n"
+      "  run      --net=net.txt (--load=load.txt | --workload-trace=load.txt)\n"
+      "           [--policy=rtds\n"
       "           --set h=2 --set admission=edf ... | --h=2 --policy=edf\n"
       "           --transport=ideal --bandwidth=100]\n"
       "           [--faults=site_rate=0.002,site_mttr=25,drop=0.01]\n"
@@ -107,9 +113,15 @@ int cmd_gen_load(const Flags& flags) {
   wl.min_tasks = static_cast<std::size_t>(flags.get_int("min-tasks", 4));
   wl.max_tasks = static_cast<std::size_t>(flags.get_int("max-tasks", 12));
   wl.seed = flags.get_seed("seed", 42);
+  wl.burst_on_mean = flags.get_double("burst-on", wl.burst_on_mean);
+  wl.burst_off_mean = flags.get_double("burst-off", wl.burst_off_mean);
+  wl.burst_multiplier = flags.get_double("burst-mult", wl.burst_multiplier);
   const auto process = flags.get_string("process", "poisson");
+  bool diurnal = false;
   if (process == "bursty")
     wl.arrival_process = ArrivalProcess::kBursty;
+  else if (process == "diurnal")
+    diurnal = true;  // open-generator curve, materialized over the horizon
   else
     RTDS_REQUIRE_MSG(process == "poisson", "unknown --process=" << process);
   const auto deadline = flags.get_string("deadline", "cp");
@@ -119,7 +131,18 @@ int cmd_gen_load(const Flags& flags) {
     RTDS_REQUIRE_MSG(deadline == "cp", "unknown --deadline=" << deadline);
   const auto out = flags.get_string("out", "");
   flags.check_unused();
-  const auto arrivals = generate_workload(sites, wl);
+  std::vector<JobArrival> arrivals;
+  if (diurnal) {
+    // The diurnal rate curve only exists in the open-system generator
+    // (src/load/); its eager path is the closed-batch equivalent.
+    load::ArrivalSpec spec;
+    spec.kind = load::ArrivalKind::kDiurnal;
+    spec.site_count = sites;
+    spec.workload = wl;
+    arrivals = load::generate_open_workload(spec, wl.horizon);
+  } else {
+    arrivals = generate_workload(sites, wl);
+  }
   write_file_or_stdout(out, trace_to_string(arrivals));
   if (!out.empty())
     std::cout << arrivals.size() << " jobs over " << sites << " sites\n";
@@ -128,9 +151,17 @@ int cmd_gen_load(const Flags& flags) {
 
 int cmd_run(const Flags& flags) {
   const auto net_path = flags.get_string("net", "");
+  // --workload-trace is the canonical spelling (matching rtds_exp, where
+  // --trace already means the obs event *output*); --load stays as the
+  // historical alias. Same file format either way (core/trace_io).
   const auto load_path = flags.get_string("load", "");
-  RTDS_REQUIRE_MSG(!net_path.empty() && !load_path.empty(),
-                   "run needs --net=FILE and --load=FILE");
+  const auto workload_trace = flags.get_string("workload-trace", "");
+  RTDS_REQUIRE_MSG(load_path.empty() || workload_trace.empty(),
+                   "--load and --workload-trace are aliases; pass only one");
+  const auto trace_path = load_path.empty() ? workload_trace : load_path;
+  RTDS_REQUIRE_MSG(!net_path.empty() && !trace_path.empty(),
+                   "run needs --net=FILE and --load=FILE "
+                   "(or --workload-trace=FILE)");
 
   // Family selection: --scheduler, or --policy when it names a registered
   // policy. A non-policy --policy value keeps its legacy meaning (the §5
@@ -201,10 +232,10 @@ int cmd_run(const Flags& flags) {
   const policy::ParamMap params = policy->parse_params(sets);
 
   const Topology topo = topology_from_string(read_file(net_path));
-  const auto arrivals = trace_from_string(read_file(load_path));
-  for (const auto& a : arrivals)
-    RTDS_REQUIRE_MSG(a.site < topo.site_count(),
-                     "trace site " << a.site << " outside topology");
+  // read_trace validates format, times, arrival order and — given the
+  // site count — that every job lands inside this topology.
+  const auto arrivals =
+      trace_from_string(read_file(trace_path), topo.site_count());
 
   if (profile) {
     obs::Profiler::set_enabled(true);

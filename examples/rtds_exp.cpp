@@ -23,6 +23,23 @@
 //       --net --sites --rate --horizon --laxity-min --laxity-max
 //       --delay-min --delay-max --min-tasks --max-tasks --seed.
 //
+// Open-system mode (src/load/, DESIGN.md §13):
+//   --duration=T    switch from the closed batch to an open streamed run of
+//                   length T. In --policy mode the rtds policy streams
+//                   lazily (bounded memory) and reports steady-state
+//                   windowed metrics; baselines run the duration prefix as
+//                   a batch. In --scenario/--report mode the override is
+//                   visible to duration-aware scenarios (e9_steady_state,
+//                   e9_saturation) and bounds their run length.
+//   --warmup=T --window=W
+//                   steady-state measurement: trim completions before T,
+//                   then tumble W-wide quantile windows (policy mode).
+//   --workload-trace=FILE
+//                   replay a saved arrival trace (rtds_cli gen-load /
+//                   core/trace_io format) instead of generating arrivals.
+//                   Validated against the topology's site count. Note:
+//                   --trace=FILE is unrelated — it *writes* obs events.
+//
 // Observability (scenario and policy modes, DESIGN.md §11):
 //   --trace=FILE    record per-message / per-protocol-phase events; FILE
 //                   ending in .jsonl gets the compact JSONL stream, any
@@ -39,11 +56,14 @@
 #include <optional>
 #include <sstream>
 
+#include "core/trace_io.hpp"
 #include "exp/condition.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenarios.hpp"
 #include "exp/sinks.hpp"
 #include "fault/invariants.hpp"
+#include "load/engine.hpp"
+#include "load/load_params.hpp"
 #include "obs/profile.hpp"
 #include "policy/policy.hpp"
 #include "util/error.hpp"
@@ -61,12 +81,15 @@ namespace {
       "       rtds_exp --scenario=NAME [--jobs=N] [--replicates=R]\n"
       "                [--seeds=fixed|derived] [--sink=table|csv|jsonl]\n"
       "                [--out=FILE] [--verify] [--check-invariants]\n"
+      "                [--duration=T]\n"
       "                [--trace=FILE] [--metrics=FILE] [--profile]\n"
-      "       rtds_exp --report=NAME [--out=FILE]\n"
+      "       rtds_exp --report=NAME [--out=FILE] [--duration=T]\n"
       "       rtds_exp --policy=NAME [--describe] [--set key=value ...]\n"
       "                [--net=grid --sites=64 --rate=0.02 --horizon=400\n"
       "                 --laxity-min --laxity-max --delay-min --delay-max\n"
       "                 --min-tasks --max-tasks --seed] [--json] [--out=FILE]\n"
+      "                [--duration=T --warmup=T --window=W]\n"
+      "                [--workload-trace=FILE]\n"
       "                [--trace=FILE] [--metrics=FILE] [--profile]\n";
   std::exit(2);
 }
@@ -181,13 +204,37 @@ int run_policy_cmd(const std::string& name, const Flags& flags) {
   cs.seed = flags.get_seed("seed", 42);
   const std::string out = flags.get_string("out", "");
   const bool json = flags.get_bool("json", false);
+  // Open-system mode: --duration (read once in main) switches from the
+  // closed batch to a streamed run; --warmup/--window shape its windows.
+  const Time duration = load::scenario_duration(0.0);
+  const Time warmup = flags.get_double("warmup", 100.0);
+  const Time window_width = flags.get_double("window", 50.0);
+  const std::string workload_trace = flags.get_string("workload-trace", "");
   const ObsFlags obs_flags = parse_obs_flags(flags);
   flags.check_unused();
 
-  const Condition c = make_condition(cs);
+  // The workload.* --set keys steer generation (bursty/diurnal arrivals,
+  // deadline base); with none set the spec — and the closed-path bytes —
+  // are untouched.
+  apply_workload_params(params, cs);
+  const Topology topo = make_topology(cs);
+  load::ArrivalSpec aspec;
+  aspec.kind = load::arrival_kind_from(params);
+  aspec.site_count = topo.site_count();
+  aspec.workload = workload_config(cs);
+  if (!workload_trace.empty()) {
+    // Replay a saved trace (validated against this topology) instead of
+    // generating. Distinct from --trace=FILE, which *writes* obs events.
+    std::ifstream file(workload_trace);
+    RTDS_REQUIRE_MSG(file.good(), "cannot open " << workload_trace);
+    aspec.kind = load::ArrivalKind::kTrace;
+    aspec.trace = read_trace(file, topo.site_count());
+  }
+
   obs::MetricsBuffer obs_metrics;
   std::vector<obs::TraceRecorder> traces(1);
   RunMetrics m;
+  std::optional<load::OpenRunResult> open_result;
   {
     // Single run, so bind the obs context directly (runner not involved).
     std::optional<obs::Scope> scope;
@@ -195,7 +242,30 @@ int run_policy_cmd(const std::string& name, const Flags& flags) {
       scope.emplace(&obs_metrics, !obs_flags.trace_file.empty()
                                       ? &traces.front()
                                       : nullptr);
-    m = policy->run(c.topo, c.arrivals, params);
+    if (duration > 0.0) {
+      const auto source = load::make_arrival_source(aspec);
+      if (name == "rtds") {
+        load::OpenConfig ocfg;
+        ocfg.duration = duration;
+        ocfg.window.warmup = warmup;
+        ocfg.window.width = window_width;
+        open_result = load::run_open_rtds(topo, *source, ocfg, params);
+        m = open_result->metrics;
+      } else {
+        m = load::run_open_policy(*policy, topo, *source, duration, params);
+      }
+    } else {
+      std::vector<JobArrival> arrivals;
+      if (aspec.kind == load::ArrivalKind::kTrace)
+        arrivals = std::move(aspec.trace);
+      else if (aspec.kind == load::ArrivalKind::kDiurnal)
+        // The diurnal curve only exists in the open generator; the closed
+        // batch uses its eager path over the condition's horizon.
+        arrivals = load::generate_open_workload(aspec, cs.horizon);
+      else
+        arrivals = generate_workload(topo.site_count(), aspec.workload);
+      m = policy->run(topo, arrivals, params);
+    }
   }
   if (!obs_flags.trace_file.empty())
     write_trace_file(obs_flags.trace_file, traces);
@@ -240,6 +310,23 @@ int run_policy_cmd(const std::string& name, const Flags& flags) {
              Table::num(
                  m.decision_latency.count() ? m.decision_latency.mean() : 0.0,
                  3)});
+  if (open_result) {
+    // Steady-state block (open rtds runs only): post-warm-up windowed
+    // sojourn quantiles and the saturation knee.
+    const auto& s = open_result->steady;
+    const auto shed_it =
+        m.reject_by_reason.find(static_cast<int>(RejectReason::kShed));
+    t.add_row({"jobs shed",
+               Table::num(std::size_t{
+                   shed_it == m.reject_by_reason.end() ? 0u : shed_it->second})});
+    t.add_row({"steady completed", Table::num(std::size_t{s.completed})});
+    t.add_row({"sojourn mean", Table::num(s.sojourn_mean, 3)});
+    t.add_row({"sojourn p50", Table::num(s.p50, 3)});
+    t.add_row({"sojourn p95", Table::num(s.p95, 3)});
+    t.add_row({"sojourn p99", Table::num(s.p99, 3)});
+    t.add_row({"knee window", Table::num(static_cast<long long>(s.knee_window))});
+    t.add_row({"windows", Table::num(open_result->windows.size())});
+  }
 
   std::ostringstream text;
   t.print(text);
@@ -351,6 +438,11 @@ int main(int argc, char** argv) {
     // (a test wanting hard failure sets fault::set_invariants_fatal).
     if (flags.get_bool("check-invariants", false))
       fault::set_check_invariants(true);
+
+    // Open-system run length, honoured by --policy mode and by
+    // duration-aware scenarios/reports (load::scenario_duration).
+    const Time duration = flags.get_double("duration", 0.0);
+    if (duration > 0.0) load::set_scenario_duration(duration);
 
     if (flags.get_bool("list", false)) {
       flags.check_unused();

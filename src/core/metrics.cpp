@@ -26,6 +26,7 @@ const char* to_string(RejectReason reason) {
     case RejectReason::kMatchingFailed: return "matching_failed";
     case RejectReason::kOffloadRefused: return "offload_refused";
     case RejectReason::kSiteDown: return "site_down";
+    case RejectReason::kShed: return "shed";
   }
   return "?";
 }
@@ -49,6 +50,7 @@ void RunMetrics::record(const JobDecision& d) {
       ++rejected;
       ++reject_by_reason[static_cast<int>(d.reject_reason)];
       RTDS_COUNT("jobs.rejected");
+      if (d.reject_reason == RejectReason::kShed) RTDS_COUNT("jobs.shed");
       break;
   }
   if (d.adjustment_case != 0) ++adjustment_cases[d.adjustment_case];

@@ -30,6 +30,7 @@ enum class RejectReason {
   kMatchingFailed,   ///< §10: maximum coupling < |U|
   kOffloadRefused,   ///< baselines: remote site's local test failed
   kSiteDown,         ///< faults: arrival at (or in-flight work on) a dead site
+  kShed,             ///< overload: bounded admission queue shed the job
 };
 
 const char* to_string(RejectReason reason);

@@ -27,6 +27,15 @@ const char* to_string(EnrollGate gate) {
   return "?";
 }
 
+const char* to_string(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kDropNewest: return "drop_newest";
+    case ShedPolicy::kDropLowestLaxity: return "drop_lowest_laxity";
+    case ShedPolicy::kRejectEnroll: return "reject_enroll";
+  }
+  return "?";
+}
+
 const char* msg_category_name(int category) {
   switch (category) {
     case kMsgEnroll: return "enroll";
@@ -106,15 +115,73 @@ void RtdsNode::submit(std::shared_ptr<const Job> job) {
     return;
   }
   if (lock_.has_value()) {
+    // kRejectEnroll refuses at the door: with the admission queue full the
+    // arrival is shed before any admission work (even the local test) is
+    // spent on it — the cheapest possible overload response.
+    if (cfg_.admission_queue_cap > 0 &&
+        cfg_.shed_policy == ShedPolicy::kRejectEnroll &&
+        queue_.size() >= cfg_.admission_queue_cap) {
+      record_shed(*job);
+      return;
+    }
     // Opportunistic local accept while locked (see class comment); jobs
     // that do not fit — or would break an outstanding endorsement — wait.
     if (!try_local_accept(job)) {
       RTDS_TRACE("site " << site_ << " queues job " << job->id << " (locked)");
-      queue_.push_back(std::move(job));
+      enqueue_bounded(std::move(job));
     }
     return;
   }
   begin(std::move(job));
+}
+
+void RtdsNode::enqueue_bounded(std::shared_ptr<const Job> job) {
+  const std::size_t cap = cfg_.admission_queue_cap;
+  if (cap == 0 || queue_.size() < cap) {
+    queue_.push_back(std::move(job));
+    return;
+  }
+  if (cfg_.shed_policy == ShedPolicy::kDropLowestLaxity) {
+    // Victim = earliest absolute deadline among queued + incoming — among
+    // contemporaries waiting on the same unlock, the earliest deadline has
+    // the least slack left and is the least likely to still be
+    // schedulable. Ties favour shedding the incoming job (strict compare),
+    // keeping queue membership stable.
+    std::size_t victim = queue_.size();  // sentinel: the incoming job
+    Time earliest = job->deadline;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (time_lt(queue_[i]->deadline, earliest)) {
+        earliest = queue_[i]->deadline;
+        victim = i;
+      }
+    }
+    if (victim < queue_.size()) {
+      record_shed(*queue_[victim]);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
+      queue_.push_back(std::move(job));
+      return;
+    }
+  }
+  // kDropNewest — and kRejectEnroll jobs that slipped past the door check
+  // because the queue filled after their local test, and the incoming job
+  // losing the laxity comparison above: shed the arrival.
+  record_shed(*job);
+}
+
+void RtdsNode::record_shed(const Job& job) {
+  RTDS_TRACE("t=" << sim_.now() << " site " << site_ << " SHEDS job "
+                  << job.id << " (" << to_string(cfg_.shed_policy) << ")");
+  JobDecision d;
+  d.job = job.id;
+  d.initiator = site_;
+  d.outcome = JobOutcome::kRejected;
+  d.reject_reason = RejectReason::kShed;
+  d.arrival = job.release;
+  d.decision_time = sim_.now();
+  d.deadline = job.deadline;
+  d.task_count = job.dag.task_count();
+  d.acs_size = 1;
+  env_.on_job_decision(d);
 }
 
 void RtdsNode::start_next_job() {

@@ -64,6 +64,19 @@ enum class EnrollGate {
 
 const char* to_string(EnrollGate gate);
 
+/// What a site does when a job needs queueing but the bounded admission
+/// queue (RtdsConfig::admission_queue_cap) is full. Shed jobs get a
+/// kRejected decision with RejectReason::kShed — overload is an explicit,
+/// accounted outcome, never silent loss.
+enum class ShedPolicy {
+  kDropNewest,       ///< shed the incoming job (default; FIFO-preserving)
+  kDropLowestLaxity, ///< shed the earliest-deadline job among queued + incoming
+  kRejectEnroll,     ///< refuse at the door: full queue sheds the arrival
+                     ///< before any admission work is spent on it
+};
+
+const char* to_string(ShedPolicy policy);
+
 struct RtdsConfig {
   std::size_t sphere_radius_h = 2;       ///< PCS hop radius
   LocalSchedulerConfig sched;
@@ -111,6 +124,11 @@ struct RtdsConfig {
   /// Seed of the backoff-jitter stream (RtdsSystem wires the fault plan's
   /// seed in, so the whole adversarial run is one seed).
   std::uint64_t fault_seed = 42;
+  /// Overload control: max jobs the locked-site admission queue holds
+  /// before shed_policy kicks in. 0 = unbounded — bit-identical to the
+  /// pre-overload protocol (pinned by tests/load_test.cpp).
+  std::size_t admission_queue_cap = 0;
+  ShedPolicy shed_policy = ShedPolicy::kDropNewest;
 };
 
 /// Instrumentation interface the owning system implements. Calls are
@@ -281,6 +299,12 @@ class RtdsNode {
   /// Records the kSiteDown decision a job lost to this dead site still
   /// owes the accounting (dead-site arrivals and crash-cleared work).
   void record_site_down(const Job& job, std::size_t acs_size);
+
+  /// Appends `job` to the admission queue, shedding per cfg_.shed_policy
+  /// when the queue is at admission_queue_cap (no-op cap when 0).
+  void enqueue_bounded(std::shared_ptr<const Job> job);
+  /// Records the kShed decision of an overload-shed job.
+  void record_shed(const Job& job);
 
   /// Schedules a completion notification that survives crashes correctly:
   /// stale (pre-crash) completions no-op via the epoch capture, and under

@@ -161,15 +161,50 @@ void RtdsSystem::run(const std::vector<JobArrival>& arrivals) {
   verify_invariants();
 }
 
+void RtdsSystem::run_stream(std::function<std::optional<JobArrival>()> next) {
+  RTDS_REQUIRE_MSG(!ran_, "RtdsSystem::run may only be called once");
+  RTDS_REQUIRE(next != nullptr);
+  ran_ = true;
+  stream_next_ = std::move(next);
+  if (auto first = stream_next_()) schedule_streamed(std::move(*first));
+  {
+    RTDS_OBS_PHASE("sys.run");
+    sim_.run();
+  }
+  RTDS_GAUGE_MAX("sim.events", sim_.executed_events());
+  verify_invariants();
+}
+
+void RtdsSystem::schedule_streamed(JobArrival a) {
+  RTDS_REQUIRE(a.site < nodes_.size());
+  RTDS_REQUIRE(a.job != nullptr);
+  RTDS_REQUIRE_MSG(time_lt(a.job->release, a.job->deadline),
+                   "job " << a.job->id << " has an empty window");
+  // Sources contract non-decreasing releases exactly (no epsilon): the
+  // lazy chain schedules each submit from inside its predecessor's event,
+  // so a backwards release would schedule into the past.
+  RTDS_REQUIRE_MSG(!(a.job->release < last_stream_release_),
+                   "streamed arrivals must have non-decreasing releases (job "
+                       << a.job->id << ")");
+  last_stream_release_ = a.job->release;
+  if (checker_ != nullptr) checker_->on_submitted(1);
+  sim_.schedule_at(a.job->release, [this, a]() {
+    nodes_[a.site]->submit(a.job);
+    if (auto nxt = stream_next_()) schedule_streamed(std::move(*nxt));
+  });
+}
+
 void RtdsSystem::on_job_decision(const JobDecision& decision) {
   if (checker_ != nullptr) checker_->on_decision(decision.job, sim_.now());
   JobDecision d = decision;
   d.link_messages = job_messages_[d.job];
   metrics_.record(d);
-  decisions_.push_back(d);
+  if (cfg_.on_decision_observed) cfg_.on_decision_observed(d);
+  if (cfg_.retain_decisions) decisions_.push_back(d);
   if (d.outcome != JobOutcome::kRejected) {
     JobTrack track;
     track.tasks_expected = d.task_count;
+    track.arrival = d.arrival;
     track.deadline = d.deadline;
     track.failed = early_failures_.contains(d.job);
     accepted_[d.job] = track;
@@ -184,6 +219,10 @@ void RtdsSystem::on_task_complete(JobId job, TaskId task, SiteId site,
   RTDS_CHECK_MSG(track != nullptr, "task completion for unaccepted job " << job);
   ++track->tasks_done;
   track->completion = std::max(track->completion, end);
+  if (cfg_.on_job_completed && track->tasks_done == track->tasks_expected &&
+      !track->failed) {
+    cfg_.on_job_completed(track->arrival, track->completion);
+  }
 }
 
 void RtdsSystem::on_job_messages(JobId job, std::uint64_t hops) {

@@ -4,7 +4,9 @@
 // released, every queue drained).
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include <span>
@@ -46,6 +48,19 @@ struct SystemConfig {
   /// fault::set_check_invariants (the CLIs' --check-invariants). The
   /// checker only *observes* — enabling it never changes simulation bytes.
   bool check_invariants = false;
+
+  // --- open-system (src/load/) hooks; all inert by default ---
+  /// Streaming observer: every JobDecision as it is recorded (with
+  /// link_messages filled in). Never changes simulation bytes.
+  std::function<void(const JobDecision&)> on_decision_observed;
+  /// Streaming observer: an accepted job finished its last task —
+  /// (arrival, completion) in sim time. Jobs with failed dispatches and
+  /// crash-lost jobs never fire it.
+  std::function<void(Time, Time)> on_job_completed;
+  /// Keep the per-job decisions() vector. Long --duration streaming runs
+  /// turn this off and consume on_decision_observed instead, so memory
+  /// stays bounded by the windows, not the horizon.
+  bool retain_decisions = true;
 };
 
 class RtdsSystem : public NodeEnv {
@@ -55,6 +70,13 @@ class RtdsSystem : public NodeEnv {
   /// Runs all arrivals to completion (drains the event queue) and verifies
   /// invariants. Call once.
   void run(const std::vector<JobArrival>& arrivals);
+
+  /// Open-system variant: pulls arrivals lazily from `next` (non-decreasing
+  /// release order; nullopt ends the stream) and runs until the stream ends
+  /// AND the event queue drains. At most one un-fired arrival is ever held,
+  /// so memory scales with in-flight work, never the horizon. Call once
+  /// (exclusive with run()).
+  void run_stream(std::function<std::optional<JobArrival>()> next);
 
   const RunMetrics& metrics() const { return metrics_; }
   const Topology& topology() const { return topo_; }
@@ -72,6 +94,9 @@ class RtdsSystem : public NodeEnv {
 
  private:
   void verify_invariants();
+  /// Validates one streamed arrival and schedules its submit event, which
+  /// on firing pulls + schedules the successor (the lazy chain).
+  void schedule_streamed(JobArrival a);
   /// Applies one fault-plan event: flips the FaultState, crashes/recovers
   /// the node for site events, and re-triggers the §7 routing repair on
   /// any actual topology change.
@@ -111,6 +136,7 @@ class RtdsSystem : public NodeEnv {
   struct JobTrack {
     std::size_t tasks_expected = 0;
     std::size_t tasks_done = 0;
+    Time arrival = 0.0;  ///< feeds the on_job_completed sojourn observer
     Time completion = 0.0;
     Time deadline = 0.0;
     bool failed = false;  ///< a dispatch for this job could not be honoured
@@ -121,6 +147,9 @@ class RtdsSystem : public NodeEnv {
   /// conclude); reconciled in on_job_decision.
   FlatSet<JobId> early_failures_;
   bool ran_ = false;
+  // --- streaming state (run_stream only) ---
+  std::function<std::optional<JobArrival>()> stream_next_;
+  Time last_stream_release_ = 0.0;
 };
 
 }  // namespace rtds

@@ -1,12 +1,42 @@
 #include "core/trace_io.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <streambuf>
 
 #include "dag/io.hpp"
 
 namespace rtds {
+
+namespace {
+
+/// Unbuffered pass-through streambuf that counts consumed newlines, so
+/// validation errors can name the exact trace line even though the dag
+/// blocks are parsed by read_dag (which consumes an unknown number of
+/// lines). Per-character virtual dispatch is fine at trace-file sizes.
+class LineCountingBuf final : public std::streambuf {
+ public:
+  explicit LineCountingBuf(std::streambuf* src) : src_(src) {}
+  /// 1-based number of the line about to be read.
+  std::size_t line() const { return line_; }
+
+ protected:
+  int_type underflow() override { return src_->sgetc(); }
+  int_type uflow() override {
+    const int_type c = src_->sbumpc();
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+ private:
+  std::streambuf* src_;
+  std::size_t line_ = 1;
+};
+
+}  // namespace
 
 void write_trace(const std::vector<JobArrival>& arrivals, std::ostream& os) {
   os << "trace v1\n";
@@ -27,22 +57,30 @@ std::string trace_to_string(const std::vector<JobArrival>& arrivals) {
   return os.str();
 }
 
-std::vector<JobArrival> read_trace(std::istream& is) {
+std::vector<JobArrival> read_trace(std::istream& is, std::size_t site_count) {
+  LineCountingBuf buf(is.rdbuf());
+  std::istream in(&buf);
   std::vector<JobArrival> arrivals;
   std::string line;
-  std::getline(is, line);
-  RTDS_REQUIRE_MSG(line == "trace v1", "expected header 'trace v1'");
+  std::size_t line_no = buf.line();
+  std::getline(in, line);
+  RTDS_REQUIRE_MSG(line == "trace v1",
+                   "trace line " << line_no << ": expected header 'trace v1'");
   std::size_t count = 0;
   {
-    std::getline(is, line);
+    line_no = buf.line();
+    std::getline(in, line);
     std::istringstream ls(line);
     std::string word;
     ls >> word >> count;
-    RTDS_REQUIRE_MSG(word == "jobs" && !ls.fail(), "expected 'jobs <n>'");
+    RTDS_REQUIRE_MSG(word == "jobs" && !ls.fail(),
+                     "trace line " << line_no << ": expected 'jobs <n>'");
   }
   arrivals.reserve(count);
+  Time prev_release = 0.0;
   for (std::size_t i = 0; i < count; ++i) {
-    std::getline(is, line);
+    line_no = buf.line();
+    std::getline(in, line);
     std::istringstream ls(line);
     std::string word;
     JobId id = 0;
@@ -50,22 +88,56 @@ std::vector<JobArrival> read_trace(std::istream& is) {
     Time release = 0.0, deadline = 0.0;
     ls >> word >> id >> site >> release >> deadline;
     RTDS_REQUIRE_MSG(word == "job" && !ls.fail(),
-                     "expected 'job <id> <site> <release> <deadline>'");
+                     "trace line " << line_no
+                                   << ": expected 'job <id> <site> <release> "
+                                      "<deadline>'");
+    RTDS_REQUIRE_MSG(std::isfinite(release) && std::isfinite(deadline),
+                     "trace line " << line_no << ": job " << id
+                                   << " has a NaN/non-finite release or "
+                                      "deadline");
+    RTDS_REQUIRE_MSG(release >= 0.0 && deadline >= 0.0,
+                     "trace line " << line_no << ": job " << id
+                                   << " has a negative release or deadline");
+    RTDS_REQUIRE_MSG(release < deadline,
+                     "trace line " << line_no << ": job " << id
+                                   << " has an empty window (deadline <= "
+                                      "release)");
+    if (site_count > 0) {
+      RTDS_REQUIRE_MSG(site < site_count,
+                       "trace line " << line_no << ": job " << id << " site "
+                                     << site << " outside the " << site_count
+                                     << "-site system");
+    }
+    RTDS_REQUIRE_MSG(release >= prev_release,
+                     "trace line " << line_no << ": job " << id
+                                   << " breaks arrival order (release "
+                                   << release << " after " << prev_release
+                                   << ")");
+    prev_release = release;
     auto job = std::make_shared<Job>();
     job->id = id;
     job->release = release;
     job->deadline = deadline;
-    job->dag = read_dag(is);
+    job->dag = read_dag(in);
     arrivals.push_back(JobArrival{static_cast<SiteId>(site), std::move(job)});
   }
-  std::getline(is, line);
-  RTDS_REQUIRE_MSG(line == "end", "expected trailing 'end'");
+  line_no = buf.line();
+  std::getline(in, line);
+  RTDS_REQUIRE_MSG(line == "end",
+                   "trace line " << line_no << ": expected trailing 'end'");
+  std::vector<JobId> ids;
+  ids.reserve(arrivals.size());
+  for (const auto& a : arrivals) ids.push_back(a.job->id);
+  std::sort(ids.begin(), ids.end());
+  const auto dup = std::adjacent_find(ids.begin(), ids.end());
+  RTDS_REQUIRE_MSG(dup == ids.end(), "trace has duplicate job id " << *dup);
   return arrivals;
 }
 
-std::vector<JobArrival> trace_from_string(const std::string& text) {
+std::vector<JobArrival> trace_from_string(const std::string& text,
+                                          std::size_t site_count) {
   std::istringstream is(text);
-  return read_trace(is);
+  return read_trace(is, site_count);
 }
 
 }  // namespace rtds

@@ -22,7 +22,14 @@ namespace rtds {
 void write_trace(const std::vector<JobArrival>& arrivals, std::ostream& os);
 std::string trace_to_string(const std::vector<JobArrival>& arrivals);
 
-std::vector<JobArrival> read_trace(std::istream& is);
-std::vector<JobArrival> trace_from_string(const std::string& text);
+/// Parses and validates a trace. Beyond the format checks, every job line
+/// must carry finite non-negative times, a non-empty window
+/// (release < deadline), a release no earlier than its predecessor's
+/// (traces are arrival-ordered), and — when `site_count` > 0 — a site id
+/// inside the system; job ids must be unique. Violations throw
+/// ContractViolation naming the offending trace line.
+std::vector<JobArrival> read_trace(std::istream& is, std::size_t site_count = 0);
+std::vector<JobArrival> trace_from_string(const std::string& text,
+                                          std::size_t site_count = 0);
 
 }  // namespace rtds

@@ -1,12 +1,16 @@
 #include "exp/condition.hpp"
 
+#include "load/load_params.hpp"
+
 namespace rtds::exp {
 
-Condition make_condition(const ConditionSpec& spec) {
+Topology make_topology(const ConditionSpec& spec) {
   Rng rng(spec.seed);
-  Condition c;
-  c.topo = make_net(spec.net, spec.sites,
-                    DelayRange{spec.delay_min, spec.delay_max}, rng);
+  return make_net(spec.net, spec.sites,
+                  DelayRange{spec.delay_min, spec.delay_max}, rng);
+}
+
+WorkloadConfig workload_config(const ConditionSpec& spec) {
   WorkloadConfig wl;
   wl.arrival_rate_per_site = spec.rate;
   wl.horizon = spec.horizon;
@@ -15,7 +19,29 @@ Condition make_condition(const ConditionSpec& spec) {
   wl.min_tasks = spec.min_tasks;
   wl.max_tasks = spec.max_tasks;
   wl.seed = spec.seed;
-  c.arrivals = generate_workload(c.topo.site_count(), wl);
+  wl.arrival_process = spec.process;
+  wl.burst_on_mean = spec.burst_on_mean;
+  wl.burst_off_mean = spec.burst_off_mean;
+  wl.burst_multiplier = spec.burst_multiplier;
+  wl.deadline_model = spec.deadline_model;
+  return wl;
+}
+
+void apply_workload_params(const policy::ParamMap& params,
+                           ConditionSpec& spec) {
+  WorkloadConfig wl = workload_config(spec);
+  load::apply_workload_params(params, wl);
+  spec.process = wl.arrival_process;
+  spec.burst_on_mean = wl.burst_on_mean;
+  spec.burst_off_mean = wl.burst_off_mean;
+  spec.burst_multiplier = wl.burst_multiplier;
+  spec.deadline_model = wl.deadline_model;
+}
+
+Condition make_condition(const ConditionSpec& spec) {
+  Condition c;
+  c.topo = make_topology(spec);
+  c.arrivals = generate_workload(c.topo.site_count(), workload_config(spec));
   return c;
 }
 

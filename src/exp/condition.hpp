@@ -12,6 +12,7 @@
 
 #include "core/rtds_system.hpp"
 #include "net/generators.hpp"
+#include "policy/param_map.hpp"
 
 namespace rtds::exp {
 
@@ -30,7 +31,28 @@ struct ConditionSpec {
   double laxity_min = 2.0, laxity_max = 6.0;
   std::size_t min_tasks = 4, max_tasks = 12;
   std::uint64_t seed = 42;
+  /// Arrival-process knobs (previously only reachable by hand-building a
+  /// WorkloadConfig): MMPP burstiness and the deadline base. Defaults
+  /// match WorkloadConfig, so untouched specs generate identical bytes.
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  Time burst_on_mean = 50.0;
+  Time burst_off_mean = 200.0;
+  double burst_multiplier = 6.0;
+  DeadlineModel deadline_model = DeadlineModel::kCriticalPath;
 };
+
+/// The topology half of make_condition (same Rng(seed) draw order, so the
+/// returned topology is bit-identical to make_condition(spec).topo).
+Topology make_topology(const ConditionSpec& spec);
+
+/// The workload half of make_condition: the WorkloadConfig a spec implies.
+WorkloadConfig workload_config(const ConditionSpec& spec);
+
+/// Decodes the shared workload.* ParamMap keys (load/load_params.hpp) onto
+/// the spec. The diurnal process is open-system-only and maps to kPoisson
+/// here — callers wanting it route generation through
+/// load::generate_open_workload / an ArrivalSource instead.
+void apply_workload_params(const policy::ParamMap& params, ConditionSpec& spec);
 
 Condition make_condition(const ConditionSpec& spec);
 

@@ -23,7 +23,8 @@
 
 namespace rtds::exp {
 
-void register_builtin_reports();  // reports.cpp
+void register_builtin_reports();     // reports.cpp
+void register_e9_steady_state();     // scenarios_e9.cpp (open-system E9)
 
 namespace {
 
@@ -742,6 +743,7 @@ void register_builtin_scenarios() {
     register_e6();
     register_e7();
     register_e8();
+    register_e9_steady_state();
     register_policy_sweep();
     register_builtin_reports();
     return true;

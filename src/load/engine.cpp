@@ -1,0 +1,56 @@
+#include "load/engine.hpp"
+
+#include "fault/fault_params.hpp"
+#include "policy/rtds_params.hpp"
+
+namespace rtds::load {
+
+namespace {
+Time g_scenario_duration = 0.0;  // <= 0: no override
+}  // namespace
+
+void set_scenario_duration(Time duration) { g_scenario_duration = duration; }
+
+Time scenario_duration(Time fallback) {
+  return g_scenario_duration > 0.0 ? g_scenario_duration : fallback;
+}
+
+OpenRunResult run_open_rtds(const Topology& topo, ArrivalSource& source,
+                            const OpenConfig& ocfg,
+                            const policy::ParamMap& params) {
+  RTDS_REQUIRE_MSG(ocfg.duration > 0.0, "open-run duration must be > 0");
+  SystemConfig cfg = policy::rtds_system_config_from(params);
+  cfg.faults = fault::FaultPlan::from_spec(
+      fault::fault_spec_from(params, ocfg.duration), topo);
+  SteadyStateCollector collector(ocfg.window);
+  cfg.on_decision_observed = [&collector](const JobDecision& d) {
+    collector.on_decision(d);
+  };
+  cfg.on_job_completed = [&collector](Time arrival, Time completion) {
+    collector.on_completion(arrival, completion);
+  };
+  // Long runs must not hold a decision per job; the collector has
+  // everything the summary needs.
+  cfg.retain_decisions = false;
+  RtdsSystem system(topo, cfg);
+  system.run_stream(
+      [&source, duration = ocfg.duration]() -> std::optional<JobArrival> {
+        auto a = source.next();
+        if (!a.has_value() || a->job->release >= duration) return std::nullopt;
+        return a;
+      });
+  OpenRunResult result;
+  result.metrics = system.metrics();
+  result.steady = collector.summary(ocfg.knee_factor, ocfg.knee_min_count);
+  result.windows = collector.windows();
+  return result;
+}
+
+RunMetrics run_open_policy(const policy::Policy& pol, const Topology& topo,
+                           ArrivalSource& source, Time duration,
+                           const policy::ParamMap& params) {
+  RTDS_REQUIRE_MSG(duration > 0.0, "open-run duration must be > 0");
+  return pol.run(topo, drain(source, duration), params);
+}
+
+}  // namespace rtds::load

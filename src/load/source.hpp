@@ -1,0 +1,88 @@
+// Streaming arrival sources for the open-system traffic engine.
+//
+// Every scenario E1–E8 measures a *closed* batch: generate_workload
+// materializes the whole horizon up front and the run ends when it drains.
+// An open-system run (steady-state latency, overload, saturation knees)
+// instead consumes an unbounded arrival process lazily: an ArrivalSource
+// hands out one JobArrival at a time in non-decreasing release order, so a
+// `--duration`-bounded run holds O(sites) generator state — never the full
+// horizon.
+//
+// Determinism: each site's stream owns an independent RNG whose seed is a
+// pure function of (workload seed, site) — the exp/seed SplitMix64
+// finalizer recipe — so the content of site s's k-th job does not depend
+// on how generation interleaves across sites. The merged stream orders
+// arrivals by (release, site) and assigns job ids in emission order
+// starting at 1; the eager reference path (generate_open_workload) sorts
+// fully-materialized per-site streams by the same key, so lazy and eager
+// generation are bit-equal (pinned by tests/load_test.cpp).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/workload.hpp"
+
+namespace rtds::load {
+
+/// Which arrival process drives the open stream. kPoisson/kBursty promote
+/// the WorkloadConfig knobs of the same names; kDiurnal adds a repeating
+/// piecewise-constant rate curve the closed generator never had; kTrace
+/// replays a saved arrival sequence (core/trace_io).
+enum class ArrivalKind { kPoisson, kBursty, kDiurnal, kTrace };
+
+const char* to_string(ArrivalKind kind);
+ArrivalKind arrival_kind_from_string(const std::string& name);
+
+/// One segment of the kDiurnal rate curve: for `length` time units the
+/// Poisson rate is multiplier × arrival_rate_per_site. The curve repeats.
+struct DiurnalSegment {
+  Time length = 0.0;
+  double multiplier = 1.0;
+};
+
+/// A 4-phase day: quiet night, morning ramp, busy day, evening shoulder.
+/// Mean multiplier 1.0, so the offered load matches the configured rate.
+std::vector<DiurnalSegment> default_diurnal_curve();
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  std::size_t site_count = 64;
+  /// Rates, burst modulation, DAG shape mix, laxity, deadline model and the
+  /// seed all come from the closed generator's config; `horizon` is ignored
+  /// (open streams are unbounded — the *consumer* imposes the duration).
+  WorkloadConfig workload;
+  /// kDiurnal only; empty = default_diurnal_curve().
+  std::vector<DiurnalSegment> diurnal;
+  /// kTrace only: the replayed arrivals (release-sorted, as read_trace
+  /// returns them).
+  std::vector<JobArrival> trace;
+};
+
+/// Pull interface: next() returns arrivals in non-decreasing release order
+/// with unique dense ids from 1, or nullopt once exhausted (generated
+/// streams never exhaust; trace streams end with the trace).
+class ArrivalSource {
+ public:
+  virtual ~ArrivalSource() = default;
+  virtual std::optional<JobArrival> next() = 0;
+};
+
+/// Validates the spec and builds the matching source.
+std::unique_ptr<ArrivalSource> make_arrival_source(const ArrivalSpec& spec);
+
+/// Pulls every arrival with release < duration into a vector — the bridge
+/// from an open source to the closed Policy API. Only the duration prefix
+/// is ever materialized.
+std::vector<JobArrival> drain(ArrivalSource& source, Time duration);
+
+/// Eager reference generator: materializes each site's full stream up to
+/// `duration`, then sorts by (release, site) and renumbers. A genuinely
+/// different merge path from the lazy source, used to pin lazy == eager
+/// bit-equality; also the closed-path generator for diurnal workloads
+/// (rtds_cli gen-load --process=diurnal).
+std::vector<JobArrival> generate_open_workload(const ArrivalSpec& spec,
+                                               Time duration);
+
+}  // namespace rtds::load

@@ -1,0 +1,126 @@
+#include "load/window.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rtds::load {
+
+QuantileSketch::QuantileSketch(double relative_error) {
+  RTDS_REQUIRE_MSG(relative_error > 0.0 && relative_error < 1.0,
+                   "sketch relative_error must be in (0, 1)");
+  gamma_ = (1.0 + relative_error) / (1.0 - relative_error);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+void QuantileSketch::add(double x) {
+  RTDS_REQUIRE_MSG(!std::isnan(x), "sketch sample must not be NaN");
+  ++total_;
+  if (x <= kMinValue) {
+    ++zero_count_;
+    return;
+  }
+  const auto key =
+      static_cast<std::int32_t>(std::ceil(std::log(x) * inv_log_gamma_));
+  ++bins_[key];
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  RTDS_REQUIRE_MSG(gamma_ == other.gamma_,
+                   "cannot merge sketches with different precision");
+  total_ += other.total_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [key, count] : other.bins_) bins_[key] += count;
+}
+
+double QuantileSketch::quantile(double q) const {
+  RTDS_REQUIRE_MSG(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  if (total_ == 0) return 0.0;
+  // Nearest-rank: the smallest bin whose cumulative count covers rank.
+  const auto rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t seen = zero_count_;
+  if (rank <= seen) return 0.0;
+  for (const auto& [key, count] : bins_) {
+    seen += count;
+    if (rank <= seen) {
+      // Midpoint of (gamma^(key-1), gamma^key]: 2·gamma^key / (gamma + 1).
+      return 2.0 * std::pow(gamma_, static_cast<double>(key)) /
+             (gamma_ + 1.0);
+    }
+  }
+  // rank <= total_ guarantees the loop matched; keep -Wreturn-type quiet.
+  RTDS_CHECK_MSG(false, "sketch rank walk exhausted bins");
+  return 0.0;
+}
+
+SteadyStateCollector::SteadyStateCollector(WindowConfig cfg) : cfg_(cfg) {
+  RTDS_REQUIRE_MSG(cfg_.warmup >= 0.0, "window warmup must be >= 0");
+  RTDS_REQUIRE_MSG(cfg_.width > 0.0, "window width must be > 0");
+}
+
+WindowCell* SteadyStateCollector::cell_at(Time t) {
+  // Exact (not epsilon-tolerant) compare: the boundary assignment only has
+  // to be deterministic, and t < warmup guarantees a non-negative index.
+  if (t < cfg_.warmup) return nullptr;  // warm-up trim
+  const auto index =
+      static_cast<std::size_t>(std::floor((t - cfg_.warmup) / cfg_.width));
+  while (windows_.size() <= index) {
+    windows_.emplace_back(cfg_.sketch_relative_error);
+  }
+  return &windows_[index];
+}
+
+void SteadyStateCollector::on_decision(const JobDecision& d) {
+  WindowCell* cell = cell_at(d.decision_time);
+  if (cell == nullptr) return;
+  ++cell->arrived;
+  if (d.outcome == JobOutcome::kRejected) {
+    ++cell->rejected;
+    if (d.reject_reason == RejectReason::kShed) ++cell->shed;
+  } else {
+    ++cell->accepted;
+  }
+}
+
+void SteadyStateCollector::on_completion(Time arrival, Time completion) {
+  WindowCell* cell = cell_at(completion);
+  if (cell == nullptr) return;
+  ++cell->completed;
+  const double sojourn = completion - arrival;
+  cell->sojourn.add(sojourn);
+  cell->sketch.add(sojourn);
+}
+
+SteadySummary SteadyStateCollector::summary(double knee_factor,
+                                            std::uint64_t knee_min_count) const {
+  SteadySummary s;
+  QuantileSketch merged(cfg_.sketch_relative_error);
+  RunningStat stat;
+  double baseline_p99 = 0.0;
+  bool have_baseline = false;
+  // Ascending window order — the pinned deterministic merge order.
+  for (std::size_t w = 0; w < windows_.size(); ++w) {
+    const WindowCell& cell = windows_[w];
+    merged.merge(cell.sketch);
+    stat.merge(cell.sojourn);
+    if (cell.completed < knee_min_count) continue;
+    const double p99 = cell.sketch.p99();
+    if (!have_baseline) {
+      if (p99 > 0.0) {
+        baseline_p99 = p99;
+        have_baseline = true;
+      }
+    } else if (s.knee_window < 0 && p99 > knee_factor * baseline_p99) {
+      s.knee_window = static_cast<std::ptrdiff_t>(w);
+    }
+  }
+  s.completed = merged.count();
+  s.sojourn_mean = stat.count() > 0 ? stat.mean() : 0.0;
+  s.p50 = merged.p50();
+  s.p95 = merged.p95();
+  s.p99 = merged.p99();
+  return s;
+}
+
+}  // namespace rtds::load

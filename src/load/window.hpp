@@ -1,0 +1,122 @@
+// Steady-state measurement for open-system runs: warm-up trimming,
+// tumbling windows, and a mergeable streaming quantile sketch.
+//
+// A duration-bounded streaming run may complete far more jobs than a
+// closed batch, so per-sample storage (util/stats Samples) is off the
+// table: the sketch below keeps log-spaced bins (DDSketch-style relative
+// error) whose counts are additive, so merging is commutative and
+// associative — quantiles are bit-identical regardless of merge order,
+// which is what preserves the worker-count invariance contract when
+// windows are combined into a run summary (always in ascending window
+// order, the pinned deterministic order).
+//
+// Window semantics: samples with completion time < warmup are discarded
+// (warm-up trim); window w covers [warmup + w·width, warmup + (w+1)·width).
+// Memory is O(windows + sketch bins), independent of the sample count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace rtds::load {
+
+/// Log-binned quantile accumulator with bounded relative error.
+/// Bin i holds counts of values in (gamma^(i-1), gamma^i] with
+/// gamma = (1+e)/(1-e); quantile() returns the matched bin's geometric-ish
+/// midpoint 2·gamma^i/(gamma+1), within e of the true quantile. Values
+/// <= kMinValue collapse into a zero bin. Deterministic: same multiset of
+/// doubles -> same bins -> same bytes, in any add/merge order.
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(double relative_error = 0.01);
+
+  void add(double x);
+  /// Counts add bin-wise; commutative and associative.
+  void merge(const QuantileSketch& other);
+
+  std::uint64_t count() const { return total_; }
+  /// q in [0, 1]; nearest-rank over the bins. 0 for an empty sketch.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+  /// Live bins (diagnostics / memory accounting).
+  std::size_t bin_count() const { return bins_.size(); }
+
+ private:
+  static constexpr double kMinValue = 1e-9;  ///< below this -> zero bin
+  double gamma_;
+  double inv_log_gamma_;
+  std::uint64_t zero_count_ = 0;
+  std::uint64_t total_ = 0;
+  std::map<std::int32_t, std::uint64_t> bins_;  // key-ordered: stable walk
+};
+
+struct WindowConfig {
+  Time warmup = 100.0;  ///< samples before this are trimmed
+  Time width = 50.0;    ///< tumbling-window length
+  double sketch_relative_error = 0.01;
+};
+
+/// One tumbling window's aggregates.
+struct WindowCell {
+  std::uint64_t arrived = 0;   ///< decisions recorded in this window
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;  ///< includes sheds
+  std::uint64_t shed = 0;      ///< RejectReason::kShed subset of rejected
+  std::uint64_t completed = 0; ///< sojourn samples (accepted jobs finishing)
+  RunningStat sojourn;         ///< completion - arrival moments
+  QuantileSketch sketch;       ///< completion - arrival quantiles
+
+  explicit WindowCell(double relative_error)
+      : sketch(relative_error) {}
+};
+
+/// Post-warm-up run summary: every window's sketch merged in ascending
+/// window order (the pinned deterministic merge order).
+struct SteadySummary {
+  std::uint64_t completed = 0;
+  double sojourn_mean = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  /// First post-warm-up window whose p99 sojourn diverged (see
+  /// SteadyStateCollector::summary), -1 when the run never diverged.
+  std::ptrdiff_t knee_window = -1;
+};
+
+/// Consumes per-job decision and completion events from a streaming run
+/// and maintains the tumbling windows. Purely observational: attach via
+/// the SystemConfig observers; never changes simulation bytes.
+class SteadyStateCollector {
+ public:
+  explicit SteadyStateCollector(WindowConfig cfg);
+
+  /// Windowed by decision time; pre-warm-up decisions are trimmed.
+  void on_decision(const JobDecision& d);
+  /// Windowed by completion time; sojourn = completion - arrival.
+  /// Pre-warm-up completions are trimmed.
+  void on_completion(Time arrival, Time completion);
+
+  const WindowConfig& config() const { return cfg_; }
+  const std::vector<WindowCell>& windows() const { return windows_; }
+
+  /// Merged post-warm-up summary plus the saturation knee: the baseline is
+  /// the first window with >= knee_min_count completions; the knee is the
+  /// first later such window whose p99 sojourn exceeds knee_factor × the
+  /// baseline p99 — the point where latency diverges under overload.
+  SteadySummary summary(double knee_factor = 4.0,
+                        std::uint64_t knee_min_count = 20) const;
+
+ private:
+  /// Window for time t, or nullptr when t is inside the warm-up.
+  WindowCell* cell_at(Time t);
+
+  WindowConfig cfg_;
+  std::vector<WindowCell> windows_;
+};
+
+}  // namespace rtds::load

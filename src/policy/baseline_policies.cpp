@@ -7,6 +7,7 @@
 #include "baseline/local_only.hpp"
 #include "baseline/offload.hpp"
 #include "fault/fault_params.hpp"
+#include "load/load_params.hpp"
 #include "policy/policy.hpp"
 #include "policy/sched_params.hpp"
 
@@ -33,6 +34,7 @@ class LocalPolicy final : public Policy {
     static const ParamSchema schema = [] {
       ParamSchema s;
       add_sched_params(s);
+      load::add_workload_params(s);
       fault::add_crash_params(s);
       return s;
     }();
@@ -59,6 +61,7 @@ class CentralPolicy final : public Policy {
                 "restrict candidates to the arrival site's h-hop sphere "
                 "(-1 = whole network)");
       add_sched_params(s);
+      load::add_workload_params(s);
       fault::add_crash_params(s);
       return s;
     }();
@@ -94,6 +97,7 @@ class BcastPolicy final : public Policy {
           .add_bool("stop_with_arrivals", true,
                     "cease broadcasting after the last arrival");
       add_sched_params(s);
+      load::add_workload_params(s);
       fault::add_crash_params(s);
       return s;
     }();
@@ -128,6 +132,7 @@ class OffloadFamilyPolicy : public Policy {
           .add_int("max_attempts", 3, "offers before giving up (BID)")
           .add_int("seed", 7, "RANDOM pick stream");
       add_sched_params(s);
+      load::add_workload_params(s);
       fault::add_crash_params(s);
       return s;
     }();

@@ -1,0 +1,19 @@
+// Exported half of the rtds policy's ParamMap decoding: the open-system
+// engine (src/load/engine.cpp) builds RtdsSystem instances directly — it
+// streams arrivals instead of going through Policy::run — but must honour
+// exactly the same keys, so the decode lives here instead of being
+// duplicated.
+#pragma once
+
+#include "core/rtds_system.hpp"
+#include "policy/param_map.hpp"
+
+namespace rtds::policy {
+
+/// Decodes every rtds schema key (h, enroll, gate, mapper/sched knobs,
+/// transport, shed.*, ...) into a SystemConfig; defaults equal the struct
+/// defaults, so an empty map is exactly `SystemConfig{}`. Fault keys are
+/// NOT decoded here (the fault plan needs the workload horizon).
+SystemConfig rtds_system_config_from(const ParamMap& params);
+
+}  // namespace rtds::policy

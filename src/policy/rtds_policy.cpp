@@ -4,7 +4,9 @@
 // exactly `RtdsSystem(topo, SystemConfig{})`.
 #include "core/rtds_system.hpp"
 #include "fault/fault_params.hpp"
+#include "load/load_params.hpp"
 #include "policy/policy.hpp"
+#include "policy/rtds_params.hpp"
 #include "policy/sched_params.hpp"
 
 namespace rtds::policy {
@@ -58,8 +60,15 @@ ParamSchema make_rtds_schema() {
                 "also run the §7 distributed APSP as real messages")
       .add_bool("check_invariants", false,
                 "run the §12 runtime invariant checker (pure observer; "
-                "also enabled by the CLIs' --check-invariants)");
+                "also enabled by the CLIs' --check-invariants)")
+      .add_int("shed.cap", 0,
+               "overload control: bounded admission-queue capacity "
+               "(0 = unbounded, the paper's protocol)")
+      .add_enum("shed.policy", "drop_newest",
+                {"drop_newest", "drop_lowest_laxity", "reject_enroll"},
+                "what a full admission queue sheds (shed.cap > 0 only)");
   add_sched_params(schema);
+  load::add_workload_params(schema);
   // rtds is the only family on the simulated transport, so it gets the
   // full network-fault surface (link failures, drops, extra delay) on top
   // of the crash process every policy shares.
@@ -67,7 +76,9 @@ ParamSchema make_rtds_schema() {
   return schema;
 }
 
-SystemConfig system_config_from(const ParamMap& p) {
+}  // namespace
+
+SystemConfig rtds_system_config_from(const ParamMap& p) {
   SystemConfig cfg;
   cfg.node.sphere_radius_h = static_cast<std::size_t>(
       p.get_int("h", static_cast<std::int64_t>(cfg.node.sphere_radius_h)));
@@ -113,8 +124,15 @@ SystemConfig system_config_from(const ParamMap& p) {
   cfg.node.retransmit_tries = static_cast<int>(p.get_int(
       "faults.retransmit_tries",
       static_cast<std::int64_t>(cfg.node.retransmit_tries)));
+  // Overload control (src/load/). cap 0 keeps the exact legacy code path.
+  cfg.node.admission_queue_cap = static_cast<std::size_t>(p.get_int(
+      "shed.cap", static_cast<std::int64_t>(cfg.node.admission_queue_cap)));
+  cfg.node.shed_policy = static_cast<ShedPolicy>(p.get_enum(
+      "shed.policy", static_cast<std::size_t>(cfg.node.shed_policy)));
   return cfg;
 }
+
+namespace {
 
 class RtdsPolicy final : public Policy {
  public:
@@ -129,7 +147,7 @@ class RtdsPolicy final : public Policy {
   }
   RunMetrics run(const Topology& topo, const std::vector<JobArrival>& arrivals,
                  const ParamMap& params) const override {
-    SystemConfig cfg = system_config_from(params);
+    SystemConfig cfg = rtds_system_config_from(params);
     cfg.faults = fault::FaultPlan::from_spec(
         fault::fault_spec_from(params, fault::fault_horizon(arrivals)), topo);
     RtdsSystem system(topo, cfg);
