@@ -31,6 +31,8 @@
 #include "routing/apsp.hpp"
 #include "routing/pcs.hpp"
 #include "sched/admission.hpp"
+#include "snap/snapshot.hpp"
+#include "snap/warm_start.hpp"
 
 namespace rtds {
 namespace {
@@ -400,6 +402,65 @@ void BM_ChaosRecoveryRound(benchmark::State& state) {
   state.SetLabel("items = retransmissions");
 }
 BENCHMARK(BM_ChaosRecoveryRound);
+
+// ---------------------------------------------------------- checkpoints ----
+
+void BM_SnapshotSaveRestore(benchmark::State& state) {
+  // One full checkpoint cycle of a mid-run system: serialize the live
+  // state (clock, pending events, node machines, tables, metrics), then
+  // restore it into a freshly constructed system. This is the per-save
+  // cost `rtds_exp --checkpoint-every` pays, and the restore half is what
+  // a warm-start cache hit pays instead of sphere bring-up.
+  exp::ConditionSpec cs;
+  cs.net = NetShape::kGrid;
+  cs.sites = 36;
+  cs.delay_min = 0.2;
+  cs.delay_max = 0.8;
+  cs.rate = 0.02;
+  cs.horizon = 200.0;
+  cs.seed = 11;
+  const exp::Condition c = exp::make_condition(cs);
+  SystemConfig cfg;
+  cfg.record_events = true;
+  RtdsSystem system(c.topo, cfg);
+  system.start(c.arrivals);
+  system.step_events(2000);  // snapshot mid-run, with real pending events
+  const std::string snapshot = snap::Snapshot::save(system);
+  for (auto _ : state) {
+    std::string bytes = snap::Snapshot::save(system);
+    RtdsSystem restored(c.topo, cfg);
+    snap::Snapshot::load(std::move(bytes), restored);
+    benchmark::DoNotOptimize(restored.metrics().arrived);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          static_cast<int64_t>(snapshot.size()));
+  state.SetLabel(std::to_string(snapshot.size()) +
+                 "-byte snapshot, 36 sites mid-run");
+}
+BENCHMARK(BM_SnapshotSaveRestore);
+
+void BM_WarmStartBringUp(benchmark::State& state) {
+  // RtdsSystem construction with the bring-up cache hot vs cold (arg
+  // 1/0): the per-trial saving `rtds_exp --warm-start` buys a sweep that
+  // reuses one topology. Pure construction — no events fired.
+  const bool warm = state.range(0) != 0;
+  Rng rng(18);
+  const Topology topo = make_grid(16, 16, DelayRange{0.5, 2.0}, rng);
+  snap::warm_start_clear();
+  snap::set_warm_start_enabled(warm);
+  if (warm) {  // populate the cache
+    RtdsSystem prime(topo, SystemConfig{});
+    benchmark::DoNotOptimize(prime.metrics().arrived);
+  }
+  for (auto _ : state) {
+    RtdsSystem system(topo, SystemConfig{});
+    benchmark::DoNotOptimize(system.metrics().arrived);
+  }
+  snap::set_warm_start_enabled(false);
+  snap::warm_start_clear();
+  state.SetLabel(warm ? "256 sites, cache hit" : "256 sites, cold build");
+}
+BENCHMARK(BM_WarmStartBringUp)->Arg(0)->Arg(1);
 
 // ------------------------------------------------- open-system traffic ----
 

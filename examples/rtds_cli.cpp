@@ -46,6 +46,7 @@
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "policy/policy.hpp"
+#include "snap/warm_start.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -67,7 +68,7 @@ namespace {
       "           --set h=2 --set admission=edf ... | --h=2 --policy=edf\n"
       "           --transport=ideal --bandwidth=100]\n"
       "           [--faults=site_rate=0.002,site_mttr=25,drop=0.01]\n"
-      "           [--check-invariants]\n"
+      "           [--check-invariants] [--warm-start]\n"
       "           [--trace=FILE] [--metrics=FILE] [--profile]\n"
       "  inspect  --net=net.txt | --load=load.txt\n";
   std::exit(2);
@@ -228,6 +229,10 @@ int cmd_run(const Flags& flags) {
   // metrics row below and the obs layer).
   if (flags.get_bool("check-invariants", false))
     fault::set_check_invariants(true);
+  // Warm-start bring-up cache (DESIGN.md §14) — bit-identical output,
+  // pinned by tests/warm_start_test.cpp.
+  if (flags.get_bool("warm-start", false))
+    snap::set_warm_start_enabled(true);
   flags.check_unused();
   const policy::ParamMap params = policy->parse_params(sets);
 

@@ -66,6 +66,8 @@
 #include "load/load_params.hpp"
 #include "obs/profile.hpp"
 #include "policy/policy.hpp"
+#include "snap/io.hpp"
+#include "snap/warm_start.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -81,7 +83,8 @@ namespace {
       "       rtds_exp --scenario=NAME [--jobs=N] [--replicates=R]\n"
       "                [--seeds=fixed|derived] [--sink=table|csv|jsonl]\n"
       "                [--out=FILE] [--verify] [--check-invariants]\n"
-      "                [--duration=T]\n"
+      "                [--duration=T] [--warm-start]\n"
+      "                [--checkpoint=FILE] [--resume]\n"
       "                [--trace=FILE] [--metrics=FILE] [--profile]\n"
       "       rtds_exp --report=NAME [--out=FILE] [--duration=T]\n"
       "       rtds_exp --policy=NAME [--describe] [--set key=value ...]\n"
@@ -89,14 +92,16 @@ namespace {
       "                 --laxity-min --laxity-max --delay-min --delay-max\n"
       "                 --min-tasks --max-tasks --seed] [--json] [--out=FILE]\n"
       "                [--duration=T --warmup=T --window=W]\n"
-      "                [--workload-trace=FILE]\n"
+      "                [--workload-trace=FILE] [--warm-start]\n"
+      "                [--checkpoint=FILE --checkpoint-every=N] [--resume]\n"
       "                [--trace=FILE] [--metrics=FILE] [--profile]\n";
   std::exit(2);
 }
 
 void list_scenarios() {
   const auto& registry = Registry::instance();
-  Table sweeps({"scenario", "grid", "reps", "metrics", "description"});
+  Table sweeps({"scenario", "grid", "reps", "warm-start", "metrics",
+                "description"});
   for (const auto& name : registry.scenario_names()) {
     const ScenarioSpec* spec = registry.find(name);
     // The emitted-metrics column: what this sweep's trials measure —
@@ -107,7 +112,8 @@ void list_scenarios() {
       metrics += m.key;
     }
     sweeps.add_row({name, Table::num(spec->grid_size()),
-                    Table::num(spec->replicates), metrics,
+                    Table::num(spec->replicates),
+                    spec->warm_start ? "yes" : "no", metrics,
                     spec->description});
   }
   std::cout << "sweep scenarios:\n";
@@ -210,6 +216,21 @@ int run_policy_cmd(const std::string& name, const Flags& flags) {
   const Time warmup = flags.get_double("warmup", 100.0);
   const Time window_width = flags.get_double("window", 50.0);
   const std::string workload_trace = flags.get_string("workload-trace", "");
+  // Checkpoint/resume for long open runs (snap/, DESIGN.md §14).
+  const std::string checkpoint = flags.get_string("checkpoint", "");
+  const std::uint64_t checkpoint_every = static_cast<std::uint64_t>(
+      flags.get_int("checkpoint-every", 100'000));
+  const bool resume = flags.get_bool("resume", false);
+  if ((resume || !checkpoint.empty()) &&
+      (duration <= 0.0 || name != "rtds")) {
+    std::cerr << "error: --checkpoint/--resume apply to open rtds runs only "
+                 "(--policy=rtds --duration=T)\n";
+    return 2;
+  }
+  if (resume && checkpoint.empty()) {
+    std::cerr << "error: --resume needs --checkpoint=FILE\n";
+    return 2;
+  }
   const ObsFlags obs_flags = parse_obs_flags(flags);
   flags.check_unused();
 
@@ -249,7 +270,23 @@ int run_policy_cmd(const std::string& name, const Flags& flags) {
         ocfg.duration = duration;
         ocfg.window.warmup = warmup;
         ocfg.window.width = window_width;
-        open_result = load::run_open_rtds(topo, *source, ocfg, params);
+        ocfg.checkpoint_path = checkpoint;
+        ocfg.checkpoint_every = checkpoint_every;
+        ocfg.resume = resume;
+        try {
+          open_result = load::run_open_rtds(topo, *source, ocfg, params);
+        } catch (const ContractViolation& e) {
+          if (!resume) throw;
+          std::cerr << "error: " << e.what()
+                    << "\nhint: --resume reads the checkpoint a previous "
+                       "--checkpoint=FILE run with identical topology and "
+                       "params wrote (container: RTDSNAP magic, format v"
+                    << snap::kFormatVersion
+                    << ", config hash; then checksummed sections "
+                       "clock/tables/fault/checker/nodes/transport/system/"
+                       "events/obs/collector/source)\n";
+          return 2;
+        }
         m = open_result->metrics;
       } else {
         m = load::run_open_policy(*policy, topo, *source, duration, params);
@@ -370,6 +407,13 @@ int run_sweep(const ScenarioSpec& base, const Flags& flags) {
   const bool verify = flags.get_bool("verify", false);
   const std::string sink_name = flags.get_string("sink", "table");
   const std::string out = flags.get_string("out", "");
+  opts.warm_start = snap::warm_start_enabled();  // --warm-start (main)
+  opts.journal_path = flags.get_string("checkpoint", "");
+  opts.resume = flags.get_bool("resume", false);
+  if (opts.resume && opts.journal_path.empty()) {
+    std::cerr << "error: --resume needs --checkpoint=FILE\n";
+    return 2;
+  }
   const ObsFlags obs_flags = parse_obs_flags(flags);
   flags.check_unused();
   const auto sink = make_sink(sink_name);  // validate before the sweep runs
@@ -379,7 +423,20 @@ int run_sweep(const ScenarioSpec& base, const Flags& flags) {
     observation.record_traces = !obs_flags.trace_file.empty();
     opts.observe = &observation;
   }
-  const auto rows = run_scenario(spec, opts);
+  std::vector<AggregateRow> rows;
+  try {
+    rows = run_scenario(spec, opts);
+  } catch (const ContractViolation& e) {
+    if (!opts.resume) throw;
+    std::cerr << "error: " << e.what()
+              << "\nhint: --resume reads the sweep journal a previous "
+                 "--checkpoint=FILE run of this exact sweep wrote ("
+                 "container: RTDSNAP magic, format v"
+              << snap::kFormatVersion
+              << ", sweep-identity hash over scenario/grid/replicates/"
+                 "seeds/observe; then checksummed \"trial\" sections)\n";
+    return 2;
+  }
   if (!obs_flags.trace_file.empty())
     write_trace_file(obs_flags.trace_file, observation.traces);
   if (!obs_flags.metrics_file.empty())
@@ -443,6 +500,12 @@ int main(int argc, char** argv) {
     // duration-aware scenarios/reports (load::scenario_duration).
     const Time duration = flags.get_double("duration", 0.0);
     if (duration > 0.0) load::set_scenario_duration(duration);
+
+    // Warm-start cache (DESIGN.md §14): share one serialized bring-up per
+    // (topology, h) across every RtdsSystem this process constructs.
+    // Bit-identical to cold runs — pinned by tests/warm_start_test.cpp.
+    if (flags.get_bool("warm-start", false))
+      snap::set_warm_start_enabled(true);
 
     if (flags.get_bool("list", false)) {
       flags.check_unused();

@@ -10,6 +10,18 @@
 
 namespace rtds {
 
+namespace {
+/// Checkpoint annotation for a node-owned timer event (DESIGN.md §14);
+/// callers fill kind-specific fields on the returned record.
+EventRecord node_record(EventRecord::Kind kind, SiteId site, JobId job = 0) {
+  EventRecord rec;
+  rec.kind = kind;
+  rec.site = site;
+  rec.job = job;
+  return rec;
+}
+}  // namespace
+
 const char* to_string(EnrollPolicy policy) {
   switch (policy) {
     case EnrollPolicy::kNack: return "nack";
@@ -270,6 +282,9 @@ void RtdsNode::begin_acs_construction(Initiation& init) {
     if (retransmit_enabled())
       timeout *= static_cast<double>(1 << (cfg_.retransmit_tries + 1));
     sim_.schedule_in(timeout, [this, job]() { on_enroll_timeout(job); });
+    if (sim_.recording())
+      sim_.annotate(
+          node_record(EventRecord::Kind::kEnrollTimeout, site_, job));
   }
 }
 
@@ -315,6 +330,8 @@ void RtdsNode::on_enroll_reply(SiteId from, const EnrollReply& msg) {
     }
     sim_.schedule_in(cfg_.mapper_compute_time,
                      [this, job = msg.job]() { run_mapper(job); });
+    if (sim_.recording())
+      sim_.annotate(node_record(EventRecord::Kind::kMapper, site_, msg.job));
   }
 }
 
@@ -332,6 +349,8 @@ void RtdsNode::on_enroll_timeout(JobId job) {
   }
   sim_.schedule_in(cfg_.mapper_compute_time,
                    [this, job]() { run_mapper(job); });
+  if (sim_.recording())
+    sim_.annotate(node_record(EventRecord::Kind::kMapper, site_, job));
 }
 
 void RtdsNode::run_mapper(JobId job) {
@@ -456,6 +475,9 @@ void RtdsNode::begin_validation(Initiation& init) {
     if (retransmit_enabled())
       timeout *= static_cast<double>(1 << (cfg_.retransmit_tries + 1));
     sim_.schedule_in(timeout, [this, job]() { on_validate_timeout(job); });
+    if (sim_.recording())
+      sim_.annotate(
+          node_record(EventRecord::Kind::kValidateTimeout, site_, job));
   }
 }
 
@@ -825,6 +847,13 @@ void RtdsNode::arm_retry(JobId job, SiteId to, int category,
   sim_.schedule_in(next, [this, job, to, gen = retry_gen_, rto]() {
     on_retry_timer(job, to, gen, rto);
   });
+  if (sim_.recording()) {
+    EventRecord rec = node_record(EventRecord::Kind::kRetryTimer, site_, job);
+    rec.peer = to;
+    rec.a = retry_gen_;
+    rec.x = rto;
+    sim_.annotate(std::move(rec));
+  }
 }
 
 void RtdsNode::on_retry_timer(JobId job, SiteId to, std::uint64_t gen,
@@ -861,6 +890,13 @@ void RtdsNode::on_retry_timer(JobId job, SiteId to, std::uint64_t gen,
   sim_.schedule_in(next, [this, job, to, gen, next_rto]() {
     on_retry_timer(job, to, gen, next_rto);
   });
+  if (sim_.recording()) {
+    EventRecord rec = node_record(EventRecord::Kind::kRetryTimer, site_, job);
+    rec.peer = to;
+    rec.a = gen;
+    rec.x = next_rto;
+    sim_.annotate(std::move(rec));
+  }
 }
 
 void RtdsNode::cancel_retry(JobId job, SiteId to) {
@@ -993,14 +1029,26 @@ void RtdsNode::commit_logical(const Job& job, const TrialMapping& m,
 void RtdsNode::schedule_completion(JobId job, TaskId task, Time end) {
   if (cfg_.fault_tolerant) ++pending_completions_[job];
   sim_.schedule_at(end, [this, job, task, end, ep = epoch_]() {
-    if (ep != epoch_) return;  // scheduled by a previous life; work lost
-    if (cfg_.fault_tolerant) {
-      const auto it = pending_completions_.find(job);
-      RTDS_CHECK(it != pending_completions_.end() && it->second > 0);
-      if (--it->second == 0) pending_completions_.erase(it);
-    }
-    env_.on_task_complete(job, task, site_, end);
+    fire_completion(job, task, end, ep);
   });
+  if (sim_.recording()) {
+    EventRecord rec = node_record(EventRecord::Kind::kCompletion, site_, job);
+    rec.task = task;
+    rec.x = end;
+    rec.a = epoch_;
+    sim_.annotate(std::move(rec));
+  }
+}
+
+void RtdsNode::fire_completion(JobId job, TaskId task, Time end,
+                               std::uint64_t ep) {
+  if (ep != epoch_) return;  // scheduled by a previous life; work lost
+  if (cfg_.fault_tolerant) {
+    const auto it = pending_completions_.find(job);
+    RTDS_CHECK(it != pending_completions_.end() && it->second > 0);
+    if (--it->second == 0) pending_completions_.erase(it);
+  }
+  env_.on_task_complete(job, task, site_, end);
 }
 
 // ---------------------------------------------------------------------------
@@ -1018,6 +1066,11 @@ void RtdsNode::acquire_lock(SiteId initiator, JobId job) {
   if (cfg_.fault_tolerant && initiator != site_) {
     sim_.schedule_in(lease_,
                      [this, seq = lock_seq_]() { on_lease_expired(seq); });
+    if (sim_.recording()) {
+      EventRecord rec = node_record(EventRecord::Kind::kLeaseExpiry, site_);
+      rec.a = lock_seq_;
+      sim_.annotate(std::move(rec));
+    }
   }
 }
 
@@ -1059,11 +1112,15 @@ void RtdsNode::after_unlock() {
   // event so responder handlers never nest a whole initiator pipeline.
   if (!lock_.has_value() && !queue_.empty() && !start_pending_) {
     start_pending_ = true;
-    sim_.schedule_in(0.0, [this]() {
-      start_pending_ = false;
-      start_next_job();
-    });
+    sim_.schedule_in(0.0, [this]() { fire_start_next(); });
+    if (sim_.recording())
+      sim_.annotate(node_record(EventRecord::Kind::kStartNext, site_));
   }
+}
+
+void RtdsNode::fire_start_next() {
+  start_pending_ = false;
+  start_next_job();
 }
 
 }  // namespace rtds

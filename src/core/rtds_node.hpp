@@ -36,6 +36,10 @@
 #include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
+namespace rtds::snap {
+struct Access;  // checkpoint serialization (snap/snapshot.cpp)
+}
+
 namespace rtds {
 
 /// How an initiator learns which PCS members are available (§8). The paper
@@ -311,6 +315,10 @@ class RtdsNode {
   /// fault_tolerant the per-job pending count feeds crash-time job-loss
   /// reporting.
   void schedule_completion(JobId job, TaskId task, Time end);
+  /// Body of a scheduled completion event (also the snapshot replay entry).
+  void fire_completion(JobId job, TaskId task, Time end, std::uint64_t epoch);
+  /// Body of the deferred start_next_job kick scheduled by after_unlock.
+  void fire_start_next();
 
   void send(SiteId to, MessageBody payload, int category, JobId job,
             double size_units = 1.0);
@@ -384,6 +392,10 @@ class RtdsNode {
   Rng retry_rng_;  ///< backoff jitter (seeded from cfg_.fault_seed + site)
   std::array<JobId, 64> recent_dispatch_{};
   std::size_t recent_dispatch_count_ = 0;
+
+  /// Checkpoint serialization reads and restores the private state above
+  /// (snap/snapshot.cpp); nothing else reaches in.
+  friend struct snap::Access;
 };
 
 }  // namespace rtds

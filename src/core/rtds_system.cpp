@@ -6,6 +6,7 @@
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "routing/transport.hpp"
+#include "snap/warm_start.hpp"
 
 namespace rtds {
 
@@ -22,6 +23,11 @@ RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
   RTDS_REQUIRE_MSG(topo_.connected(), "topology must be connected (§2)");
   const auto h = cfg_.node.sphere_radius_h;
 
+  // Checkpoint support: recording must be live before the first schedule
+  // call (the fault plan below), or Snapshot::save would meet opaque
+  // events.
+  sim_.set_recording(cfg_.record_events);
+
   // §9: a non-empty fault plan switches the protocol into its
   // fault-tolerant mode. The plan's events become ordinary simulator
   // events, so the whole run stays deterministic.
@@ -37,6 +43,15 @@ RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
     fault_state_ = std::make_unique<fault::FaultState>(topo_, cfg_.faults);
     for (const auto& ev : cfg_.faults.events) {
       sim_.schedule_at(ev.at, [this, ev]() { apply_fault(ev); });
+      if (sim_.recording()) {
+        EventRecord rec;
+        rec.kind = EventRecord::Kind::kFault;
+        rec.small = static_cast<std::uint8_t>(ev.kind);
+        rec.site = ev.a;
+        rec.peer = ev.b;
+        rec.x = ev.at;
+        sim_.annotate(std::move(rec));
+      }
     }
   }
 
@@ -51,8 +66,24 @@ RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
         checker_.get());
   }
 
-  // §7: interrupted APSP, 2h phases.
-  {
+  // §7: interrupted APSP, 2h phases. With warm-start enabled (snap/,
+  // DESIGN.md §14), identical (topology, h) bring-ups deserialize the
+  // tables and spheres from a process-wide cache instead of recomputing —
+  // the cache stores serialized bytes of a cold build, so a warm bring-up
+  // is bit-identical by construction.
+  std::vector<Pcs> warm_spheres;
+  if (snap::warm_start_enabled()) {
+    if (!snap::warm_start_acquire(topo_, h, tables_, warm_spheres)) {
+      {
+        RTDS_OBS_PHASE("sys.apsp_build");
+        tables_ = phased_apsp(topo_, 2 * h);
+      }
+      warm_spheres.reserve(topo_.site_count());
+      for (SiteId s = 0; s < topo_.site_count(); ++s)
+        warm_spheres.push_back(Pcs::build(tables_, s, h));
+      snap::warm_start_store(topo_, h, tables_, warm_spheres);
+    }
+  } else {
     RTDS_OBS_PHASE("sys.apsp_build");
     tables_ = phased_apsp(topo_, 2 * h);
   }
@@ -108,7 +139,10 @@ RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
     // §13 uniform machines: execution rate scales with computing power.
     node_cfg.sched.computing_power = topo_.computing_power(s);
     nodes_.push_back(std::make_unique<RtdsNode>(
-        s, sim_, *transport_, Pcs::build(tables, s, h), node_cfg, *this));
+        s, sim_, *transport_,
+        s < warm_spheres.size() ? std::move(warm_spheres[s])
+                                : Pcs::build(tables, s, h),
+        node_cfg, *this));
     if (checker_ == nullptr) {
       transport_->set_handler(s, [node = nodes_.back().get()](
                                      SiteId from, const MessageBody& payload) {
@@ -131,6 +165,24 @@ RtdsSystem::RtdsSystem(Topology topo, SystemConfig cfg)
 }
 
 void RtdsSystem::run(const std::vector<JobArrival>& arrivals) {
+  start(arrivals);
+  {
+    RTDS_OBS_PHASE("sys.run");
+    sim_.run();
+  }
+  finish();
+}
+
+void RtdsSystem::run_stream(std::function<std::optional<JobArrival>()> next) {
+  start_stream(std::move(next));
+  {
+    RTDS_OBS_PHASE("sys.run");
+    sim_.run();
+  }
+  finish();
+}
+
+void RtdsSystem::start(const std::vector<JobArrival>& arrivals) {
   RTDS_REQUIRE_MSG(!ran_, "RtdsSystem::run may only be called once");
   ran_ = true;
   job_messages_.reserve(arrivals.size());
@@ -148,29 +200,39 @@ void RtdsSystem::run(const std::vector<JobArrival>& arrivals) {
     sim_.schedule_at(a.job->release, [this, a]() {
       nodes_[a.site]->submit(a.job);
     });
+    if (sim_.recording()) {
+      EventRecord rec;
+      rec.kind = EventRecord::Kind::kArrival;
+      rec.site = a.site;
+      rec.job_ref = a.job;
+      sim_.annotate(std::move(rec));
+    }
   }
   std::sort(ids.begin(), ids.end());
   const auto dup = std::adjacent_find(ids.begin(), ids.end());
   RTDS_REQUIRE_MSG(dup == ids.end(), "duplicate job id " << *dup);
   if (checker_ != nullptr) checker_->on_submitted(arrivals.size());
-  {
-    RTDS_OBS_PHASE("sys.run");
-    sim_.run();
-  }
-  RTDS_GAUGE_MAX("sim.events", sim_.executed_events());
-  verify_invariants();
 }
 
-void RtdsSystem::run_stream(std::function<std::optional<JobArrival>()> next) {
+void RtdsSystem::start_stream(std::function<std::optional<JobArrival>()> next) {
   RTDS_REQUIRE_MSG(!ran_, "RtdsSystem::run may only be called once");
   RTDS_REQUIRE(next != nullptr);
   ran_ = true;
   stream_next_ = std::move(next);
   if (auto first = stream_next_()) schedule_streamed(std::move(*first));
-  {
-    RTDS_OBS_PHASE("sys.run");
-    sim_.run();
-  }
+}
+
+std::size_t RtdsSystem::step_events(std::size_t max_events) {
+  RTDS_OBS_PHASE("sys.run");
+  return sim_.run_chunk(max_events);
+}
+
+std::size_t RtdsSystem::run_events_until(Time t_end) {
+  RTDS_OBS_PHASE("sys.run");
+  return sim_.run_until(t_end);
+}
+
+void RtdsSystem::finish() {
   RTDS_GAUGE_MAX("sim.events", sim_.executed_events());
   verify_invariants();
 }
@@ -188,10 +250,19 @@ void RtdsSystem::schedule_streamed(JobArrival a) {
                        << a.job->id << ")");
   last_stream_release_ = a.job->release;
   if (checker_ != nullptr) checker_->on_submitted(1);
-  sim_.schedule_at(a.job->release, [this, a]() {
-    nodes_[a.site]->submit(a.job);
-    if (auto nxt = stream_next_()) schedule_streamed(std::move(*nxt));
-  });
+  sim_.schedule_at(a.job->release, [this, a]() { fire_stream_arrival(a); });
+  if (sim_.recording()) {
+    EventRecord rec;
+    rec.kind = EventRecord::Kind::kStreamArrival;
+    rec.site = a.site;
+    rec.job_ref = a.job;
+    sim_.annotate(std::move(rec));
+  }
+}
+
+void RtdsSystem::fire_stream_arrival(const JobArrival& a) {
+  nodes_[a.site]->submit(a.job);
+  if (auto nxt = stream_next_()) schedule_streamed(std::move(*nxt));
 }
 
 void RtdsSystem::on_job_decision(const JobDecision& decision) {

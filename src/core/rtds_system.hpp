@@ -61,6 +61,11 @@ struct SystemConfig {
   /// turn this off and consume on_decision_observed instead, so memory
   /// stays bounded by the windows, not the horizon.
   bool retain_decisions = true;
+  /// Record a replayable EventRecord for every scheduled event so the run
+  /// can be checkpointed (snap/, DESIGN.md §14). Off by default: recording
+  /// costs a hash-map entry per pending event and one branch per schedule
+  /// site, and Snapshot::save requires it from the very first event.
+  bool record_events = false;
 };
 
 class RtdsSystem : public NodeEnv {
@@ -77,6 +82,36 @@ class RtdsSystem : public NodeEnv {
   /// so memory scales with in-flight work, never the horizon. Call once
   /// (exclusive with run()).
   void run_stream(std::function<std::optional<JobArrival>()> next);
+
+  // --- checkpointable phases (snap/, DESIGN.md §14) ---
+  // run(a)        == start(a); while (step_events(N)) {} finish();
+  // run_stream(n) == start_stream(n); ...same drain...; finish();
+  // The split lets a caller pause at any event boundary, Snapshot::save,
+  // and either keep going or exit; a resumed run re-enters between start
+  // and finish via Snapshot::load.
+
+  /// Validates + schedules every arrival (closed-world runs).
+  void start(const std::vector<JobArrival>& arrivals);
+  /// Primes the lazy arrival chain (open-system runs).
+  void start_stream(std::function<std::optional<JobArrival>()> next);
+  /// Fires at most `max_events` events; returns the number fired (0 means
+  /// the queue is drained and finish() may run).
+  std::size_t step_events(std::size_t max_events);
+  /// Fires events with time <= t_end (later events stay queued).
+  std::size_t run_events_until(Time t_end);
+  /// End-of-run invariant verification + metrics fold. Call exactly once,
+  /// after the queue drained.
+  void finish();
+
+  /// Re-installs the lazy arrival chain after Snapshot::load — the stream
+  /// closure itself cannot be serialized, so an open-system resume
+  /// reconstructs the ArrivalSource (whose generator state IS in the
+  /// snapshot) and hands the pull function back in before stepping.
+  /// Closed-world resumes never need this (their arrivals are pending
+  /// events in the snapshot).
+  void set_stream_source(std::function<std::optional<JobArrival>()> next) {
+    stream_next_ = std::move(next);
+  }
 
   const RunMetrics& metrics() const { return metrics_; }
   const Topology& topology() const { return topo_; }
@@ -97,6 +132,9 @@ class RtdsSystem : public NodeEnv {
   /// Validates one streamed arrival and schedules its submit event, which
   /// on firing pulls + schedules the successor (the lazy chain).
   void schedule_streamed(JobArrival a);
+  /// Body of a streamed-arrival event: submit, then pull + schedule the
+  /// successor. Named so a checkpoint replay re-enters the identical path.
+  void fire_stream_arrival(const JobArrival& a);
   /// Applies one fault-plan event: flips the FaultState, crashes/recovers
   /// the node for site events, and re-triggers the §7 routing repair on
   /// any actual topology change.
@@ -150,6 +188,8 @@ class RtdsSystem : public NodeEnv {
   // --- streaming state (run_stream only) ---
   std::function<std::optional<JobArrival>()> stream_next_;
   Time last_stream_release_ = 0.0;
+
+  friend struct snap::Access;
 };
 
 }  // namespace rtds

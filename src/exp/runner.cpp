@@ -10,11 +10,31 @@
 #include <thread>
 
 #include "exp/sinks.hpp"
+#include "snap/io.hpp"
+#include "snap/journal.hpp"
+#include "snap/warm_start.hpp"
 #include "util/error.hpp"
 
 namespace rtds::exp {
 
 namespace {
+
+/// Scoped enable for the process-global warm-start cache: restores the
+/// previous state on exit so a --verify re-run (or a nested scenario)
+/// sees exactly the mode its caller chose.
+class WarmStartScope {
+ public:
+  explicit WarmStartScope(bool enable)
+      : previous_(snap::warm_start_enabled()) {
+    if (enable) snap::set_warm_start_enabled(true);
+  }
+  ~WarmStartScope() { snap::set_warm_start_enabled(previous_); }
+  WarmStartScope(const WarmStartScope&) = delete;
+  WarmStartScope& operator=(const WarmStartScope&) = delete;
+
+ private:
+  bool previous_;
+};
 
 /// Runs trials [0, trials) of `spec`, storing each result in its slot.
 /// With `observe` set, each trial additionally writes into its own
@@ -23,9 +43,12 @@ namespace {
 void run_trials(const ScenarioSpec& spec, std::size_t replicates,
                 std::size_t jobs, std::vector<TrialResult>& slots,
                 RunObservation* observe,
-                std::vector<obs::MetricsBuffer>& metric_slots) {
+                std::vector<obs::MetricsBuffer>& metric_slots,
+                const std::vector<std::uint8_t>& prefilled,
+                snap::SweepJournal* journal) {
   const std::size_t trials = slots.size();
   auto run_one = [&](std::size_t t) {
+    if (!prefilled.empty() && prefilled[t] != 0) return;  // journal resume
     const std::size_t grid_index = t / replicates;
     const std::size_t replicate = t % replicates;
     std::optional<obs::Scope> scope;
@@ -39,6 +62,10 @@ void run_trials(const ScenarioSpec& spec, std::size_t replicates,
                                << result.size() << " metrics, declared "
                                << spec.metrics.size());
     slots[t] = std::move(result);
+    scope.reset();  // unbind before journaling the trial's buffer
+    if (journal != nullptr)
+      journal->append(t, slots[t],
+                      observe != nullptr ? &metric_slots[t] : nullptr);
   };
 
   if (jobs <= 1) {
@@ -85,13 +112,53 @@ std::vector<AggregateRow> run_scenario(const ScenarioSpec& spec,
   const std::size_t jobs = std::min(std::max<std::size_t>(opts.jobs, 1),
                                     std::max<std::size_t>(trials, 1));
 
+  const WarmStartScope warm(opts.warm_start);
   std::vector<TrialResult> slots(trials);
   std::vector<obs::MetricsBuffer> metric_slots;
   if (opts.observe != nullptr) {
     metric_slots.resize(trials);
     opts.observe->traces.assign(trials, obs::TraceRecorder{});
   }
-  run_trials(spec, replicates, jobs, slots, opts.observe, metric_slots);
+
+  // Crash-recovery journal (snap/journal.hpp): completed trials append as
+  // they finish; a resume prefills their slots and re-runs only the rest.
+  std::unique_ptr<snap::SweepJournal> journal;
+  std::vector<std::uint8_t> prefilled;
+  if (!opts.journal_path.empty()) {
+    snap::HashAbsorber h;
+    h.str("sweep-journal");
+    h.str(spec.name);
+    h.u64(points);
+    h.u64(replicates);
+    h.u64(spec.metrics.size());
+    h.u64(static_cast<std::uint64_t>(spec.seed_mode));
+    h.u64(spec.fixed_seed);
+    h.u64(opts.observe != nullptr ? 1 : 0);
+    const std::uint64_t sweep_hash = h.digest();
+    if (opts.resume) {
+      std::vector<snap::JournalEntry> entries;
+      journal = snap::SweepJournal::resume(opts.journal_path, sweep_hash,
+                                           entries);
+      prefilled.assign(trials, 0);
+      for (snap::JournalEntry& e : entries) {
+        if (e.trial >= trials)
+          throw ContractViolation("sweep journal entry for trial " +
+                                  std::to_string(e.trial) +
+                                  " is outside this sweep");
+        slots[e.trial] = e.values;
+        prefilled[e.trial] = 1;
+        // Trace recorders are not journaled: a resumed trial contributes
+        // its metrics but an empty trace (long sweeps run counters-only).
+        if (opts.observe != nullptr && e.has_metrics)
+          metric_slots[e.trial] = std::move(e.metrics);
+      }
+    } else {
+      journal = snap::SweepJournal::create(opts.journal_path, sweep_hash);
+    }
+  }
+
+  run_trials(spec, replicates, jobs, slots, opts.observe, metric_slots,
+             prefilled, journal.get());
   if (opts.observe != nullptr)
     // Trial-index merge order: commutativity makes it unnecessary for
     // correctness, but a fixed order keeps even pathological future cell

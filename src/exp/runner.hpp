@@ -57,6 +57,19 @@ struct RunOptions {
   /// Borrowed observability capture, or nullptr (the default: trials run
   /// with no obs binding, so instrumentation costs one TLS load each).
   RunObservation* observe = nullptr;
+  /// Share one serialized bring-up (routing tables + spheres) across every
+  /// trial on the same (topology, h) via snap::warm_start (DESIGN.md §14).
+  /// Bit-identical to cold trials — pinned by tests/warm_start_test.cpp.
+  bool warm_start = false;
+  /// Crash recovery: append every completed trial (values + obs metrics
+  /// when observing) to this snap::SweepJournal file. Empty = off.
+  std::string journal_path;
+  /// With journal_path set: load the journal's completed trials instead of
+  /// re-running them, then continue the sweep. The journal must belong to
+  /// this exact sweep (scenario, grid, replicates, seed policy, observe
+  /// mode — pinned by its header hash); a missing or foreign journal
+  /// throws ContractViolation.
+  bool resume = false;
 };
 
 /// Runs every trial of `spec` and returns one aggregate row per grid

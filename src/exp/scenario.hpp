@@ -95,6 +95,12 @@ struct ScenarioSpec {
   SeedMode seed_mode = SeedMode::kDerived;
   std::uint64_t fixed_seed = 42;   ///< the kFixed shared seed
   TrialFn trial;                   ///< the pure per-trial function
+  /// Trials construct RtdsSystems, so the snap warm-start cache
+  /// (RunOptions::warm_start, rtds_exp --warm-start) can reuse one
+  /// serialized bring-up per (topology, h). True for every built-in sweep
+  /// (they all run the rtds policy at least once per trial); a future
+  /// baseline-only scenario should clear it so --list stays honest.
+  bool warm_start = true;
 
   /// Product of axis sizes.
   std::size_t grid_size() const;

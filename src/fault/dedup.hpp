@@ -10,6 +10,10 @@
 
 #include <cstdint>
 
+namespace rtds::snap {
+struct Access;  // checkpoint serialization (snap/)
+}
+
 namespace rtds::fault {
 
 class DedupWindow {
@@ -46,6 +50,8 @@ class DedupWindow {
  private:
   std::uint64_t max_seq_ = 0;  ///< highest sequence accepted so far
   std::uint64_t mask_ = 0;     ///< bit i set = (max_seq_ - i) accepted
+
+  friend struct snap::Access;  // checkpoints restore the window verbatim
 };
 
 }  // namespace rtds::fault

@@ -33,6 +33,10 @@
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
+namespace rtds::snap {
+struct Access;  // checkpoint serialization (snap/)
+}
+
 namespace rtds::fault {
 
 enum class FaultKind : std::uint8_t {
@@ -184,6 +188,8 @@ class FaultState {
   std::vector<std::size_t> partition_downed_;  ///< links() indices the cut owns
   std::vector<SiteId> partition_changed_sites_;
   Rng perturb_rng_;
+
+  friend struct snap::Access;  // checkpoints restore the live fault view
 };
 
 /// Site up/down schedule extracted from a plan, for drivers that model

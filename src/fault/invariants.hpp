@@ -30,6 +30,10 @@ namespace rtds {
 struct RunMetrics;
 }
 
+namespace rtds::snap {
+struct Access;  // checkpoint serialization (snap/)
+}
+
 namespace rtds::fault {
 
 /// Process-wide enable switch (`--check-invariants` in both CLIs; tests set
@@ -65,6 +69,8 @@ class InvariantChecker {
   std::uint64_t submitted_ = 0;
   std::uint64_t violations_ = 0;
   FlatSet<JobId> decided_;
+
+  friend struct snap::Access;  // checkpoints restore the audit counters
 };
 
 }  // namespace rtds::fault

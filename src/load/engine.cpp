@@ -1,7 +1,11 @@
 #include "load/engine.hpp"
 
+#include <limits>
+
 #include "fault/fault_params.hpp"
+#include "obs/obs.hpp"
 #include "policy/rtds_params.hpp"
+#include "snap/snapshot.hpp"
 
 namespace rtds::load {
 
@@ -32,13 +36,46 @@ OpenRunResult run_open_rtds(const Topology& topo, ArrivalSource& source,
   // Long runs must not hold a decision per job; the collector has
   // everything the summary needs.
   cfg.retain_decisions = false;
+  const bool checkpointing = !ocfg.checkpoint_path.empty();
+  // Recording is what makes the pending events serializable; it changes no
+  // simulation bytes (tests/snapshot_test.cpp pins recorded == unrecorded).
+  if (checkpointing) cfg.record_events = true;
   RtdsSystem system(topo, cfg);
-  system.run_stream(
-      [&source, duration = ocfg.duration]() -> std::optional<JobArrival> {
-        auto a = source.next();
-        if (!a.has_value() || a->job->release >= duration) return std::nullopt;
-        return a;
-      });
+  auto next = [&source,
+               duration = ocfg.duration]() -> std::optional<JobArrival> {
+    auto a = source.next();
+    if (!a.has_value() || a->job->release >= duration) return std::nullopt;
+    return a;
+  };
+  if (!checkpointing) {
+    system.run_stream(next);
+  } else {
+    snap::SnapshotExtras extras;
+    if (obs::Context* octx = obs::current(); octx != nullptr)
+      extras.metrics = octx->metrics;
+    extras.collector = &collector;
+    extras.source = &source;
+    if (ocfg.resume) {
+      // The generator state rides in the snapshot; the pull closure does
+      // not, so re-install it before stepping.
+      snap::Snapshot::load_file(ocfg.checkpoint_path, system, extras);
+      system.set_stream_source(next);
+    } else {
+      system.start_stream(next);
+    }
+    const std::size_t chunk =
+        ocfg.checkpoint_every > 0
+            ? static_cast<std::size_t>(ocfg.checkpoint_every)
+            : std::numeric_limits<std::size_t>::max();
+    while (true) {
+      const std::size_t fired = system.step_events(chunk);
+      if (fired == 0) break;
+      // A partial chunk means the queue just drained — no point saving.
+      if (fired == chunk && ocfg.checkpoint_every > 0)
+        snap::Snapshot::save_file(system, ocfg.checkpoint_path, extras);
+    }
+    system.finish();
+  }
   OpenRunResult result;
   result.metrics = system.metrics();
   result.steady = collector.summary(ocfg.knee_factor, ocfg.knee_min_count);

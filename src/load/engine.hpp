@@ -15,6 +15,21 @@ struct OpenConfig {
   WindowConfig window;
   double knee_factor = 4.0;        ///< p99 divergence multiple (see window.hpp)
   std::uint64_t knee_min_count = 20;  ///< completions a window needs to count
+
+  // --- checkpoint / resume (snap/, DESIGN.md §14) ---
+  /// Periodically Snapshot::save_file the full run state (system, arrival
+  /// generator, steady-state windows, obs metrics buffer if one is
+  /// installed) to this path. Empty = off; turning it on forces
+  /// record_events and changes no simulation bytes (pinned by
+  /// tests/snapshot_test.cpp).
+  std::string checkpoint_path;
+  /// Events between checkpoints when checkpoint_path is set (0 = only the
+  /// stepping chunk changes, no periodic saves).
+  std::uint64_t checkpoint_every = 100'000;
+  /// Restore checkpoint_path before stepping instead of starting the
+  /// stream from scratch. The source/topology/params must match the saved
+  /// run (enforced by the snapshot's config hash).
+  bool resume = false;
 };
 
 struct OpenRunResult {

@@ -4,8 +4,19 @@
 #include <queue>
 
 #include "dag/analysis.hpp"
+#include "snap/access.hpp"
+#include "snap/io.hpp"
 
 namespace rtds::load {
+
+void ArrivalSource::save_state(snap::Writer&) const {
+  RTDS_REQUIRE_MSG(false,
+                   "this arrival source is not checkpointable (no save_state)");
+}
+
+void ArrivalSource::load_state(snap::Reader& r) {
+  r.fail("this arrival source is not checkpointable (no load_state)");
+}
 
 const char* to_string(ArrivalKind kind) {
   switch (kind) {
@@ -99,6 +110,27 @@ class SiteStream {
   }
 
   SiteId site() const { return site_; }
+
+  /// Checkpoint capture: the RNG words and process-phase state (spec_,
+  /// site_ and the resolved curve_ are reconstructed, never stored).
+  void save_state(snap::Writer& w) const {
+    snap::Access::save(w, rng_);
+    w.f64(t_);
+    w.b(in_burst_);
+    w.f64(phase_left_);
+    w.u64(seg_);
+    w.f64(seg_left_);
+  }
+  void load_state(snap::Reader& r) {
+    snap::Access::load(r, rng_);
+    t_ = r.f64();
+    in_burst_ = r.b();
+    phase_left_ = r.f64();
+    seg_ = static_cast<std::size_t>(r.u64());
+    seg_left_ = r.f64();
+    if (!curve_.empty() && seg_ >= curve_.size())
+      r.fail("diurnal segment index outside the resolved curve");
+  }
 
   /// Generates the next arrival (id 0 — the merger assigns ids in emission
   /// order). Generated streams never end.
@@ -209,6 +241,40 @@ class GeneratedSource final : public ArrivalSource {
     return std::move(p.arrival);
   }
 
+  /// The heap array is saved VERBATIM (not re-heapified on load): the saved
+  /// layout already satisfies the heap property, and std::make_heap could
+  /// legally produce a different-but-equivalent layout whose later pop/push
+  /// sequence diverges. Restoring the exact array keeps the resumed
+  /// emission order bit-identical to the uninterrupted stream.
+  void save_state(snap::Writer& w) const override {
+    w.u64(emitted_);
+    w.u64(streams_.size());
+    for (const auto& s : streams_) s.save_state(w);
+    w.u64(heap_.size());
+    snap::SaveContext ctx;
+    for (const auto& p : heap_) {
+      w.u32(p.site);
+      w.u32(p.arrival.site);
+      snap::Access::save_job(w, ctx, p.arrival.job);
+    }
+  }
+  void load_state(snap::Reader& r) override {
+    emitted_ = r.u64();
+    if (r.u64() != streams_.size())
+      r.fail("generated source spans a different site count than this spec");
+    for (auto& s : streams_) s.load_state(r);
+    const std::uint64_t n = r.u64();
+    if (n != heap_.size())
+      r.fail("generated source heap size does not match this spec");
+    snap::LoadContext ctx;
+    for (auto& p : heap_) {
+      p.site = r.u32();
+      p.arrival.site = r.u32();
+      p.arrival.job = snap::Access::load_job(r, ctx);
+      if (p.arrival.job == nullptr) r.fail("pending arrival without a job");
+    }
+  }
+
  private:
   struct Pending {
     JobArrival arrival;
@@ -248,6 +314,18 @@ class TraceSource final : public ArrivalSource {
   std::optional<JobArrival> next() override {
     if (pos_ >= trace_.size()) return std::nullopt;
     return trace_[pos_++];
+  }
+
+  /// The trace itself is static configuration; only the cursor is live.
+  void save_state(snap::Writer& w) const override {
+    w.u64(trace_.size());
+    w.u64(pos_);
+  }
+  void load_state(snap::Reader& r) override {
+    if (r.u64() != trace_.size())
+      r.fail("trace source length does not match this spec");
+    pos_ = static_cast<std::size_t>(r.u64());
+    if (pos_ > trace_.size()) r.fail("trace cursor beyond the trace");
   }
 
  private:

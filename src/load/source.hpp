@@ -24,6 +24,11 @@
 
 #include "core/workload.hpp"
 
+namespace rtds::snap {
+class Writer;  // snap/io.hpp — checkpoint container (DESIGN.md §14)
+class Reader;
+}  // namespace rtds::snap
+
 namespace rtds::load {
 
 /// Which arrival process drives the open stream. kPoisson/kBursty promote
@@ -67,6 +72,19 @@ class ArrivalSource {
  public:
   virtual ~ArrivalSource() = default;
   virtual std::optional<JobArrival> next() = 0;
+
+  // --- checkpoint support (snap/, DESIGN.md §14) ---
+  // A checkpointed open-system run must capture where the arrival process
+  // stands — per-site RNG streams, process phase state, the merge heap's
+  // already-generated-but-unemitted jobs — or the resumed stream would
+  // re-draw different arrivals. save_state serializes exactly that live
+  // state into the writer's current section; load_state restores it into a
+  // freshly constructed source built from the *same* ArrivalSpec (static
+  // configuration is reconstructed, never stored). The defaults throw
+  // ContractViolation: a source that does not implement them fails a
+  // checkpoint loudly instead of silently forking the stream.
+  virtual void save_state(snap::Writer& w) const;
+  virtual void load_state(snap::Reader& r);
 };
 
 /// Validates the spec and builds the matching source.

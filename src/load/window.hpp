@@ -23,6 +23,10 @@
 #include "util/stats.hpp"
 #include "util/time.hpp"
 
+namespace rtds::snap {
+struct Access;  // checkpoint serialization (snap/)
+}
+
 namespace rtds::load {
 
 /// Log-binned quantile accumulator with bounded relative error.
@@ -55,6 +59,8 @@ class QuantileSketch {
   std::uint64_t zero_count_ = 0;
   std::uint64_t total_ = 0;
   std::map<std::int32_t, std::uint64_t> bins_;  // key-ordered: stable walk
+
+  friend struct snap::Access;  // checkpoints restore the bins verbatim
 };
 
 struct WindowConfig {
@@ -117,6 +123,8 @@ class SteadyStateCollector {
 
   WindowConfig cfg_;
   std::vector<WindowCell> windows_;
+
+  friend struct snap::Access;  // checkpoints restore the tumbling windows
 };
 
 }  // namespace rtds::load

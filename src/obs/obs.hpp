@@ -47,6 +47,10 @@
 #define RTDS_OBS_ENABLED 1
 #endif
 
+namespace rtds::snap {
+struct Access;  // checkpoint serialization (snap/)
+}
+
 namespace rtds::obs {
 
 class TraceRecorder;  // obs/trace.hpp
@@ -165,6 +169,10 @@ class MetricsBuffer {
   std::vector<Cell> cells_;
   /// Lazily allocated 64-way log2 bins, parallel to cells_ (hist only).
   std::vector<std::unique_ptr<std::uint64_t[]>> bins_;
+
+  /// Checkpoints serialize cells by *name* (ids are process-interning
+  /// order, which is not stable across builds or runs) — snap/.
+  friend struct rtds::snap::Access;
 };
 
 /// What the current thread attributes its observations to.

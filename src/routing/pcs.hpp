@@ -78,6 +78,8 @@ class Pcs {
   // vector-of-vectors cost ~30 allocations per sphere, once per site).
   std::vector<Time> pair_delay_;
   std::vector<std::size_t> pair_hops_;
+
+  friend struct snap::Access;  // warm-start / checkpoint serialization
 };
 
 }  // namespace rtds

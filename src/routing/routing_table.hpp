@@ -32,6 +32,10 @@ namespace rtds::fault {
 class FaultState;
 }
 
+namespace rtds::snap {
+struct Access;  // checkpoint serialization (snap/)
+}
+
 namespace rtds {
 
 struct RouteLine {
@@ -149,6 +153,10 @@ class RoutingTable {
   std::vector<RouteLine> lines_;  ///< slot-dense route lines
   std::vector<SiteId> dests_;     ///< slot → destination id, ascending
   std::uint32_t live_ = 0;        ///< non-tombstone line count
+
+  /// Checkpoints restore tombstoned slots verbatim — the public mutators
+  /// cannot reproduce them (snap/).
+  friend struct snap::Access;
 };
 
 }  // namespace rtds

@@ -6,6 +6,19 @@
 #include "obs/trace.hpp"
 
 namespace rtds {
+namespace {
+
+EventRecord msg_record(EventRecord::Kind kind, SiteId from, SiteId to,
+                       std::shared_ptr<const MessageBody> payload) {
+  EventRecord rec;
+  rec.kind = kind;
+  rec.site = from;
+  rec.peer = to;
+  rec.payload = std::move(payload);
+  return rec;
+}
+
+}  // namespace
 
 // --------------------------------------------------------------- ideal ----
 
@@ -31,6 +44,24 @@ void IdealTransport::drop(SiteId to, const MessageBody& payload) {
   if (on_drop_) on_drop_(to, payload);
 }
 
+void IdealTransport::deliver_self(SiteId from, SiteId to,
+                                  const MessageBody& payload) {
+  RTDS_CHECK(handlers_[to] != nullptr);
+  handlers_[to](from, payload);
+}
+
+void IdealTransport::deliver(SiteId from, SiteId to,
+                             const MessageBody& payload) {
+  // Arrival-time liveness: the destination must be up when the message
+  // lands, not merely when it was sent.
+  if (faults_ != nullptr && !faults_->site_up(to)) {
+    drop(to, payload);
+    return;
+  }
+  RTDS_CHECK(handlers_[to] != nullptr);
+  handlers_[to](from, payload);
+}
+
 std::size_t IdealTransport::send(SiteId from, SiteId to, MessageBody payload,
                                  int category, double size_units) {
   RTDS_REQUIRE(from < handlers_.size());
@@ -38,10 +69,15 @@ std::size_t IdealTransport::send(SiteId from, SiteId to, MessageBody payload,
   RTDS_REQUIRE(size_units >= 0.0);
   if (from == to) {
     stats_.record(category, 0);
+    std::shared_ptr<const MessageBody> rec_payload;
+    if (sim_.recording())
+      rec_payload = std::make_shared<const MessageBody>(payload);
     sim_.schedule_in(0.0, [this, from, to, p = std::move(payload)]() {
-      RTDS_CHECK(handlers_[to] != nullptr);
-      handlers_[to](from, p);
+      deliver_self(from, to, p);
     });
+    if (rec_payload)
+      sim_.annotate(msg_record(EventRecord::Kind::kSelfDeliver, from, to,
+                               std::move(rec_payload)));
     return 0;
   }
   const RouteLine* line = tables_[from].find(to);
@@ -73,25 +109,22 @@ std::size_t IdealTransport::send(SiteId from, SiteId to, MessageBody payload,
       const Time dup_delay = line->dist + faults_->sample_extra_delay() +
                              faults_->sample_reorder_delay();
       sim_.schedule_in(dup_delay, [this, from, to, p = MessageBody(payload)]() {
-        if (faults_ != nullptr && !faults_->site_up(to)) {
-          drop(to, p);
-          return;
-        }
-        RTDS_CHECK(handlers_[to] != nullptr);
-        handlers_[to](from, p);
+        deliver(from, to, p);
       });
+      if (sim_.recording())
+        sim_.annotate(msg_record(EventRecord::Kind::kDeliver, from, to,
+                                 std::make_shared<const MessageBody>(payload)));
     }
   }
+  std::shared_ptr<const MessageBody> rec_payload;
+  if (sim_.recording())
+    rec_payload = std::make_shared<const MessageBody>(payload);
   sim_.schedule_in(delay, [this, from, to, p = std::move(payload)]() {
-    // Arrival-time liveness: the destination must be up when the message
-    // lands, not merely when it was sent.
-    if (faults_ != nullptr && !faults_->site_up(to)) {
-      drop(to, p);
-      return;
-    }
-    RTDS_CHECK(handlers_[to] != nullptr);
-    handlers_[to](from, p);
+    deliver(from, to, p);
   });
+  if (rec_payload)
+    sim_.annotate(msg_record(EventRecord::Kind::kDeliver, from, to,
+                             std::move(rec_payload)));
   return line->hops;
 }
 
@@ -126,6 +159,12 @@ void ContendedTransport::drop(SiteId to, const MessageBody& payload) {
   if (on_drop_) on_drop_(to, payload);
 }
 
+void ContendedTransport::deliver_self(SiteId from, SiteId to,
+                                      const MessageBody& payload) {
+  RTDS_CHECK(handlers_[to] != nullptr);
+  handlers_[to](from, payload);
+}
+
 std::size_t ContendedTransport::send(SiteId from, SiteId to, MessageBody payload,
                                      int category, double size_units) {
   RTDS_REQUIRE(from < handlers_.size());
@@ -133,10 +172,15 @@ std::size_t ContendedTransport::send(SiteId from, SiteId to, MessageBody payload
   RTDS_REQUIRE(size_units >= 0.0);
   if (from == to) {
     stats_.record(category, 0);
+    std::shared_ptr<const MessageBody> rec_payload;
+    if (sim_.recording())
+      rec_payload = std::make_shared<const MessageBody>(payload);
     sim_.schedule_in(0.0, [this, from, to, p = std::move(payload)]() {
-      RTDS_CHECK(handlers_[to] != nullptr);
-      handlers_[to](from, p);
+      deliver_self(from, to, p);
     });
+    if (rec_payload)
+      sim_.annotate(msg_record(EventRecord::Kind::kSelfDeliver, from, to,
+                               std::move(rec_payload)));
     return 0;
   }
   const RouteLine* line = tables_[from].find(to);
@@ -171,10 +215,22 @@ std::size_t ContendedTransport::send(SiteId from, SiteId to, MessageBody payload
           faults_->sample_extra_delay() + faults_->sample_reorder_delay();
       sim_.schedule_in(dup_extra, [this, from, to, p = shared,
                                    size_units]() { forward(from, to, p, size_units); });
+      if (sim_.recording()) {
+        EventRecord rec =
+            msg_record(EventRecord::Kind::kContendedInject, from, to, shared);
+        rec.y = size_units;
+        sim_.annotate(std::move(rec));
+      }
     }
     if (extra > 0.0) {
-      sim_.schedule_in(extra, [this, from, to, p = std::move(shared),
+      sim_.schedule_in(extra, [this, from, to, p = shared,
                                size_units]() { forward(from, to, p, size_units); });
+      if (sim_.recording()) {
+        EventRecord rec = msg_record(EventRecord::Kind::kContendedInject, from,
+                                     to, std::move(shared));
+        rec.y = size_units;
+        sim_.annotate(std::move(rec));
+      }
       return hops;
     }
   }
@@ -227,8 +283,15 @@ void ContendedTransport::hop(SiteId origin, SiteId cur, SiteId to,
   busy_until = queue_start + tx;
   const Time arrival = queue_start + tx + topo_.link_delay(cur, next);
   sim_.schedule_at(arrival,
-                   [this, origin, next, to, p = std::move(payload),
+                   [this, origin, next, to, p = payload,
                     size_units]() { hop(origin, next, to, p, size_units); });
+  if (sim_.recording()) {
+    EventRecord rec = msg_record(EventRecord::Kind::kContendedHop, origin, next,
+                                 std::move(payload));
+    rec.dest = to;
+    rec.y = size_units;
+    sim_.annotate(std::move(rec));
+  }
 }
 
 }  // namespace rtds

@@ -30,6 +30,10 @@
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
+namespace rtds::snap {
+struct Access;
+}  // namespace rtds::snap
+
 namespace rtds {
 
 class Transport {
@@ -76,6 +80,16 @@ class IdealTransport final : public Transport {
 
  private:
   void drop(SiteId to, const MessageBody& payload);
+  /// Self-send delivery: no liveness check (a site is always reachable
+  /// from itself), just the handler call.
+  void deliver_self(SiteId from, SiteId to, const MessageBody& payload);
+  /// Routed delivery: destination liveness is checked when the message
+  /// lands, not when it was sent. Both the primary and any duplicated
+  /// copy fire through here, so a checkpoint replay re-enters the exact
+  /// delivery path.
+  void deliver(SiteId from, SiteId to, const MessageBody& payload);
+
+  friend struct snap::Access;
 
   Simulator& sim_;
   const std::vector<RoutingTable>& tables_;
@@ -106,10 +120,13 @@ class ContendedTransport final : public Transport {
 
  private:
   void drop(SiteId to, const MessageBody& payload);
+  void deliver_self(SiteId from, SiteId to, const MessageBody& payload);
   void forward(SiteId at, SiteId to,
                std::shared_ptr<const MessageBody> payload, double size_units);
   void hop(SiteId origin, SiteId cur, SiteId to,
            std::shared_ptr<const MessageBody> payload, double size_units);
+
+  friend struct snap::Access;
 
   Simulator& sim_;
   const Topology& topo_;

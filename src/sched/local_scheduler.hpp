@@ -21,6 +21,10 @@
 #include "sched/admission.hpp"
 #include "sched/plan.hpp"
 
+namespace rtds::snap {
+struct Access;  // checkpoint serialization (snap/)
+}
+
 namespace rtds {
 
 enum class AdmissionPolicy {
@@ -88,6 +92,8 @@ class LocalScheduler {
 
   LocalSchedulerConfig cfg_;
   SchedulingPlan plan_;
+
+  friend struct snap::Access;  // checkpoints restore the committed plan
 };
 
 }  // namespace rtds

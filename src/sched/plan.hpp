@@ -16,6 +16,10 @@
 #include "dag/dag.hpp"
 #include "sched/interval.hpp"
 
+namespace rtds::snap {
+struct Access;  // checkpoint serialization (snap/)
+}
+
 namespace rtds {
 
 struct Reservation {
@@ -66,6 +70,8 @@ class SchedulingPlan {
 
  private:
   std::vector<Reservation> items_;  // sorted by start, non-overlapping
+
+  friend struct snap::Access;  // checkpoints restore the sorted array verbatim
 };
 
 }  // namespace rtds

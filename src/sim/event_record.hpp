@@ -1,0 +1,63 @@
+// Replayable descriptions of pending events (DESIGN.md §14).
+//
+// Event callables are opaque closures — they cannot be serialized. A
+// checkpoint therefore rides a side channel: every schedule site on the
+// RTDS path annotates the event it just scheduled with an EventRecord, a
+// POD-plus-shared_ptr description from which the *same* closure can be
+// reconstructed (snap/snapshot.cpp re-posts records through the original
+// private entry points). Recording is opt-in (Simulator::set_recording)
+// and costs one branch per schedule site when off; Snapshot::save rejects
+// any pending event that carries no record, so a policy family that never
+// annotates fails a checkpoint loudly instead of silently dropping events.
+//
+// The two shared_ptr fields are type-erased so this header stays free of
+// core/ dependencies: ref-counted payloads are cast back by the snapshot
+// layer, which knows which Kind owns a Job and which owns a MessageBody.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/time.hpp"
+
+namespace rtds {
+
+struct EventRecord {
+  enum class Kind : std::uint8_t {
+    kNone = 0,
+    // --- RtdsSystem ---
+    kFault,           ///< apply_fault(FaultEvent{x=at, small=kind, site=a, peer=b})
+    kArrival,         ///< nodes_[site]->submit(job)              (closed run())
+    kStreamArrival,   ///< submit + pull the next streamed arrival
+    // --- RtdsNode (owner = site) ---
+    kEnrollTimeout,   ///< on_enroll_timeout(job_ref)
+    kMapper,          ///< run_mapper(job_ref)
+    kValidateTimeout, ///< on_validate_timeout(job_ref)
+    kRetryTimer,      ///< on_retry_timer(job, peer, a=gen, x=rto)
+    kCompletion,      ///< task completion: job, task, x=end, a=epoch
+    kLeaseExpiry,     ///< on_lease_expired(a=lock seq)
+    kStartNext,       ///< deferred start_next_job kick
+    // --- transports ---
+    kSelfDeliver,     ///< ideal/contended self-send: handler(peer)<-site
+    kDeliver,         ///< IdealTransport delivery (site -> peer), liveness
+                      ///< checked at fire time exactly like the original
+    kContendedInject, ///< ContendedTransport source injection -> forward()
+    kContendedHop,    ///< store-and-forward hop: site=origin, peer=cur,
+                      ///< dest=final, y=size_units
+  };
+
+  Kind kind = Kind::kNone;
+  std::uint8_t small = 0;      ///< fault event kind
+  std::uint32_t site = 0;      ///< owning node / sender / fault site a
+  std::uint32_t peer = 0;      ///< receiver / retry peer / fault site b
+  std::uint32_t dest = 0;      ///< final destination (contended hops)
+  std::uint64_t job = 0;       ///< JobId, where the record carries one by id
+  std::uint32_t task = 0;      ///< TaskId (completions)
+  std::uint64_t a = 0;         ///< generation / epoch / lock sequence
+  double x = 0.0;              ///< rto / completion end / fault time
+  double y = 0.0;              ///< message size_units
+  std::shared_ptr<const void> job_ref;  ///< shared_ptr<const Job>
+  std::shared_ptr<const void> payload;  ///< shared_ptr<const MessageBody>
+};
+
+}  // namespace rtds

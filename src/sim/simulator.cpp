@@ -290,6 +290,7 @@ bool Simulator::step() {
   }
   now_ = top.at;
   ++executed_;
+  if (recording_) records_.erase(top.seq);
   // Invoke in place: the slot stays occupied (not in the free list) while
   // the event body runs, and chunk storage is stable even if the body
   // schedules events that grow the slab. Recycle after.
@@ -309,11 +310,54 @@ bool Simulator::step() {
   return true;
 }
 
+std::vector<Simulator::PendingEvent> Simulator::pending_events() const {
+  std::vector<Node> nodes;
+  nodes.reserve(pending());
+  nodes.insert(nodes.end(), staged_.begin(), staged_.end());
+  nodes.insert(nodes.end(),
+               run_.begin() + static_cast<std::ptrdiff_t>(run_head_),
+               run_.end());
+  nodes.insert(nodes.end(), heap_.begin(), heap_.end());
+  std::sort(nodes.begin(), nodes.end(), earlier);
+  std::vector<PendingEvent> out;
+  out.reserve(nodes.size());
+  for (const Node& n : nodes) out.push_back({n.at, n.seq});
+  return out;
+}
+
+void Simulator::destroy_slot(std::uint32_t slot) {
+  if (slot & kBigSlot) {
+    const std::uint32_t id = slot & ~kBigSlot;
+    big_slab_.at(id) = nullptr;
+    big_slab_.release(id);
+  } else {
+    small_slab_.at(slot) = nullptr;
+    small_slab_.release(slot);
+  }
+}
+
+void Simulator::clear_pending() {
+  for (const Node& n : staged_) destroy_slot(n.slot);
+  for (std::size_t i = run_head_; i < run_.size(); ++i)
+    destroy_slot(run_[i].slot);
+  for (const Node& n : heap_) destroy_slot(n.slot);
+  staged_.clear();
+  run_.clear();
+  run_head_ = 0;
+  heap_.clear();
+  records_.clear();
+}
+
 std::size_t Simulator::run(std::size_t max_events) {
-  std::size_t fired = 0;
-  while (fired < max_events && step()) ++fired;
+  const std::size_t fired = run_chunk(max_events);
   RTDS_CHECK_MSG(fired < max_events || !has_events(),
                  "event budget exhausted at t=" << now_);
+  return fired;
+}
+
+std::size_t Simulator::run_chunk(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (fired < max_events && step()) ++fired;
   return fired;
 }
 

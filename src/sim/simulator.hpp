@@ -35,10 +35,12 @@
 #include <memory>
 #include <new>
 #include <type_traits>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "sim/event_fn.hpp"
+#include "sim/event_record.hpp"
 #include "util/error.hpp"
 #include "util/time.hpp"
 
@@ -89,12 +91,24 @@ class Simulator {
   bool step();
 
   /// Runs until the queue drains or `max_events` fire; returns events fired.
+  /// Exhausting the budget with events still queued is an error: this is
+  /// the run-to-completion driver, and the budget only exists to catch
+  /// runaway event loops. For deliberate partial stepping use run_chunk.
   std::size_t run(std::size_t max_events = kDefaultEventBudget);
+
+  /// Fires up to `max_events` events and returns the count fired. Unlike
+  /// run(), leftover events are normal — this is the stepping primitive of
+  /// the chunked checkpoint drivers (`while (run_chunk(N)) maybe_save();`).
+  std::size_t run_chunk(std::size_t max_events);
 
   /// Runs while event times are <= t_end (events beyond stay queued).
   std::size_t run_until(Time t_end, std::size_t max_events = kDefaultEventBudget);
 
   std::uint64_t executed_events() const { return executed_; }
+
+  /// Next sequence number to be assigned (checkpoints save it so resumed
+  /// runs keep the saved (time, seq) pop order, see restore_clock).
+  std::uint64_t next_seq() const { return next_seq_; }
 
   /// Post-event observer (raw function pointer + context, null by default):
   /// called after every executed event with the event's time. The invariant
@@ -109,6 +123,58 @@ class Simulator {
 
   /// Guard against runaway protocols in tests.
   static constexpr std::size_t kDefaultEventBudget = 100'000'000;
+
+  // --- checkpoint support (snap/, DESIGN.md §14) ---
+
+  /// Turns event-record annotation on/off. While on, schedule sites on the
+  /// RTDS path attach an EventRecord to the event they just scheduled
+  /// (annotate), and executed events discard theirs — so at any instant
+  /// the record table describes exactly the pending events. Off (the
+  /// default), annotation costs one branch per schedule site.
+  void set_recording(bool on) {
+    recording_ = on;
+    if (!on) records_.clear();
+  }
+  bool recording() const { return recording_; }
+
+  /// Attaches `rec` to the most recently scheduled event. Must directly
+  /// follow the schedule_at/schedule_in call it describes.
+  void annotate(EventRecord rec) {
+    RTDS_REQUIRE_MSG(next_seq_ > 0, "annotate before any schedule");
+    records_[next_seq_ - 1] = std::move(rec);
+  }
+
+  /// The record attached to pending event `seq`, or nullptr (an opaque
+  /// event — Snapshot::save refuses to serialize those).
+  const EventRecord* record_of(std::uint64_t seq) const {
+    const auto it = records_.find(seq);
+    return it == records_.end() ? nullptr : &it->second;
+  }
+
+  /// (time, seq) of every pending event, in execution order — the
+  /// checkpoint's view of the queue. Copies; does not disturb the tiers.
+  struct PendingEvent {
+    Time at;
+    std::uint64_t seq;
+  };
+  std::vector<PendingEvent> pending_events() const;
+
+  /// Destroys every pending callable (slab slots recycled) and all
+  /// records. The restore path clears the constructor-scheduled queue
+  /// before re-posting the snapshot's events.
+  void clear_pending();
+
+  /// Restores the clock/counters captured by a snapshot. Only valid on a
+  /// simulator with no pending events; re-posted events then draw fresh
+  /// sequence numbers >= next_seq, preserving the saved (time, seq) pop
+  /// order relative to everything scheduled after resume.
+  void restore_clock(Time now, std::uint64_t next_seq, std::uint64_t executed) {
+    RTDS_REQUIRE_MSG(!has_events(), "restore_clock with pending events");
+    RTDS_REQUIRE(next_seq >= next_seq_);
+    now_ = now;
+    next_seq_ = next_seq;
+    executed_ = executed;
+  }
 
  private:
   /// Queue node: POD, so sorting and sifting move 24 bytes, never a
@@ -205,11 +271,18 @@ class Simulator {
   /// Node::slot tag: big-slab ids have the top bit set.
   static constexpr std::uint32_t kBigSlot = 0x8000'0000u;
 
+  /// Recycles one slot given its tagged Node::slot value (the callable is
+  /// destroyed first; used by step() and clear_pending()).
+  void destroy_slot(std::uint32_t slot);
+
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   EventObserver observer_ = nullptr;
   void* observer_ctx_ = nullptr;
+  bool recording_ = false;
+  /// seq -> replayable description of the pending event (recording only).
+  std::unordered_map<std::uint64_t, EventRecord> records_;
 
   std::vector<Node> staged_;
   std::vector<Node> run_;

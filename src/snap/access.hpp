@@ -1,0 +1,156 @@
+// The one friend of every checkpointable class (DESIGN.md §14).
+//
+// Serialization lives OUTSIDE the classes it captures: each state-bearing
+// class declares `friend struct snap::Access;` and nothing else — no
+// serialize() members, no format knowledge leaking into core/, routing/ or
+// sched/. Access's static functions read and restore the private fields
+// directly, so the capture is exact (tombstoned routing slots, RNG stream
+// words, Welford accumulator bits) where a public-API reconstruction would
+// be lossy or slow.
+//
+// Philosophy (PhoenixOS-style): capture *live* state, recompute *derived*
+// state. Anything a fresh construction rebuilds deterministically from the
+// config — sphere membership, CSR adjacency, interned metric ids — is not
+// in the format; load() starts from a freshly constructed object and
+// overwrites only what the run mutated.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "snap/io.hpp"
+
+namespace rtds {
+class Rng;
+class RunningStat;
+class Samples;
+class RoutingTable;
+class Pcs;
+class Topology;
+class SchedulingPlan;
+class LocalScheduler;
+class Simulator;
+class RtdsNode;
+class RtdsSystem;
+struct SystemConfig;
+struct RunMetrics;
+struct MessageStats;
+struct Job;
+struct TrialMapping;
+struct JobDecision;
+}  // namespace rtds
+namespace rtds::fault {
+class FaultState;
+class InvariantChecker;
+class DedupWindow;
+}  // namespace rtds::fault
+namespace rtds::load {
+class QuantileSketch;
+class SteadyStateCollector;
+}  // namespace rtds::load
+namespace rtds::obs {
+class MetricsBuffer;
+}  // namespace rtds::obs
+
+namespace rtds::snap {
+
+/// Shared-pointer interner: bulky immutable payloads (Jobs, TrialMappings)
+/// are shared across node queues, active initiations and pending-event
+/// records. The first encounter serializes the body and assigns the next
+/// dense index; later encounters serialize the index only — so the restored
+/// object graph shares exactly like the live one, and a job referenced from
+/// five places costs one body.
+struct SaveContext {
+  std::vector<const Job*> jobs;
+  std::vector<const TrialMapping*> mappings;
+};
+struct LoadContext {
+  std::vector<std::shared_ptr<const Job>> jobs;
+  std::vector<std::shared_ptr<const TrialMapping>> mappings;
+};
+
+struct Access {
+  // --- util ---
+  static void save(Writer& w, const Rng& rng);
+  static void load(Reader& r, Rng& rng);
+  static void save(Writer& w, const RunningStat& s);
+  static void load(Reader& r, RunningStat& s);
+  static void save(Writer& w, const Samples& s);
+  static void load(Reader& r, Samples& s);
+
+  // --- routing ---
+  static void save(Writer& w, const RoutingTable& t);
+  static void load(Reader& r, RoutingTable& t);
+  static void save(Writer& w, const Pcs& p);
+  static void load(Reader& r, Pcs& p);
+
+  // --- fault ---
+  static void save(Writer& w, const fault::FaultState& f);
+  static void load(Reader& r, fault::FaultState& f);
+  static void save(Writer& w, const fault::InvariantChecker& c);
+  static void load(Reader& r, fault::InvariantChecker& c);
+  static void save(Writer& w, const fault::DedupWindow& d);
+  static void load(Reader& r, fault::DedupWindow& d);
+
+  // --- sched ---
+  static void save(Writer& w, const SchedulingPlan& p);
+  static void load(Reader& r, SchedulingPlan& p);
+  static void save(Writer& w, const LocalScheduler& s);  ///< plan only
+  static void load(Reader& r, LocalScheduler& s);
+
+  // --- load/ (open-system measurement) ---
+  static void save(Writer& w, const load::QuantileSketch& q);
+  static void load(Reader& r, load::QuantileSketch& q);
+  static void save(Writer& w, const load::SteadyStateCollector& c);
+  static void load(Reader& r, load::SteadyStateCollector& c);
+
+  // --- obs (serialized by metric NAME: interned ids are process order) ---
+  static void save(Writer& w, const obs::MetricsBuffer& m);
+  static void load(Reader& r, obs::MetricsBuffer& m);
+
+  // --- core value types ---
+  static void save(Writer& w, const MessageStats& s);
+  static void load(Reader& r, MessageStats& s);
+  static void save(Writer& w, const RunMetrics& m);
+  static void load(Reader& r, RunMetrics& m);
+  static void save(Writer& w, const JobDecision& d);
+  static void load(Reader& r, JobDecision& d);
+
+  // --- shared immutable payloads (interned) ---
+  static void save_job(Writer& w, SaveContext& ctx,
+                       const std::shared_ptr<const Job>& job);
+  static std::shared_ptr<const Job> load_job(Reader& r, LoadContext& ctx);
+  static void save_mapping(Writer& w, SaveContext& ctx,
+                           const std::shared_ptr<const TrialMapping>& m);
+  static std::shared_ptr<const TrialMapping> load_mapping(Reader& r,
+                                                          LoadContext& ctx);
+
+  // --- node / system (snapshot.cpp) ---
+  static void save_node(Writer& w, SaveContext& ctx, const RtdsNode& n);
+  static void load_node(Reader& r, LoadContext& ctx, RtdsNode& n);
+  /// Writes / restores the sections clock, tables, fault, checker, nodes,
+  /// transport and system (everything but the pending events).
+  static void save_system(Writer& w, SaveContext& ctx,
+                          const RtdsSystem& sys);
+  static void load_system(Reader& r, LoadContext& ctx, RtdsSystem& sys);
+  /// Writes / re-posts the "events" section: every pending event's
+  /// (time, record) pair in execution order. load_events re-schedules each
+  /// through the original private entry point and re-annotates it, so a
+  /// resumed run can itself be snapshotted again.
+  static void save_events(Writer& w, SaveContext& ctx,
+                          const RtdsSystem& sys);
+  static void load_events(Reader& r, LoadContext& ctx, RtdsSystem& sys);
+
+  // --- identity hashes ---
+  /// Content hash of the static graph (sites, powers, links).
+  static std::uint64_t topology_hash(const Topology& topo);
+  /// Hash of everything a snapshot's validity depends on: the topology
+  /// plus the determinism-relevant SystemConfig fields.
+  static std::uint64_t config_hash(const Topology& topo,
+                                   const SystemConfig& cfg);
+  /// config_hash over a live system's own topology and config.
+  static std::uint64_t config_hash_of(const RtdsSystem& sys);
+};
+
+}  // namespace rtds::snap

@@ -1,0 +1,72 @@
+// Append-only sweep journal: crash recovery for long experiment sweeps
+// (DESIGN.md §14).
+//
+// A full Snapshot freezes one live RtdsSystem; a sweep is thousands of
+// independent trials, so its natural checkpoint grain is *one completed
+// trial*. The journal appends a self-contained, checksummed "trial"
+// section (trial index, metric values, and — when the run observes — the
+// trial's obs::MetricsBuffer) the moment each trial finishes, flushed
+// before the runner moves on. A SIGKILL therefore loses at most the
+// trials in flight; resume() reads the valid prefix, tolerates exactly
+// one truncated tail section (the kill artifact), compacts the file and
+// re-runs only what is missing. Aggregates built from a resumed sweep are
+// bit-identical to an uninterrupted one because the journal stores the
+// exact trial values the reduction would have consumed.
+//
+// The header's config hash pins the sweep identity (scenario name, grid,
+// replicates, seed policy, observe mode): resuming a journal written by a
+// different sweep fails loudly instead of splicing foreign trials.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace rtds::snap {
+
+/// One recorded trial, as read() returns it.
+struct JournalEntry {
+  std::uint64_t trial = 0;
+  std::vector<double> values;  ///< TrialResult, ScenarioSpec::metrics order
+  bool has_metrics = false;
+  obs::MetricsBuffer metrics;  ///< the trial's obs capture (observe runs)
+};
+
+class SweepJournal {
+ public:
+  /// Creates (truncating) `path` with a fresh journal header.
+  static std::unique_ptr<SweepJournal> create(const std::string& path,
+                                              std::uint64_t sweep_hash);
+
+  /// Resumes an interrupted sweep: reads the valid section prefix of
+  /// `path` (a truncated tail section — the SIGKILL artifact — is
+  /// discarded; a damaged *complete* section is a hard error), requires
+  /// the header hash to equal `sweep_hash`, fills `entries`, compacts the
+  /// file to the valid prefix and reopens it for append. Throws
+  /// ContractViolation when the file is missing, unreadable or belongs to
+  /// a different sweep.
+  static std::unique_ptr<SweepJournal> resume(
+      const std::string& path, std::uint64_t sweep_hash,
+      std::vector<JournalEntry>& entries);
+
+  /// Appends one completed trial and flushes. Thread-safe: workers call
+  /// this concurrently as trials finish (section order in the file is
+  /// completion order — irrelevant, entries carry their trial index).
+  void append(std::uint64_t trial, const std::vector<double>& values,
+              const obs::MetricsBuffer* metrics);
+
+ private:
+  SweepJournal() = default;
+
+  std::string path_;
+  std::uint64_t sweep_hash_ = 0;
+  std::ofstream out_;
+  std::mutex mutex_;
+};
+
+}  // namespace rtds::snap

@@ -19,6 +19,10 @@
 
 #include "util/error.hpp"
 
+namespace rtds::snap {
+struct Access;  // checkpoint serialization (snap/)
+}
+
 namespace rtds {
 
 template <typename Key, typename Value>
@@ -133,6 +137,8 @@ class FlatSet {
 
  private:
   FlatMap<Key, bool> map_;
+
+  friend struct snap::Access;  // checkpoints enumerate via map_.sorted_items()
 };
 
 }  // namespace rtds

@@ -11,6 +11,10 @@
 
 #include "util/error.hpp"
 
+namespace rtds::snap {
+struct Access;  // checkpoint serialization (snap/)
+}
+
 namespace rtds {
 
 /// SplitMix64: used to expand a single 64-bit seed into generator state.
@@ -86,6 +90,8 @@ class Rng {
   std::uint64_t s_[4];
   bool have_spare_normal_ = false;
   double spare_normal_ = 0.0;
+
+  friend struct snap::Access;  // checkpoints capture the exact stream state
 };
 
 }  // namespace rtds

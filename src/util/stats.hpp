@@ -5,6 +5,10 @@
 #include <string>
 #include <vector>
 
+namespace rtds::snap {
+struct Access;  // checkpoint serialization (snap/)
+}
+
 namespace rtds {
 
 /// Welford online mean/variance plus min/max.
@@ -31,6 +35,8 @@ class RunningStat {
   double min_ = 0.0;
   double max_ = 0.0;
   double sum_ = 0.0;
+
+  friend struct snap::Access;  // checkpoints restore the accumulator bits
 };
 
 /// Stores every sample; supports exact percentiles. Meant for per-run
@@ -64,6 +70,8 @@ class Samples {
   mutable std::vector<double> values_;
   mutable bool sorted_ = false;
   void ensure_sorted() const;
+
+  friend struct snap::Access;  // checkpoints restore the sample vector
 };
 
 /// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
