@@ -23,6 +23,12 @@
 //              --metrics dumps the run's obs counters as JSONL, --profile
 //              prints wall-clock phase timings to stderr (DESIGN.md §11)
 //   inspect    --net=FILE | --load=FILE   summarize a saved artifact
+//   --repro=FILE [--quiet]   replay a fuzzer .repro scenario bit-identically
+//              (src/fuzz, DESIGN.md §15): re-runs the pinned scenario under
+//              the fatal invariant checker plus its recorded cross-checks.
+//              Exit 0 iff the repro behaves as pinned — a benign repro must
+//              pass (its metrics JSONL goes to stdout for byte-diffing), a
+//              failure repro must reproduce its expected-failure tag.
 //
 // Scheduler dispatch goes through the PolicyRegistry: any registered
 // policy name works for --policy/--scheduler (rtds, local, central, bcast,
@@ -40,6 +46,7 @@
 #include "core/trace_io.hpp"
 #include "dag/analysis.hpp"
 #include "fault/invariants.hpp"
+#include "fuzz/checks.hpp"
 #include "load/source.hpp"
 #include "net/generators.hpp"
 #include "net/io.hpp"
@@ -70,7 +77,8 @@ namespace {
       "           [--faults=site_rate=0.002,site_mttr=25,drop=0.01]\n"
       "           [--check-invariants] [--warm-start]\n"
       "           [--trace=FILE] [--metrics=FILE] [--profile]\n"
-      "  inspect  --net=net.txt | --load=load.txt\n";
+      "  inspect  --net=net.txt | --load=load.txt\n"
+      "  rtds_cli --repro=finding.repro [--quiet]   replay a fuzzer repro\n";
   std::exit(2);
 }
 
@@ -349,6 +357,30 @@ int cmd_inspect(const Flags& flags) {
 
 }  // namespace
 
+int cmd_repro(const Flags& flags) {
+  const std::string path = flags.get_string("repro", "");
+  const bool quiet = flags.get_bool("quiet", false);
+  flags.check_unused();
+  RTDS_REQUIRE_MSG(!path.empty(), "--repro needs a file path");
+  const fuzz::FuzzScenario scenario = fuzz::from_repro(read_file(path));
+  const fuzz::FatalScope fatal;
+  const fuzz::CheckResult r = fuzz::run_scenario_checks(scenario);
+  // Benign repros (no expected tag) print their reference metrics as one
+  // JSONL line — the byte-diffable replay-determinism contract the CI
+  // corpus check rests on. Failure repros succeed by reproducing.
+  if (!r.metrics_jsonl.empty()) std::cout << r.metrics_jsonl << "\n";
+  if (r.failed) {
+    std::cerr << "repro: FAILED [" << r.tag << "] " << r.message << "\n";
+    return 1;
+  }
+  if (!quiet)
+    std::cerr << (scenario.expect.empty()
+                      ? "repro: ok (benign scenario passed all checks)"
+                      : "repro: reproduced [" + scenario.expect + "]")
+              << "\n";
+  return 0;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   policy::register_builtin_policies();
@@ -357,6 +389,10 @@ int main(int argc, char** argv) {
     // Flags parsing belongs INSIDE the try: a malformed value (--sites=x)
     // throws from the constructor, and an uncaught exception would
     // terminate without a diagnostic or a usable exit status.
+    if (command.rfind("--repro", 0) == 0) {
+      const Flags flags(argc, argv);
+      return cmd_repro(flags);
+    }
     const Flags flags(argc - 1, argv + 1, {"set"});
     if (command == "gen-net") return cmd_gen_net(flags);
     if (command == "gen-load") return cmd_gen_load(flags);

@@ -538,7 +538,14 @@ int main(int argc, char** argv) {
     }
     usage();
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    // Same exit-path contract as rtds_cli: every uncaught std::exception
+    // becomes a non-zero exit with a diagnostic plus a schema hint, never
+    // a raw terminate (pinned by the EXPERIMENTS.md docs-smoke negative
+    // check).
+    std::cerr << "error: " << e.what() << "\n"
+              << "hint: `rtds_exp --list` names the registered scenarios "
+                 "and policies; inspect a policy's parameter schema with "
+                 "`rtds_exp --policy=NAME --describe`\n";
     return 2;
   }
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "dag/analysis.hpp"
+#include "fault/bugs.hpp"
+#include "fault/invariants.hpp"
 #include "matching/bipartite.hpp"
 #include "obs/trace.hpp"
 #include "util/inline_vec.hpp"
@@ -105,7 +107,11 @@ void RtdsNode::send(SiteId to, MessageBody payload, int category, JobId job,
   // handles copies *we* made.
   std::visit(
       [&](auto& m) {
-        if constexpr (requires { m.seq; }) m.seq = ++send_seq_[to];
+        if constexpr (requires { m.seq; }) {
+          m.seq = ++send_seq_[to];
+          if (auto* chk = env_.checker())
+            chk->on_send_seq(site_, to, m.seq, sim_.now());
+        }
       },
       payload);
   const std::size_t hops =
@@ -150,6 +156,7 @@ void RtdsNode::submit(std::shared_ptr<const Job> job) {
 void RtdsNode::enqueue_bounded(std::shared_ptr<const Job> job) {
   const std::size_t cap = cfg_.admission_queue_cap;
   if (cap == 0 || queue_.size() < cap) {
+    if (auto* chk = env_.checker()) chk->on_queue_push(site_, sim_.now());
     queue_.push_back(std::move(job));
     return;
   }
@@ -169,6 +176,10 @@ void RtdsNode::enqueue_bounded(std::shared_ptr<const Job> job) {
     }
     if (victim < queue_.size()) {
       record_shed(*queue_[victim]);
+      if (auto* chk = env_.checker()) {
+        chk->on_queue_remove(site_, sim_.now());
+        chk->on_queue_push(site_, sim_.now());
+      }
       queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
       queue_.push_back(std::move(job));
       return;
@@ -183,6 +194,7 @@ void RtdsNode::enqueue_bounded(std::shared_ptr<const Job> job) {
 void RtdsNode::record_shed(const Job& job) {
   RTDS_TRACE("t=" << sim_.now() << " site " << site_ << " SHEDS job "
                   << job.id << " (" << to_string(cfg_.shed_policy) << ")");
+  if (auto* chk = env_.checker()) chk->on_shed(site_, sim_.now());
   JobDecision d;
   d.job = job.id;
   d.initiator = site_;
@@ -200,6 +212,7 @@ void RtdsNode::start_next_job() {
   if (!alive_ || lock_.has_value() || queue_.empty()) return;
   auto job = queue_.front();
   queue_.erase(queue_.begin());
+  if (auto* chk = env_.checker()) chk->on_queue_remove(site_, sim_.now());
   begin(std::move(job));
 }
 
@@ -640,15 +653,29 @@ void RtdsNode::crash() {
   for (const auto& [id, init] : active_)
     record_site_down(*init.job, init.acs.size());
   active_.clear();
-  for (const auto& job : queue_) record_site_down(*job, 1);
+  for (const auto& job : queue_) {
+    record_site_down(*job, 1);
+    if (auto* chk = env_.checker()) chk->on_queue_remove(site_, sim_.now());
+  }
   queue_.clear();
   buffered_enrolls_.clear();
   // Locks held *by* this site's initiations resolve via the members'
   // leases; a lock held *on* this site dies here.
-  lock_.reset();
+  if (fault::injected_bug() != fault::InjectedBug::kCrashKeepsLock)
+    lock_.reset();
   endorsement_.reset();
   ++lock_seq_;  // cancel any armed lease
-  retries_.clear();  // pending retry timers no-op against the empty map
+  // An in-flight dispatch retry carries guaranteed work whose delivery this
+  // crash forfeits: the retry timers die here (they no-op against the empty
+  // map), so the exhaustion path would never declare the loss. Declare it
+  // now, exactly as exhaustion would — otherwise the job stays marked
+  // healthy with tasks that can never run (found by rtds_fuzz).
+  for (const auto& [key, r] : retries_) {
+    const auto* dm = std::get_if<DispatchMsg>(&r.payload);
+    if (dm != nullptr && dm->logical != kNoLogical)
+      env_.on_dispatch_failure(key.first, key.second);
+  }
+  retries_.clear();
   // send_seq_ / recv_window_ deliberately survive: sequences must stay
   // monotone per (sender, receiver) across reincarnations, or a recovered
   // site's fresh messages would look like replays to its peers.
@@ -695,11 +722,18 @@ void RtdsNode::on_message(SiteId from, const MessageBody& payload) {
         return 0;
       },
       payload);
-  if (seq != 0 && !recv_window_[from].accept(seq)) {
-    RTDS_COUNT("protocol.dedup_dropped");
-    RTDS_TRACE("t=" << sim_.now() << " site " << site_
-                    << " drops duplicate seq " << seq << " from " << from);
-    return;
+  if (seq != 0) {
+    bool fresh = recv_window_[from].accept(seq);
+    if (fresh &&
+        fault::injected_bug() == fault::InjectedBug::kDedupFalsePositive &&
+        seq % 8 == 0)
+      fresh = false;  // injected boundary off-by-one (fault/bugs.hpp)
+    if (!fresh) {
+      RTDS_COUNT("protocol.dedup_dropped");
+      RTDS_TRACE("t=" << sim_.now() << " site " << site_
+                      << " drops duplicate seq " << seq << " from " << from);
+      return;
+    }
   }
   if (const auto* enroll = std::get_if<EnrollRequest>(&payload)) {
     on_enroll_request(from, *enroll);

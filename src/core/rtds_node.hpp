@@ -36,6 +36,10 @@
 #include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
+namespace rtds::fault {
+class InvariantChecker;
+}
+
 namespace rtds::snap {
 struct Access;  // checkpoint serialization (snap/snapshot.cpp)
 }
@@ -161,6 +165,9 @@ class NodeEnv {
   /// The §12 retransmit path resent a protocol message of `job` (default
   /// no-op; RtdsSystem counts it into RunMetrics::retransmits).
   virtual void on_retransmit(JobId job) { (void)job; }
+  /// The run's invariant checker, or nullptr when checking is off. Nodes
+  /// feed it the send-sequence and admission-queue accounting hooks.
+  virtual fault::InvariantChecker* checker() { return nullptr; }
 };
 
 class RtdsNode {

@@ -372,6 +372,8 @@ void RtdsSystem::repair_routing(std::span<const SiteId> changed) {
   if (repairer_ == nullptr)
     repairer_ = std::make_unique<ApspRepairer>(topo_, 2 * h);
   repairer_->repair(tables_, fault_state_.get(), changed);
+  if (checker_ != nullptr)
+    checker_->on_repair(tables_, topo_, *fault_state_, sim_.now());
   // Charge the nominal §7.2 exchange: each of the 2h phases ships one
   // table over every live directed link. The *simulator* repairs
   // incrementally, but the modelled protocol still floods, so the charge —

@@ -118,6 +118,12 @@ class RtdsSystem : public NodeEnv {
   const RtdsNode& node(SiteId s) const { return *nodes_.at(s); }
   Simulator& simulator() { return sim_; }
   const std::vector<JobDecision>& decisions() const { return decisions_; }
+  /// Live routing tables (post-repair view) — the fuzzer's
+  /// repair-vs-full-recompute cross-check reads these after the run.
+  const std::vector<RoutingTable>& routing_tables() const { return tables_; }
+  /// Final fault view (which sites/links ended the run down), or nullptr
+  /// when the run had no fault plan.
+  const fault::FaultState* fault_state() const { return fault_state_.get(); }
 
   // --- NodeEnv ---
   void on_job_decision(const JobDecision& decision) override;
@@ -126,6 +132,7 @@ class RtdsSystem : public NodeEnv {
   void on_dispatch_failure(JobId job, SiteId site) override;
   void on_job_lost(JobId job, SiteId site) override;
   void on_retransmit(JobId job) override;
+  fault::InvariantChecker* checker() override { return checker_.get(); }
 
  private:
   void verify_invariants();

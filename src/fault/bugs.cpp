@@ -1,0 +1,12 @@
+#include "fault/bugs.hpp"
+
+namespace rtds::fault {
+
+namespace {
+InjectedBug g_bug = InjectedBug::kNone;
+}  // namespace
+
+void set_injected_bug(InjectedBug bug) { g_bug = bug; }
+InjectedBug injected_bug() { return g_bug; }
+
+}  // namespace rtds::fault

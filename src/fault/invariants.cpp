@@ -3,8 +3,10 @@
 #include <sstream>
 
 #include "core/metrics.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "routing/routing_table.hpp"
 #include "util/error.hpp"
 
 namespace rtds::fault {
@@ -57,6 +59,88 @@ void InvariantChecker::on_decision(JobId job, Time now) {
   decided_.insert(job);
 }
 
+void InvariantChecker::on_send_seq(SiteId from, SiteId to, std::uint64_t seq,
+                                   Time now) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(from) << 32) | static_cast<std::uint64_t>(to);
+  std::uint64_t& last = last_seq_[key];
+  if (seq <= last) {
+    std::ostringstream os;
+    os << "seq-monotone: site " << from << " stamped seq " << seq << " to "
+       << to << " after seq " << last;
+    violate(os.str(), now, from);
+    return;
+  }
+  last = seq;
+}
+
+void InvariantChecker::on_repair(const std::vector<RoutingTable>& tables,
+                                 const Topology& topo,
+                                 const FaultState& faults, Time now) {
+  for (SiteId s = 0; s < tables.size(); ++s) {
+    const RoutingTable& table = tables[s];
+    for (std::size_t slot = 0; slot < table.slot_count(); ++slot) {
+      const RouteLine& line = table.line_at(slot);
+      if (line.dist >= kInfiniteTime) continue;  // withdrawn tombstone
+      const SiteId dest = table.dest_at(slot);
+      if (dest == s) continue;  // trivial self route
+      const SiteId nh = line.next_hop;
+      if (!faults.link_up(s, nh)) {
+        std::ostringstream os;
+        os << "repair-consistency: site " << s << " routes to " << dest
+           << " over dead link to " << nh;
+        violate(os.str(), now, s);
+        continue;
+      }
+      if (nh == dest) {
+        if (!time_eq(line.dist, topo.link_delay(s, nh)) || line.hops != 1) {
+          std::ostringstream os;
+          os << "repair-consistency: site " << s << " one-hop route to "
+             << dest << " has dist=" << line.dist << " hops=" << line.hops
+             << " but the link delay is " << topo.link_delay(s, nh);
+          violate(os.str(), now, s);
+        }
+        continue;
+      }
+      // Hop-bounded routing weakens Bellman equality to an inequality:
+      // the next hop's own line may use MORE hops (it has the full budget
+      // again), so it is a lower bound — a route strictly below it is a
+      // stale under-estimate the repair failed to re-converge.
+      const RouteLine* via = tables[nh].find(dest);
+      if (via == nullptr || via->dist >= kInfiniteTime) {
+        std::ostringstream os;
+        os << "repair-consistency: site " << s << " routes to " << dest
+           << " via " << nh << " which has no route there";
+        violate(os.str(), now, s);
+        continue;
+      }
+      const Time bound = topo.link_delay(s, nh) + via->dist;
+      if (!time_ge(line.dist, bound)) {
+        std::ostringstream os;
+        os << "repair-consistency: site " << s << " -> " << dest << " via "
+           << nh << " claims dist=" << line.dist
+           << " below the next hop's lower bound " << bound;
+        violate(os.str(), now, s);
+      }
+    }
+  }
+}
+
+void InvariantChecker::on_queue_push(SiteId, Time) { ++queue_pushed_; }
+
+void InvariantChecker::on_queue_remove(SiteId site, Time now) {
+  if (queue_removed_ >= queue_pushed_) {
+    std::ostringstream os;
+    os << "shed-conservation: site " << site
+       << " dequeued a job that was never enqueued";
+    violate(os.str(), now, site);
+    return;
+  }
+  ++queue_removed_;
+}
+
+void InvariantChecker::on_shed(SiteId, Time) { ++sheds_; }
+
 void InvariantChecker::finish(const RunMetrics& metrics,
                               std::size_t locks_held, Time now) {
   const std::uint64_t decided =
@@ -72,6 +156,23 @@ void InvariantChecker::finish(const RunMetrics& metrics,
     std::ostringstream os;
     os << "lock-conservation: " << locks_held
        << " PCS lock(s) still held after the run drained";
+    violate(os.str(), now, 0);
+  }
+  if (queue_pushed_ != queue_removed_) {
+    std::ostringstream os;
+    os << "shed-conservation: " << queue_pushed_ << " jobs enqueued but "
+       << queue_removed_ << " left the queue (queued + shed + admitted "
+       << "must be conserved)";
+    violate(os.str(), now, 0);
+  }
+  const auto it = metrics.reject_by_reason.find(
+      static_cast<int>(RejectReason::kShed));
+  const std::uint64_t metric_sheds =
+      it == metrics.reject_by_reason.end() ? 0 : it->second;
+  if (sheds_ != metric_sheds) {
+    std::ostringstream os;
+    os << "shed-conservation: " << sheds_ << " shed event(s) at the nodes "
+       << "but metrics recorded " << metric_sheds << " kShed rejection(s)";
     violate(os.str(), now, 0);
   }
 }

@@ -16,10 +16,19 @@
 //   job-conservation   decided == submitted at end of run (accepted_local +
 //                      accepted_remote + rejected == arrived, exactly)
 //   lock-conservation  no site still holds a PCS lock after the run drains
+//   seq-monotone       per-(sender,receiver) protocol sequence numbers are
+//                      strictly increasing — the dedup window's contract
+//   repair-consistency after every routing repair each live route crosses a
+//                      live link and agrees with its next hop's table
+//                      (Bellman triangle: dist = link delay + next-hop dist)
+//   shed-conservation  bounded-queue accounting balances: every enqueue is
+//                      matched by a dequeue/shed/crash-clear, and node-level
+//                      shed events equal the kShed rejections in RunMetrics
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "dag/dag.hpp"
 #include "net/topology.hpp"
@@ -28,6 +37,11 @@
 
 namespace rtds {
 struct RunMetrics;
+class RoutingTable;
+}
+
+namespace rtds::fault {
+class FaultState;
 }
 
 namespace rtds::snap {
@@ -57,7 +71,21 @@ class InvariantChecker {
   /// Decision hook: at most one guarantee/rejection per job, ever.
   void on_decision(JobId job, Time now);
   void on_submitted(std::uint64_t count) { submitted_ += count; }
-  /// End-of-run audit: job conservation and lock conservation.
+  /// Send hook: the per-(sender,receiver) protocol sequence stamp must be
+  /// strictly increasing, crashes included — the dedup window's contract.
+  void on_send_seq(SiteId from, SiteId to, std::uint64_t seq, Time now);
+  /// Post-repair hook: every live route must cross a live link and agree
+  /// with its next hop's table (dist = link delay + next-hop dist, hops =
+  /// next-hop hops + 1). Catches under-dirtied incremental repairs.
+  void on_repair(const std::vector<RoutingTable>& tables, const Topology& topo,
+                 const FaultState& faults, Time now);
+  /// Bounded admission-queue accounting hooks (shed-conservation).
+  void on_queue_push(SiteId site, Time now);
+  void on_queue_remove(SiteId site, Time now);
+  void on_shed(SiteId site, Time now);
+  /// End-of-run audit: job conservation, lock conservation, and shed-queue
+  /// accounting (queued jobs all left the queue; node-level shed events
+  /// match the kShed rejections recorded in metrics).
   void finish(const RunMetrics& metrics, std::size_t locks_held, Time now);
 
   std::uint64_t violations() const { return violations_; }
@@ -69,6 +97,10 @@ class InvariantChecker {
   std::uint64_t submitted_ = 0;
   std::uint64_t violations_ = 0;
   FlatSet<JobId> decided_;
+  FlatMap<std::uint64_t, std::uint64_t> last_seq_;  ///< (from<<32|to) -> seq
+  std::uint64_t queue_pushed_ = 0;
+  std::uint64_t queue_removed_ = 0;
+  std::uint64_t sheds_ = 0;
 
   friend struct snap::Access;  // checkpoints restore the audit counters
 };

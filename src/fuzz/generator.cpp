@@ -1,0 +1,197 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "policy/policy.hpp"
+#include "util/rng.hpp"
+
+namespace rtds::fuzz {
+
+namespace {
+
+std::string kv(const std::string& key, double value) {
+  std::ostringstream os;
+  os << std::setprecision(17) << key << "=" << value;
+  return os.str();
+}
+
+std::string kv(const std::string& key, std::uint64_t value) {
+  return key + "=" + std::to_string(value);
+}
+
+/// Scripted extras drawn from the full chaos vocabulary, layered on top of
+/// the generated plan — the mutation half of "scripted FaultPlan mutated
+/// from the chaos vocabulary". Times stay inside the horizon; pairs
+/// (down/up, partition/heal) are kept well-formed by construction.
+void mutate_events(fault::FaultPlan& plan, const Topology& topo,
+                   bool allow_partition, Time horizon, Rng& rng) {
+  const SiteId n = static_cast<SiteId>(topo.site_count());
+  const std::size_t extras = static_cast<std::size_t>(rng.uniform_int(0, 3));
+  for (std::size_t i = 0; i < extras; ++i) {
+    const Time at = rng.uniform(0.0, 0.8 * horizon);
+    const Time up = at + rng.uniform(1.0, 0.2 * horizon);
+    switch (rng.uniform_int(0, 2)) {
+      case 0: {  // site flap
+        const SiteId a = static_cast<SiteId>(rng.uniform_int(0, n - 1));
+        plan.events.push_back({at, fault::FaultKind::kSiteDown, a, kNoSite});
+        plan.events.push_back({up, fault::FaultKind::kSiteUp, a, kNoSite});
+        break;
+      }
+      case 1: {  // link flap
+        if (topo.link_count() == 0) break;
+        const auto& link = topo.links()[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(topo.link_count()) - 1))];
+        plan.events.push_back({at, fault::FaultKind::kLinkDown, link.a, link.b});
+        plan.events.push_back({up, fault::FaultKind::kLinkUp, link.a, link.b});
+        break;
+      }
+      default: {  // partition + heal (only when the generated plan has none
+                  // — overlapping cuts are not part of the model)
+        if (!allow_partition || n < 2) break;
+        const SiteId cut = static_cast<SiteId>(rng.uniform_int(1, n - 1));
+        plan.events.push_back({at, fault::FaultKind::kPartition, cut, kNoSite});
+        plan.events.push_back({up, fault::FaultKind::kHeal, 0, kNoSite});
+        allow_partition = false;
+        break;
+      }
+    }
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const fault::FaultEvent& a, const fault::FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+}  // namespace
+
+FuzzScenario generate_scenario(std::uint64_t master_seed,
+                               std::uint64_t index) {
+  // One private stream per (campaign, index): worker-count invariant.
+  Rng rng(master_seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  FuzzScenario s;
+
+  static const NetShape kShapes[] = {
+      NetShape::kGrid,       NetShape::kRing,      NetShape::kLine,
+      NetShape::kStar,       NetShape::kTorus,     NetShape::kTree,
+      NetShape::kErdosRenyi, NetShape::kGeometric, NetShape::kSmallWorld,
+  };
+  s.cond.net = kShapes[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(std::size(kShapes)) - 1))];
+  s.cond.sites = static_cast<std::size_t>(rng.uniform_int(6, 30));
+  s.cond.delay_min = rng.uniform(0.3, 1.0);
+  s.cond.delay_max = s.cond.delay_min + rng.uniform(0.3, 1.5);
+  s.cond.rate = rng.uniform(0.01, 0.06);
+  s.cond.horizon = rng.uniform(30.0, 100.0);
+  s.cond.laxity_min = rng.uniform(1.5, 3.0);
+  s.cond.laxity_max = s.cond.laxity_min + rng.uniform(1.0, 4.0);
+  s.cond.min_tasks = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  s.cond.max_tasks = s.cond.min_tasks + static_cast<std::size_t>(
+                                            rng.uniform_int(1, 6));
+  s.cond.seed = rng.next_u64();
+  s.cond.deadline_model = rng.uniform01() < 0.8 ? DeadlineModel::kCriticalPath
+                                                : DeadlineModel::kTotalWork;
+
+  const double wl = rng.uniform01();
+  s.workload = wl < 0.60   ? WorkloadMode::kClosed
+               : wl < 0.85 ? WorkloadMode::kBursty
+                           : WorkloadMode::kOpenDiurnal;
+  if (s.workload == WorkloadMode::kBursty) {
+    s.cond.process = ArrivalProcess::kBursty;
+    s.cond.burst_on_mean = rng.uniform(5.0, 20.0);
+    s.cond.burst_off_mean = rng.uniform(20.0, 60.0);
+    s.cond.burst_multiplier = rng.uniform(2.0, 8.0);
+  }
+
+  // Policy: mostly the paper's protocol (it is the one with the scripted
+  // chaos plan and the deep cross-checks); sometimes a baseline family.
+  policy::register_builtin_policies();
+  const bool rtds = rng.uniform01() < 0.75;
+  if (rtds) {
+    s.policy = "rtds";
+    s.params.push_back(kv("h", static_cast<std::uint64_t>(
+                                   rng.uniform_int(1, 3))));
+    if (rng.uniform01() < 0.25) {
+      s.params.push_back(kv("shed.cap", static_cast<std::uint64_t>(
+                                            rng.uniform_int(1, 4))));
+      static const char* kShed[] = {"drop_newest", "drop_lowest_laxity",
+                                    "reject_enroll"};
+      s.params.push_back(std::string("shed.policy=") +
+                         kShed[rng.uniform_int(0, 2)]);
+    }
+
+    // Chaos: a generated background plan from the stochastic processes,
+    // then scripted mutations from the full vocabulary on top.
+    const Topology topo = exp::make_topology(s.cond);
+    fault::FaultSpec spec;
+    spec.horizon = s.cond.horizon;
+    spec.seed = rng.next_u64();
+    if (rng.uniform01() < 0.85) {
+      if (rng.uniform01() < 0.7) {
+        spec.site_rate = rng.uniform(0.0, 0.012);
+        spec.site_mttr = rng.uniform(4.0, 15.0);
+      }
+      if (rng.uniform01() < 0.6) {
+        spec.link_rate = rng.uniform(0.0, 0.012);
+        spec.link_mttr = rng.uniform(3.0, 10.0);
+      }
+      if (rng.uniform01() < 0.3) {
+        spec.partition_rate = rng.uniform(0.001, 0.004);
+        spec.partition_mttr = rng.uniform(4.0, 10.0);
+      }
+      if (rng.uniform01() < 0.5) spec.drop_prob = rng.uniform(0.0, 0.05);
+      if (rng.uniform01() < 0.5) spec.dup_prob = rng.uniform(0.0, 0.10);
+      if (rng.uniform01() < 0.5) {
+        spec.reorder_prob = rng.uniform(0.0, 0.20);
+        spec.reorder_delay_max = rng.uniform(0.2, 1.0);
+      }
+      if (rng.uniform01() < 0.4)
+        spec.extra_delay_max = rng.uniform(0.0, 0.5);
+    }
+    s.plan = fault::FaultPlan::from_spec(spec, topo);
+    mutate_events(s.plan, topo, spec.partition_rate <= 0.0, s.cond.horizon,
+                  rng);
+    s.plan.validate(topo);
+    // Dropped sends without the §12 retransmit layer stall enrollments by
+    // design — that is the hardening's job, not a finding. Retransmit also
+    // exercises the dedup window against dup/reorder chaos.
+    if (s.plan.drop_prob > 0.0 || rng.uniform01() < 0.3) {
+      s.params.push_back("faults.retransmit=true");
+      s.params.push_back(kv("faults.retransmit_tries",
+                            static_cast<std::uint64_t>(rng.uniform_int(2, 4))));
+    }
+
+    s.check_replay = true;
+    s.check_recompute = !s.plan.events.empty();
+    s.check_snapshot =
+        s.workload != WorkloadMode::kOpenDiurnal && rng.uniform01() < 0.5;
+    s.check_workers = s.workload != WorkloadMode::kOpenDiurnal &&
+                      rng.uniform01() < 0.25;
+  } else {
+    auto names = policy::PolicyRegistry::instance().names();
+    names.erase(std::remove(names.begin(), names.end(), "rtds"), names.end());
+    std::sort(names.begin(), names.end());
+    s.policy = names.empty()
+                   ? "rtds"
+                   : names[static_cast<std::size_t>(rng.uniform_int(
+                         0, static_cast<std::int64_t>(names.size()) - 1))];
+    s.workload = s.workload == WorkloadMode::kOpenDiurnal
+                     ? WorkloadMode::kClosed
+                     : s.workload;  // open streams are an rtds-only path
+    if (rng.uniform01() < 0.6) {
+      s.params.push_back(kv("faults.site_rate", rng.uniform(0.0, 0.01)));
+      s.params.push_back(kv("faults.site_mttr", rng.uniform(4.0, 15.0)));
+      // Schema type is int: keep the value inside the parser's range.
+      s.params.push_back(kv("faults.seed", static_cast<std::uint64_t>(
+                                               rng.next_u64() % 1000000007ULL)));
+    }
+    s.check_replay = true;
+    s.check_snapshot = false;
+    s.check_recompute = false;
+    s.check_workers = false;
+  }
+  return s;
+}
+
+}  // namespace rtds::fuzz

@@ -1,0 +1,19 @@
+// Seeded scenario generator (DESIGN.md §15). Scenario i of a campaign is
+// a pure function of (master seed, i) — no shared stream — so a fuzz run
+// visits the identical scenario sequence whatever the worker count, and
+// any finding names its scenario by index alone.
+#pragma once
+
+#include <cstdint>
+
+#include "fuzz/scenario.hpp"
+
+namespace rtds::fuzz {
+
+/// Samples scenario `index` of the campaign keyed by `master_seed`:
+/// topology family × size × sphere radius × policy × workload × a
+/// scripted fault plan mutated from the full chaos vocabulary. The result
+/// always passes FaultPlan::validate against its own topology.
+FuzzScenario generate_scenario(std::uint64_t master_seed, std::uint64_t index);
+
+}  // namespace rtds::fuzz

@@ -1,0 +1,240 @@
+#include "fuzz/scenario.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rtds::fuzz {
+
+namespace {
+
+constexpr int kReproVersion = 1;
+
+const char* to_string(ArrivalProcess p) {
+  return p == ArrivalProcess::kBursty ? "bursty" : "poisson";
+}
+
+const char* to_string(DeadlineModel m) {
+  return m == DeadlineModel::kTotalWork ? "total_work" : "critical_path";
+}
+
+fault::FaultKind fault_kind_from_string(const std::string& name, int line) {
+  for (const auto kind :
+       {fault::FaultKind::kSiteDown, fault::FaultKind::kSiteUp,
+        fault::FaultKind::kLinkDown, fault::FaultKind::kLinkUp,
+        fault::FaultKind::kPartition, fault::FaultKind::kHeal})
+    if (name == fault::to_string(kind)) return kind;
+  throw ContractViolation("repro line " + std::to_string(line) +
+                          ": unknown fault kind '" + name + "'");
+}
+
+[[noreturn]] void bad_line(int line, const std::string& what) {
+  throw ContractViolation("repro line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+const char* to_string(WorkloadMode mode) {
+  switch (mode) {
+    case WorkloadMode::kClosed: return "closed";
+    case WorkloadMode::kBursty: return "bursty";
+    case WorkloadMode::kOpenDiurnal: return "open_diurnal";
+  }
+  return "closed";
+}
+
+WorkloadMode workload_mode_from_string(const std::string& name) {
+  if (name == "closed") return WorkloadMode::kClosed;
+  if (name == "bursty") return WorkloadMode::kBursty;
+  if (name == "open_diurnal") return WorkloadMode::kOpenDiurnal;
+  throw ContractViolation("unknown workload mode '" + name +
+                          "' (closed|bursty|open_diurnal)");
+}
+
+void write_repro(std::ostream& os, const FuzzScenario& s) {
+  os << std::setprecision(17);
+  os << "RTDSREPRO " << kReproVersion << "\n";
+  os << "policy " << s.policy << "\n";
+  os << "workload " << to_string(s.workload) << "\n";
+  os << "net " << rtds::to_string(s.cond.net) << " " << s.cond.sites << "\n";
+  os << "delay " << s.cond.delay_min << " " << s.cond.delay_max << "\n";
+  os << "arrivals " << s.cond.rate << " " << s.cond.horizon << "\n";
+  os << "laxity " << s.cond.laxity_min << " " << s.cond.laxity_max << "\n";
+  os << "tasks " << s.cond.min_tasks << " " << s.cond.max_tasks << "\n";
+  os << "process " << to_string(s.cond.process) << " " << s.cond.burst_on_mean
+     << " " << s.cond.burst_off_mean << " " << s.cond.burst_multiplier << "\n";
+  os << "deadline " << to_string(s.cond.deadline_model) << "\n";
+  os << "seed " << s.cond.seed << "\n";
+  for (const auto& p : s.params) os << "param " << p << "\n";
+  os << "chaos " << s.plan.drop_prob << " " << s.plan.extra_delay_max << " "
+     << s.plan.dup_prob << " " << s.plan.reorder_prob << " "
+     << s.plan.reorder_delay_max << " " << s.plan.seed << "\n";
+  for (const auto& ev : s.plan.events) {
+    os << "event " << ev.at << " " << fault::to_string(ev.kind) << " " << ev.a;
+    if (ev.b != kNoSite) os << " " << ev.b;
+    os << "\n";
+  }
+  os << "checks " << (s.check_replay ? 1 : 0) << " "
+     << (s.check_snapshot ? 1 : 0) << " " << (s.check_recompute ? 1 : 0)
+     << " " << (s.check_workers ? 1 : 0) << "\n";
+  os << "expect " << (s.expect.empty() ? "-" : s.expect) << "\n";
+  os << "end\n";
+}
+
+std::string to_repro(const FuzzScenario& s) {
+  std::ostringstream os;
+  write_repro(os, s);
+  return os.str();
+}
+
+FuzzScenario from_repro(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  FuzzScenario s;
+  s.params.clear();
+  bool got_header = false, got_end = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    auto need = [&](auto&... field) {
+      (ls >> ... >> field);
+      if (ls.fail()) bad_line(lineno, "malformed '" + key + "' record");
+    };
+    if (!got_header) {
+      int version = 0;
+      if (key != "RTDSREPRO") bad_line(lineno, "missing RTDSREPRO header");
+      need(version);
+      if (version != kReproVersion)
+        bad_line(lineno, "unsupported repro version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kReproVersion) + ")");
+      got_header = true;
+      continue;
+    }
+    if (key == "policy") {
+      need(s.policy);
+    } else if (key == "workload") {
+      std::string mode;
+      need(mode);
+      s.workload = workload_mode_from_string(mode);
+    } else if (key == "net") {
+      std::string shape;
+      need(shape, s.cond.sites);
+      s.cond.net = net_shape_from_string(shape);
+    } else if (key == "delay") {
+      need(s.cond.delay_min, s.cond.delay_max);
+    } else if (key == "arrivals") {
+      need(s.cond.rate, s.cond.horizon);
+    } else if (key == "laxity") {
+      need(s.cond.laxity_min, s.cond.laxity_max);
+    } else if (key == "tasks") {
+      need(s.cond.min_tasks, s.cond.max_tasks);
+    } else if (key == "process") {
+      std::string p;
+      need(p, s.cond.burst_on_mean, s.cond.burst_off_mean,
+           s.cond.burst_multiplier);
+      if (p == "poisson")
+        s.cond.process = ArrivalProcess::kPoisson;
+      else if (p == "bursty")
+        s.cond.process = ArrivalProcess::kBursty;
+      else
+        bad_line(lineno, "unknown process '" + p + "'");
+    } else if (key == "deadline") {
+      std::string m;
+      need(m);
+      if (m == "critical_path")
+        s.cond.deadline_model = DeadlineModel::kCriticalPath;
+      else if (m == "total_work")
+        s.cond.deadline_model = DeadlineModel::kTotalWork;
+      else
+        bad_line(lineno, "unknown deadline model '" + m + "'");
+    } else if (key == "seed") {
+      need(s.cond.seed);
+    } else if (key == "param") {
+      std::string p;
+      need(p);
+      if (p.find('=') == std::string::npos)
+        bad_line(lineno, "param needs key=value, got '" + p + "'");
+      s.params.push_back(p);
+    } else if (key == "chaos") {
+      need(s.plan.drop_prob, s.plan.extra_delay_max, s.plan.dup_prob,
+           s.plan.reorder_prob, s.plan.reorder_delay_max, s.plan.seed);
+    } else if (key == "event") {
+      fault::FaultEvent ev;
+      std::string kind;
+      need(ev.at, kind, ev.a);
+      ev.kind = fault_kind_from_string(kind, lineno);
+      SiteId b = kNoSite;
+      if (ls >> b) ev.b = b;
+      if (!s.plan.events.empty() && ev.at < s.plan.events.back().at)
+        bad_line(lineno, "events must be sorted by time");
+      s.plan.events.push_back(ev);
+    } else if (key == "checks") {
+      int replay = 0, snapshot = 0, recompute = 0, workers = 0;
+      need(replay, snapshot, recompute, workers);
+      s.check_replay = replay != 0;
+      s.check_snapshot = snapshot != 0;
+      s.check_recompute = recompute != 0;
+      s.check_workers = workers != 0;
+    } else if (key == "expect") {
+      need(s.expect);
+      if (s.expect == "-") s.expect.clear();
+    } else if (key == "end") {
+      got_end = true;
+      // Strict tail: a versioned format must not silently ignore content,
+      // or a future-format repro could half-parse as the current one.
+      while (std::getline(in, line)) {
+        ++lineno;
+        if (!line.empty() && line[0] != '#')
+          bad_line(lineno, "content after 'end'");
+      }
+      break;
+    } else {
+      bad_line(lineno, "unknown record '" + key + "'");
+    }
+  }
+  if (!got_header) throw ContractViolation("repro: missing RTDSREPRO header");
+  if (!got_end) throw ContractViolation("repro: missing 'end' record");
+  return s;
+}
+
+void sanitize_plan(FuzzScenario& s) {
+  const Topology topo = exp::make_topology(s.cond);
+  const SiteId n = static_cast<SiteId>(topo.site_count());
+  auto link_exists = [&](SiteId a, SiteId b) {
+    return a < n && b < n && a != b && topo.adjacent(a, b);
+  };
+  std::vector<fault::FaultEvent> kept;
+  kept.reserve(s.plan.events.size());
+  bool partition_open = false;
+  for (const auto& ev : s.plan.events) {
+    switch (ev.kind) {
+      case fault::FaultKind::kSiteDown:
+      case fault::FaultKind::kSiteUp:
+        if (ev.a >= n) continue;
+        break;
+      case fault::FaultKind::kLinkDown:
+      case fault::FaultKind::kLinkUp:
+        if (!link_exists(ev.a, ev.b)) continue;
+        break;
+      case fault::FaultKind::kPartition:
+        if (ev.a == 0 || ev.a >= n) continue;
+        if (partition_open) continue;  // nested cuts are invalid
+        partition_open = true;
+        break;
+      case fault::FaultKind::kHeal:
+        if (!partition_open) continue;
+        partition_open = false;
+        break;
+    }
+    kept.push_back(ev);
+  }
+  s.plan.events = std::move(kept);
+}
+
+}  // namespace rtds::fuzz

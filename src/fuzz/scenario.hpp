@@ -1,0 +1,70 @@
+// One fuzzable scenario (DESIGN.md §15): an experiment condition × a
+// policy × a scripted fault plan × the cross-checks to run on it. The
+// value type is what the generator samples, the shrinker minimizes and the
+// versioned `.repro` text format round-trips — a finding is replayed by
+// feeding the identical scenario back through fuzz::run_scenario_checks
+// (rtds_cli --repro=FILE), bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/condition.hpp"
+#include "fault/fault.hpp"
+
+namespace rtds::fuzz {
+
+/// Workload family: closed batches via exp::make_condition, or the open
+/// src/load diurnal arrival source pulled lazily through run_stream.
+enum class WorkloadMode { kClosed, kBursty, kOpenDiurnal };
+
+const char* to_string(WorkloadMode mode);
+WorkloadMode workload_mode_from_string(const std::string& name);
+
+struct FuzzScenario {
+  /// Condition axes (net shape, size, delays, rate, horizon, laxity,
+  /// tasks, seed). `process` is derived from `workload` at materialize
+  /// time; the diurnal open stream routes through src/load instead.
+  exp::ConditionSpec cond;
+  WorkloadMode workload = WorkloadMode::kClosed;
+  std::string policy = "rtds";
+  /// Extra `key=value` assignments validated against the policy schema
+  /// (sphere radius h, retransmit knobs, shed caps, fault perturbations
+  /// for the baseline policies, ...).
+  std::vector<std::string> params;
+  /// Scripted chaos for rtds runs: crash/flap/partition events plus the
+  /// drop/dup/reorder/extra-delay perturbation knobs. Baselines take their
+  /// faults through `params` (their runs own the system internally).
+  fault::FaultPlan plan;
+  // Cross-checks to run when the fatal-invariant pass survives.
+  bool check_replay = true;
+  bool check_snapshot = false;
+  bool check_recompute = false;
+  bool check_workers = false;
+  /// The failure this repro pins ("" while still searching). A replay that
+  /// does NOT reproduce the tag is itself a failure of the repro.
+  std::string expect;
+
+  /// Shrink-ordering metric: what the minimizer drives down.
+  std::size_t size() const {
+    return 10 * plan.events.size() + cond.sites + params.size();
+  }
+};
+
+/// Serializes to the versioned text format (RTDSREPRO v1). Deterministic:
+/// the same scenario always yields the same bytes (doubles at 17 digits,
+/// so parsing returns the exact same values).
+std::string to_repro(const FuzzScenario& s);
+void write_repro(std::ostream& os, const FuzzScenario& s);
+
+/// Parses a repro. Throws ContractViolation naming the offending line on
+/// malformed input or an unsupported version.
+FuzzScenario from_repro(const std::string& text);
+
+/// Drops plan events that no longer reference valid sites/links of the
+/// scenario's topology (used after the shrinker changes `cond.sites`).
+void sanitize_plan(FuzzScenario& s);
+
+}  // namespace rtds::fuzz

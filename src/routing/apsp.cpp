@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/bugs.hpp"
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
 
@@ -317,7 +318,9 @@ void ApspRepairer::repair(std::vector<RoutingTable>& tables,
   //    destinations up to phases+1 hops away are dirty.
   // Callers pass both endpoints for a link change and the single site for
   // a site change, which is how the two radii are told apart.
-  const std::size_t dirty_radius = changed.size() == 1 ? phases + 1 : phases;
+  std::size_t dirty_radius = changed.size() == 1 ? phases + 1 : phases;
+  if (fault::injected_bug() == fault::InjectedBug::kRepairRadiusOffByOne)
+    --dirty_radius;  // mutation-test target: under-dirty by one ring
   static_ball(im.csr, changed, dirty_radius, sc, im.dirty);
   std::sort(im.dirty.begin(), im.dirty.end());
   RTDS_COUNT("apsp.repair.calls");

@@ -35,7 +35,9 @@
 namespace rtds::snap {
 
 inline constexpr char kMagic[8] = {'R', 'T', 'D', 'S', 'N', 'A', 'P', '\0'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v2: InvariantChecker section grew the seq-monotone map and shed-queue
+// accounting counters (PR 10) — old snapshots are rejected, not misread.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// FNV-1a 64-bit over a byte range (the building block for config hashes).
 std::uint64_t fnv1a(const void* data, std::size_t size,

@@ -303,6 +303,15 @@ void Access::save(Writer& w, const fault::InvariantChecker& c) {
     (void)present;
     w.u64(job);
   }
+  const auto seqs = c.last_seq_.sorted_items();
+  w.u64(seqs.size());
+  for (const auto& [key, seq] : seqs) {
+    w.u64(key);
+    w.u64(seq);
+  }
+  w.u64(c.queue_pushed_);
+  w.u64(c.queue_removed_);
+  w.u64(c.sheds_);
 }
 void Access::load(Reader& r, fault::InvariantChecker& c) {
   c.last_event_time_ = r.f64();
@@ -312,6 +321,16 @@ void Access::load(Reader& r, fault::InvariantChecker& c) {
   c.decided_ = FlatSet<JobId>{};
   c.decided_.map_.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) c.decided_.insert(r.u64());
+  const std::uint64_t seqs = checked_count(r, r.u64(), 16);
+  c.last_seq_ = FlatMap<std::uint64_t, std::uint64_t>{};
+  c.last_seq_.reserve(seqs);
+  for (std::uint64_t i = 0; i < seqs; ++i) {
+    const std::uint64_t key = r.u64();
+    c.last_seq_[key] = r.u64();
+  }
+  c.queue_pushed_ = r.u64();
+  c.queue_removed_ = r.u64();
+  c.sheds_ = r.u64();
 }
 
 // --- fault/dedup.hpp ---
